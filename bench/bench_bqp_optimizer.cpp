@@ -1,0 +1,103 @@
+// E7 — Binary quadratic programming for runtime task assignment (paper
+// §3.1.1 op. 7). Solve time of the exact branch-and-bound vs the simulated-
+// annealing heuristic across instance sizes, plus a solution-quality table
+// (anneal cost / exact cost) on instances where both run.
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+#include <iomanip>
+#include <iostream>
+
+#include "core/optimizer.hpp"
+
+using namespace evm;
+using namespace evm::core;
+
+namespace {
+
+BqpProblem random_problem(std::size_t tasks, std::size_t nodes,
+                          std::uint64_t seed) {
+  util::Rng rng(seed);
+  BqpProblem p;
+  p.num_tasks = tasks;
+  p.num_nodes = nodes;
+  for (std::size_t t = 0; t < tasks; ++t) {
+    p.task_utilization.push_back(rng.uniform(0.05, 0.25));
+  }
+  p.node_capacity.assign(nodes, 1.0);
+  for (std::size_t i = 0; i < tasks * nodes; ++i) {
+    p.linear.push_back(rng.uniform(0.0, 1.0));
+  }
+  p.quadratic.assign(tasks * tasks, 0.0);
+  for (std::size_t a = 0; a < tasks; ++a) {
+    for (std::size_t b = a + 1; b < tasks; ++b) {
+      p.quadratic[a * tasks + b] = rng.uniform(0.0, 0.3);
+    }
+  }
+  return p;
+}
+
+void bm_exact(benchmark::State& state) {
+  const auto p = random_problem(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)), 7);
+  for (auto unused : state) {
+    benchmark::DoNotOptimize(solve_exact(p));
+  }
+}
+BENCHMARK(bm_exact)
+    ->Args({4, 3})
+    ->Args({6, 3})
+    ->Args({8, 3})
+    ->Args({10, 3})
+    ->Args({8, 4})
+    ->Args({10, 4});
+
+void bm_anneal(benchmark::State& state) {
+  const auto p = random_problem(static_cast<std::size_t>(state.range(0)),
+                                static_cast<std::size_t>(state.range(1)), 7);
+  for (auto unused : state) {
+    benchmark::DoNotOptimize(solve_anneal(p));
+  }
+}
+BENCHMARK(bm_anneal)
+    ->Args({8, 3})
+    ->Args({16, 6})
+    ->Args({32, 8})
+    ->Args({64, 12});
+
+void print_quality_table() {
+  std::cout << "\n=== E7 solution quality: annealing vs exact optimum ===\n\n";
+  std::cout << "  tasks x nodes    exact cost   anneal cost   ratio\n";
+  for (auto [tasks, nodes] : {std::pair<int, int>{5, 3}, {7, 3}, {8, 4}, {10, 4}}) {
+    double exact_sum = 0.0, anneal_sum = 0.0;
+    int solved = 0;
+    for (std::uint64_t seed = 1; seed <= 10; ++seed) {
+      const auto p = random_problem(static_cast<std::size_t>(tasks),
+                                    static_cast<std::size_t>(nodes), seed);
+      auto exact = solve_exact(p);
+      auto anneal = solve_anneal(p, {.iterations = 20000, .seed = seed});
+      if (!exact.ok() || !anneal.ok()) continue;
+      exact_sum += exact->cost;
+      anneal_sum += anneal->cost;
+      ++solved;
+    }
+    if (solved == 0) continue;
+    std::cout << "  " << std::setw(4) << tasks << " x " << nodes << "      "
+              << std::fixed << std::setprecision(3) << std::setw(12)
+              << exact_sum / solved << std::setw(13) << anneal_sum / solved
+              << std::setw(10) << std::setprecision(3)
+              << (anneal_sum / std::max(exact_sum, 1e-9)) << "\n";
+  }
+  std::cout << "\nshape: exact cost grows exponentially in tasks (see bm_exact\n"
+            << "timings above); annealing stays near-optimal at mote-feasible\n"
+            << "cost, which is why the EVM dispatcher switches at ~10^6 states.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  print_quality_table();
+  return 0;
+}

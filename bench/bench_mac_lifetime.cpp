@@ -1,0 +1,221 @@
+// E2 — MAC energy / lifetime comparison (paper §2.1: "RT-Link outperforms
+// asynchronous protocols such as B-MAC and loosely synchronous protocols
+// such as S-MAC across all duty cycles and event rates", with a projected
+// 1.8-year lifetime at low duty cycle).
+//
+// Two sweeps over a 4-node star (sink + 3 sensors, sensors report
+// periodically):
+//   (a) duty-cycle sweep at a fixed 10 s event interval
+//   (b) event-rate sweep at each protocol's ~5 % configuration
+// plus an RT-Link ablation: guard-interval width vs delivery.
+#include <algorithm>
+#include <functional>
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "net/bmac.hpp"
+#include "net/medium.hpp"
+#include "net/rtlink.hpp"
+#include "net/smac.hpp"
+
+using namespace evm;
+using namespace evm::net;
+
+namespace {
+
+constexpr double kBatteryMah = 2500.0;  // 2x AA
+constexpr util::Duration kRunTime = util::Duration::seconds(300);
+
+struct RunResult {
+  double leaf_avg_ma = 0.0;
+  double leaf_duty = 0.0;  // fraction of time radio not OFF
+  double lifetime_years = 0.0;
+  std::size_t delivered = 0;
+  std::size_t offered = 0;
+};
+
+struct Harness {
+  sim::Simulator sim{123};
+  Topology topo = Topology::star(1, {2, 3, 4});
+  Medium medium{sim, topo};
+  std::map<NodeId, std::unique_ptr<Radio>> radios;
+  std::vector<std::unique_ptr<Mac>> macs;
+  std::size_t received = 0;
+  std::size_t offered = 0;
+
+  Radio& radio(NodeId id) {
+    auto& r = radios[id];
+    if (!r) r = std::make_unique<Radio>(sim, medium, id);
+    return *r;
+  }
+
+  void offer_traffic(Mac& mac, util::Duration interval) {
+    // Staggered periodic reports from each sensor to the sink.
+    const auto offset = util::Duration::millis(137 * static_cast<int>(mac.id()));
+    std::function<void()> tick = [this, &mac, interval]() {
+      Packet p;
+      p.dst = 1;
+      p.payload.assign(24, 0xAB);  // typical sensor report
+      ++offered;
+      (void)mac.send(p);
+      sim.schedule_after(interval, [this, &mac, interval] {
+        offer_traffic_tick(mac, interval);
+      });
+    };
+    sim.schedule_after(offset, tick);
+  }
+  void offer_traffic_tick(Mac& mac, util::Duration interval) {
+    Packet p;
+    p.dst = 1;
+    p.payload.assign(24, 0xAB);
+    ++offered;
+    (void)mac.send(p);
+    sim.schedule_after(interval,
+                       [this, &mac, interval] { offer_traffic_tick(mac, interval); });
+  }
+
+  RunResult finish() {
+    RunResult result;
+    Radio& leaf = radio(2);
+    result.leaf_avg_ma = leaf.average_current_ma(sim.now());
+    const double active = leaf.time_in(RadioState::kIdleListen).to_seconds() +
+                          leaf.time_in(RadioState::kRx).to_seconds() +
+                          leaf.time_in(RadioState::kTx).to_seconds();
+    result.leaf_duty = active / (sim.now().to_seconds() + 1e-9);
+    result.lifetime_years =
+        kBatteryMah / result.leaf_avg_ma / (24.0 * 365.0);
+    result.delivered = received;
+    result.offered = offered;
+    return result;
+  }
+};
+
+RunResult run_rtlink(int slots_per_frame, util::Duration event_interval,
+                     util::Duration guard = util::Duration::micros(200)) {
+  Harness h;
+  RtLinkSchedule schedule(slots_per_frame, util::Duration::millis(10), guard);
+  TimeSync sync(h.sim, {});
+  std::map<NodeId, std::unique_ptr<NodeClock>> clocks;
+
+  // Sensors own slots 1..3; the sink owns slot 0. Only the sink listens to
+  // sensor slots; sensors listen to the sink's slot (commands).
+  schedule.assign_tx(0, 1);
+  schedule.set_listeners(0, {2, 3, 4});
+  for (NodeId id : {2, 3, 4}) {
+    schedule.assign_tx(static_cast<int>(id) - 1, id);
+    schedule.set_listeners(static_cast<int>(id) - 1, {1});
+  }
+  for (NodeId id : {1, 2, 3, 4}) {
+    clocks[id] = std::make_unique<NodeClock>(id * 7.0 - 14.0);
+    sync.attach(id, *clocks[id]);
+    auto mac = std::make_unique<RtLink>(h.sim, h.radio(id), *clocks[id], schedule);
+    if (id == 1) {
+      mac->set_receive_handler([&h](const Packet&) { ++h.received; });
+    } else {
+      h.offer_traffic(*mac, event_interval);
+    }
+    mac->start();
+    h.macs.push_back(std::move(mac));
+  }
+  sync.start();
+  h.sim.run_until(util::TimePoint::zero() + kRunTime);
+  return h.finish();
+}
+
+RunResult run_bmac(util::Duration check_interval, util::Duration event_interval) {
+  Harness h;
+  BMacParams params;
+  params.check_interval = check_interval;
+  for (NodeId id : {1, 2, 3, 4}) {
+    auto mac = std::make_unique<BMac>(h.sim, h.radio(id), params);
+    if (id == 1) {
+      mac->set_receive_handler([&h](const Packet&) { ++h.received; });
+    } else {
+      h.offer_traffic(*mac, event_interval);
+    }
+    mac->start();
+    h.macs.push_back(std::move(mac));
+  }
+  h.sim.run_until(util::TimePoint::zero() + kRunTime);
+  return h.finish();
+}
+
+RunResult run_smac(double duty, util::Duration event_interval) {
+  Harness h;
+  SMacParams params;
+  params.frame_length = util::Duration::seconds(1);
+  params.duty_cycle = duty;
+  for (NodeId id : {1, 2, 3, 4}) {
+    auto mac = std::make_unique<SMac>(h.sim, h.radio(id), params);
+    if (id == 1) {
+      mac->set_receive_handler([&h](const Packet&) { ++h.received; });
+    } else {
+      h.offer_traffic(*mac, event_interval);
+    }
+    mac->start();
+    h.macs.push_back(std::move(mac));
+  }
+  h.sim.run_until(util::TimePoint::zero() + kRunTime);
+  return h.finish();
+}
+
+void print_row(const std::string& config, const RunResult& r) {
+  std::cout << "  " << std::left << std::setw(34) << config << std::right
+            << std::fixed << std::setw(9) << std::setprecision(2)
+            << r.leaf_duty * 100.0 << " %" << std::setw(10)
+            << std::setprecision(3) << r.leaf_avg_ma << " mA" << std::setw(9)
+            << std::setprecision(2) << r.lifetime_years << " y" << std::setw(7)
+            << r.delivered << "/" << r.offered << "\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E2: sensor-node lifetime, RT-Link vs B-MAC vs S-MAC ===\n";
+  std::cout << "battery " << kBatteryMah << " mAh, 3 sensors -> sink, "
+            << kRunTime.to_seconds() << " s simulated, 24 B reports\n";
+
+  std::cout << "\n-- (a) duty-cycle sweep, one report / 10 s --------------------\n";
+  std::cout << "  " << std::left << std::setw(34) << "configuration" << std::right
+            << std::setw(11) << "duty" << std::setw(13) << "avg I" << std::setw(11)
+            << "lifetime" << std::setw(11) << "delivered\n";
+  const auto event = util::Duration::seconds(10);
+  for (int frame : {10, 20, 40, 100, 200}) {
+    print_row("RT-Link " + std::to_string(frame) + " slots/frame",
+              run_rtlink(frame, event));
+  }
+  for (int ci_ms : {25, 50, 100, 400, 1000}) {
+    print_row("B-MAC check=" + std::to_string(ci_ms) + " ms",
+              run_bmac(util::Duration::millis(ci_ms), event));
+  }
+  for (double duty : {0.20, 0.10, 0.05, 0.02, 0.01}) {
+    print_row("S-MAC duty=" + std::to_string(static_cast<int>(duty * 100)) + " %",
+              run_smac(duty, event));
+  }
+
+  std::cout << "\n-- (b) event-rate sweep; RT-Link frame scaled to the rate ------\n";
+  for (int interval_s : {1, 5, 10, 60, 120}) {
+    const auto ev = util::Duration::seconds(interval_s);
+    // Proper TDMA provisioning: one frame per reporting interval (10 ms
+    // slots), so nodes sleep through the idle gap instead of re-waking.
+    const int slots = std::min(6000, std::max(10, interval_s * 100));
+    print_row("RT-Link scaled frame, report/" + std::to_string(interval_s) + "s",
+              run_rtlink(slots, ev));
+    print_row("B-MAC check=100ms, report/" + std::to_string(interval_s) + "s",
+              run_bmac(util::Duration::millis(100), ev));
+    print_row("S-MAC duty=5%, report/" + std::to_string(interval_s) + "s",
+              run_smac(0.05, ev));
+  }
+
+  std::cout << "\n-- (c) ablation: RT-Link guard interval ------------------------\n";
+  for (int guard_us : {0, 50, 200, 1000}) {
+    print_row("RT-Link guard=" + std::to_string(guard_us) + " us",
+              run_rtlink(40, util::Duration::seconds(1),
+                         util::Duration::micros(guard_us)));
+  }
+
+  std::cout << "\npaper claim: RT-Link dominates across duty cycles & event rates;\n"
+               "check that its lifetime column exceeds B-MAC/S-MAC at matched duty.\n";
+  return 0;
+}

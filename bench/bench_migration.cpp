@@ -1,0 +1,124 @@
+// E5 — Task-migration timeliness (paper §3.1.1 op. 1 and §4: migration of
+// "the task control block, stack, data and timing/precedence-related
+// metadata" must be timely).
+//
+// Measures commit latency of the full offer/chunk/attest/commit protocol:
+//   (a) vs task state size (64 B .. 8 KB) at one hop
+//   (b) vs hop count (1..5) at 1 KB
+//   (c) vs link loss (0..30 %) at 1 KB, one hop
+#include <iomanip>
+#include <iostream>
+#include <memory>
+
+#include "core/migration.hpp"
+#include "net/medium.hpp"
+#include "net/rtlink.hpp"
+
+using namespace evm;
+using namespace evm::core;
+
+namespace {
+
+struct Result {
+  bool success = false;
+  double seconds = 0.0;
+  int retransmissions = 0;
+  std::size_t chunks = 0;
+};
+
+Result run_migration(int hops, std::size_t state_bytes, double loss,
+                     std::uint64_t seed = 77) {
+  sim::Simulator sim(seed);
+  std::vector<net::NodeId> ids;
+  for (int i = 1; i <= hops + 1; ++i) ids.push_back(static_cast<net::NodeId>(i));
+  net::Topology topo = net::Topology::line(ids, loss);
+  net::Medium medium(sim, topo);
+  // Two slots per node per frame.
+  net::RtLinkSchedule schedule(2 * (hops + 1), util::Duration::millis(5));
+  net::TimeSync sync(sim, {});
+
+  struct Stack {
+    net::NodeClock clock;
+    std::unique_ptr<net::Radio> radio;
+    std::unique_ptr<net::RtLink> mac;
+    std::unique_ptr<net::Router> router;
+    std::unique_ptr<MigrationEngine> engine;
+  };
+  std::map<net::NodeId, std::unique_ptr<Stack>> stacks;
+  for (net::NodeId id : ids) {
+    auto s = std::make_unique<Stack>();
+    s->radio = std::make_unique<net::Radio>(sim, medium, id);
+    s->mac = std::make_unique<net::RtLink>(sim, *s->radio, s->clock, schedule);
+    s->router = std::make_unique<net::Router>(*s->mac, topo);
+    s->engine = std::make_unique<MigrationEngine>(sim, *s->router);
+    auto* raw = s.get();
+    s->router->set_receive_handler(
+        [raw](const net::Datagram& d) { raw->engine->handle(d); });
+    sync.attach(id, s->clock);
+    schedule.assign_tx((id - 1) * 2, id);
+    schedule.assign_tx((id - 1) * 2 + 1, id);
+    stacks[id] = std::move(s);
+  }
+  const net::NodeId dest = ids.back();
+  stacks[dest]->engine->set_payload_handler(
+      [](const MigrationOfferMsg&, const std::vector<std::uint8_t>&) {
+        return true;
+      });
+  sync.start();
+  for (auto& [id, s] : stacks) {
+    (void)id;
+    s->mac->start();
+  }
+
+  std::vector<std::uint8_t> payload(state_bytes, 0x5A);
+  Result result;
+  bool done = false;
+  stacks[1]->engine->initiate(dest, {}, std::move(payload),
+                              [&](const MigrationOutcome& o) {
+                                result.success = o.success;
+                                result.seconds = o.elapsed.to_seconds();
+                                result.retransmissions = o.retransmissions;
+                                result.chunks = o.chunks;
+                                done = true;
+                              });
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(600));
+  if (!done) result.success = false;
+  return result;
+}
+
+void row(const std::string& label, const Result& r) {
+  std::cout << "  " << std::left << std::setw(28) << label << std::right
+            << (r.success ? "  ok  " : " FAIL ") << std::fixed
+            << std::setprecision(3) << std::setw(9) << r.seconds << " s"
+            << std::setw(8) << r.chunks << " chunks" << std::setw(6)
+            << r.retransmissions << " rtx\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "=== E5: task migration latency ===\n";
+  std::cout << "full protocol: offer -> capability check -> chunked state "
+               "transfer\n(stop-and-wait, 64 B chunks) -> attestation -> "
+               "commit; RT-Link transport\n\n";
+
+  std::cout << "-- (a) state size at 1 hop -------------------------------\n";
+  for (std::size_t bytes : {64u, 256u, 1024u, 4096u, 8192u}) {
+    row(std::to_string(bytes) + " B", run_migration(1, bytes, 0.0));
+  }
+
+  std::cout << "\n-- (b) hop count at 1 KiB --------------------------------\n";
+  for (int hops : {1, 2, 3, 4, 5}) {
+    row(std::to_string(hops) + " hop(s)", run_migration(hops, 1024, 0.0));
+  }
+
+  std::cout << "\n-- (c) link loss at 1 KiB, 1 hop --------------------------\n";
+  for (double loss : {0.0, 0.05, 0.1, 0.2, 0.3}) {
+    row(std::to_string(static_cast<int>(loss * 100)) + " % loss",
+        run_migration(1, 1024, loss));
+  }
+
+  std::cout << "\nobservation: latency scales ~linearly with chunks and hops;\n"
+               "loss adds retransmissions but the protocol still commits.\n";
+  return 0;
+}

@@ -1,0 +1,116 @@
+// Runtime mode changes on a discrete assembly line (paper §1: interleaving
+// Camry and Prius chassis requires "synchronized changes in operation modes
+// and assembly line operations"; §2: downtime costs $22k/minute).
+//
+// A three-station line runs Camry-only. The shift change switches to the
+// 3-Camry : 2-Prius interleave — a mode change that retools station speeds
+// and admits an extra supervision task, gated by the schedulability test.
+// A station fault shows the downtime cost; sporadic diagnostic jobs run in
+// a polling server so they can never disturb the periodic supervision.
+//
+// Run:  ./assembly_line
+#include <iomanip>
+#include <iostream>
+
+#include "plant/workcell.hpp"
+#include "rtos/aperiodic.hpp"
+#include "rtos/kernel.hpp"
+
+using namespace evm;
+using plant::AssemblyLine;
+
+namespace {
+constexpr plant::UnitType kCamry = 0;
+constexpr plant::UnitType kPrius = 1;
+
+void report(const AssemblyLine& line, const char* phase) {
+  const auto& stats = line.stats();
+  std::cout << phase << ": completed " << stats.completed << " (";
+  for (const auto& [type, count] : stats.completed_by_type) {
+    std::cout << (type == kCamry ? "camry=" : "prius=") << count << " ";
+  }
+  std::cout << "), avg flow " << std::fixed << std::setprecision(1)
+            << stats.average_flow_time().to_seconds() << " s, throughput "
+            << line.throughput_per_hour() << "/h\n";
+}
+}  // namespace
+
+int main() {
+  sim::Simulator sim(3);
+  rtos::Kernel kernel(sim);
+
+  // --- the physical line ----------------------------------------------------
+  AssemblyLine line(sim, 3);
+  line.define_unit(kCamry, {"camry",
+                            {util::Duration::seconds(10), util::Duration::seconds(10),
+                             util::Duration::seconds(10)}});
+  line.define_unit(kPrius, {"prius",
+                            {util::Duration::seconds(15), util::Duration::seconds(12),
+                             util::Duration::seconds(15)}});
+
+  // --- station supervision tasks (periodic, schedulability-gated) ----------
+  rtos::TaskParams supervise{"supervise-line", util::Duration::millis(250),
+                             util::Duration::millis(10), {}, {}, 2};
+  int supervision_cycles = 0;
+  auto sup_id = kernel.admit_task(supervise, [&] { ++supervision_cycles; });
+  (void)kernel.start_task(*sup_id);
+
+  // --- shift 1: Camry-only at a 12 s takt ----------------------------------
+  line.start_pattern({kCamry}, util::Duration::seconds(12));
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(1800));
+  report(line, "Shift 1 (Camry only, 30 min)");
+
+  // --- shift 2: 3:2 interleave (mode change) --------------------------------
+  // Retool: station 1 runs 10% faster for the mixed schedule, and an extra
+  // quality-check task is admitted. The schedulability test guards it.
+  line.stop_pattern();
+  line.set_station_speed(1, 1.1);
+  rtos::TaskParams quality{"quality-check", util::Duration::millis(500),
+                           util::Duration::millis(50), {}, {}, 3};
+  auto quality_id = kernel.admit_task(quality, [] {});
+  std::cout << "\nmode change: admit quality-check (U=0.1): "
+            << (quality_id.ok() ? "admitted" : quality_id.status().to_string())
+            << "\n";
+  if (quality_id.ok()) (void)kernel.start_task(*quality_id);
+
+  rtos::TaskParams rush{"rush-telemetry", util::Duration::millis(20),
+                        util::Duration::millis(19), {}, {}, 4};
+  std::cout << "admit rush-telemetry (U=0.95): "
+            << (kernel.admit_task(rush).ok() ? "admitted (?!)"
+                                             : "rejected by schedulability test")
+            << "\n\n";
+
+  line.start_pattern({kCamry, kCamry, kCamry, kPrius, kPrius},
+                     util::Duration::seconds(16));
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(3600));
+  report(line, "Shift 2 (3:2 interleave, 30 min)");
+
+  // --- sporadic diagnostics through the polling server ----------------------
+  rtos::PollingServer::Params server_params;
+  server_params.budget = util::Duration::millis(25);
+  server_params.period = util::Duration::millis(250);
+  server_params.priority = 10;
+  rtos::PollingServer diagnostics(sim, kernel, server_params);
+  (void)diagnostics.start();
+  for (int i = 0; i < 8; ++i) {
+    (void)diagnostics.submit(util::Duration::millis(40), {}, "vibration-scan");
+  }
+
+  // --- station fault: the downtime story -------------------------------------
+  const std::size_t before_fault = line.stats().completed;
+  line.fault_station(1);
+  std::cout << "\nstation 1 FAULTED at t=3600s\n";
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(3900));
+  line.repair_station(1);
+  std::cout << "station 1 repaired after 300 s of downtime\n";
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(4500));
+
+  const std::size_t during = line.stats().completed - before_fault;
+  report(line, "\nAfter fault + recovery");
+  std::cout << "units completed in the 15 min spanning the fault: " << during
+            << " (vs ~" << (15 * 60) / 16 << " expected fault-free)\n";
+  std::cout << "diagnostic jobs served without a single supervision miss: "
+            << diagnostics.completed() << "/8, deadline misses "
+            << kernel.scheduler().task(*sup_id)->stats.deadline_misses << "\n";
+  return 0;
+}

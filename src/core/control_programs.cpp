@@ -1,0 +1,139 @@
+#include "core/control_programs.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "vm/assembler.hpp"
+
+namespace evm::core {
+namespace {
+
+std::string num(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+util::Result<vm::Capsule> to_capsule(std::uint16_t program_id, std::string name,
+                                     const std::string& source) {
+  auto code = vm::assemble(source);
+  if (!code) return code.status();
+  vm::Capsule capsule;
+  capsule.program_id = program_id;
+  capsule.name = std::move(name);
+  capsule.code = std::move(*code);
+  capsule.seal();
+  return capsule;
+}
+
+}  // namespace
+
+util::Result<vm::Capsule> make_filtered_pid(std::uint16_t program_id,
+                                            const std::string& name,
+                                            const FilteredPidSpec& spec) {
+  const double alpha = spec.filter_tau_s > 0.0
+                           ? spec.dt_s / (spec.filter_tau_s + spec.dt_s)
+                           : 1.0;
+  const double ki_dt = spec.ki * spec.dt_s;
+  const double kd_over_dt = spec.dt_s > 0.0 ? spec.kd / spec.dt_s : 0.0;
+
+  std::ostringstream s;
+  s << "; second-order filter + PID (generated)\n"
+    << "        sensor " << static_cast<int>(spec.sensor_channel) << "\n"
+    << "        store 5            ; raw input\n"
+    << "        load 4\n"
+    << "        jnz inited         ; first run: preload filter stages\n"
+    << "        load 5\n"
+    << "        store 2\n"
+    << "        load 5\n"
+    << "        store 3\n"
+    << "        pushi 1\n"
+    << "        store 4\n"
+    << "inited: ; f1 += alpha * (x - f1)\n"
+    << "        load 5\n"
+    << "        load 2\n"
+    << "        sub\n"
+    << "        push " << num(alpha) << "\n"
+    << "        mul\n"
+    << "        load 2\n"
+    << "        add\n"
+    << "        store 2\n"
+    << "        ; f2 += alpha * (f1 - f2)\n"
+    << "        load 2\n"
+    << "        load 3\n"
+    << "        sub\n"
+    << "        push " << num(alpha) << "\n"
+    << "        mul\n"
+    << "        load 3\n"
+    << "        add\n"
+    << "        store 3\n"
+    << "        ; e = action * (f2 - setpoint)\n"
+    << "        load 3\n"
+    << "        push " << num(spec.setpoint) << "\n"
+    << "        sub\n"
+    << "        push " << num(spec.action) << "\n"
+    << "        mul\n"
+    << "        store 6\n"
+    << "        ; integral = clamp(integral + e*ki*dt, imin, imax)\n"
+    << "        load 0\n"
+    << "        load 6\n"
+    << "        push " << num(ki_dt) << "\n"
+    << "        mul\n"
+    << "        add\n"
+    << "        push " << num(spec.integral_min) << "\n"
+    << "        push " << num(spec.integral_max) << "\n"
+    << "        clamp\n"
+    << "        store 0\n"
+    << "        ; derivative = (e - prev) * kd / dt; prev = e\n"
+    << "        load 6\n"
+    << "        load 1\n"
+    << "        sub\n"
+    << "        push " << num(kd_over_dt) << "\n"
+    << "        mul\n"
+    << "        load 6\n"
+    << "        store 1\n"
+    << "        ; out = clamp(kp*e + integral + derivative, omin, omax)\n"
+    << "        load 6\n"
+    << "        push " << num(spec.kp) << "\n"
+    << "        mul\n"
+    << "        add\n"
+    << "        load 0\n"
+    << "        add\n"
+    << "        push " << num(spec.output_min) << "\n"
+    << "        push " << num(spec.output_max) << "\n"
+    << "        clamp\n"
+    << "        dup\n"
+    << "        store 7            ; last output, observable by tests\n"
+    << "        actuate " << static_cast<int>(spec.actuator_channel) << "\n"
+    << "        halt\n";
+  return to_capsule(program_id, name, s.str());
+}
+
+util::Result<vm::Capsule> make_passthrough(std::uint16_t program_id,
+                                           std::uint8_t sensor_channel,
+                                           std::uint8_t actuator_channel) {
+  std::ostringstream s;
+  s << "sensor " << static_cast<int>(sensor_channel) << "\n"
+    << "actuate " << static_cast<int>(actuator_channel) << "\n"
+    << "halt\n";
+  return to_capsule(program_id, "passthrough", s.str());
+}
+
+util::Result<vm::Capsule> make_bang_bang(std::uint16_t program_id,
+                                         std::uint8_t sensor_channel,
+                                         std::uint8_t actuator_channel,
+                                         double threshold, double low, double high) {
+  std::ostringstream s;
+  s << "        sensor " << static_cast<int>(sensor_channel) << "\n"
+    << "        push " << num(threshold) << "\n"
+    << "        lt\n"
+    << "        jnz below\n"
+    << "        push " << num(low) << "\n"
+    << "        jmp out\n"
+    << "below:  push " << num(high) << "\n"
+    << "out:    actuate " << static_cast<int>(actuator_channel) << "\n"
+    << "        halt\n";
+  return to_capsule(program_id, "bang-bang", s.str());
+}
+
+}  // namespace evm::core

@@ -1,0 +1,63 @@
+// Standard control algorithms compiled to EVM bytecode. The paper's LTS
+// controllers "perform second order filtering with a PID regulator" (§4.2);
+// make_filtered_pid emits exactly that as a capsule, with the controller
+// state (integrator, filter stages, previous error) living in the VM's data
+// slots — which is precisely the state that migrates between replicas.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+#include "vm/program.hpp"
+
+namespace evm::core {
+
+struct FilteredPidSpec {
+  double kp = 1.0;
+  double ki = 0.0;
+  double kd = 0.0;
+  double setpoint = 50.0;
+  /// +1 direct acting (measurement above setpoint opens the valve), -1 reverse.
+  double action = 1.0;
+  double output_min = 0.0;
+  double output_max = 100.0;
+  /// Integrator clamp (anti-windup).
+  double integral_min = -100.0;
+  double integral_max = 100.0;
+  /// Second-order filter time constant (two cascaded first-order stages).
+  double filter_tau_s = 5.0;
+  /// Control period in seconds (folded into the discrete gains).
+  double dt_s = 0.25;
+  std::uint8_t sensor_channel = 0;
+  std::uint8_t actuator_channel = 0;
+};
+
+/// Slot assignments used by the generated PID (documented so migration and
+/// tests can inspect controller state):
+///   0 integral, 1 previous error, 2 filter stage 1, 3 filter stage 2,
+///   4 initialized flag, 5 raw input, 6 filtered error, 7 last output.
+inline constexpr std::size_t kPidSlotIntegral = 0;
+inline constexpr std::size_t kPidSlotPrevError = 1;
+inline constexpr std::size_t kPidSlotFilter1 = 2;
+inline constexpr std::size_t kPidSlotFilter2 = 3;
+inline constexpr std::size_t kPidSlotInit = 4;
+inline constexpr std::size_t kPidSlotLastOutput = 7;
+
+/// Assemble a second-order-filter + PID capsule.
+util::Result<vm::Capsule> make_filtered_pid(std::uint16_t program_id,
+                                            const std::string& name,
+                                            const FilteredPidSpec& spec);
+
+/// sensor -> actuator passthrough (useful for latency benches).
+util::Result<vm::Capsule> make_passthrough(std::uint16_t program_id,
+                                           std::uint8_t sensor_channel,
+                                           std::uint8_t actuator_channel);
+
+/// Bang-bang: output = high when measurement < threshold else low.
+util::Result<vm::Capsule> make_bang_bang(std::uint16_t program_id,
+                                         std::uint8_t sensor_channel,
+                                         std::uint8_t actuator_channel,
+                                         double threshold, double low, double high);
+
+}  // namespace evm::core

@@ -1,0 +1,58 @@
+#include "core/health.hpp"
+
+#include <cmath>
+
+namespace evm::core {
+
+HealthMonitor::HealthMonitor(const ControlFunction& function, net::NodeId subject)
+    : function_(function), subject_(subject) {}
+
+std::optional<HealthVerdict> HealthMonitor::observe(std::uint32_t cycle,
+                                                    double observed_output,
+                                                    double shadow_output) {
+  (void)cycle;
+  heard();
+
+  const bool outside_envelope = observed_output < function_.output_min ||
+                                observed_output > function_.output_max;
+  const bool deviates =
+      std::fabs(observed_output - shadow_output) > function_.deviation_threshold;
+
+  if (!outside_envelope && !deviates) {
+    faulty_streak_ = 0;
+    return std::nullopt;
+  }
+
+  ++faulty_streak_;
+  if (faulty_streak_ < function_.evidence_threshold) return std::nullopt;
+
+  HealthVerdict verdict;
+  verdict.faulty = true;
+  verdict.reason = FaultReason::kImplausibleOutput;
+  verdict.evidence = faulty_streak_;
+  verdict.observed = observed_output;
+  verdict.expected = shadow_output;
+  faulty_streak_ = 0;  // re-arm: persistent faults re-report periodically
+  return verdict;
+}
+
+std::optional<HealthVerdict> HealthMonitor::observe_silence() {
+  ++silent_streak_;
+  if (silent_streak_ < function_.silence_threshold) return std::nullopt;
+
+  HealthVerdict verdict;
+  verdict.faulty = true;
+  verdict.reason = FaultReason::kSilent;
+  verdict.evidence = silent_streak_;
+  silent_streak_ = 0;
+  return verdict;
+}
+
+void HealthMonitor::heard() { silent_streak_ = 0; }
+
+void HealthMonitor::reset() {
+  faulty_streak_ = 0;
+  silent_streak_ = 0;
+}
+
+}  // namespace evm::core

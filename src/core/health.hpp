@@ -1,0 +1,59 @@
+// Health monitoring: the passive-observation half of the EVM's fault
+// tolerance. A Backup replica shadows the Active controller's computation
+// each cycle and compares the Active's broadcast output against (a) the
+// function's plausibility envelope and (b) its own shadow value. Evidence
+// accumulates over consecutive faulty cycles; crossing the threshold emits
+// a fault report. Silence (missing heartbeats) is a separate detector.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <optional>
+
+#include "core/messages.hpp"
+#include "core/virtual_component.hpp"
+#include "sim/simulator.hpp"
+
+namespace evm::core {
+
+struct HealthVerdict {
+  bool faulty = false;
+  FaultReason reason = FaultReason::kImplausibleOutput;
+  std::uint32_t evidence = 0;
+  double observed = 0.0;
+  double expected = 0.0;
+};
+
+/// Per-(function, subject) observer state machine.
+class HealthMonitor {
+ public:
+  HealthMonitor(const ControlFunction& function, net::NodeId subject);
+
+  net::NodeId subject() const { return subject_; }
+
+  /// Feed one observed Active output together with the shadow value this
+  /// observer computed for the same cycle. Returns a verdict when the
+  /// evidence threshold is crossed (then re-arms so the report repeats
+  /// every threshold cycles while the fault persists).
+  std::optional<HealthVerdict> observe(std::uint32_t cycle, double observed_output,
+                                       double shadow_output);
+
+  /// Call once per control period when no heartbeat/output from the subject
+  /// arrived. Crossing silence_threshold yields a kSilent verdict.
+  std::optional<HealthVerdict> observe_silence();
+
+  /// A heartbeat arrived (even without output comparison): clears silence.
+  void heard();
+
+  std::uint32_t consecutive_faulty() const { return faulty_streak_; }
+  std::uint32_t consecutive_silent() const { return silent_streak_; }
+  void reset();
+
+ private:
+  const ControlFunction& function_;
+  net::NodeId subject_;
+  std::uint32_t faulty_streak_ = 0;
+  std::uint32_t silent_streak_ = 0;
+};
+
+}  // namespace evm::core

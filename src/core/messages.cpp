@@ -1,0 +1,275 @@
+#include "core/messages.hpp"
+
+namespace evm::core {
+
+std::vector<std::uint8_t> SensorDataMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(vc);
+  w.u8(stream);
+  w.f64(value);
+  w.i64(timestamp_ns);
+  w.u32(seq);
+  return w.take();
+}
+
+bool SensorDataMsg::decode(std::span<const std::uint8_t> bytes, SensorDataMsg& out) {
+  util::ByteReader r(bytes);
+  out.vc = r.u16();
+  out.stream = r.u8();
+  out.value = r.f64();
+  out.timestamp_ns = r.i64();
+  out.seq = r.u32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> ParametricCommandMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(vc);
+  w.u8(static_cast<std::uint8_t>(op));
+  w.u16(arg_a);
+  w.u16(arg_b);
+  w.i64(arg_c);
+  return w.take();
+}
+
+bool ParametricCommandMsg::decode(std::span<const std::uint8_t> bytes,
+                                  ParametricCommandMsg& out) {
+  util::ByteReader r(bytes);
+  out.vc = r.u16();
+  out.op = static_cast<Op>(r.u8());
+  out.arg_a = r.u16();
+  out.arg_b = r.u16();
+  out.arg_c = r.i64();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> AlgorithmUpdateMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(vc);
+  w.u16(function);
+  w.blob(capsule_bytes);
+  return w.take();
+}
+
+bool AlgorithmUpdateMsg::decode(std::span<const std::uint8_t> bytes,
+                                AlgorithmUpdateMsg& out) {
+  util::ByteReader r(bytes);
+  out.vc = r.u16();
+  out.function = r.u16();
+  out.capsule_bytes = r.blob();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> ActuationMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(vc);
+  w.u16(function);
+  w.u8(channel);
+  w.f64(value);
+  w.u16(source);
+  w.u32(cycle);
+  return w.take();
+}
+
+bool ActuationMsg::decode(std::span<const std::uint8_t> bytes, ActuationMsg& out) {
+  util::ByteReader r(bytes);
+  out.vc = r.u16();
+  out.function = r.u16();
+  out.channel = r.u8();
+  out.value = r.f64();
+  out.source = r.u16();
+  out.cycle = r.u32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> HeartbeatMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(vc);
+  w.u16(function);
+  w.u16(node);
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.f64(output);
+  w.u32(cycle);
+  w.u32(epoch);
+  return w.take();
+}
+
+bool HeartbeatMsg::decode(std::span<const std::uint8_t> bytes, HeartbeatMsg& out) {
+  util::ByteReader r(bytes);
+  out.vc = r.u16();
+  out.function = r.u16();
+  out.node = r.u16();
+  out.mode = static_cast<ControllerMode>(r.u8());
+  out.output = r.f64();
+  out.cycle = r.u32();
+  out.epoch = r.u32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> HeadBeaconMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(vc);
+  w.u16(head);
+  return w.take();
+}
+
+bool HeadBeaconMsg::decode(std::span<const std::uint8_t> bytes, HeadBeaconMsg& out) {
+  util::ByteReader r(bytes);
+  out.vc = r.u16();
+  out.head = r.u16();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> ModeCommandMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(vc);
+  w.u16(function);
+  w.u16(target);
+  w.u8(static_cast<std::uint8_t>(mode));
+  w.u32(epoch);
+  return w.take();
+}
+
+bool ModeCommandMsg::decode(std::span<const std::uint8_t> bytes, ModeCommandMsg& out) {
+  util::ByteReader r(bytes);
+  out.vc = r.u16();
+  out.function = r.u16();
+  out.target = r.u16();
+  out.mode = static_cast<ControllerMode>(r.u8());
+  out.epoch = r.u32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> FaultReportMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(vc);
+  w.u16(function);
+  w.u16(suspect);
+  w.u16(reporter);
+  w.u8(static_cast<std::uint8_t>(reason));
+  w.f64(observed);
+  w.f64(expected);
+  w.u32(evidence);
+  return w.take();
+}
+
+bool FaultReportMsg::decode(std::span<const std::uint8_t> bytes, FaultReportMsg& out) {
+  util::ByteReader r(bytes);
+  out.vc = r.u16();
+  out.function = r.u16();
+  out.suspect = r.u16();
+  out.reporter = r.u16();
+  out.reason = static_cast<FaultReason>(r.u8());
+  out.observed = r.f64();
+  out.expected = r.f64();
+  out.evidence = r.u32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> MembershipHelloMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(vc);
+  w.u16(node);
+  w.f64(cpu_headroom);
+  w.u32(ram_free);
+  w.u8(battery_percent);
+  return w.take();
+}
+
+bool MembershipHelloMsg::decode(std::span<const std::uint8_t> bytes,
+                                MembershipHelloMsg& out) {
+  util::ByteReader r(bytes);
+  out.vc = r.u16();
+  out.node = r.u16();
+  out.cpu_headroom = r.f64();
+  out.ram_free = r.u32();
+  out.battery_percent = r.u8();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> MigrationOfferMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(vc);
+  w.u16(function);
+  w.u16(session);
+  w.u32(total_bytes);
+  w.u16(chunk_count);
+  w.f64(required_utilization);
+  w.u32(required_ram);
+  return w.take();
+}
+
+bool MigrationOfferMsg::decode(std::span<const std::uint8_t> bytes,
+                               MigrationOfferMsg& out) {
+  util::ByteReader r(bytes);
+  out.vc = r.u16();
+  out.function = r.u16();
+  out.session = r.u16();
+  out.total_bytes = r.u32();
+  out.chunk_count = r.u16();
+  out.required_utilization = r.f64();
+  out.required_ram = r.u32();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> MigrationReplyMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(session);
+  w.u8(accept);
+  return w.take();
+}
+
+bool MigrationReplyMsg::decode(std::span<const std::uint8_t> bytes,
+                               MigrationReplyMsg& out) {
+  util::ByteReader r(bytes);
+  out.session = r.u16();
+  out.accept = r.u8();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> StateChunkMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(session);
+  w.u16(index);
+  w.blob(data);
+  return w.take();
+}
+
+bool StateChunkMsg::decode(std::span<const std::uint8_t> bytes, StateChunkMsg& out) {
+  util::ByteReader r(bytes);
+  out.session = r.u16();
+  out.index = r.u16();
+  out.data = r.blob();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> ChunkAckMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(session);
+  w.u16(index);
+  return w.take();
+}
+
+bool ChunkAckMsg::decode(std::span<const std::uint8_t> bytes, ChunkAckMsg& out) {
+  util::ByteReader r(bytes);
+  out.session = r.u16();
+  out.index = r.u16();
+  return r.ok();
+}
+
+std::vector<std::uint8_t> MigrationCommitMsg::encode() const {
+  util::ByteWriter w;
+  w.u16(session);
+  w.u8(success);
+  return w.take();
+}
+
+bool MigrationCommitMsg::decode(std::span<const std::uint8_t> bytes,
+                                MigrationCommitMsg& out) {
+  util::ByteReader r(bytes);
+  out.session = r.u16();
+  out.success = r.u8();
+  return r.ok();
+}
+
+}  // namespace evm::core

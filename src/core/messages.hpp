@@ -1,0 +1,225 @@
+// EVM message plane. The paper's architecture defines "explicit mechanisms
+// for control, data and fault communication within the virtual component";
+// these are the wire messages of those three planes, carried as routed
+// datagrams over RT-Link. All encodings are explicit little-endian via
+// ByteWriter/ByteReader.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/modes.hpp"
+#include "net/packet.hpp"
+#include "util/bytes.hpp"
+#include "util/time.hpp"
+
+namespace evm::core {
+
+using VcId = std::uint16_t;
+using FunctionId = std::uint16_t;  // a control function within a VC
+
+/// Datagram.type values for EVM traffic.
+enum class MsgType : std::uint8_t {
+  // Data plane
+  kSensorData = 0x01,
+  kActuation = 0x02,
+  // Control plane
+  kHeartbeat = 0x10,
+  kModeCommand = 0x11,
+  kMembershipHello = 0x12,
+  kMembershipWelcome = 0x13,
+  kHeadBeacon = 0x14,
+  // Fault plane
+  kFaultReport = 0x20,
+  // Parametric + programmable control (paper §4: "remote runtime triggering
+  // of individual sensor drivers, modification of task reservations and
+  // network time-slot assignment"; §3.1: runtime-extensible algorithms)
+  kParametricCommand = 0x40,
+  kAlgorithmUpdate = 0x41,
+  // Migration protocol
+  kMigrationOffer = 0x30,
+  kMigrationAccept = 0x31,
+  kMigrationReject = 0x32,
+  kStateChunk = 0x33,
+  kChunkAck = 0x34,
+  kMigrationCommit = 0x35,
+  kMigrationAbort = 0x36,
+};
+
+/// Data plane: a published sensor or derived stream sample. `seq` is a
+/// per-(publisher, stream) sequence number used by causal-conditional
+/// object transfers; `timestamp_ns` drives temporal-conditional ones.
+struct SensorDataMsg {
+  VcId vc = 0;
+  std::uint8_t stream = 0;
+  double value = 0.0;
+  std::int64_t timestamp_ns = 0;
+  std::uint32_t seq = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, SensorDataMsg& out);
+};
+
+/// Data plane: actuation command from the Active controller.
+struct ActuationMsg {
+  VcId vc = 0;
+  FunctionId function = 0;
+  std::uint8_t channel = 0;
+  double value = 0.0;
+  net::NodeId source = net::kInvalidNode;
+  std::uint32_t cycle = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, ActuationMsg& out);
+};
+
+/// Control plane: periodic liveness + mode + last output (health transfers
+/// piggyback on this; backups compare `output` with their own computation).
+/// `epoch` carries the replica's last accepted mode-command epoch so a
+/// succeeding head can resume arbitration without issuing stale commands.
+struct HeartbeatMsg {
+  VcId vc = 0;
+  FunctionId function = 0;
+  net::NodeId node = net::kInvalidNode;
+  ControllerMode mode = ControllerMode::kDormant;
+  double output = 0.0;
+  std::uint32_t cycle = 0;
+  std::uint32_t epoch = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, HeartbeatMsg& out);
+};
+
+/// Control plane: the current head's liveness beacon. Members that stop
+/// hearing it elect the lowest-id surviving member as the new head.
+struct HeadBeaconMsg {
+  VcId vc = 0;
+  net::NodeId head = net::kInvalidNode;
+
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, HeadBeaconMsg& out);
+};
+
+/// Control plane: the VC head reassigns a controller's mode.
+struct ModeCommandMsg {
+  VcId vc = 0;
+  FunctionId function = 0;
+  net::NodeId target = net::kInvalidNode;
+  ControllerMode mode = ControllerMode::kDormant;
+  std::uint32_t epoch = 0;  // monotone per (vc, function); stale commands ignored
+
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, ModeCommandMsg& out);
+};
+
+/// Fault plane: a backup reports a suspect primary to the VC head.
+enum class FaultReason : std::uint8_t {
+  kSilent = 1,          // heartbeats stopped
+  kImplausibleOutput = 2,  // output deviates from shadow computation
+  kSelfReported = 3,    // node announced its own failure (battery, ...)
+};
+
+struct FaultReportMsg {
+  VcId vc = 0;
+  FunctionId function = 0;
+  net::NodeId suspect = net::kInvalidNode;
+  net::NodeId reporter = net::kInvalidNode;
+  FaultReason reason = FaultReason::kSilent;
+  double observed = 0.0;
+  double expected = 0.0;
+  std::uint32_t evidence = 0;  // consecutive faulty cycles observed
+
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, FaultReportMsg& out);
+};
+
+/// Membership: a node joining (or re-joining) a virtual component.
+struct MembershipHelloMsg {
+  VcId vc = 0;
+  net::NodeId node = net::kInvalidNode;
+  double cpu_headroom = 0.0;   // 1 - utilization
+  std::uint32_t ram_free = 0;  // bytes
+  std::uint8_t battery_percent = 100;
+
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, MembershipHelloMsg& out);
+};
+
+/// Parametric control: a pre-defined EVM library operation applied remotely
+/// (only commands originating at the VC head are honoured).
+struct ParametricCommandMsg {
+  enum class Op : std::uint8_t {
+    kSetTaskPriority = 1,    // a = function, b = new priority
+    kSetSlotAssignment = 2,  // a = slot index, b = transmitter node
+    kTriggerSensor = 3,      // a = sensor channel, b = stream to publish on
+    kSetCpuReservation = 4,  // a = function, b = period ms, c = budget us
+  };
+  VcId vc = 0;
+  Op op = Op::kTriggerSensor;
+  std::uint16_t arg_a = 0;
+  std::uint16_t arg_b = 0;
+  std::int64_t arg_c = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, ParametricCommandMsg& out);
+};
+
+/// Programmable control: a new algorithm capsule for a function, installed
+/// after attestation if its version is newer ("remote algorithm activation").
+struct AlgorithmUpdateMsg {
+  VcId vc = 0;
+  FunctionId function = 0;
+  std::vector<std::uint8_t> capsule_bytes;
+
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, AlgorithmUpdateMsg& out);
+};
+
+// --- Migration protocol ----------------------------------------------------
+
+struct MigrationOfferMsg {
+  VcId vc = 0;
+  FunctionId function = 0;
+  std::uint16_t session = 0;
+  std::uint32_t total_bytes = 0;
+  std::uint16_t chunk_count = 0;
+  /// Candidate must satisfy these before accepting.
+  double required_utilization = 0.0;
+  std::uint32_t required_ram = 0;
+
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, MigrationOfferMsg& out);
+};
+
+struct MigrationReplyMsg {  // accept or reject
+  std::uint16_t session = 0;
+  std::uint8_t accept = 0;
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, MigrationReplyMsg& out);
+};
+
+struct StateChunkMsg {
+  std::uint16_t session = 0;
+  std::uint16_t index = 0;
+  std::vector<std::uint8_t> data;
+
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, StateChunkMsg& out);
+};
+
+struct ChunkAckMsg {
+  std::uint16_t session = 0;
+  std::uint16_t index = 0;
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, ChunkAckMsg& out);
+};
+
+struct MigrationCommitMsg {
+  std::uint16_t session = 0;
+  std::uint8_t success = 0;  // destination's verdict after attestation+admission
+  std::vector<std::uint8_t> encode() const;
+  static bool decode(std::span<const std::uint8_t> bytes, MigrationCommitMsg& out);
+};
+
+}  // namespace evm::core

@@ -1,0 +1,231 @@
+#include "core/migration.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace evm::core {
+
+MigrationEngine::MigrationEngine(sim::Simulator& sim, net::Router& router,
+                                 MigrationConfig config)
+    : sim_(sim), router_(router), config_(config) {}
+
+void MigrationEngine::initiate(net::NodeId dest, MigrationOfferMsg meta,
+                               std::vector<std::uint8_t> payload,
+                               std::function<void(const MigrationOutcome&)> on_done) {
+  const std::uint16_t session = next_session_++;
+  ++sessions_initiated_;
+
+  OutboundSession out;
+  out.dest = dest;
+  out.meta = meta;
+  out.meta.session = session;
+  out.meta.total_bytes = static_cast<std::uint32_t>(payload.size());
+  for (std::size_t off = 0; off < payload.size(); off += config_.chunk_bytes) {
+    const std::size_t len = std::min(config_.chunk_bytes, payload.size() - off);
+    out.chunks.emplace_back(payload.begin() + static_cast<std::ptrdiff_t>(off),
+                            payload.begin() + static_cast<std::ptrdiff_t>(off + len));
+  }
+  if (out.chunks.empty()) out.chunks.emplace_back();  // zero-byte payloads still commit
+  out.meta.chunk_count = static_cast<std::uint16_t>(out.chunks.size());
+  out.started = sim_.now();
+  out.on_done = std::move(on_done);
+  outbound_[session] = std::move(out);
+  send_offer(session);
+}
+
+void MigrationEngine::send_offer(std::uint16_t session) {
+  auto it = outbound_.find(session);
+  if (it == outbound_.end()) return;
+  (void)router_.send(it->second.dest,
+                     static_cast<std::uint8_t>(MsgType::kMigrationOffer),
+                     it->second.meta.encode());
+  arm_timeout(session);
+}
+
+void MigrationEngine::send_chunk(std::uint16_t session) {
+  auto it = outbound_.find(session);
+  if (it == outbound_.end()) return;
+  OutboundSession& out = it->second;
+  // All chunks delivered but the commit verdict got lost: re-send the final
+  // chunk so the destination re-emits its verdict.
+  const std::size_t index = std::min(out.next_chunk, out.chunks.size() - 1);
+  StateChunkMsg chunk;
+  chunk.session = session;
+  chunk.index = static_cast<std::uint16_t>(index);
+  chunk.data = out.chunks[index];
+  (void)router_.send(out.dest, static_cast<std::uint8_t>(MsgType::kStateChunk),
+                     chunk.encode());
+  arm_timeout(session);
+}
+
+void MigrationEngine::arm_timeout(std::uint16_t session) {
+  auto it = outbound_.find(session);
+  if (it == outbound_.end()) return;
+  sim_.cancel(it->second.timeout);
+  it->second.timeout = sim_.schedule_after(config_.ack_timeout, [this, session] {
+    auto sit = outbound_.find(session);
+    if (sit == outbound_.end()) return;
+    OutboundSession& out = sit->second;
+    if (++out.retries > config_.max_retries) {
+      fail_session(session, "retry budget exhausted");
+      return;
+    }
+    ++out.retransmissions;
+    if (out.offer_phase) {
+      send_offer(session);
+    } else {
+      send_chunk(session);
+    }
+  });
+}
+
+void MigrationEngine::fail_session(std::uint16_t session, const std::string& why) {
+  finish_session(session, false, why);
+}
+
+void MigrationEngine::finish_session(std::uint16_t session, bool success,
+                                     const std::string& why) {
+  auto it = outbound_.find(session);
+  if (it == outbound_.end()) return;
+  OutboundSession out = std::move(it->second);
+  sim_.cancel(out.timeout);
+  outbound_.erase(it);
+
+  MigrationOutcome outcome;
+  outcome.success = success;
+  outcome.failure = why;
+  outcome.elapsed = sim_.now() - out.started;
+  outcome.bytes = out.meta.total_bytes;
+  outcome.chunks = out.chunks.size();
+  outcome.retransmissions = out.retransmissions;
+  if (success) ++sessions_completed_;
+  if (out.on_done) out.on_done(outcome);
+}
+
+void MigrationEngine::handle(const net::Datagram& d) {
+  switch (static_cast<MsgType>(d.type)) {
+    case MsgType::kMigrationOffer: on_offer(d); break;
+    case MsgType::kMigrationAccept: on_reply(d, true); break;
+    case MsgType::kMigrationReject: on_reply(d, false); break;
+    case MsgType::kStateChunk: on_chunk(d); break;
+    case MsgType::kChunkAck: on_ack(d); break;
+    case MsgType::kMigrationCommit: on_commit(d); break;
+    default: break;
+  }
+}
+
+void MigrationEngine::on_offer(const net::Datagram& d) {
+  MigrationOfferMsg offer;
+  if (!MigrationOfferMsg::decode(d.payload, offer)) return;
+
+  const bool capable = !capability_checker_ || capability_checker_(offer);
+  MigrationReplyMsg reply;
+  reply.session = offer.session;
+  reply.accept = capable ? 1 : 0;
+  if (capable) {
+    InboundSession in;
+    in.source = d.source;
+    in.meta = offer;
+    inbound_[offer.session] = std::move(in);
+  }
+  (void)router_.send(d.source,
+                     static_cast<std::uint8_t>(capable ? MsgType::kMigrationAccept
+                                                       : MsgType::kMigrationReject),
+                     reply.encode());
+}
+
+void MigrationEngine::on_reply(const net::Datagram& d, bool accept) {
+  MigrationReplyMsg reply;
+  if (!MigrationReplyMsg::decode(d.payload, reply)) return;
+  auto it = outbound_.find(reply.session);
+  if (it == outbound_.end() || !it->second.offer_phase) return;
+  if (!accept) {
+    fail_session(reply.session, "destination rejected offer (capability check)");
+    return;
+  }
+  it->second.offer_phase = false;
+  it->second.retries = 0;
+  send_chunk(reply.session);
+}
+
+void MigrationEngine::on_chunk(const net::Datagram& d) {
+  StateChunkMsg chunk;
+  if (!StateChunkMsg::decode(d.payload, chunk)) return;
+  auto it = inbound_.find(chunk.session);
+  if (it == inbound_.end()) {
+    // Duplicate final chunk for a session we already completed: re-ack and
+    // repeat the verdict (the original commit was evidently lost).
+    auto vit = completed_verdicts_.find(chunk.session);
+    if (vit == completed_verdicts_.end()) return;
+    ChunkAckMsg ack;
+    ack.session = chunk.session;
+    ack.index = chunk.index;
+    (void)router_.send(d.source, static_cast<std::uint8_t>(MsgType::kChunkAck),
+                       ack.encode());
+    MigrationCommitMsg commit;
+    commit.session = chunk.session;
+    commit.success = vit->second ? 1 : 0;
+    (void)router_.send(d.source,
+                       static_cast<std::uint8_t>(MsgType::kMigrationCommit),
+                       commit.encode());
+    return;
+  }
+  InboundSession& in = it->second;
+  in.chunks[chunk.index] = chunk.data;
+
+  ChunkAckMsg ack;
+  ack.session = chunk.session;
+  ack.index = chunk.index;
+  (void)router_.send(in.source, static_cast<std::uint8_t>(MsgType::kChunkAck),
+                     ack.encode());
+
+  if (in.chunks.size() == in.meta.chunk_count) {
+    // Reassemble and hand to the payload handler (attestation + admission).
+    std::vector<std::uint8_t> payload;
+    payload.reserve(in.meta.total_bytes);
+    for (std::uint16_t i = 0; i < in.meta.chunk_count; ++i) {
+      auto cit = in.chunks.find(i);
+      if (cit == in.chunks.end()) return;  // hole: wait for retransmission
+      payload.insert(payload.end(), cit->second.begin(), cit->second.end());
+    }
+    const bool accepted = payload_handler_ && payload_handler_(in.meta, payload);
+    completed_verdicts_[chunk.session] = accepted;
+
+    MigrationCommitMsg commit;
+    commit.session = chunk.session;
+    commit.success = accepted ? 1 : 0;
+    (void)router_.send(in.source,
+                       static_cast<std::uint8_t>(MsgType::kMigrationCommit),
+                       commit.encode());
+    inbound_.erase(it);
+  }
+}
+
+void MigrationEngine::on_ack(const net::Datagram& d) {
+  ChunkAckMsg ack;
+  if (!ChunkAckMsg::decode(d.payload, ack)) return;
+  auto it = outbound_.find(ack.session);
+  if (it == outbound_.end() || it->second.offer_phase) return;
+  OutboundSession& out = it->second;
+  if (ack.index != out.next_chunk) return;  // stale ack
+  ++out.next_chunk;
+  out.retries = 0;
+  if (out.next_chunk < out.chunks.size()) {
+    send_chunk(ack.session);
+  } else {
+    // All chunks delivered; wait for the destination's commit verdict.
+    arm_timeout(ack.session);
+  }
+}
+
+void MigrationEngine::on_commit(const net::Datagram& d) {
+  MigrationCommitMsg commit;
+  if (!MigrationCommitMsg::decode(d.payload, commit)) return;
+  auto it = outbound_.find(commit.session);
+  if (it == outbound_.end()) return;
+  finish_session(commit.session, commit.success != 0,
+                 commit.success != 0 ? "" : "destination failed attestation/admission");
+}
+
+}  // namespace evm::core

@@ -1,0 +1,120 @@
+// Task / state migration protocol (paper §4: "This operation includes a
+// capabilities check and the migration of the task control block, stack,
+// data and timing/precedence-related metadata").
+//
+// Wire protocol, initiator -> destination:
+//   MigrationOffer  (size + resource requirements)   ->
+//   <- MigrationAccept / MigrationReject   (capability check)
+//   StateChunk(i) -> <- ChunkAck(i)        (stop-and-wait, timeout+retry)
+//   ... last chunk ...
+//   <- MigrationCommit(success)            (attestation + admission verdict)
+//
+// Every step can fail (capability rejection, chunk loss beyond retries,
+// attestation failure, admission failure); the initiator's callback then
+// reports failure and the source task keeps running — migration is
+// all-or-nothing.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/messages.hpp"
+#include "net/routing.hpp"
+#include "sim/simulator.hpp"
+
+namespace evm::core {
+
+struct MigrationConfig {
+  std::size_t chunk_bytes = 64;  // fits one 802.15.4 frame with headers
+  util::Duration ack_timeout = util::Duration::millis(600);
+  int max_retries = 8;
+};
+
+struct MigrationOutcome {
+  bool success = false;
+  std::string failure;
+  util::Duration elapsed = util::Duration::zero();
+  std::size_t bytes = 0;
+  std::size_t chunks = 0;
+  int retransmissions = 0;
+};
+
+class MigrationEngine {
+ public:
+  MigrationEngine(sim::Simulator& sim, net::Router& router,
+                  MigrationConfig config = {});
+
+  /// Initiate a migration of `payload` toward `dest`. `meta` describes the
+  /// resources the destination must have; `on_done` fires exactly once.
+  void initiate(net::NodeId dest, MigrationOfferMsg meta,
+                std::vector<std::uint8_t> payload,
+                std::function<void(const MigrationOutcome&)> on_done);
+
+  /// Responder policy: can this node host the offered task? (utilization,
+  /// RAM, calibration...). Default accepts everything.
+  void set_capability_checker(std::function<bool(const MigrationOfferMsg&)> checker) {
+    capability_checker_ = std::move(checker);
+  }
+  /// Responder: full payload received; run attestation + admission and
+  /// return success. The engine sends the commit verdict back.
+  void set_payload_handler(
+      std::function<bool(const MigrationOfferMsg&, const std::vector<std::uint8_t>&)>
+          handler) {
+    payload_handler_ = std::move(handler);
+  }
+
+  /// Feed migration-class datagrams here (the EVM service demultiplexes).
+  void handle(const net::Datagram& datagram);
+
+  std::size_t sessions_initiated() const { return sessions_initiated_; }
+  std::size_t sessions_completed() const { return sessions_completed_; }
+
+ private:
+  struct OutboundSession {
+    net::NodeId dest;
+    MigrationOfferMsg meta;
+    std::vector<std::vector<std::uint8_t>> chunks;
+    std::size_t next_chunk = 0;
+    int retries = 0;
+    int retransmissions = 0;
+    util::TimePoint started;
+    std::function<void(const MigrationOutcome&)> on_done;
+    sim::EventHandle timeout;
+    bool offer_phase = true;
+  };
+  struct InboundSession {
+    net::NodeId source;
+    MigrationOfferMsg meta;
+    std::map<std::uint16_t, std::vector<std::uint8_t>> chunks;
+  };
+
+  void send_offer(std::uint16_t session);
+  void send_chunk(std::uint16_t session);
+  void arm_timeout(std::uint16_t session);
+  void fail_session(std::uint16_t session, const std::string& why);
+  void finish_session(std::uint16_t session, bool success, const std::string& why);
+
+  void on_offer(const net::Datagram& d);
+  void on_reply(const net::Datagram& d, bool accept);
+  void on_chunk(const net::Datagram& d);
+  void on_ack(const net::Datagram& d);
+  void on_commit(const net::Datagram& d);
+
+  sim::Simulator& sim_;
+  net::Router& router_;
+  MigrationConfig config_;
+  std::function<bool(const MigrationOfferMsg&)> capability_checker_;
+  std::function<bool(const MigrationOfferMsg&, const std::vector<std::uint8_t>&)>
+      payload_handler_;
+  std::map<std::uint16_t, OutboundSession> outbound_;
+  std::map<std::uint16_t, InboundSession> inbound_;
+  /// Verdicts of finished inbound sessions, kept so lost commits can be
+  /// re-issued when the source retransmits the final chunk.
+  std::map<std::uint16_t, bool> completed_verdicts_;
+  std::uint16_t next_session_ = 1;
+  std::size_t sessions_initiated_ = 0;
+  std::size_t sessions_completed_ = 0;
+};
+
+}  // namespace evm::core

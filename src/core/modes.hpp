@@ -1,0 +1,29 @@
+// Controller replica modes, exactly as the paper's Fig. 6(b) scenario uses
+// them: Active drives the actuator, Backup shadows the computation and
+// observes the Active's outputs, Indicator computes but only displays (the
+// failed primary is parked here right after a switch), Dormant holds the TCB
+// with no execution.
+#pragma once
+
+#include <cstdint>
+
+namespace evm::core {
+
+enum class ControllerMode : std::uint8_t {
+  kDormant = 0,
+  kBackup = 1,
+  kIndicator = 2,
+  kActive = 3,
+};
+
+inline const char* to_string(ControllerMode mode) {
+  switch (mode) {
+    case ControllerMode::kDormant: return "Dormant";
+    case ControllerMode::kBackup: return "Backup";
+    case ControllerMode::kIndicator: return "Indicator";
+    case ControllerMode::kActive: return "Active";
+  }
+  return "?";
+}
+
+}  // namespace evm::core

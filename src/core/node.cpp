@@ -1,0 +1,75 @@
+#include "core/node.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace evm::core {
+
+Node::Node(sim::Simulator& sim, net::Medium& medium, net::RtLinkSchedule& schedule,
+           net::TimeSync& timesync, NodeConfig config)
+    : sim_(sim), config_(config), clock_(config.clock_drift_ppm) {
+  radio_ = std::make_unique<net::Radio>(sim, medium, config_.id, config_.radio);
+  mac_ = std::make_unique<net::RtLink>(sim, *radio_, clock_, schedule);
+  router_ = std::make_unique<net::Router>(*mac_, medium.topology());
+  kernel_ = std::make_unique<rtos::Kernel>(sim, config_.kernel);
+  timesync.attach(config_.id, clock_);
+}
+
+void Node::bind_sensor(std::uint8_t channel, std::function<double()> read) {
+  sensors_[channel] = std::move(read);
+}
+
+void Node::bind_actuator(std::uint8_t channel, std::function<void(double)> write) {
+  actuators_[channel] = std::move(write);
+}
+
+double Node::read_sensor(std::uint8_t channel) const {
+  auto it = sensors_.find(channel);
+  if (it == sensors_.end()) return 0.0;
+  return it->second();
+}
+
+bool Node::write_actuator(std::uint8_t channel, double value) {
+  auto it = actuators_.find(channel);
+  if (it == actuators_.end()) return false;
+  it->second(value);
+  return true;
+}
+
+bool Node::has_sensor(std::uint8_t channel) const {
+  return sensors_.count(channel) > 0;
+}
+
+void Node::start() { mac_->start(); }
+
+void Node::fail() {
+  if (failed_) return;
+  failed_ = true;
+  mac_->stop();
+  for (rtos::TaskId id : kernel_->scheduler().task_ids()) {
+    if (kernel_->scheduler().is_active(id)) (void)kernel_->stop_task(id);
+  }
+  EVM_INFO("node", "node " << config_.id << " crash-stopped");
+}
+
+void Node::recover() {
+  if (!failed_) return;
+  failed_ = false;
+  mac_->start();
+  EVM_INFO("node", "node " << config_.id << " recovered");
+}
+
+double Node::battery_fraction() const {
+  const double used = radio_->consumed_mah();
+  return std::max(0.0, 1.0 - used / config_.battery_mah);
+}
+
+double Node::projected_lifetime_years() const {
+  const double avg_ma = radio_->average_current_ma(sim_.now());
+  if (avg_ma <= 0.0) return 1e9;
+  const double hours = config_.battery_mah / avg_ma;
+  return hours / (24.0 * 365.0);
+}
+
+}  // namespace evm::core

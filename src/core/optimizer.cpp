@@ -1,0 +1,192 @@
+#include "core/optimizer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <limits>
+
+namespace evm::core {
+namespace {
+
+bool feasible(const BqpProblem& p, const std::vector<std::size_t>& assignment) {
+  std::vector<double> load(p.num_nodes, 0.0);
+  for (std::size_t t = 0; t < assignment.size(); ++t) {
+    load[assignment[t]] += p.task_utilization[t];
+  }
+  for (std::size_t n = 0; n < p.num_nodes; ++n) {
+    if (load[n] > p.node_capacity[n] + 1e-12) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+double evaluate(const BqpProblem& p, const std::vector<std::size_t>& assignment) {
+  if (!feasible(p, assignment)) return std::numeric_limits<double>::infinity();
+  double cost = 0.0;
+  for (std::size_t t = 0; t < p.num_tasks; ++t) {
+    cost += p.linear_cost(t, assignment[t]);
+  }
+  for (std::size_t t1 = 0; t1 < p.num_tasks; ++t1) {
+    for (std::size_t t2 = t1 + 1; t2 < p.num_tasks; ++t2) {
+      if (assignment[t1] == assignment[t2]) cost += p.pair_cost(t1, t2);
+    }
+  }
+  return cost;
+}
+
+util::Result<BqpSolution> solve_exact(const BqpProblem& p) {
+  if (p.num_tasks == 0 || p.num_nodes == 0) {
+    return util::Status::invalid_argument("empty problem");
+  }
+  const double space = std::pow(static_cast<double>(p.num_nodes),
+                                static_cast<double>(p.num_tasks));
+  if (space > 2e7) {
+    return util::Status::resource_exhausted("search space too large for exact solve");
+  }
+
+  BqpSolution best;
+  best.cost = std::numeric_limits<double>::infinity();
+  std::vector<std::size_t> current(p.num_tasks, 0);
+  std::vector<double> load(p.num_nodes, 0.0);
+  std::uint64_t evaluations = 0;
+
+  // Depth-first with capacity pruning and partial-cost bound.
+  std::function<void(std::size_t, double)> recurse = [&](std::size_t task,
+                                                         double partial) {
+    if (partial >= best.cost) return;
+    if (task == p.num_tasks) {
+      ++evaluations;
+      best.cost = partial;
+      best.assignment = current;
+      return;
+    }
+    for (std::size_t n = 0; n < p.num_nodes; ++n) {
+      if (load[n] + p.task_utilization[task] > p.node_capacity[n] + 1e-12) continue;
+      double delta = p.linear_cost(task, n);
+      for (std::size_t prev = 0; prev < task; ++prev) {
+        if (current[prev] == n) delta += p.pair_cost(prev, task);
+      }
+      current[task] = n;
+      load[n] += p.task_utilization[task];
+      recurse(task + 1, partial + delta);
+      load[n] -= p.task_utilization[task];
+    }
+  };
+  recurse(0, 0.0);
+
+  if (!std::isfinite(best.cost)) {
+    return util::Status::resource_exhausted("no feasible assignment exists");
+  }
+  best.optimal = true;
+  best.evaluations = evaluations;
+  return best;
+}
+
+util::Result<BqpSolution> solve_anneal(const BqpProblem& p, AnnealParams params) {
+  if (p.num_tasks == 0 || p.num_nodes == 0) {
+    return util::Status::invalid_argument("empty problem");
+  }
+  util::Rng rng(params.seed);
+
+  // Feasible start: first-fit decreasing by utilization.
+  std::vector<std::size_t> order(p.num_tasks);
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return p.task_utilization[a] > p.task_utilization[b];
+  });
+  std::vector<std::size_t> current(p.num_tasks, 0);
+  std::vector<double> load(p.num_nodes, 0.0);
+  for (std::size_t t : order) {
+    bool placed = false;
+    // Least-loaded feasible node.
+    std::size_t best_node = 0;
+    double best_slack = -1.0;
+    for (std::size_t n = 0; n < p.num_nodes; ++n) {
+      const double slack = p.node_capacity[n] - load[n] - p.task_utilization[t];
+      if (slack >= -1e-12 && slack > best_slack) {
+        best_slack = slack;
+        best_node = n;
+        placed = true;
+      }
+    }
+    if (!placed) {
+      return util::Status::resource_exhausted("no feasible start (over capacity)");
+    }
+    current[t] = best_node;
+    load[best_node] += p.task_utilization[t];
+  }
+
+  double current_cost = evaluate(p, current);
+  BqpSolution best;
+  best.assignment = current;
+  best.cost = current_cost;
+
+  double temperature = params.initial_temperature;
+  for (std::uint64_t iter = 0; iter < params.iterations; ++iter) {
+    const auto t = static_cast<std::size_t>(rng.next_below(p.num_tasks));
+    const auto n = static_cast<std::size_t>(rng.next_below(p.num_nodes));
+    if (current[t] == n) continue;
+    if (load[n] + p.task_utilization[t] > p.node_capacity[n] + 1e-12) continue;
+
+    const std::size_t old_node = current[t];
+    double delta = p.linear_cost(t, n) - p.linear_cost(t, old_node);
+    for (std::size_t other = 0; other < p.num_tasks; ++other) {
+      if (other == t) continue;
+      if (current[other] == old_node) delta -= p.pair_cost(std::min(t, other), std::max(t, other));
+      if (current[other] == n) delta += p.pair_cost(std::min(t, other), std::max(t, other));
+    }
+
+    const bool accept = delta <= 0.0 ||
+                        rng.next_double() < std::exp(-delta / std::max(temperature, 1e-9));
+    if (accept) {
+      current[t] = n;
+      load[n] += p.task_utilization[t];
+      load[old_node] -= p.task_utilization[t];
+      current_cost += delta;
+      if (current_cost < best.cost) {
+        best.cost = current_cost;
+        best.assignment = current;
+      }
+    }
+    temperature *= params.cooling;
+    ++best.evaluations;
+  }
+  best.optimal = false;
+  return best;
+}
+
+util::Result<BqpSolution> solve(const BqpProblem& p) {
+  const double space = std::pow(static_cast<double>(p.num_nodes),
+                                static_cast<double>(p.num_tasks));
+  if (space <= 1e6) return solve_exact(p);
+  return solve_anneal(p);
+}
+
+BqpProblem make_balance_problem(const std::vector<double>& task_utilization,
+                                const std::vector<double>& node_capacity,
+                                const std::vector<std::vector<double>>& distance,
+                                double colocation_penalty) {
+  BqpProblem p;
+  p.num_tasks = task_utilization.size();
+  p.num_nodes = node_capacity.size();
+  p.task_utilization = task_utilization;
+  p.node_capacity = node_capacity;
+  p.linear.resize(p.num_tasks * p.num_nodes, 0.0);
+  for (std::size_t t = 0; t < p.num_tasks; ++t) {
+    for (std::size_t n = 0; n < p.num_nodes; ++n) {
+      p.linear[t * p.num_nodes + n] =
+          (t < distance.size() && n < distance[t].size()) ? distance[t][n] : 0.0;
+    }
+  }
+  // Uniform co-location penalty spreads load across nodes.
+  p.quadratic.assign(p.num_tasks * p.num_tasks, 0.0);
+  for (std::size_t t1 = 0; t1 < p.num_tasks; ++t1) {
+    for (std::size_t t2 = t1 + 1; t2 < p.num_tasks; ++t2) {
+      p.quadratic[t1 * p.num_tasks + t2] = colocation_penalty;
+    }
+  }
+  return p;
+}
+
+}  // namespace evm::core

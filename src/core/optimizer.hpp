@@ -1,0 +1,82 @@
+// Runtime optimization of task-to-node assignment (paper §3.1.1, operation
+// 7: "We use Binary Quadratic Programming for fixed-point optimization for
+// functional and para-functional requirements across controller nodes").
+//
+// Model: binary variables x[t][n] (task t placed on node n), one node per
+// task, per-node utilization capacity. Objective:
+//
+//   min  sum_t sum_n linear[t][n] x[t][n]
+//      + sum_{t1<t2} sum_n quadratic[t1][t2] x[t1][n] x[t2][n]
+//
+// linear[t][n] encodes proximity/communication cost of running t on n; the
+// quadratic term penalizes (or rewards) co-locating task pairs. Exact
+// branch-and-bound enumeration for small instances, simulated annealing
+// above that; both respect capacity feasibility.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/status.hpp"
+
+namespace evm::core {
+
+struct BqpProblem {
+  std::size_t num_tasks = 0;
+  std::size_t num_nodes = 0;
+  /// utilization[t] consumed by task t; capacity[n] available on node n.
+  std::vector<double> task_utilization;
+  std::vector<double> node_capacity;
+  /// linear[t * num_nodes + n]
+  std::vector<double> linear;
+  /// quadratic[t1 * num_tasks + t2] (upper triangle used, t1 < t2): cost
+  /// added when t1 and t2 share a node.
+  std::vector<double> quadratic;
+
+  double linear_cost(std::size_t task, std::size_t node) const {
+    return linear[task * num_nodes + node];
+  }
+  double pair_cost(std::size_t t1, std::size_t t2) const {
+    if (t1 > t2) std::swap(t1, t2);
+    return quadratic.empty() ? 0.0 : quadratic[t1 * num_tasks + t2];
+  }
+};
+
+struct BqpSolution {
+  /// assignment[t] = node index.
+  std::vector<std::size_t> assignment;
+  double cost = 0.0;
+  bool optimal = false;  // true when produced by exact enumeration
+  std::uint64_t evaluations = 0;
+};
+
+/// Objective value of a complete assignment (infeasible => +inf).
+double evaluate(const BqpProblem& problem, const std::vector<std::size_t>& assignment);
+
+/// Exact depth-first enumeration with capacity pruning. Practical up to
+/// ~num_nodes^num_tasks ≈ 10^7 combinations.
+util::Result<BqpSolution> solve_exact(const BqpProblem& problem);
+
+/// Simulated annealing: feasible-start + single-task move neighborhood.
+struct AnnealParams {
+  std::uint64_t iterations = 20'000;
+  double initial_temperature = 10.0;
+  double cooling = 0.999;
+  std::uint64_t seed = 42;
+};
+util::Result<BqpSolution> solve_anneal(const BqpProblem& problem,
+                                       AnnealParams params = {});
+
+/// Dispatcher: exact when the search space is small, annealing otherwise.
+util::Result<BqpSolution> solve(const BqpProblem& problem);
+
+/// Convenience builder for the EVM's common case: balance CPU load across
+/// member nodes while preferring to keep each task near its I/O (expressed
+/// as a per-task preferred node with distance penalties).
+BqpProblem make_balance_problem(const std::vector<double>& task_utilization,
+                                const std::vector<double>& node_capacity,
+                                const std::vector<std::vector<double>>& distance,
+                                double colocation_penalty = 0.1);
+
+}  // namespace evm::core

@@ -1,0 +1,919 @@
+#include "core/service.hpp"
+
+#include <algorithm>
+
+#include "util/log.hpp"
+
+namespace evm::core {
+
+namespace {
+constexpr const char* kTag = "evm";
+}  // namespace
+
+EvmService::EvmService(Node& node, VcDescriptor descriptor, FailoverPolicy policy)
+    : node_(node),
+      descriptor_(std::move(descriptor)),
+      policy_(policy),
+      migration_(node.simulator(), node.router()),
+      guard_(descriptor_, node.id()),
+      members_(descriptor_.members),
+      head_id_(descriptor_.head) {
+  node_.router().set_receive_handler(
+      [this](const net::Datagram& d) { on_datagram(d); });
+
+  migration_.set_capability_checker([this](const MigrationOfferMsg& offer) {
+    const double headroom = 1.0 - node_.kernel().utilization();
+    const std::size_t ram_free = node_.kernel().ram_capacity() - node_.kernel().ram_used();
+    return offer.required_utilization <= headroom + 1e-9 &&
+           offer.required_ram <= ram_free;
+  });
+  migration_.set_payload_handler(
+      [this](const MigrationOfferMsg& meta, const std::vector<std::uint8_t>& payload) {
+        return accept_migrated_function(meta, payload);
+      });
+}
+
+util::Status EvmService::start() {
+  if (started_) return util::Status::failed_precondition("service already started");
+  started_ = true;
+  node_.start();
+  last_beacon_ = node_.simulator().now();
+
+  // Head liveness: the head beacons; every member supervises the beacon and
+  // runs the deterministic lowest-id succession when it goes silent.
+  rtos::TaskParams beacon_params;
+  beacon_params.name = "evm-beacon";
+  beacon_params.period = policy_.head_beacon_period;
+  beacon_params.wcet = util::Duration::micros(200);
+  beacon_params.priority = 1;
+  auto beacon = node_.kernel().admit_task(beacon_params, [this] {
+    if (!is_head()) {
+      check_head_liveness();
+      return;
+    }
+    HeadBeaconMsg msg;
+    msg.vc = descriptor_.id;
+    msg.head = node_.id();
+    (void)node_.router().send(net::kBroadcast,
+                              static_cast<std::uint8_t>(MsgType::kHeadBeacon),
+                              msg.encode());
+  });
+  if (beacon) {
+    beacon_task_ = *beacon;
+    (void)node_.kernel().start_task(beacon_task_);
+  }
+
+  for (const auto& [fid, function] : descriptor_.functions) {
+    const ControllerMode initial = descriptor_.initial_mode(fid, node_.id());
+    if (is_head()) {
+      auto rit = descriptor_.replicas.find(fid);
+      if (rit != descriptor_.replicas.end()) {
+        for (net::NodeId replica : rit->second) {
+          roles_.set_mode(fid, replica, descriptor_.initial_mode(fid, replica));
+        }
+      }
+    }
+    if (initial == ControllerMode::kDormant &&
+        descriptor_.initial_mode(fid, node_.id()) == ControllerMode::kDormant) {
+      // Not a replica of this function on this node — nothing to install,
+      // unless migration later brings it here.
+      auto rit = descriptor_.replicas.find(fid);
+      const bool replica_here =
+          rit != descriptor_.replicas.end() &&
+          std::find(rit->second.begin(), rit->second.end(), node_.id()) !=
+              rit->second.end();
+      if (!replica_here) continue;
+    }
+    util::Status status = install_function(function, initial, nullptr);
+    if (!status) return status;
+  }
+  return util::Status::ok();
+}
+
+util::Status EvmService::install_function(const ControlFunction& function,
+                                          ControllerMode initial_mode,
+                                          const std::vector<std::uint8_t>* slot_image) {
+  const FunctionId fid = function.id;
+  auto [it, inserted] = functions_.try_emplace(fid);
+  FunctionRuntime& rt = it->second;
+
+  if (inserted) {
+    vm::Environment env;
+    env.read_sensor = [this, fid](std::uint8_t channel) {
+      if (node_.has_sensor(channel)) return node_.read_sensor(channel);
+      auto sit = streams_.find(channel);
+      return sit == streams_.end() ? 0.0 : sit->second;
+    };
+    env.write_actuator = [this, fid](std::uint8_t channel, double value) {
+      (void)channel;
+      auto fit = functions_.find(fid);
+      if (fit != functions_.end()) fit->second.computed = value;
+    };
+    env.send = [this](std::uint8_t stream, double value) {
+      publish_sensor(stream, value);
+    };
+    env.now_seconds = [this] { return node_.simulator().now().to_seconds(); };
+    rt.interpreter = std::make_unique<vm::Interpreter>(std::move(env));
+
+    // Attestation gate: code entering the node must pass (paper op. 8).
+    const auto report = vm::attest(function.algorithm, rt.interpreter.get());
+    if (!report.passed()) {
+      functions_.erase(fid);
+      return util::Status::data_loss("capsule for '" + function.name +
+                                     "' failed attestation: " + report.failure);
+    }
+
+    auto admitted = node_.kernel().admit_task(
+        function.task, [this, fid] { run_control_cycle(fid); }, {},
+        /*stack_bytes=*/256, /*data_bytes=*/vm::Interpreter::kSlots * 8);
+    if (!admitted) {
+      functions_.erase(fid);
+      return admitted.status();
+    }
+    rt.task = *admitted;
+  }
+
+  if (slot_image != nullptr) {
+    util::Status status = rt.interpreter->load_slots(*slot_image);
+    if (!status) return status;
+  }
+
+  rt.mode = ControllerMode::kDormant;  // set_mode below performs activation
+  return set_mode(fid, initial_mode);
+}
+
+ControllerMode EvmService::mode(FunctionId function) const {
+  auto it = functions_.find(function);
+  return it == functions_.end() ? ControllerMode::kDormant : it->second.mode;
+}
+
+double EvmService::last_output(FunctionId function) const {
+  auto it = functions_.find(function);
+  return it == functions_.end() ? 0.0 : it->second.last_output;
+}
+
+std::uint32_t EvmService::cycles_run(FunctionId function) const {
+  auto it = functions_.find(function);
+  return it == functions_.end() ? 0 : it->second.cycle;
+}
+
+double EvmService::stream_value(std::uint8_t stream) const {
+  auto it = streams_.find(stream);
+  return it == streams_.end() ? 0.0 : it->second;
+}
+
+bool EvmService::has_stream(std::uint8_t stream) const {
+  return streams_.count(stream) > 0;
+}
+
+void EvmService::publish_sensor(std::uint8_t stream, double value) {
+  streams_[stream] = value;  // local cache (loopback)
+  SensorDataMsg msg;
+  msg.vc = descriptor_.id;
+  msg.stream = stream;
+  msg.value = value;
+  msg.timestamp_ns = node_.simulator().now().ns();
+  msg.seq = ++stream_seq_[stream];
+  (void)node_.router().send(net::kBroadcast,
+                            static_cast<std::uint8_t>(MsgType::kSensorData),
+                            msg.encode());
+}
+
+util::Status EvmService::add_sensor_publisher(std::uint8_t stream,
+                                              std::uint8_t channel,
+                                              util::Duration period,
+                                              rtos::Priority priority) {
+  rtos::TaskParams params;
+  params.name = "pub_s" + std::to_string(stream);
+  params.period = period;
+  params.wcet = util::Duration::micros(500);
+  params.priority = priority;
+  auto id = node_.kernel().admit_task(params, [this, stream, channel] {
+    publish_sensor(stream, node_.read_sensor(channel));
+  });
+  if (!id) return id.status();
+  return node_.kernel().start_task(*id);
+}
+
+util::Status EvmService::seed_function_slot(FunctionId function, std::size_t slot,
+                                            double value) {
+  auto it = functions_.find(function);
+  if (it == functions_.end() || !it->second.interpreter) {
+    return util::Status::not_found("function not installed on this node");
+  }
+  if (slot >= vm::Interpreter::kSlots) {
+    return util::Status::invalid_argument("slot out of range");
+  }
+  it->second.interpreter->set_slot(slot, value);
+  return util::Status::ok();
+}
+
+double EvmService::function_slot(FunctionId function, std::size_t slot) const {
+  auto it = functions_.find(function);
+  if (it == functions_.end() || !it->second.interpreter ||
+      slot >= vm::Interpreter::kSlots) {
+    return 0.0;
+  }
+  return it->second.interpreter->slot(slot);
+}
+
+void EvmService::inject_output_fault(FunctionId function, double wrong_value) {
+  auto it = functions_.find(function);
+  if (it != functions_.end()) it->second.fault_override = wrong_value;
+}
+
+void EvmService::clear_output_fault(FunctionId function) {
+  auto it = functions_.find(function);
+  if (it != functions_.end()) it->second.fault_override.reset();
+}
+
+util::Status EvmService::set_mode(FunctionId function, ControllerMode mode) {
+  auto it = functions_.find(function);
+  if (it == functions_.end()) {
+    return util::Status::not_found("function not installed on this node");
+  }
+  FunctionRuntime& rt = it->second;
+  if (rt.mode == mode) return util::Status::ok();
+
+  const bool was_running = rt.mode != ControllerMode::kDormant;
+  const bool will_run = mode != ControllerMode::kDormant;
+  if (was_running && !will_run) {
+    (void)node_.kernel().stop_task(rt.task);
+  } else if (!was_running && will_run) {
+    util::Status status = node_.kernel().start_task(rt.task);
+    if (!status) return status;
+  }
+
+  EVM_INFO(kTag, "node " << node_.id() << " function " << function << ": "
+                         << to_string(rt.mode) << " -> " << to_string(mode));
+  rt.mode = mode;
+  // Mirror own role locally so that, should this node ever assume headship,
+  // its arbitration table already covers itself.
+  roles_.set_mode(function, node_.id(), mode);
+  if (mode == ControllerMode::kActive) {
+    // An Active replica observes nobody; reset its observer state.
+    rt.monitors.clear();
+    rt.observed_active.reset();
+    rt.observed_output.reset();
+  }
+  if (on_mode_change_) on_mode_change_(function, mode);
+  return util::Status::ok();
+}
+
+void EvmService::run_control_cycle(FunctionId function) {
+  auto it = functions_.find(function);
+  if (it == functions_.end()) return;
+  FunctionRuntime& rt = it->second;
+  if (rt.mode == ControllerMode::kDormant) return;
+
+  const auto fit = descriptor_.functions.find(function);
+  if (fit == descriptor_.functions.end()) return;
+  const ControlFunction& def = fit->second;
+
+  util::Status run_status = rt.interpreter->run(def.algorithm);
+  if (!run_status) {
+    EVM_WARN(kTag, "node " << node_.id() << " function " << function
+                           << " VM fault: " << run_status.to_string());
+    return;
+  }
+
+  double output = rt.computed;
+  if (rt.fault_override.has_value()) output = *rt.fault_override;
+  rt.last_output = output;
+  ++rt.cycle;
+
+  if (rt.mode == ControllerMode::kActive) {
+    ActuationMsg act;
+    act.vc = descriptor_.id;
+    act.function = function;
+    act.channel = def.actuator_channel;
+    act.value = output;
+    act.source = node_.id();
+    act.cycle = rt.cycle;
+    (void)node_.router().send(net::kBroadcast,
+                              static_cast<std::uint8_t>(MsgType::kActuation),
+                              act.encode());
+    // Local actuator binding (a controller co-located with its valve).
+    (void)node_.write_actuator(def.actuator_channel, output);
+  }
+
+  HeartbeatMsg hb;
+  hb.vc = descriptor_.id;
+  hb.function = function;
+  hb.node = node_.id();
+  hb.mode = rt.mode;
+  hb.output = output;
+  hb.cycle = rt.cycle;
+  hb.epoch = rt.last_epoch;
+  (void)node_.router().send(net::kBroadcast,
+                            static_cast<std::uint8_t>(MsgType::kHeartbeat),
+                            hb.encode());
+
+  if (rt.mode == ControllerMode::kBackup) {
+    run_health_checks(function, rt);
+  }
+}
+
+void EvmService::run_health_checks(FunctionId function, FunctionRuntime& rt) {
+  const auto fit = descriptor_.functions.find(function);
+  if (fit == descriptor_.functions.end()) return;
+  const ControlFunction& def = fit->second;
+
+  net::NodeId subject = net::kInvalidNode;
+  if (rt.observed_active.has_value()) {
+    subject = *rt.observed_active;
+  } else if (auto primary = descriptor_.initial_primary(function)) {
+    subject = *primary;
+  }
+  if (subject == net::kInvalidNode || subject == node_.id()) return;
+
+  auto [mit, unused] = rt.monitors.try_emplace(subject, def, subject);
+  HealthMonitor& monitor = mit->second;
+
+  std::optional<HealthVerdict> verdict;
+  if (rt.heard_since_last_cycle && rt.observed_output.has_value()) {
+    verdict = monitor.observe(rt.cycle, *rt.observed_output, rt.computed);
+    rt.heard_since_last_cycle = false;
+  } else {
+    verdict = monitor.observe_silence();
+  }
+  if (!verdict.has_value()) return;
+
+  FaultReportMsg report;
+  report.vc = descriptor_.id;
+  report.function = function;
+  report.suspect = subject;
+  report.reporter = node_.id();
+  report.reason = verdict->reason;
+  report.observed = verdict->observed;
+  report.expected = verdict->expected;
+  report.evidence = verdict->evidence;
+  ++fault_reports_sent_;
+  EVM_INFO(kTag, "node " << node_.id() << " reports fault on node " << subject
+                         << " (function " << function << ", evidence "
+                         << verdict->evidence << ")");
+  if (is_head()) {
+    // Local shortcut: the head observed the fault itself.
+    handle_fault_report(net::Datagram{
+        node_.id(), node_.id(), static_cast<std::uint8_t>(MsgType::kFaultReport), 0,
+        report.encode()});
+  } else {
+    (void)node_.router().send(head_id_,
+                              static_cast<std::uint8_t>(MsgType::kFaultReport),
+                              report.encode());
+  }
+  if (on_fault_report_) on_fault_report_(report);
+}
+
+void EvmService::on_datagram(const net::Datagram& d) {
+  switch (static_cast<MsgType>(d.type)) {
+    case MsgType::kSensorData: handle_sensor_data(d); break;
+    case MsgType::kActuation: handle_actuation(d); break;
+    case MsgType::kHeartbeat: handle_heartbeat(d); break;
+    case MsgType::kModeCommand: handle_mode_command(d); break;
+    case MsgType::kFaultReport: handle_fault_report(d); break;
+    case MsgType::kMembershipHello: handle_membership_hello(d); break;
+    case MsgType::kHeadBeacon: handle_head_beacon(d); break;
+    case MsgType::kParametricCommand: handle_parametric(d); break;
+    case MsgType::kAlgorithmUpdate: handle_algorithm_update(d); break;
+    case MsgType::kMigrationOffer:
+    case MsgType::kMigrationAccept:
+    case MsgType::kMigrationReject:
+    case MsgType::kStateChunk:
+    case MsgType::kChunkAck:
+    case MsgType::kMigrationCommit:
+      migration_.handle(d);
+      break;
+    default: break;
+  }
+}
+
+void EvmService::handle_sensor_data(const net::Datagram& d) {
+  SensorDataMsg msg;
+  if (!SensorDataMsg::decode(d.payload, msg) || msg.vc != descriptor_.id) return;
+  // Object-transfer enforcement: temporal-conditional relations drop stale
+  // objects, causal-conditional ones drop out-of-order objects (§3.1.2).
+  if (!guard_.accept(d.source, util::TimePoint(msg.timestamp_ns),
+                     node_.simulator().now(), msg.seq)) {
+    return;
+  }
+  streams_[msg.stream] = msg.value;
+  if (on_stream_) on_stream_(msg);
+}
+
+void EvmService::handle_actuation(const net::Datagram& d) {
+  ActuationMsg msg;
+  if (!ActuationMsg::decode(d.payload, msg) || msg.vc != descriptor_.id) return;
+  observe_active_output(msg.function, msg.source, msg.value);
+  if (actuation_handler_) actuation_handler_(msg);
+}
+
+void EvmService::handle_heartbeat(const net::Datagram& d) {
+  HeartbeatMsg msg;
+  if (!HeartbeatMsg::decode(d.payload, msg) || msg.vc != descriptor_.id) return;
+  if (msg.node == node_.id()) return;
+  // Every member passively mirrors the role table and epoch floors from
+  // heartbeats so a succeeding head can resume arbitration seamlessly. The
+  // acting head trusts its own commands over (possibly stale) heartbeats.
+  if (!is_head()) {
+    roles_.set_mode(msg.function, msg.node, msg.mode);
+  }
+  roles_.observe_epoch(msg.function, msg.epoch);
+  if (msg.mode == ControllerMode::kActive) {
+    observe_active_output(msg.function, msg.node, msg.output);
+    if (is_head()) {
+      last_active_heartbeat_[{msg.function, msg.node}] = node_.simulator().now();
+    }
+  }
+}
+
+void EvmService::handle_head_beacon(const net::Datagram& d) {
+  HeadBeaconMsg msg;
+  if (!HeadBeaconMsg::decode(d.payload, msg) || msg.vc != descriptor_.id) return;
+  if (msg.head != head_id_) {
+    // Lowest id wins: adopt a lower-id claimant (a recovered original head
+    // reclaims the role); a higher-id claimant is adopted only if our own
+    // head has gone silent (we would be about to elect it anyway).
+    const bool our_head_silent =
+        node_.simulator().now() - last_beacon_ >
+        policy_.head_beacon_period * policy_.beacon_loss_threshold;
+    if (msg.head < head_id_ || our_head_silent) {
+      EVM_INFO(kTag, "node " << node_.id() << " adopts node " << msg.head
+                             << " as VC head");
+      head_id_ = msg.head;
+    } else {
+      return;
+    }
+  }
+  last_beacon_ = node_.simulator().now();
+}
+
+void EvmService::check_head_liveness() {
+  const util::Duration silence = node_.simulator().now() - last_beacon_;
+  if (silence <= policy_.head_beacon_period * policy_.beacon_loss_threshold) {
+    return;
+  }
+  // Deterministic succession: lowest-id member other than the dead head.
+  net::NodeId successor = net::kInvalidNode;
+  for (net::NodeId member : members_) {
+    if (member == head_id_) continue;
+    if (member < successor) successor = member;
+  }
+  if (successor == node_.id()) {
+    become_head();
+  } else if (successor != net::kInvalidNode) {
+    // Provisionally adopt; the successor's first beacon confirms it.
+    head_id_ = successor;
+  }
+}
+
+void EvmService::become_head() {
+  ++head_successions_;
+  head_id_ = node_.id();
+  last_beacon_ = node_.simulator().now();
+  EVM_INFO(kTag, "node " << node_.id() << " assumes VC head role (succession #"
+                         << head_successions_ << ")");
+  // Resume arbitration above every epoch any replica has acknowledged, so
+  // the new head's first command is not discarded as stale.
+  for (const auto& [fid, fn] : descriptor_.functions) {
+    (void)fn;
+    roles_.observe_epoch(fid, roles_.epoch(fid) + 100);
+  }
+}
+
+void EvmService::observe_active_output(FunctionId function, net::NodeId source,
+                                       double output) {
+  auto it = functions_.find(function);
+  if (it == functions_.end()) return;
+  FunctionRuntime& rt = it->second;
+  rt.observed_active = source;
+  rt.observed_output = output;
+  rt.heard_since_last_cycle = true;
+}
+
+void EvmService::handle_mode_command(const net::Datagram& d) {
+  ModeCommandMsg msg;
+  if (!ModeCommandMsg::decode(d.payload, msg) || msg.vc != descriptor_.id) return;
+  if (msg.target != node_.id()) return;
+  auto it = functions_.find(msg.function);
+  if (it == functions_.end()) return;
+  if (msg.epoch <= it->second.last_epoch) return;  // stale command
+  it->second.last_epoch = msg.epoch;
+  (void)set_mode(msg.function, msg.mode);
+}
+
+void EvmService::handle_fault_report(const net::Datagram& d) {
+  if (!is_head()) return;
+  FaultReportMsg msg;
+  if (!FaultReportMsg::decode(d.payload, msg) || msg.vc != descriptor_.id) return;
+
+  const auto key = std::make_pair(msg.function, msg.suspect);
+  const std::uint32_t count = ++report_counts_[key];
+  if (count < policy_.reports_required) return;
+
+  const auto active = roles_.active(msg.function);
+  if (!active.has_value() || *active != msg.suspect) return;  // already handled
+  report_counts_.erase(key);
+  head_failover(msg.function, msg.suspect, msg.reason);
+}
+
+void EvmService::head_failover(FunctionId function, net::NodeId suspect,
+                               FaultReason reason) {
+  const auto promoted = roles_.best_backup(function, suspect);
+  FailoverEvent event;
+  event.when = node_.simulator().now();
+  event.function = function;
+  event.demoted = suspect;
+  event.reason = reason;
+
+  if (!promoted.has_value()) {
+    // Graceful degradation floor: nobody to promote; demote the suspect to
+    // Indicator so operators see its (wrong) output flagged, keep looking.
+    send_mode_command(function, suspect, ControllerMode::kIndicator);
+    roles_.set_mode(function, suspect, ControllerMode::kIndicator);
+    failovers_.push_back(event);
+    EVM_WARN(kTag, "head: no backup available for function " << function);
+    return;
+  }
+  event.promoted = *promoted;
+  failovers_.push_back(event);
+  EVM_INFO(kTag, "head: failover function " << function << ": " << suspect
+                 << " -> " << *promoted);
+
+  send_mode_command(function, *promoted, ControllerMode::kActive);
+  roles_.set_mode(function, *promoted, ControllerMode::kActive);
+  send_mode_command(function, suspect, ControllerMode::kBackup);
+  roles_.set_mode(function, suspect, ControllerMode::kBackup);
+
+  // T3: park the demoted replica Dormant after the observation window.
+  node_.simulator().schedule_after(policy_.dormant_delay, [this, function, suspect] {
+    if (roles_.mode(function, suspect) == ControllerMode::kBackup) {
+      send_mode_command(function, suspect, ControllerMode::kDormant);
+      roles_.set_mode(function, suspect, ControllerMode::kDormant);
+    }
+  });
+
+  // Promotion supervision: a promoted replica that never heartbeats as
+  // Active within the timeout has itself failed; move on to the next one.
+  const net::NodeId promoted_node = *promoted;
+  const util::TimePoint promoted_at = node_.simulator().now();
+  node_.simulator().schedule_after(
+      policy_.promotion_timeout, [this, function, promoted_node, promoted_at] {
+        const auto active = roles_.active(function);
+        if (!active.has_value() || *active != promoted_node) return;
+        if (node_.id() == promoted_node) return;  // self-promotion: trivially alive
+        auto it = last_active_heartbeat_.find({function, promoted_node});
+        if (it != last_active_heartbeat_.end() && it->second >= promoted_at) {
+          return;  // alive and in charge
+        }
+        EVM_WARN(kTag, "head: promoted node " << promoted_node
+                       << " never became active; escalating");
+        head_failover(function, promoted_node, FaultReason::kSilent);
+        // The dead promotee must not be re-picked by future arbitrations.
+        roles_.set_mode(function, promoted_node, ControllerMode::kDormant);
+      });
+}
+
+void EvmService::send_mode_command(FunctionId function, net::NodeId target,
+                                   ControllerMode mode) {
+  ModeCommandMsg cmd;
+  cmd.vc = descriptor_.id;
+  cmd.function = function;
+  cmd.target = target;
+  cmd.mode = mode;
+  cmd.epoch = roles_.bump_epoch(function);
+  if (target == node_.id()) {
+    auto it = functions_.find(function);
+    if (it != functions_.end() && cmd.epoch > it->second.last_epoch) {
+      it->second.last_epoch = cmd.epoch;
+      (void)set_mode(function, mode);
+    }
+    return;
+  }
+  (void)node_.router().send(target, static_cast<std::uint8_t>(MsgType::kModeCommand),
+                            cmd.encode());
+}
+
+void EvmService::announce_membership() {
+  MembershipHelloMsg hello;
+  hello.vc = descriptor_.id;
+  hello.node = node_.id();
+  hello.cpu_headroom = 1.0 - node_.kernel().utilization();
+  hello.ram_free = static_cast<std::uint32_t>(node_.kernel().ram_capacity() -
+                                              node_.kernel().ram_used());
+  hello.battery_percent =
+      static_cast<std::uint8_t>(node_.battery_fraction() * 100.0);
+  (void)node_.router().send(head_id_,
+                            static_cast<std::uint8_t>(MsgType::kMembershipHello),
+                            hello.encode());
+}
+
+void EvmService::handle_membership_hello(const net::Datagram& d) {
+  if (!is_head()) return;
+  MembershipHelloMsg msg;
+  if (!MembershipHelloMsg::decode(d.payload, msg) || msg.vc != descriptor_.id) return;
+  if (std::find(members_.begin(), members_.end(), msg.node) == members_.end()) {
+    members_.push_back(msg.node);
+    descriptor_.members.push_back(msg.node);
+    EVM_INFO(kTag, "head: admitted node " << msg.node << " to VC "
+                   << descriptor_.id);
+  }
+  if (on_member_joined_) on_member_joined_(msg);
+}
+
+std::size_t EvmService::rebalance(double keep_cost) {
+  if (!is_head()) return 0;
+
+  // Order functions and candidate nodes deterministically.
+  std::vector<FunctionId> fids;
+  for (const auto& [fid, fn] : descriptor_.functions) {
+    (void)fn;
+    fids.push_back(fid);
+  }
+  std::vector<net::NodeId> nodes = members_;
+  std::sort(nodes.begin(), nodes.end());
+  // The head itself typically doubles as the gateway; it stays eligible.
+
+  std::vector<double> task_util;
+  std::vector<std::vector<double>> distance;
+  for (FunctionId fid : fids) {
+    const ControlFunction& def = descriptor_.functions.at(fid);
+    task_util.push_back(def.task.utilization());
+    std::vector<double> row(nodes.size(), keep_cost);
+    const auto active = roles_.active(fid);
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+      if (active.has_value() && nodes[n] == *active) row[n] = 0.0;
+    }
+    distance.push_back(std::move(row));
+  }
+  std::vector<double> capacity(nodes.size(), 1.0);
+
+  BqpProblem problem = make_balance_problem(task_util, capacity, distance,
+                                            /*colocation_penalty=*/0.1);
+  auto solution = solve(problem);
+  if (!solution) {
+    EVM_WARN(kTag, "rebalance: optimizer failed: " << solution.status().to_string());
+    return 0;
+  }
+
+  std::size_t moved = 0;
+  for (std::size_t t = 0; t < fids.size(); ++t) {
+    const FunctionId fid = fids[t];
+    const net::NodeId target = nodes[solution->assignment[t]];
+    const auto active = roles_.active(fid);
+    if (active.has_value() && *active == target) continue;
+
+    ++moved;
+    if (active.has_value() && *active == node_.id()) {
+      // The head holds this function: push it to the target with state.
+      migrate_function(fid, target, ControllerMode::kActive,
+                       [this, fid, target](const MigrationOutcome& outcome) {
+                         if (outcome.success) {
+                           roles_.set_mode(fid, target, ControllerMode::kActive);
+                         }
+                       });
+    } else {
+      // Promote the target (it becomes Active; a replica set that does not
+      // yet include it needs a migration from the current holder, which the
+      // head requests by demoting the holder after promotion).
+      send_mode_command(fid, target, ControllerMode::kActive);
+      roles_.set_mode(fid, target, ControllerMode::kActive);
+      if (active.has_value()) {
+        send_mode_command(fid, *active, ControllerMode::kBackup);
+        roles_.set_mode(fid, *active, ControllerMode::kBackup);
+      }
+    }
+  }
+  return moved;
+}
+
+util::Status EvmService::send_parametric(net::NodeId target,
+                                         const ParametricCommandMsg& cmd) {
+  if (!is_head()) {
+    return util::Status::failed_precondition("only the VC head issues commands");
+  }
+  ParametricCommandMsg msg = cmd;
+  msg.vc = descriptor_.id;
+  if (target == node_.id()) {
+    handle_parametric(net::Datagram{
+        node_.id(), node_.id(),
+        static_cast<std::uint8_t>(MsgType::kParametricCommand), 0, msg.encode()});
+    return util::Status::ok();
+  }
+  return node_.router().send(
+      target, static_cast<std::uint8_t>(MsgType::kParametricCommand), msg.encode());
+}
+
+void EvmService::handle_parametric(const net::Datagram& d) {
+  if (d.source != head_id_) return;  // head-only authority
+  ParametricCommandMsg cmd;
+  if (!ParametricCommandMsg::decode(d.payload, cmd) || cmd.vc != descriptor_.id) {
+    return;
+  }
+  switch (cmd.op) {
+    case ParametricCommandMsg::Op::kSetTaskPriority: {
+      auto it = functions_.find(cmd.arg_a);
+      if (it == functions_.end()) return;
+      (void)node_.kernel().scheduler().set_priority(
+          it->second.task, static_cast<rtos::Priority>(cmd.arg_b));
+      break;
+    }
+    case ParametricCommandMsg::Op::kSetSlotAssignment: {
+      node_.mac().schedule_ref().assign_tx(cmd.arg_a,
+                                           static_cast<net::NodeId>(cmd.arg_b));
+      break;
+    }
+    case ParametricCommandMsg::Op::kTriggerSensor: {
+      if (!node_.has_sensor(static_cast<std::uint8_t>(cmd.arg_a))) return;
+      publish_sensor(static_cast<std::uint8_t>(cmd.arg_b),
+                     node_.read_sensor(static_cast<std::uint8_t>(cmd.arg_a)));
+      break;
+    }
+    case ParametricCommandMsg::Op::kSetCpuReservation: {
+      auto it = functions_.find(cmd.arg_a);
+      if (it == functions_.end()) return;
+      rtos::CpuReservationParams params;
+      params.period = util::Duration::millis(cmd.arg_b);
+      params.budget = util::Duration::micros(cmd.arg_c);
+      auto res = node_.kernel().reservations().create_cpu(params);
+      if (res) {
+        (void)node_.kernel().scheduler().bind_reservation(it->second.task, *res);
+      }
+      break;
+    }
+  }
+}
+
+util::Status EvmService::disseminate_algorithm(FunctionId function,
+                                               const vm::Capsule& capsule) {
+  AlgorithmUpdateMsg msg;
+  msg.vc = descriptor_.id;
+  msg.function = function;
+  msg.capsule_bytes = capsule.encode();
+  const auto encoded = msg.encode();
+
+  // Apply locally first (the sender is a replica too, possibly).
+  handle_algorithm_update(net::Datagram{
+      node_.id(), node_.id(), static_cast<std::uint8_t>(MsgType::kAlgorithmUpdate),
+      0, encoded});
+
+  // Capsules exceed one 802.15.4 frame, so they ship per-member through the
+  // chunked, acknowledged migration engine (payload kind 2).
+  util::ByteWriter w;
+  w.u8(2);  // payload kind: algorithm update
+  w.bytes(encoded);
+  const auto payload = w.take();
+  for (net::NodeId member : members_) {
+    if (member == node_.id()) continue;
+    MigrationOfferMsg meta;
+    meta.vc = descriptor_.id;
+    meta.function = function;
+    migration_.initiate(member, meta, payload, {});
+  }
+  return util::Status::ok();
+}
+
+std::uint16_t EvmService::algorithm_version(FunctionId function) const {
+  auto it = descriptor_.functions.find(function);
+  return it == descriptor_.functions.end() ? 0 : it->second.algorithm.version;
+}
+
+void EvmService::handle_algorithm_update(const net::Datagram& d) {
+  AlgorithmUpdateMsg msg;
+  if (!AlgorithmUpdateMsg::decode(d.payload, msg) || msg.vc != descriptor_.id) {
+    return;
+  }
+  auto fit = descriptor_.functions.find(msg.function);
+  if (fit == descriptor_.functions.end()) return;
+
+  vm::Capsule capsule;
+  if (!vm::Capsule::decode(msg.capsule_bytes, capsule)) return;
+  if (capsule.version <= fit->second.algorithm.version) return;  // stale
+
+  const auto report = vm::attest(capsule);
+  if (!report.passed()) {
+    EVM_WARN(kTag, "node " << node_.id() << " rejected algorithm update v"
+                           << capsule.version << ": " << report.failure);
+    return;
+  }
+  EVM_INFO(kTag, "node " << node_.id() << " activated algorithm v"
+                         << capsule.version << " for function " << msg.function);
+  // Hot swap: the VM data slots (controller state) survive the update.
+  fit->second.algorithm = std::move(capsule);
+}
+
+void EvmService::migrate_function(FunctionId function, net::NodeId dest,
+                                  ControllerMode target_mode,
+                                  std::function<void(const MigrationOutcome&)> on_done) {
+  transfer_function(function, dest, target_mode, /*deactivate_source=*/true,
+                    std::move(on_done));
+}
+
+void EvmService::replicate_function(FunctionId function, net::NodeId dest,
+                                    ControllerMode target_mode,
+                                    std::function<void(const MigrationOutcome&)> on_done) {
+  transfer_function(function, dest, target_mode, /*deactivate_source=*/false,
+                    std::move(on_done));
+}
+
+void EvmService::transfer_function(FunctionId function, net::NodeId dest,
+                                   ControllerMode target_mode,
+                                   bool deactivate_source,
+                                   std::function<void(const MigrationOutcome&)> on_done) {
+  auto it = functions_.find(function);
+  if (it == functions_.end()) {
+    MigrationOutcome outcome;
+    outcome.failure = "function not held on this node";
+    if (on_done) on_done(outcome);
+    return;
+  }
+  FunctionRuntime& rt = it->second;
+  const ControlFunction& def = descriptor_.functions.at(function);
+
+  auto snapshot = node_.kernel().snapshot(rt.task, /*freeze=*/false);
+  if (!snapshot) {
+    MigrationOutcome outcome;
+    outcome.failure = snapshot.status().to_string();
+    if (on_done) on_done(outcome);
+    return;
+  }
+
+  util::ByteWriter w;
+  w.u8(1);  // payload kind: function transfer
+  w.u16(function);
+  w.u8(static_cast<std::uint8_t>(target_mode));
+  w.blob(snapshot->encode());
+  w.blob(rt.interpreter->save_slots());
+  w.blob(def.algorithm.encode());
+
+  MigrationOfferMsg meta;
+  meta.vc = descriptor_.id;
+  meta.function = function;
+  meta.required_utilization = def.task.utilization();
+  meta.required_ram =
+      static_cast<std::uint32_t>(snapshot->stack.size() + snapshot->data.size());
+
+  migration_.initiate(
+      dest, meta, w.take(),
+      [this, function, deactivate_source,
+       on_done = std::move(on_done)](const MigrationOutcome& outcome) {
+        if (outcome.success && deactivate_source) {
+          // Source side of a committed migration goes Dormant (the state
+          // now lives at the destination). Replication keeps the source.
+          (void)set_mode(function, ControllerMode::kDormant);
+        }
+        if (on_done) on_done(outcome);
+      });
+}
+
+bool EvmService::accept_migrated_function(const MigrationOfferMsg& meta,
+                                          const std::vector<std::uint8_t>& payload) {
+  util::ByteReader r(payload);
+  const std::uint8_t kind = r.u8();
+  if (kind == 2) {
+    // Algorithm update shipped through the engine: feed the normal handler.
+    auto remaining = r.bytes(r.remaining());
+    if (!r.ok()) return false;
+    handle_algorithm_update(net::Datagram{
+        descriptor_.head, node_.id(),
+        static_cast<std::uint8_t>(MsgType::kAlgorithmUpdate), 0,
+        std::move(remaining)});
+    return true;
+  }
+  if (kind != 1) return false;
+  const FunctionId function = r.u16();
+  const auto target_mode = static_cast<ControllerMode>(r.u8());
+  const auto snapshot_bytes = r.blob();
+  const auto slot_image = r.blob();
+  const auto capsule_bytes = r.blob();
+  if (!r.ok() || function != meta.function) return false;
+
+  rtos::TaskSnapshot snapshot;
+  if (!rtos::TaskSnapshot::decode(snapshot_bytes, snapshot)) return false;
+  vm::Capsule capsule;
+  if (!vm::Capsule::decode(capsule_bytes, capsule)) return false;
+
+  // Attestation: CRC + structure, before anything is installed.
+  const auto report = vm::attest(capsule);
+  if (!report.passed()) {
+    EVM_WARN(kTag, "node " << node_.id() << " rejected migrated capsule: "
+                           << report.failure);
+    return false;
+  }
+
+  auto fit = descriptor_.functions.find(function);
+  if (fit == descriptor_.functions.end()) return false;
+  // The migrated capsule is authoritative (may be newer than design-time).
+  fit->second.algorithm = capsule;
+  fit->second.task = snapshot.params;
+
+  util::Status status = install_function(fit->second, target_mode, &slot_image);
+  if (!status) {
+    EVM_WARN(kTag, "node " << node_.id() << " failed to install migrated function: "
+                           << status.to_string());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace evm::core

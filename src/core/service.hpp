@@ -1,0 +1,238 @@
+// EvmService: the per-node EVM runtime, executing as nano-RK's "super task"
+// (paper §2.2 / Fig. 3). It owns the bytecode interpreter instances for the
+// control functions this node replicates, the data/control/fault message
+// planes, the health monitors (passive observation of the Active replica),
+// the head-side failover arbitration and the migration engine.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/health.hpp"
+#include "core/messages.hpp"
+#include "core/migration.hpp"
+#include "core/modes.hpp"
+#include "core/node.hpp"
+#include "core/optimizer.hpp"
+#include "core/transfers.hpp"
+#include "core/virtual_component.hpp"
+#include "vm/attestation.hpp"
+
+namespace evm::core {
+
+struct FailoverPolicy {
+  /// Fault reports required before the head acts (1 = act on first report).
+  std::uint32_t reports_required = 1;
+  /// Delay between demoting the suspect to Backup and parking it Dormant
+  /// (the paper's T3 - T2 = 200 s).
+  util::Duration dormant_delay = util::Duration::seconds(200);
+  /// Promotion supervision: if a freshly promoted replica does not
+  /// heartbeat in Active mode within this window, the head treats it as
+  /// failed too and promotes the next backup (prevents a stall when the
+  /// arbitration picks a node that died without ever being observed).
+  util::Duration promotion_timeout = util::Duration::seconds(2);
+  /// Head succession: the head broadcasts a liveness beacon at this period;
+  /// members that miss `beacon_loss_threshold` consecutive beacons elect
+  /// the lowest-id surviving member as the new head. Lowest id always wins:
+  /// a returning original head reclaims the role.
+  util::Duration head_beacon_period = util::Duration::seconds(1);
+  std::uint32_t beacon_loss_threshold = 5;
+};
+
+struct FailoverEvent {
+  util::TimePoint when;
+  FunctionId function = 0;
+  net::NodeId demoted = net::kInvalidNode;
+  net::NodeId promoted = net::kInvalidNode;
+  FaultReason reason = FaultReason::kImplausibleOutput;
+};
+
+class EvmService {
+ public:
+  EvmService(Node& node, VcDescriptor descriptor, FailoverPolicy policy = {});
+
+  /// Create control tasks for every function this node replicates, start
+  /// heartbeats and (if this node is the head) the arbitration state.
+  util::Status start();
+
+  Node& node() { return node_; }
+  const VcDescriptor& descriptor() const { return descriptor_; }
+  /// Current head (succession may move it off descriptor().head).
+  net::NodeId head_id() const { return head_id_; }
+  bool is_head() const { return node_.id() == head_id_; }
+  RoleTable& roles() { return roles_; }
+
+  // --- Observability -------------------------------------------------------
+  ControllerMode mode(FunctionId function) const;
+  double last_output(FunctionId function) const;
+  std::uint32_t cycles_run(FunctionId function) const;
+  double stream_value(std::uint8_t stream) const;
+  bool has_stream(std::uint8_t stream) const;
+  const std::vector<FailoverEvent>& failovers() const { return failovers_; }
+  std::size_t fault_reports_sent() const { return fault_reports_sent_; }
+
+  // --- Gateway-side plumbing ----------------------------------------------
+  /// Publish a sensor sample onto the VC data plane (gateway does this each
+  /// poll; any node with a local sensor can too).
+  void publish_sensor(std::uint8_t stream, double value);
+  /// Convenience: a periodic kernel task that samples the node's local
+  /// sensor `channel` and publishes it as `stream`.
+  util::Status add_sensor_publisher(std::uint8_t stream, std::uint8_t channel,
+                                    util::Duration period,
+                                    rtos::Priority priority = 4);
+  /// Invoked (on the gateway) whenever an actuation message arrives.
+  void set_actuation_handler(std::function<void(const ActuationMsg&)> handler) {
+    actuation_handler_ = std::move(handler);
+  }
+
+  /// Write a value into a function's VM data slot (experiment setup: e.g.
+  /// pre-seeding a PID integrator at the plant's steady operating point).
+  util::Status seed_function_slot(FunctionId function, std::size_t slot, double value);
+  /// Read a function's VM data slot (tests inspect controller state).
+  double function_slot(FunctionId function, std::size_t slot) const;
+
+  // --- Fault injection (evaluation hooks) -----------------------------------
+  /// Reproduces Fig. 6(b): the node keeps running but computes/actuates a
+  /// wrong value (75 % instead of 11.48 %), unaware it is faulty.
+  void inject_output_fault(FunctionId function, double wrong_value);
+  void clear_output_fault(FunctionId function);
+
+  // --- Mode control ---------------------------------------------------------
+  /// Local mode transition (normally driven by head ModeCommands).
+  util::Status set_mode(FunctionId function, ControllerMode mode);
+
+  // --- Membership / capacity expansion --------------------------------------
+  /// New node announces itself to the head (paper §3.1.1 operation 6).
+  void announce_membership();
+  /// Head: recompute the function-to-node assignment with the BQP optimizer
+  /// and issue migrations + mode commands. Returns the number of functions
+  /// moved. `keep_cost` discourages churn (cost of moving an existing task).
+  std::size_t rebalance(double keep_cost = 0.05);
+
+  // --- Migration -------------------------------------------------------------
+  /// Move a control function's full state (TCB metadata + interpreter data
+  /// segment + code capsule) to `dest`, which installs it in `target_mode`.
+  /// On commit the local replica goes Dormant (the state moved).
+  void migrate_function(FunctionId function, net::NodeId dest,
+                        ControllerMode target_mode,
+                        std::function<void(const MigrationOutcome&)> on_done);
+  /// Copy a function to `dest` without giving up the local replica (§3:
+  /// algorithms "spawn automatically, proliferating to nodes capable of
+  /// executing them"). The copy installs in `target_mode` (usually Backup).
+  void replicate_function(FunctionId function, net::NodeId dest,
+                          ControllerMode target_mode,
+                          std::function<void(const MigrationOutcome&)> on_done);
+  MigrationEngine& migration() { return migration_; }
+
+  // --- Parametric & programmable control ------------------------------------
+  /// Send a pre-defined EVM library operation to `target` (head-only; the
+  /// receiver discards commands not originating from its head).
+  util::Status send_parametric(net::NodeId target, const ParametricCommandMsg& cmd);
+  /// Broadcast a new algorithm version for `function`; every replica
+  /// attests and hot-swaps it if the version is newer, keeping VM state.
+  util::Status disseminate_algorithm(FunctionId function, const vm::Capsule& capsule);
+  /// Version of the capsule currently bound to `function` on this node.
+  std::uint16_t algorithm_version(FunctionId function) const;
+
+  /// Object-transfer enforcement statistics (stale / out-of-order drops).
+  const TransferGuardStats& transfer_stats() const { return guard_.stats(); }
+
+  // --- Hooks ------------------------------------------------------------------
+  void set_on_mode_change(std::function<void(FunctionId, ControllerMode)> hook) {
+    on_mode_change_ = std::move(hook);
+  }
+  void set_on_fault_report(std::function<void(const FaultReportMsg&)> hook) {
+    on_fault_report_ = std::move(hook);
+  }
+  void set_on_member_joined(std::function<void(const MembershipHelloMsg&)> hook) {
+    on_member_joined_ = std::move(hook);
+  }
+  /// Fires on every data-plane sample received (benches measure data-plane
+  /// latency from the timestamp embedded in the message).
+  void set_on_stream(std::function<void(const SensorDataMsg&)> hook) {
+    on_stream_ = std::move(hook);
+  }
+
+  /// Current members as known here (head keeps the authoritative list).
+  const std::vector<net::NodeId>& members() const { return members_; }
+
+ private:
+  struct FunctionRuntime {
+    ControllerMode mode = ControllerMode::kDormant;
+    rtos::TaskId task = rtos::kInvalidTask;
+    std::unique_ptr<vm::Interpreter> interpreter;
+    std::uint32_t cycle = 0;
+    double computed = 0.0;     // raw VM output of the current cycle
+    double last_output = 0.0;  // after fault injection, what was emitted
+    std::optional<double> fault_override;
+    /// Observation of the current Active replica.
+    std::optional<net::NodeId> observed_active;
+    std::optional<double> observed_output;
+    bool heard_since_last_cycle = false;
+    std::map<net::NodeId, HealthMonitor> monitors;
+    std::uint32_t last_epoch = 0;
+  };
+
+  util::Status install_function(const ControlFunction& function,
+                                ControllerMode initial_mode,
+                                const std::vector<std::uint8_t>* slot_image);
+  void run_control_cycle(FunctionId function);
+  void run_health_checks(FunctionId function, FunctionRuntime& rt);
+  void on_datagram(const net::Datagram& d);
+  void handle_sensor_data(const net::Datagram& d);
+  void handle_actuation(const net::Datagram& d);
+  void handle_heartbeat(const net::Datagram& d);
+  void handle_mode_command(const net::Datagram& d);
+  void handle_fault_report(const net::Datagram& d);
+  void handle_membership_hello(const net::Datagram& d);
+  void handle_head_beacon(const net::Datagram& d);
+  void check_head_liveness();
+  void become_head();
+  void handle_parametric(const net::Datagram& d);
+  void handle_algorithm_update(const net::Datagram& d);
+  void transfer_function(FunctionId function, net::NodeId dest,
+                         ControllerMode target_mode, bool deactivate_source,
+                         std::function<void(const MigrationOutcome&)> on_done);
+  void observe_active_output(FunctionId function, net::NodeId source,
+                             double output);
+  void head_failover(FunctionId function, net::NodeId suspect, FaultReason reason);
+  void send_mode_command(FunctionId function, net::NodeId target,
+                         ControllerMode mode);
+  bool accept_migrated_function(const MigrationOfferMsg& meta,
+                                const std::vector<std::uint8_t>& payload);
+
+  Node& node_;
+  VcDescriptor descriptor_;
+  FailoverPolicy policy_;
+  MigrationEngine migration_;
+  TransferGuard guard_;
+  RoleTable roles_;
+  std::map<FunctionId, FunctionRuntime> functions_;
+  std::map<std::uint8_t, double> streams_;
+  std::map<std::uint8_t, std::uint32_t> stream_seq_;
+  std::map<std::pair<FunctionId, net::NodeId>, std::uint32_t> report_counts_;
+  /// Head: last time each replica heartbeat in Active mode (supervision).
+  std::map<std::pair<FunctionId, net::NodeId>, util::TimePoint> last_active_heartbeat_;
+  std::vector<FailoverEvent> failovers_;
+  std::vector<net::NodeId> members_;
+  std::function<void(const ActuationMsg&)> actuation_handler_;
+  std::function<void(FunctionId, ControllerMode)> on_mode_change_;
+  std::function<void(const FaultReportMsg&)> on_fault_report_;
+  std::function<void(const MembershipHelloMsg&)> on_member_joined_;
+  std::function<void(const SensorDataMsg&)> on_stream_;
+  std::size_t fault_reports_sent_ = 0;
+  net::NodeId head_id_ = net::kInvalidNode;
+  util::TimePoint last_beacon_;
+  rtos::TaskId beacon_task_ = rtos::kInvalidTask;
+  std::size_t head_successions_ = 0;
+  bool started_ = false;
+
+ public:
+  /// Times this node assumed headship via succession (observability).
+  std::size_t head_successions() const { return head_successions_; }
+};
+
+}  // namespace evm::core

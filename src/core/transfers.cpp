@@ -1,0 +1,62 @@
+#include "core/transfers.hpp"
+
+namespace evm::core {
+
+TransferGuard::TransferGuard(const VcDescriptor& descriptor, net::NodeId self)
+    : descriptor_(descriptor), self_(self) {}
+
+std::optional<ObjectTransfer> TransferGuard::relation_from(
+    net::NodeId source) const {
+  for (const auto& t : descriptor_.transfers) {
+    if (t.to != self_) continue;
+    if (t.from != source) continue;
+    if (t.type == TransferType::kHealthAssessment) continue;  // control plane
+    return t;
+  }
+  // Bidirectional relations are symmetric: also match (self -> source).
+  for (const auto& t : descriptor_.transfers) {
+    if (t.type == TransferType::kBidirectional && t.from == self_ &&
+        t.to == source) {
+      return t;
+    }
+  }
+  return std::nullopt;
+}
+
+bool TransferGuard::accept(net::NodeId source, util::TimePoint sent,
+                           util::TimePoint now, std::uint32_t seq) {
+  const auto relation = relation_from(source);
+  if (!relation.has_value()) {
+    ++stats_.accepted;  // undeclared: default directional semantics
+    return true;
+  }
+  switch (relation->type) {
+    case TransferType::kDisjoint:
+      ++stats_.rejected_disjoint;
+      return false;
+    case TransferType::kTemporalConditional: {
+      if (relation->max_age.is_positive() && now - sent > relation->max_age) {
+        ++stats_.rejected_stale;
+        return false;
+      }
+      break;
+    }
+    case TransferType::kCausalConditional: {
+      auto it = last_seq_.find(source);
+      if (it != last_seq_.end() && seq <= it->second) {
+        ++stats_.rejected_disorder;
+        return false;
+      }
+      last_seq_[source] = seq;
+      break;
+    }
+    case TransferType::kDirectional:
+    case TransferType::kBidirectional:
+    case TransferType::kHealthAssessment:
+      break;
+  }
+  ++stats_.accepted;
+  return true;
+}
+
+}  // namespace evm::core

@@ -1,0 +1,55 @@
+// Enforcement of the object-transfer relationship types of §3.1.2. The
+// VcDescriptor declares the relations; this guard applies them to incoming
+// data-plane objects:
+//
+//   disjoint            — no objects expected at all; anything is rejected
+//   directional /       — accepted unconditionally (the base pub-sub
+//   bidirectional         relationship of active controllers)
+//   temporal-conditional — accepted only while younger than max_age
+//   causal-conditional   — accepted only in causal (sequence) order
+//   health-assessment    — control-plane relation; no data objects
+//
+// Objects from nodes with no declared relation fall back to directional
+// semantics (the descriptor is advisory for them), so a VC that declares
+// nothing behaves exactly as before.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+
+#include "core/virtual_component.hpp"
+#include "util/time.hpp"
+
+namespace evm::core {
+
+struct TransferGuardStats {
+  std::size_t accepted = 0;
+  std::size_t rejected_stale = 0;     // temporal-conditional age violations
+  std::size_t rejected_disorder = 0;  // causal-conditional order violations
+  std::size_t rejected_disjoint = 0;
+};
+
+class TransferGuard {
+ public:
+  TransferGuard(const VcDescriptor& descriptor, net::NodeId self);
+
+  /// Decide whether a data object from `source`, stamped `sent`, arriving
+  /// `now` with per-source sequence `seq`, may be consumed on this node.
+  bool accept(net::NodeId source, util::TimePoint sent, util::TimePoint now,
+              std::uint32_t seq);
+
+  /// The declared relation from `source` to this node, if any.
+  std::optional<ObjectTransfer> relation_from(net::NodeId source) const;
+
+  const TransferGuardStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = {}; }
+
+ private:
+  const VcDescriptor& descriptor_;
+  net::NodeId self_;
+  std::map<net::NodeId, std::uint32_t> last_seq_;
+  TransferGuardStats stats_;
+};
+
+}  // namespace evm::core

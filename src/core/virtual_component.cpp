@@ -1,0 +1,126 @@
+#include "core/virtual_component.hpp"
+
+#include <algorithm>
+
+namespace evm::core {
+
+const char* to_string(TransferType type) {
+  switch (type) {
+    case TransferType::kDisjoint: return "disjoint";
+    case TransferType::kDirectional: return "directional";
+    case TransferType::kBidirectional: return "bidirectional";
+    case TransferType::kTemporalConditional: return "temporal-conditional";
+    case TransferType::kCausalConditional: return "causal-conditional";
+    case TransferType::kHealthAssessment: return "health-assessment";
+  }
+  return "?";
+}
+
+const char* to_string(FaultResponse response) {
+  switch (response) {
+    case FaultResponse::kAlert: return "alert";
+    case FaultResponse::kTriggerBackup: return "trigger-backup";
+    case FaultResponse::kHalt: return "halt";
+    case FaultResponse::kFailSafe: return "fail-safe";
+  }
+  return "?";
+}
+
+bool VcDescriptor::is_member(net::NodeId node) const {
+  return std::find(members.begin(), members.end(), node) != members.end();
+}
+
+std::optional<net::NodeId> VcDescriptor::initial_primary(FunctionId function) const {
+  auto it = replicas.find(function);
+  if (it == replicas.end() || it->second.empty()) return std::nullopt;
+  return it->second.front();
+}
+
+ControllerMode VcDescriptor::initial_mode(FunctionId function, net::NodeId node) const {
+  auto it = replicas.find(function);
+  if (it == replicas.end()) return ControllerMode::kDormant;
+  const auto& order = it->second;
+  auto pos = std::find(order.begin(), order.end(), node);
+  if (pos == order.end()) return ControllerMode::kDormant;
+  return pos == order.begin() ? ControllerMode::kActive : ControllerMode::kBackup;
+}
+
+std::vector<ObjectTransfer> VcDescriptor::health_transfers_from(
+    net::NodeId observer) const {
+  std::vector<ObjectTransfer> out;
+  for (const auto& t : transfers) {
+    if (t.type == TransferType::kHealthAssessment && t.from == observer) {
+      out.push_back(t);
+    }
+  }
+  return out;
+}
+
+void RoleTable::set_mode(FunctionId function, net::NodeId node, ControllerMode mode) {
+  modes_[function][node] = mode;
+}
+
+ControllerMode RoleTable::mode(FunctionId function, net::NodeId node) const {
+  auto fit = modes_.find(function);
+  if (fit == modes_.end()) return ControllerMode::kDormant;
+  auto nit = fit->second.find(node);
+  return nit == fit->second.end() ? ControllerMode::kDormant : nit->second;
+}
+
+std::optional<net::NodeId> RoleTable::active(FunctionId function) const {
+  auto fit = modes_.find(function);
+  if (fit == modes_.end()) return std::nullopt;
+  for (const auto& [node, mode] : fit->second) {
+    if (mode == ControllerMode::kActive) return node;
+  }
+  return std::nullopt;
+}
+
+std::optional<net::NodeId> RoleTable::best_backup(FunctionId function,
+                                                  net::NodeId excluding) const {
+  auto fit = modes_.find(function);
+  if (fit == modes_.end()) return std::nullopt;
+  std::optional<net::NodeId> best;
+  ControllerMode best_mode = ControllerMode::kDormant;
+  for (const auto& [node, mode] : fit->second) {
+    if (node == excluding || mode == ControllerMode::kActive) continue;
+    // Backup(1) < Indicator(2) < Active(3) numerically, but preference order
+    // is Backup > Indicator > Dormant: a Backup has warm state.
+    auto rank = [](ControllerMode m) {
+      switch (m) {
+        case ControllerMode::kBackup: return 3;
+        case ControllerMode::kIndicator: return 2;
+        case ControllerMode::kDormant: return 1;
+        default: return 0;
+      }
+    };
+    if (!best.has_value() || rank(mode) > rank(best_mode)) {
+      best = node;
+      best_mode = mode;
+    }
+  }
+  return best;
+}
+
+std::uint32_t RoleTable::bump_epoch(FunctionId function) { return ++epochs_[function]; }
+
+std::uint32_t RoleTable::epoch(FunctionId function) const {
+  auto it = epochs_.find(function);
+  return it == epochs_.end() ? 0 : it->second;
+}
+
+void RoleTable::observe_epoch(FunctionId function, std::uint32_t epoch) {
+  auto& current = epochs_[function];
+  current = std::max(current, epoch);
+}
+
+std::vector<std::pair<net::NodeId, ControllerMode>> RoleTable::replicas(
+    FunctionId function) const {
+  std::vector<std::pair<net::NodeId, ControllerMode>> out;
+  auto fit = modes_.find(function);
+  if (fit == modes_.end()) return out;
+  for (const auto& [node, mode] : fit->second) out.emplace_back(node, mode);
+  return out;
+}
+
+}  // namespace evm::core

@@ -1,0 +1,54 @@
+// Per-node local clock with crystal drift. The simulator's clock is "true"
+// global time; nodes only observe it through their drifting oscillator plus
+// whatever offset correction time-sync gives them. RT-Link's guard slots
+// exist exactly because of the error this models.
+#pragma once
+
+#include "util/time.hpp"
+
+namespace evm::net {
+
+class NodeClock {
+ public:
+  /// drift_ppm: crystal frequency error in parts-per-million (typ. ±10..40
+  /// for the 32 kHz crystals on sensor motes).
+  explicit NodeClock(double drift_ppm = 0.0) : drift_ppm_(drift_ppm) {}
+
+  double drift_ppm() const { return drift_ppm_; }
+  void set_drift_ppm(double ppm) { drift_ppm_ = ppm; }
+
+  /// Local reading at true time `global`.
+  util::TimePoint local_time(util::TimePoint global) const {
+    const double scaled =
+        static_cast<double>((global - epoch_).ns()) * (1.0 + drift_ppm_ * 1e-6);
+    return local_epoch_ + util::Duration(static_cast<std::int64_t>(scaled));
+  }
+
+  /// Error of the local clock versus true time, in ns.
+  util::Duration error(util::TimePoint global) const {
+    return local_time(global) - (util::TimePoint::zero() + (global - util::TimePoint::zero()));
+  }
+
+  /// Inverse mapping: the true time at which this clock will read `local`.
+  /// Used when a node schedules a wakeup for a local-time slot boundary.
+  util::TimePoint global_for(util::TimePoint local) const {
+    const double scaled =
+        static_cast<double>((local - local_epoch_).ns()) / (1.0 + drift_ppm_ * 1e-6);
+    return epoch_ + util::Duration(static_cast<std::int64_t>(scaled));
+  }
+
+  /// Discipline the clock: the node believes true time is `reference` right
+  /// now (at true time `global`). Time-sync beacons call this with
+  /// reference = beacon timestamp + reception jitter.
+  void discipline(util::TimePoint global, util::TimePoint reference) {
+    epoch_ = global;
+    local_epoch_ = reference;
+  }
+
+ private:
+  double drift_ppm_;
+  util::TimePoint epoch_;        // true time of last discipline
+  util::TimePoint local_epoch_;  // local reading assigned at that instant
+};
+
+}  // namespace evm::net

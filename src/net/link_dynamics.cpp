@@ -1,0 +1,58 @@
+#include "net/link_dynamics.hpp"
+
+namespace evm::net {
+
+bool GilbertElliott::drop_next() {
+  // Transition first, then sample the loss in the new state.
+  if (bad_) {
+    if (rng_.bernoulli(params_.p_bad_to_good)) bad_ = false;
+  } else {
+    if (rng_.bernoulli(params_.p_good_to_bad)) bad_ = true;
+  }
+  return rng_.bernoulli(bad_ ? params_.p_bad_loss : params_.p_good_loss);
+}
+
+double GilbertElliott::steady_state_loss() const {
+  // Stationary distribution of the two-state chain.
+  const double to_bad = params_.p_good_to_bad;
+  const double to_good = params_.p_bad_to_good;
+  const double pi_bad = to_bad / (to_bad + to_good);
+  return (1.0 - pi_bad) * params_.p_good_loss + pi_bad * params_.p_bad_loss;
+}
+
+void TopologyScript::link_down(util::TimePoint at, NodeId a, NodeId b) {
+  sim_.schedule_at(at, [this, a, b] {
+    topology_.set_link_up(a, b, false);
+    ++applied_;
+  });
+}
+
+void TopologyScript::link_up(util::TimePoint at, NodeId a, NodeId b) {
+  sim_.schedule_at(at, [this, a, b] {
+    topology_.set_link_up(a, b, true);
+    ++applied_;
+  });
+}
+
+void TopologyScript::set_loss(util::TimePoint at, NodeId a, NodeId b, double loss) {
+  sim_.schedule_at(at, [this, a, b, loss] {
+    topology_.set_loss(a, b, loss);
+    ++applied_;
+  });
+}
+
+void TopologyScript::outage(util::TimePoint at, NodeId a, NodeId b,
+                            util::Duration length) {
+  link_down(at, a, b);
+  link_up(at + length, a, b);
+}
+
+void TopologyScript::at(util::TimePoint when,
+                        std::function<void(Topology&)> mutation) {
+  sim_.schedule_at(when, [this, mutation = std::move(mutation)] {
+    mutation(topology_);
+    ++applied_;
+  });
+}
+
+}  // namespace evm::net

@@ -1,0 +1,30 @@
+#include "net/mac.hpp"
+
+namespace evm::net {
+
+Mac::Mac(sim::Simulator& sim, Radio& radio, std::size_t queue_capacity)
+    : sim_(sim), radio_(radio), queue_(queue_capacity) {}
+
+util::Status Mac::send(Packet packet) {
+  if (packet.payload.size() > kMaxPayloadBytes) {
+    // An oversized frame would sprawl across TDMA slot boundaries and
+    // collide; callers must fragment (the migration engine does).
+    return util::Status::invalid_argument("payload exceeds 802.15.4 MTU");
+  }
+  packet.src = id();
+  packet.seq = next_seq_++;
+  ++stats_.enqueued;
+  if (!queue_.push(std::move(packet))) {
+    ++stats_.queue_drops;
+    return util::Status::resource_exhausted("MAC TX queue full");
+  }
+  return util::Status::ok();
+}
+
+void Mac::deliver_up(const Packet& packet) {
+  if (packet.src == id()) return;
+  ++stats_.received;
+  if (receive_handler_) receive_handler_(packet);
+}
+
+}  // namespace evm::net

@@ -1,0 +1,121 @@
+#include "net/medium.hpp"
+
+#include <algorithm>
+
+#include "net/radio.hpp"
+#include "util/log.hpp"
+
+namespace evm::net {
+
+Medium::Medium(sim::Simulator& sim, Topology& topology)
+    : sim_(sim), topology_(topology) {}
+
+void Medium::attach(Radio& radio) {
+  radios_[radio.id()] = &radio;
+  topology_.add_node(radio.id());
+}
+
+void Medium::detach(NodeId id) { radios_.erase(id); }
+
+void Medium::begin_transmission(Radio& sender, const Packet& packet,
+                                util::Duration air) {
+  begin_energy(sender, &packet, air);
+}
+
+void Medium::begin_carrier(Radio& sender, util::Duration length) {
+  begin_energy(sender, nullptr, length);
+}
+
+void Medium::begin_energy(Radio& sender, const Packet* packet,
+                          util::Duration air) {
+  const util::TimePoint start = sim_.now();
+  const util::TimePoint end = start + air;
+  prune(start);
+  active_.push_back(Transmission{sender.id(), start, end});
+
+  // Wake LPL listeners immediately: energy is detectable at carrier onset.
+  for (NodeId neighbor : topology_.neighbors(sender.id())) {
+    auto it = radios_.find(neighbor);
+    if (it == radios_.end()) continue;
+    Radio* rx = it->second;
+    if (rx->listening()) rx->notify_carrier();
+  }
+
+  if (packet == nullptr) return;  // pure carrier burst: nothing to deliver
+
+  // Snapshot the packet; schedule the delivery decision at end of airtime.
+  const Packet copy = *packet;
+  const NodeId sender_id = sender.id();
+  sim_.schedule_at(end, [this, copy, sender_id, start, end] {
+    for (NodeId neighbor : topology_.neighbors(sender_id)) {
+      auto it = radios_.find(neighbor);
+      if (it == radios_.end()) continue;
+      Radio* rx = it->second;
+      if (!rx->listening()) continue;            // asleep or transmitting
+      if (copy.dst != kBroadcast && copy.dst != neighbor) {
+        // Address filtering happens in hardware; the radio still spent the
+        // time in RX, which the listening state already accounts for.
+        continue;
+      }
+      if (interferers(neighbor, sender_id, start, end) > 0) {
+        ++collisions_;
+        continue;
+      }
+      if (link_drops(sender_id, neighbor)) {
+        ++losses_;
+        continue;
+      }
+      ++delivered_;
+      rx->deliver(copy);
+    }
+  });
+}
+
+int Medium::interferers(NodeId listener, NodeId sender, util::TimePoint start,
+                        util::TimePoint end) const {
+  int count = 0;
+  for (const Transmission& t : active_) {
+    if (t.sender == sender) continue;
+    if (t.end <= start || t.start >= end) continue;  // no overlap
+    if (!topology_.connected(t.sender, listener)) continue;
+    ++count;
+  }
+  return count;
+}
+
+bool Medium::channel_busy(NodeId listener) const {
+  const util::TimePoint now = sim_.now();
+  for (const Transmission& t : active_) {
+    if (t.start <= now && now < t.end && topology_.connected(t.sender, listener)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+void Medium::set_burst_loss(NodeId a, NodeId b, GilbertElliott::Params params,
+                            std::uint64_t seed) {
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  burst_[key] = std::make_unique<GilbertElliott>(params, seed);
+}
+
+void Medium::clear_burst_loss(NodeId a, NodeId b) {
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  burst_.erase(key);
+}
+
+bool Medium::link_drops(NodeId a, NodeId b) {
+  const auto key = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  auto it = burst_.find(key);
+  if (it != burst_.end()) return it->second->drop_next();
+  return sim_.rng().bernoulli(topology_.loss(a, b));
+}
+
+void Medium::prune(util::TimePoint now) {
+  // Keep transmissions that might still overlap future decisions. A small
+  // grace window avoids erasing entries still needed by queued deliveries.
+  const util::TimePoint horizon = now - util::Duration::seconds(1);
+  std::erase_if(active_, [horizon](const Transmission& t) { return t.end < horizon; });
+}
+
+}  // namespace evm::net

@@ -1,0 +1,77 @@
+// The shared wireless medium. Connects radios according to the Topology,
+// applies per-link loss, and detects collisions: two transmissions that
+// overlap in time at a listening receiver corrupt each other.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include <memory>
+
+#include "net/link_dynamics.hpp"
+#include "net/packet.hpp"
+#include "net/topology.hpp"
+#include "sim/simulator.hpp"
+
+namespace evm::net {
+
+class Radio;
+
+class Medium {
+ public:
+  Medium(sim::Simulator& sim, Topology& topology);
+
+  void attach(Radio& radio);
+  void detach(NodeId id);
+
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+
+  /// Called by Radio when it starts transmitting. The medium schedules
+  /// delivery (or corruption) at each in-range listener at end of airtime.
+  void begin_transmission(Radio& sender, const Packet& packet, util::Duration airtime);
+  /// Carrier-only burst (no payload to deliver, but wakes LPL receivers and
+  /// collides like any other energy on the channel).
+  void begin_carrier(Radio& sender, util::Duration length);
+
+  std::size_t delivered_count() const { return delivered_; }
+  std::size_t collision_count() const { return collisions_; }
+  std::size_t loss_count() const { return losses_; }
+
+  /// True if any neighbor of `listener` is currently transmitting (CCA).
+  bool channel_busy(NodeId listener) const;
+
+  /// Replace the link's i.i.d. loss with a Gilbert-Elliott burst process
+  /// (losses then arrive in bursts, the realistic fading behaviour).
+  void set_burst_loss(NodeId a, NodeId b, GilbertElliott::Params params,
+                      std::uint64_t seed = 1);
+  void clear_burst_loss(NodeId a, NodeId b);
+
+ private:
+  struct Transmission {
+    NodeId sender;
+    util::TimePoint start;
+    util::TimePoint end;
+  };
+
+  void begin_energy(Radio& sender, const Packet* packet, util::Duration airtime);
+  /// Number of transmissions overlapping [start, end) audible at `listener`,
+  /// other than `sender`.
+  int interferers(NodeId listener, NodeId sender, util::TimePoint start,
+                  util::TimePoint end) const;
+  void prune(util::TimePoint now);
+
+  bool link_drops(NodeId a, NodeId b);
+
+  sim::Simulator& sim_;
+  Topology& topology_;
+  std::map<NodeId, Radio*> radios_;
+  std::map<std::pair<NodeId, NodeId>, std::unique_ptr<GilbertElliott>> burst_;
+  std::vector<Transmission> active_;
+  std::size_t delivered_ = 0;
+  std::size_t collisions_ = 0;
+  std::size_t losses_ = 0;
+};
+
+}  // namespace evm::net

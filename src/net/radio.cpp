@@ -1,0 +1,99 @@
+#include "net/radio.hpp"
+
+#include "net/medium.hpp"
+#include "util/log.hpp"
+
+namespace evm::net {
+
+Radio::Radio(sim::Simulator& sim, Medium& medium, NodeId id, RadioParams params)
+    : sim_(sim),
+      medium_(medium),
+      id_(id),
+      params_(params),
+      last_transition_(sim.now()),
+      energy_epoch_(sim.now()) {
+  medium_.attach(*this);
+}
+
+double Radio::current_for(RadioState s) const {
+  switch (s) {
+    case RadioState::kOff: return params_.off_current_ma;
+    case RadioState::kIdleListen: return params_.idle_current_ma;
+    case RadioState::kRx: return params_.rx_current_ma;
+    case RadioState::kTx: return params_.tx_current_ma;
+  }
+  return 0.0;
+}
+
+void Radio::accumulate() {
+  const util::Duration elapsed = sim_.now() - last_transition_;
+  if (elapsed.is_positive()) {
+    consumed_ma_ns_ += current_for(state_) * static_cast<double>(elapsed.ns());
+    state_time_[static_cast<int>(state_)] += elapsed;
+  }
+  last_transition_ = sim_.now();
+}
+
+void Radio::set_state(RadioState next) {
+  if (next == state_) return;
+  accumulate();
+  state_ = next;
+}
+
+bool Radio::transmit(const Packet& packet, std::function<void()> on_done) {
+  if (state_ == RadioState::kOff || state_ == RadioState::kTx) return false;
+  set_state(RadioState::kTx);
+  ++tx_count_;
+  const util::Duration air = airtime(packet.on_air_bytes(), params_.bits_per_second);
+  medium_.begin_transmission(*this, packet, air);
+  sim_.schedule_after(air, [this, on_done = std::move(on_done)] {
+    if (state_ == RadioState::kTx) set_state(RadioState::kIdleListen);
+    if (on_done) on_done();
+  });
+  return true;
+}
+
+bool Radio::transmit_carrier(util::Duration length, std::function<void()> on_done) {
+  if (state_ == RadioState::kOff || state_ == RadioState::kTx) return false;
+  set_state(RadioState::kTx);
+  medium_.begin_carrier(*this, length);
+  sim_.schedule_after(length, [this, on_done = std::move(on_done)] {
+    if (state_ == RadioState::kTx) set_state(RadioState::kIdleListen);
+    if (on_done) on_done();
+  });
+  return true;
+}
+
+bool Radio::channel_busy() const { return medium_.channel_busy(id_); }
+
+void Radio::deliver(const Packet& packet) {
+  ++rx_count_;
+  if (receive_handler_) receive_handler_(packet);
+}
+
+void Radio::notify_carrier() {
+  if (carrier_handler_) carrier_handler_();
+}
+
+double Radio::consumed_mah() const {
+  // Include the still-open interval in the current state.
+  const util::Duration open = sim_.now() - last_transition_;
+  const double total_ma_ns =
+      consumed_ma_ns_ + current_for(state_) * static_cast<double>(open.ns());
+  return total_ma_ns / 3.6e12;  // mA*ns -> mA*h
+}
+
+double Radio::average_current_ma(util::TimePoint now) const {
+  const util::Duration span = now - energy_epoch_;
+  if (!span.is_positive()) return 0.0;
+  return consumed_mah() * 3.6e12 / static_cast<double>(span.ns());
+}
+
+void Radio::reset_energy(util::TimePoint now) {
+  accumulate();
+  consumed_ma_ns_ = 0.0;
+  energy_epoch_ = now;
+  for (auto& t : state_time_) t = util::Duration::zero();
+}
+
+}  // namespace evm::net

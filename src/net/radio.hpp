@@ -1,0 +1,113 @@
+// CC2420-class radio model: a state machine whose state residency times are
+// integrated into charge consumption. MAC protocols drive the state machine;
+// the Medium decides what a listening radio actually hears.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+#include "util/time.hpp"
+
+namespace evm::net {
+
+enum class RadioState : std::uint8_t { kOff = 0, kIdleListen, kRx, kTx };
+
+inline const char* to_string(RadioState s) {
+  switch (s) {
+    case RadioState::kOff: return "OFF";
+    case RadioState::kIdleListen: return "IDLE";
+    case RadioState::kRx: return "RX";
+    case RadioState::kTx: return "TX";
+  }
+  return "?";
+}
+
+/// Electrical parameters. Defaults follow the CC2420 datasheet values the
+/// FireFly / RT-Link papers use for their lifetime analysis.
+struct RadioParams {
+  double bits_per_second = 250'000.0;
+  double tx_current_ma = 17.4;    // 0 dBm transmit
+  double rx_current_ma = 18.8;    // receive / listen
+  double idle_current_ma = 18.8;  // CC2420 draws RX current while listening
+  double off_current_ma = 0.001;  // deep sleep (radio + mote sleep floor)
+  double voltage = 3.0;
+  util::Duration turnaround = util::Duration::micros(192);  // state switch
+};
+
+class Medium;  // forward
+
+class Radio {
+ public:
+  Radio(sim::Simulator& sim, Medium& medium, NodeId id, RadioParams params = {});
+
+  NodeId id() const { return id_; }
+  const RadioParams& params() const { return params_; }
+  RadioState state() const { return state_; }
+
+  /// Change state; accumulates charge for the time spent in the old state.
+  void set_state(RadioState next);
+
+  /// True when the radio is powered and able to detect energy on the channel.
+  bool listening() const {
+    return state_ == RadioState::kIdleListen || state_ == RadioState::kRx;
+  }
+
+  /// Begin transmitting `packet`. The radio enters kTx for the airtime and
+  /// returns to kIdleListen when done, then invokes `on_done`. Returns false
+  /// if the radio is off or already transmitting.
+  bool transmit(const Packet& packet, std::function<void()> on_done = {});
+  /// Transmit a raw preamble/wakeup burst of the given length (B-MAC LPL).
+  bool transmit_carrier(util::Duration length, std::function<void()> on_done = {});
+
+  bool transmitting() const { return state_ == RadioState::kTx; }
+
+  /// Upper layer (MAC) packet delivery hook.
+  void set_receive_handler(std::function<void(const Packet&)> handler) {
+    receive_handler_ = std::move(handler);
+  }
+  /// Carrier/energy detection hook (B-MAC wakes on this).
+  void set_carrier_handler(std::function<void()> handler) {
+    carrier_handler_ = std::move(handler);
+  }
+
+  /// Clear-channel assessment: energy from any in-range transmitter?
+  bool channel_busy() const;
+
+  // --- Medium-facing API -----------------------------------------------
+  void deliver(const Packet& packet);
+  void notify_carrier();
+
+  // --- Energy accounting -------------------------------------------------
+  /// Total charge drawn so far, in milliamp-hours.
+  double consumed_mah() const;
+  /// Average current since t=0 (or since reset), mA.
+  double average_current_ma(util::TimePoint now) const;
+  /// Time spent per state, for duty-cycle verification.
+  util::Duration time_in(RadioState s) const { return state_time_[static_cast<int>(s)]; }
+  void reset_energy(util::TimePoint now);
+
+  std::size_t tx_count() const { return tx_count_; }
+  std::size_t rx_count() const { return rx_count_; }
+
+ private:
+  double current_for(RadioState s) const;
+  void accumulate();
+
+  sim::Simulator& sim_;
+  Medium& medium_;
+  NodeId id_;
+  RadioParams params_;
+  RadioState state_ = RadioState::kOff;
+  util::TimePoint last_transition_;
+  util::TimePoint energy_epoch_;
+  double consumed_ma_ns_ = 0.0;  // integral of current over ns
+  util::Duration state_time_[4] = {};
+  std::function<void(const Packet&)> receive_handler_;
+  std::function<void()> carrier_handler_;
+  std::size_t tx_count_ = 0;
+  std::size_t rx_count_ = 0;
+};
+
+}  // namespace evm::net

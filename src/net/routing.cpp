@@ -1,0 +1,77 @@
+#include "net/routing.hpp"
+
+#include "util/log.hpp"
+
+namespace evm::net {
+
+Router::Router(Mac& mac, Topology& topology) : mac_(mac), topology_(topology) {
+  mac_.set_receive_handler([this](const Packet& p) { on_packet(p); });
+}
+
+std::vector<std::uint8_t> Router::encode(const Datagram& d) {
+  util::ByteWriter w;
+  w.u16(d.source);
+  w.u16(d.destination);
+  w.u8(d.type);
+  w.u8(d.ttl);
+  w.blob(d.payload);
+  return w.take();
+}
+
+bool Router::decode(std::span<const std::uint8_t> bytes, Datagram& out) {
+  util::ByteReader r(bytes);
+  out.source = r.u16();
+  out.destination = r.u16();
+  out.type = r.u8();
+  out.ttl = r.u8();
+  out.payload = r.blob();
+  return r.ok();
+}
+
+util::Status Router::send(NodeId destination, std::uint8_t type,
+                          std::vector<std::uint8_t> payload) {
+  Datagram d;
+  d.source = id();
+  d.destination = destination;
+  d.type = type;
+  d.payload = std::move(payload);
+  return forward(d);
+}
+
+util::Status Router::forward(const Datagram& d) {
+  Packet packet;
+  packet.type = kRoutedPacketType;
+  packet.payload = encode(d);
+
+  if (d.destination == kBroadcast) {
+    packet.dst = kBroadcast;
+    return mac_.send(std::move(packet));
+  }
+  auto hop = topology_.next_hop(id(), d.destination);
+  if (!hop.has_value()) {
+    return util::Status::unavailable("no route to node " +
+                                     std::to_string(d.destination));
+  }
+  packet.dst = *hop;
+  return mac_.send(std::move(packet));
+}
+
+void Router::on_packet(const Packet& packet) {
+  if (packet.type != kRoutedPacketType) return;
+  Datagram d;
+  if (!decode(packet.payload, d)) {
+    EVM_WARN("router", "undecodable datagram from " << packet.src);
+    return;
+  }
+  if (d.destination == id() || d.destination == kBroadcast) {
+    if (receive_handler_) receive_handler_(d);
+    return;
+  }
+  if (d.ttl == 0) return;
+  Datagram next = d;
+  next.ttl = static_cast<std::uint8_t>(d.ttl - 1);
+  ++forwarded_;
+  (void)forward(next);
+}
+
+}  // namespace evm::net

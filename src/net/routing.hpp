@@ -1,0 +1,59 @@
+// Minimal network layer: static shortest-path forwarding over the current
+// topology, recomputed on demand. EVM messages (task migration, health
+// assessment) ride on this so multi-hop virtual components work; the paper's
+// six-node HIL setup is single-hop through the gateway but E5 sweeps 1-5
+// hops.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "net/mac.hpp"
+#include "net/topology.hpp"
+#include "util/bytes.hpp"
+
+namespace evm::net {
+
+/// Packet.type value used by routed datagrams at the link layer.
+inline constexpr std::uint8_t kRoutedPacketType = 0x52;  // 'R'
+
+struct Datagram {
+  NodeId source = kInvalidNode;
+  NodeId destination = kBroadcast;
+  std::uint8_t type = 0;  // upper-layer (EVM) message class
+  std::uint8_t ttl = 8;
+  std::vector<std::uint8_t> payload;
+};
+
+class Router {
+ public:
+  Router(Mac& mac, Topology& topology);
+
+  NodeId id() const { return mac_.id(); }
+
+  /// Send a datagram toward `destination` (multi-hop unicast or one-hop
+  /// broadcast). Fails fast when no route exists.
+  util::Status send(NodeId destination, std::uint8_t type,
+                    std::vector<std::uint8_t> payload);
+
+  void set_receive_handler(std::function<void(const Datagram&)> handler) {
+    receive_handler_ = std::move(handler);
+  }
+
+  std::size_t forwarded_count() const { return forwarded_; }
+
+  static std::vector<std::uint8_t> encode(const Datagram& d);
+  static bool decode(std::span<const std::uint8_t> bytes, Datagram& out);
+
+ private:
+  void on_packet(const Packet& packet);
+  util::Status forward(const Datagram& d);
+
+  Mac& mac_;
+  Topology& topology_;
+  std::function<void(const Datagram&)> receive_handler_;
+  std::size_t forwarded_ = 0;
+};
+
+}  // namespace evm::net

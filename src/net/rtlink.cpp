@@ -1,0 +1,140 @@
+#include "net/rtlink.hpp"
+
+#include "util/log.hpp"
+
+namespace evm::net {
+
+RtLinkSchedule::RtLinkSchedule(int slots_per_frame, util::Duration slot_length,
+                               util::Duration guard)
+    : slots_per_frame_(slots_per_frame), slot_length_(slot_length), guard_(guard) {}
+
+void RtLinkSchedule::assign_tx(int slot, NodeId node) {
+  tx_[slot] = node;
+  ++version_;
+}
+
+void RtLinkSchedule::clear_slot(int slot) {
+  tx_.erase(slot);
+  listeners_.erase(slot);
+  ++version_;
+}
+
+NodeId RtLinkSchedule::tx_of(int slot) const {
+  auto it = tx_.find(slot);
+  return it == tx_.end() ? kInvalidNode : it->second;
+}
+
+std::vector<int> RtLinkSchedule::slots_of(NodeId node) const {
+  std::vector<int> out;
+  for (const auto& [slot, owner] : tx_) {
+    if (owner == node) out.push_back(slot);
+  }
+  return out;
+}
+
+void RtLinkSchedule::set_listeners(int slot, std::set<NodeId> listeners) {
+  listeners_[slot] = std::move(listeners);
+  ++version_;
+}
+
+bool RtLinkSchedule::should_listen(int slot, NodeId node) const {
+  if (tx_of(slot) == kInvalidNode) return false;  // idle slot: everyone sleeps
+  if (tx_of(slot) == node) return false;          // own TX slot
+  auto it = listeners_.find(slot);
+  if (it == listeners_.end()) return true;  // default: all listen
+  return it->second.count(node) > 0;
+}
+
+RtLink::RtLink(sim::Simulator& sim, Radio& radio, NodeClock& clock,
+               RtLinkSchedule& schedule, std::size_t queue_capacity)
+    : Mac(sim, radio, queue_capacity), clock_(clock), schedule_(schedule) {}
+
+void RtLink::start() {
+  if (running_) return;
+  running_ = true;
+  radio_.set_state(RadioState::kOff);
+  radio_.set_receive_handler([this](const Packet& p) { deliver_up(p); });
+  begin_frame();
+}
+
+void RtLink::stop() {
+  running_ = false;
+  sim_.cancel(frame_event_);
+  radio_.set_state(RadioState::kOff);
+}
+
+util::Duration RtLink::worst_case_access_delay() const {
+  const auto mine = schedule_.slots_of(id());
+  if (mine.empty()) return util::Duration::max();
+  // Worst case: the packet arrives just after a slot; with k evenly usable
+  // slots the bound is one frame (conservative and simple).
+  return schedule_.frame_length();
+}
+
+void RtLink::begin_frame() {
+  if (!running_) return;
+  ++frames_;
+
+  // Find the next frame boundary in *local* time, then schedule slot events
+  // at local boundaries mapped back through the drifting clock. Clock error
+  // relative to other nodes is therefore physically reflected in when this
+  // node keys its transmitter.
+  const util::TimePoint local_now = clock_.local_time(sim_.now());
+  const util::Duration frame_len = schedule_.frame_length();
+  const std::int64_t frame_index = local_now.ns() / frame_len.ns() + 1;
+  const util::TimePoint local_frame_start =
+      util::TimePoint(frame_index * frame_len.ns());
+
+  for (int slot = 0; slot < schedule_.slots_per_frame(); ++slot) {
+    const util::TimePoint local_slot_start =
+        local_frame_start + schedule_.slot_length() * slot;
+    const util::TimePoint global_slot_start = clock_.global_for(local_slot_start);
+    if (global_slot_start <= sim_.now()) continue;
+    sim_.schedule_at(global_slot_start, [this, slot] { run_slot(slot); });
+  }
+
+  const util::TimePoint local_next = local_frame_start + frame_len;
+  frame_event_ = sim_.schedule_at(
+      clock_.global_for(local_next - schedule_.slot_length() / 2),
+      [this] { begin_frame(); });
+}
+
+void RtLink::run_slot(int slot) {
+  if (!running_) return;
+  ++slot_generation_;
+  const NodeId tx = schedule_.tx_of(slot);
+
+  if (tx == id()) {
+    // Guard interval absorbs clock error between us and our listeners:
+    // transmit `guard` into the slot so receivers that woke slightly late
+    // still catch the preamble.
+    sim_.schedule_after(schedule_.guard(), [this, slot] {
+      if (!running_) return;
+      auto packet = queue_.pop();
+      if (!packet.has_value()) {
+        radio_.set_state(RadioState::kOff);  // nothing to send: sleep through
+        return;
+      }
+      radio_.set_state(RadioState::kIdleListen);
+      ++stats_.sent;
+      radio_.transmit(*packet, [this] { radio_.set_state(RadioState::kOff); });
+    });
+    return;
+  }
+
+  if (schedule_.should_listen(slot, id())) {
+    radio_.set_state(RadioState::kIdleListen);
+    // Sleep at end of slot — but only if no later slot decision has run by
+    // then (back-to-back active slots dispatch their start first).
+    const std::uint64_t gen = slot_generation_;
+    sim_.schedule_after(schedule_.slot_length(), [this, gen] {
+      if (running_ && gen == slot_generation_ && !radio_.transmitting()) {
+        radio_.set_state(RadioState::kOff);
+      }
+    });
+  } else {
+    radio_.set_state(RadioState::kOff);
+  }
+}
+
+}  // namespace evm::net

@@ -1,0 +1,88 @@
+// RT-Link: the time-synchronized TDMA link protocol the EVM rides on
+// (Rowe, Mangharam, Rajkumar — IEEE SECON 2006). Time is divided into fixed
+// frames of N slots; each slot has exactly one licensed transmitter, so
+// communication is collision-free provided every node's clock error stays
+// inside the guard interval. Nodes sleep in every slot they neither transmit
+// in nor need to listen to — that is where the lifetime advantage over
+// B-MAC / S-MAC comes from.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <set>
+
+#include "net/clock.hpp"
+#include "net/mac.hpp"
+#include "net/timesync.hpp"
+
+namespace evm::net {
+
+/// Global slot schedule shared by every RT-Link node in one network. The
+/// EVM's "network time-slot assignment" parametric operation mutates this
+/// at runtime; nodes pick the change up at their next frame boundary.
+class RtLinkSchedule {
+ public:
+  RtLinkSchedule(int slots_per_frame, util::Duration slot_length,
+                 util::Duration guard = util::Duration::micros(200));
+
+  int slots_per_frame() const { return slots_per_frame_; }
+  util::Duration slot_length() const { return slot_length_; }
+  util::Duration guard() const { return guard_; }
+  util::Duration frame_length() const { return slot_length_ * slots_per_frame_; }
+
+  /// License `node` to transmit in `slot` (replacing any previous owner).
+  void assign_tx(int slot, NodeId node);
+  void clear_slot(int slot);
+  /// Transmitter of `slot`, or kInvalidNode.
+  NodeId tx_of(int slot) const;
+  /// All slots licensed to `node`.
+  std::vector<int> slots_of(NodeId node) const;
+
+  /// Restrict who listens in `slot`. Without an entry, every node listens
+  /// (safe default; costs energy — see bench_mac_lifetime's ablation).
+  void set_listeners(int slot, std::set<NodeId> listeners);
+  bool should_listen(int slot, NodeId node) const;
+
+  /// Monotonic version, bumped on every mutation; nodes re-read the
+  /// schedule when the version changes.
+  std::uint64_t version() const { return version_; }
+
+ private:
+  int slots_per_frame_;
+  util::Duration slot_length_;
+  util::Duration guard_;
+  std::map<int, NodeId> tx_;
+  std::map<int, std::set<NodeId>> listeners_;
+  std::uint64_t version_ = 0;
+};
+
+class RtLink final : public Mac {
+ public:
+  RtLink(sim::Simulator& sim, Radio& radio, NodeClock& clock,
+         RtLinkSchedule& schedule, std::size_t queue_capacity = 32);
+
+  void start() override;
+  void stop() override;
+
+  /// The shared slot schedule (the EVM's parametric slot-assignment
+  /// operation mutates it through this).
+  RtLinkSchedule& schedule_ref() { return schedule_; }
+
+  /// End-to-end worst-case queueing delay for one packet given the node's
+  /// current slot allocation: one full frame if a single slot is owned.
+  util::Duration worst_case_access_delay() const;
+
+  std::size_t frames_run() const { return frames_; }
+
+ private:
+  void begin_frame();
+  void run_slot(int slot);
+
+  NodeClock& clock_;
+  RtLinkSchedule& schedule_;
+  std::size_t frames_ = 0;
+  std::uint64_t slot_generation_ = 0;  // invalidates stale end-of-slot sleeps
+  sim::EventHandle frame_event_;
+};
+
+}  // namespace evm::net

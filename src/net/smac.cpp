@@ -1,0 +1,62 @@
+#include "net/smac.hpp"
+
+namespace evm::net {
+
+SMac::SMac(sim::Simulator& sim, Radio& radio, SMacParams params,
+           std::size_t queue_capacity)
+    : Mac(sim, radio, queue_capacity), params_(params) {}
+
+void SMac::start() {
+  if (running_) return;
+  running_ = true;
+  radio_.set_state(RadioState::kOff);
+  radio_.set_receive_handler([this](const Packet& p) {
+    busy_ = false;
+    if (!in_listen_) radio_.set_state(RadioState::kOff);
+    deliver_up(p);
+  });
+  // First listen window starts within one frame, misaligned by sync jitter.
+  const auto offset = util::Duration(static_cast<std::int64_t>(
+      sim_.rng().uniform(0.0, static_cast<double>(params_.sync_jitter.ns()))));
+  frame_event_ = sim_.schedule_after(offset, [this] { begin_listen(); });
+}
+
+void SMac::stop() {
+  running_ = false;
+  sim_.cancel(frame_event_);
+  radio_.set_state(RadioState::kOff);
+}
+
+void SMac::begin_listen() {
+  if (!running_) return;
+  in_listen_ = true;
+  radio_.set_state(RadioState::kIdleListen);
+
+  // Contending sender: random slot inside the contention window, then
+  // transmit if the channel is still clear (receiving_ proxy: not busy).
+  if (!queue_.empty()) {
+    const auto backoff = util::Duration(static_cast<std::int64_t>(
+        sim_.rng().uniform(0.0, static_cast<double>(params_.contention_window.ns()))));
+    sim_.schedule_after(backoff, [this] {
+      if (!running_ || !in_listen_ || busy_ || radio_.transmitting()) return;
+      auto packet = queue_.pop();
+      if (!packet.has_value()) return;
+      busy_ = true;
+      ++stats_.sent;
+      radio_.transmit(*packet, [this] {
+        busy_ = false;
+        if (!in_listen_) radio_.set_state(RadioState::kOff);
+      });
+    });
+  }
+
+  sim_.schedule_after(listen_window(), [this] { end_listen(); });
+  frame_event_ = sim_.schedule_after(params_.frame_length, [this] { begin_listen(); });
+}
+
+void SMac::end_listen() {
+  in_listen_ = false;
+  if (!busy_ && !radio_.transmitting()) radio_.set_state(RadioState::kOff);
+}
+
+}  // namespace evm::net

@@ -1,0 +1,47 @@
+// S-MAC (Ye, Heidemann, Estrin — INFOCOM 2002): loosely synchronized
+// duty-cycled contention MAC. All nodes share a listen/sleep schedule; data
+// exchange happens via CSMA inside the common listen window. The fixed
+// listen window puts a floor under the duty cycle regardless of traffic,
+// which is why it loses to RT-Link at low rates and to B-MAC at very low
+// check rates (bench_mac_lifetime, E2).
+#pragma once
+
+#include "net/mac.hpp"
+
+namespace evm::net {
+
+struct SMacParams {
+  util::Duration frame_length = util::Duration::seconds(1);
+  /// Fraction of the frame spent listening (the protocol's duty cycle knob).
+  double duty_cycle = 0.10;
+  /// Contention window for senders at listen-window start.
+  util::Duration contention_window = util::Duration::millis(10);
+  /// Schedule misalignment between nodes (loose sync via SYNC packets).
+  util::Duration sync_jitter = util::Duration::millis(2);
+};
+
+class SMac final : public Mac {
+ public:
+  SMac(sim::Simulator& sim, Radio& radio, SMacParams params = {},
+       std::size_t queue_capacity = 16);
+
+  void start() override;
+  void stop() override;
+
+  const SMacParams& params() const { return params_; }
+  util::Duration listen_window() const {
+    return util::Duration(static_cast<std::int64_t>(
+        static_cast<double>(params_.frame_length.ns()) * params_.duty_cycle));
+  }
+
+ private:
+  void begin_listen();
+  void end_listen();
+
+  SMacParams params_;
+  bool in_listen_ = false;
+  bool busy_ = false;  // transmitting or receiving past window end
+  sim::EventHandle frame_event_;
+};
+
+}  // namespace evm::net

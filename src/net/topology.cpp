@@ -1,0 +1,125 @@
+#include "net/topology.hpp"
+
+#include <deque>
+
+namespace evm::net {
+
+void Topology::add_node(NodeId id) { nodes_.insert(id); }
+
+bool Topology::has_node(NodeId id) const { return nodes_.count(id) > 0; }
+
+std::vector<NodeId> Topology::nodes() const {
+  return {nodes_.begin(), nodes_.end()};
+}
+
+void Topology::set_link(NodeId a, NodeId b, LinkState state) {
+  add_node(a);
+  add_node(b);
+  links_[key(a, b)] = state;
+}
+
+void Topology::remove_link(NodeId a, NodeId b) { links_.erase(key(a, b)); }
+
+void Topology::set_link_up(NodeId a, NodeId b, bool up) {
+  auto it = links_.find(key(a, b));
+  if (it != links_.end()) it->second.up = up;
+}
+
+void Topology::set_loss(NodeId a, NodeId b, double loss_probability) {
+  auto it = links_.find(key(a, b));
+  if (it != links_.end()) it->second.loss_probability = loss_probability;
+}
+
+std::optional<LinkState> Topology::link(NodeId a, NodeId b) const {
+  auto it = links_.find(key(a, b));
+  if (it == links_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Topology::connected(NodeId a, NodeId b) const {
+  auto l = link(a, b);
+  return l.has_value() && l->up;
+}
+
+double Topology::loss(NodeId a, NodeId b) const {
+  auto l = link(a, b);
+  return l.has_value() ? l->loss_probability : 1.0;
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const auto& [k, state] : links_) {
+    if (!state.up) continue;
+    if (k.first == id) out.push_back(k.second);
+    if (k.second == id) out.push_back(k.first);
+  }
+  return out;
+}
+
+std::map<NodeId, int> Topology::hop_counts(NodeId source) const {
+  std::map<NodeId, int> dist;
+  if (!has_node(source)) return dist;
+  dist[source] = 0;
+  std::deque<NodeId> frontier{source};
+  while (!frontier.empty()) {
+    NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (NodeId n : neighbors(cur)) {
+      if (dist.count(n) == 0) {
+        dist[n] = dist[cur] + 1;
+        frontier.push_back(n);
+      }
+    }
+  }
+  return dist;
+}
+
+std::optional<NodeId> Topology::next_hop(NodeId source, NodeId dest) const {
+  if (source == dest) return dest;
+  // BFS from dest; the neighbor of `source` with the smallest distance to
+  // dest (ties broken by id for determinism) is the next hop.
+  const auto dist = hop_counts(dest);
+  if (dist.count(source) == 0) return std::nullopt;
+  std::optional<NodeId> best;
+  int best_dist = dist.at(source);
+  for (NodeId n : neighbors(source)) {
+    auto it = dist.find(n);
+    if (it == dist.end()) continue;
+    if (it->second < best_dist || (it->second == best_dist && !best)) {
+      if (it->second < dist.at(source)) {
+        best = n;
+        best_dist = it->second;
+      }
+    }
+  }
+  return best;
+}
+
+Topology Topology::full_mesh(const std::vector<NodeId>& ids, double loss) {
+  Topology t;
+  for (NodeId id : ids) t.add_node(id);
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      t.set_link(ids[i], ids[j], LinkState{true, loss});
+    }
+  }
+  return t;
+}
+
+Topology Topology::star(NodeId hub, const std::vector<NodeId>& leaves, double loss) {
+  Topology t;
+  t.add_node(hub);
+  for (NodeId id : leaves) t.set_link(hub, id, LinkState{true, loss});
+  return t;
+}
+
+Topology Topology::line(const std::vector<NodeId>& ids, double loss) {
+  Topology t;
+  for (NodeId id : ids) t.add_node(id);
+  for (std::size_t i = 0; i + 1 < ids.size(); ++i) {
+    t.set_link(ids[i], ids[i + 1], LinkState{true, loss});
+  }
+  return t;
+}
+
+}  // namespace evm::net

@@ -1,0 +1,66 @@
+// Wireless topology: which nodes can hear which, and how lossy each link is.
+// Links can be reconfigured while the simulation runs — the paper's central
+// premise is that topology changes are routine, not exceptional.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "net/packet.hpp"
+
+namespace evm::net {
+
+struct LinkState {
+  bool up = true;
+  /// Independent per-frame loss probability (applied on top of collisions).
+  double loss_probability = 0.0;
+};
+
+class Topology {
+ public:
+  /// Register a node; idempotent.
+  void add_node(NodeId id);
+  bool has_node(NodeId id) const;
+  std::vector<NodeId> nodes() const;
+
+  /// Create/update a symmetric link.
+  void set_link(NodeId a, NodeId b, LinkState state);
+  void remove_link(NodeId a, NodeId b);
+  /// Take a link down / bring it back without forgetting its loss rate.
+  void set_link_up(NodeId a, NodeId b, bool up);
+  void set_loss(NodeId a, NodeId b, double loss_probability);
+
+  std::optional<LinkState> link(NodeId a, NodeId b) const;
+  bool connected(NodeId a, NodeId b) const;
+  double loss(NodeId a, NodeId b) const;
+
+  /// All nodes with an *up* link from `id`.
+  std::vector<NodeId> neighbors(NodeId id) const;
+
+  /// Breadth-first hop counts from `source` over up links; unreachable nodes
+  /// are absent from the map.
+  std::map<NodeId, int> hop_counts(NodeId source) const;
+  /// Next hop on a shortest path from `source` toward `dest`, if reachable.
+  std::optional<NodeId> next_hop(NodeId source, NodeId dest) const;
+
+  /// Fully connected mesh over the given nodes (convenience for tests).
+  static Topology full_mesh(const std::vector<NodeId>& ids, double loss = 0.0);
+  /// Star centred on `hub` (the paper's Fig. 5 gateway layout).
+  static Topology star(NodeId hub, const std::vector<NodeId>& leaves, double loss = 0.0);
+  /// Line topology: ids[0] - ids[1] - ... (multi-hop migration benches).
+  static Topology line(const std::vector<NodeId>& ids, double loss = 0.0);
+
+ private:
+  static std::pair<NodeId, NodeId> key(NodeId a, NodeId b) {
+    return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  }
+
+  std::set<NodeId> nodes_;
+  std::map<std::pair<NodeId, NodeId>, LinkState> links_;
+};
+
+}  // namespace evm::net

@@ -1,0 +1,170 @@
+#include "net/tree_routing.hpp"
+
+namespace evm::net {
+
+TreeRouter::TreeRouter(sim::Simulator& sim, Mac& mac, bool is_sink,
+                       util::Duration beacon_period)
+    : sim_(sim), mac_(mac), is_sink_(is_sink), beacon_period_(beacon_period) {
+  if (is_sink_) hops_ = 0;
+  mac_.set_receive_handler([this](const Packet& p) { on_packet(p); });
+}
+
+void TreeRouter::start() {
+  if (running_) return;
+  running_ = true;
+  if (is_sink_) emit_beacon();
+}
+
+void TreeRouter::stop() { running_ = false; }
+
+void TreeRouter::emit_beacon() {
+  if (!running_) return;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::kBeacon));
+  w.u16(static_cast<std::uint16_t>(hops_));
+  Packet p;
+  p.dst = kBroadcast;
+  p.type = kTreePacketType;
+  p.payload = w.take();
+  (void)mac_.send(std::move(p));
+  sim_.schedule_after(beacon_period_, [this] { emit_beacon(); });
+}
+
+util::Status TreeRouter::send_up(std::uint8_t type,
+                                 std::vector<std::uint8_t> payload) {
+  if (is_sink_) {
+    if (receive_handler_) receive_handler_(id(), type, payload);
+    return util::Status::ok();
+  }
+  if (parent_ == kInvalidNode) {
+    return util::Status::unavailable("not joined to the tree yet");
+  }
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::kUp));
+  w.u16(id());       // origin
+  w.u8(type);
+  w.u8(1);           // path length so far
+  w.u16(id());       // recorded path (origin first)
+  w.blob(payload);
+  Packet p;
+  p.dst = parent_;
+  p.type = kTreePacketType;
+  p.payload = w.take();
+  return mac_.send(std::move(p));
+}
+
+util::Status TreeRouter::send_down(NodeId destination, std::uint8_t type,
+                                   std::vector<std::uint8_t> payload) {
+  if (!is_sink_) return util::Status::failed_precondition("only the sink routes down");
+  auto it = routes_.find(destination);
+  if (it == routes_.end() || it->second.empty()) {
+    return util::Status::not_found("no recorded route to node " +
+                                   std::to_string(destination));
+  }
+  // Recorded path is origin-first; downward traversal walks it back-to-front.
+  const std::vector<NodeId>& path = it->second;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::kDown));
+  w.u8(type);
+  w.u8(static_cast<std::uint8_t>(path.size()));
+  // Remaining hops, next-to-visit last (so forwarders pop from the back).
+  for (const NodeId hop : path) w.u16(hop);
+  w.blob(payload);
+  Packet p;
+  p.dst = path.back();  // the hop adjacent to the sink
+  p.type = kTreePacketType;
+  p.payload = w.take();
+  return mac_.send(std::move(p));
+}
+
+void TreeRouter::on_packet(const Packet& packet) {
+  if (packet.type != kTreePacketType) return;
+  util::ByteReader r(packet.payload);
+  const auto kind = static_cast<Kind>(r.u8());
+  switch (kind) {
+    case Kind::kBeacon: handle_beacon(packet, r); break;
+    case Kind::kUp: handle_up(r); break;
+    case Kind::kDown: handle_down(r); break;
+  }
+}
+
+void TreeRouter::handle_beacon(const Packet& packet, util::ByteReader& r) {
+  const int sender_hops = r.u16();
+  if (!r.ok() || is_sink_) return;
+  // Adopt the sender as parent if it improves (or refreshes) our depth.
+  if (hops_ < 0 || sender_hops + 1 < hops_ ||
+      (packet.src == parent_ && sender_hops + 1 != hops_)) {
+    const bool first_join = hops_ < 0;
+    parent_ = packet.src;
+    hops_ = sender_hops + 1;
+    if (first_join) {
+      // Once joined, extend the tree with our own periodic beacon (rate-
+      // limited by the beacon period — never triggered per reception, which
+      // would storm the mesh).
+      emit_beacon();
+    }
+  }
+}
+
+void TreeRouter::handle_up(util::ByteReader& r) {
+  const NodeId origin = r.u16();
+  const std::uint8_t type = r.u8();
+  const std::uint8_t path_len = r.u8();
+  std::vector<NodeId> path;
+  for (std::uint8_t i = 0; i < path_len; ++i) path.push_back(r.u16());
+  const auto payload = r.blob();
+  if (!r.ok()) return;
+
+  if (is_sink_) {
+    routes_[origin] = path;  // remember how to get back down
+    if (receive_handler_) receive_handler_(origin, type, payload);
+    return;
+  }
+  if (parent_ == kInvalidNode) return;  // stranded; drop
+  ++forwarded_;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::kUp));
+  w.u16(origin);
+  w.u8(type);
+  w.u8(static_cast<std::uint8_t>(path.size() + 1));
+  for (const NodeId hop : path) w.u16(hop);
+  w.u16(id());
+  w.blob(payload);
+  Packet p;
+  p.dst = parent_;
+  p.type = kTreePacketType;
+  p.payload = w.take();
+  (void)mac_.send(std::move(p));
+}
+
+void TreeRouter::handle_down(util::ByteReader& r) {
+  const std::uint8_t type = r.u8();
+  const std::uint8_t path_len = r.u8();
+  std::vector<NodeId> path;
+  for (std::uint8_t i = 0; i < path_len; ++i) path.push_back(r.u16());
+  const auto payload = r.blob();
+  if (!r.ok() || path.empty()) return;
+
+  // We are path.back() (the packet was addressed to us).
+  if (path.back() != id()) return;
+  path.pop_back();
+  if (path.empty()) {
+    // We are the final destination.
+    if (receive_handler_) receive_handler_(id(), type, payload);
+    return;
+  }
+  ++forwarded_;
+  util::ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(Kind::kDown));
+  w.u8(type);
+  w.u8(static_cast<std::uint8_t>(path.size()));
+  for (const NodeId hop : path) w.u16(hop);
+  w.blob(payload);
+  Packet p;
+  p.dst = path.back();
+  p.type = kTreePacketType;
+  p.payload = w.take();
+  (void)mac_.send(std::move(p));
+}
+
+}  // namespace evm::net

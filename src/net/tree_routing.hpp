@@ -1,0 +1,78 @@
+// Implicit tree routing, the convergecast scheme nano-RK ships alongside
+// RT-Link (paper §2.2: "an implicit tree routing protocol"). Nodes learn a
+// parent toward the sink from periodic sink beacons (hop counts); data
+// flows upward parent-by-parent with no per-destination tables. Downward
+// traffic (commands) is source-routed by the sink along recorded child
+// paths. Cheaper state than shortest-path tables: one parent pointer.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "net/mac.hpp"
+#include "net/topology.hpp"
+#include "util/bytes.hpp"
+
+namespace evm::net {
+
+inline constexpr std::uint8_t kTreePacketType = 0x54;  // 'T'
+
+class TreeRouter {
+ public:
+  /// `is_sink`: the root advertises hop 0 and terminates upward traffic.
+  TreeRouter(sim::Simulator& sim, Mac& mac, bool is_sink,
+             util::Duration beacon_period = util::Duration::seconds(2));
+
+  NodeId id() const { return mac_.id(); }
+  bool is_sink() const { return is_sink_; }
+
+  /// Start beaconing (sink) / listening for beacons (everyone).
+  void start();
+  void stop();
+
+  /// Current parent toward the sink (kInvalidNode until joined).
+  NodeId parent() const { return parent_; }
+  int hops_to_sink() const { return hops_; }
+  bool joined() const { return is_sink_ || parent_ != kInvalidNode; }
+
+  /// Send a payload up the tree to the sink.
+  util::Status send_up(std::uint8_t type, std::vector<std::uint8_t> payload);
+  /// Sink only: send down to `destination` along the recorded path.
+  util::Status send_down(NodeId destination, std::uint8_t type,
+                         std::vector<std::uint8_t> payload);
+
+  /// Delivered payloads (at the sink for upward, at the target for downward).
+  void set_receive_handler(
+      std::function<void(NodeId source, std::uint8_t type,
+                         const std::vector<std::uint8_t>&)> handler) {
+    receive_handler_ = std::move(handler);
+  }
+
+  std::size_t forwarded() const { return forwarded_; }
+
+ private:
+  enum class Kind : std::uint8_t { kBeacon = 1, kUp = 2, kDown = 3 };
+
+  void emit_beacon();
+  void on_packet(const Packet& packet);
+  void handle_beacon(const Packet& packet, util::ByteReader& r);
+  void handle_up(util::ByteReader& r);
+  void handle_down(util::ByteReader& r);
+
+  sim::Simulator& sim_;
+  Mac& mac_;
+  bool is_sink_;
+  util::Duration beacon_period_;
+  NodeId parent_ = kInvalidNode;
+  int hops_ = -1;
+  bool running_ = false;
+  /// Sink: last known route (list of hops, sink-first) per node, learned
+  /// from the paths upward packets record.
+  std::map<NodeId, std::vector<NodeId>> routes_;
+  std::function<void(NodeId, std::uint8_t, const std::vector<std::uint8_t>&)>
+      receive_handler_;
+  std::size_t forwarded_ = 0;
+};
+
+}  // namespace evm::net

@@ -1,0 +1,87 @@
+#include "plant/blocks.hpp"
+
+#include <cmath>
+
+namespace evm::plant {
+
+void InletSeparator::step(const Stream& feed, double dt) {
+  const double fraction = std::clamp(
+      base_ + slope_ * (ref_ - feed.temperature), 0.0, 0.5);
+  const double liquid_target = feed.molar_flow * fraction;
+  liquid_.molar_flow = liquid_lag_.step(liquid_target, dt);
+  liquid_.temperature = feed.temperature;
+  gas_.molar_flow = feed.molar_flow - liquid_.molar_flow;
+  gas_.temperature = feed.temperature;
+}
+
+Stream GasGasExchanger::step(const Stream& hot_in, const Stream& cold_in, double dt) {
+  Stream out = hot_in;
+  const double target = std::max(cold_in.temperature + approach_, -60.0);
+  out.temperature = temp_lag_.step(std::min(target, hot_in.temperature), dt);
+  return out;
+}
+
+Stream Chiller::step(const Stream& in, double dt) {
+  Stream out = in;
+  const double target = failed_ ? 25.0 : setpoint_;
+  out.temperature = lag_.step(target, dt);
+  return out;
+}
+
+LowTempSeparator::LowTempSeparator(Params params)
+    : params_(params),
+      holdup_kmol_(params.holdup_capacity_kmol * params.initial_level_percent / 100.0) {}
+
+void LowTempSeparator::step(const Stream& feed, double dt) {
+  const double condensed_fraction = std::clamp(
+      params_.condense_base +
+          params_.condense_slope_per_degc * (params_.condense_ref_degc - feed.temperature),
+      0.0, 0.9);
+  const double liquid_in = feed.molar_flow * condensed_fraction;  // kmol/h
+
+  const double level = level_percent() / 100.0;
+  // Gravity-drained valve: outflow scales with opening and sqrt(head).
+  const double outflow =
+      params_.valve_cv * (valve_opening_ / 100.0) * std::sqrt(std::max(level, 0.0));
+
+  const double dt_hours = dt / 3600.0;
+  holdup_kmol_ += (liquid_in - outflow) * dt_hours;
+  holdup_kmol_ = std::clamp(holdup_kmol_, 0.0, params_.holdup_capacity_kmol);
+
+  // When the tank is empty the valve passes only what arrives.
+  const double actual_out = holdup_kmol_ <= 0.0 ? std::min(outflow, liquid_in) : outflow;
+  liquid_out_.molar_flow = actual_out;
+  liquid_out_.temperature = feed.temperature;
+  gas_out_.molar_flow = feed.molar_flow - liquid_in;
+  gas_out_.temperature = feed.temperature;
+}
+
+double LowTempSeparator::level_percent() const {
+  return 100.0 * holdup_kmol_ / params_.holdup_capacity_kmol;
+}
+
+double LowTempSeparator::steady_opening(double liquid_in_kmol_h,
+                                        double level_percent) const {
+  const double head = std::sqrt(std::max(level_percent / 100.0, 1e-9));
+  return 100.0 * liquid_in_kmol_h / (params_.valve_cv * head);
+}
+
+Stream Mixer::step(const Stream& a, const Stream& b, double dt) {
+  Stream out;
+  out.molar_flow = lag_.step(a.molar_flow + b.molar_flow, dt);
+  const double total = a.molar_flow + b.molar_flow;
+  out.temperature = total > 1e-9
+                        ? (a.molar_flow * a.temperature + b.molar_flow * b.temperature) / total
+                        : a.temperature;
+  return out;
+}
+
+void Depropanizer::step(const Stream& feed, double dt) {
+  const double bottoms_flow = lag_.step(feed.molar_flow * fraction_, dt);
+  bottoms_.molar_flow = bottoms_flow;
+  bottoms_.temperature = feed.temperature + 40.0;  // reboiler heats the bottoms
+  overhead_.molar_flow = std::max(feed.molar_flow - bottoms_flow, 0.0);
+  overhead_.temperature = feed.temperature;
+}
+
+}  // namespace evm::plant

@@ -1,0 +1,164 @@
+// Lumped-parameter process unit operations. These are deliberately simple —
+// first-order / integrating dynamics with physically sensible couplings —
+// because what the EVM evaluation needs from the plant is the *shape* of
+// Fig. 6(b): an integrating level process whose valve, when mis-set, drains
+// the separator and disturbs downstream molar flows.
+#pragma once
+
+#include <algorithm>
+#include <string>
+
+namespace evm::plant {
+
+/// A process stream: molar flow (kmol/h) and temperature (degC). Pressure
+/// and composition are folded into the block parameters.
+struct Stream {
+  double molar_flow = 0.0;
+  double temperature = 25.0;
+};
+
+/// First-order lag y' = (u - y)/tau; the workhorse for approach dynamics.
+class FirstOrderLag {
+ public:
+  FirstOrderLag(double tau_seconds, double initial = 0.0)
+      : tau_(tau_seconds), value_(initial) {}
+
+  double step(double input, double dt) {
+    if (tau_ <= 0.0) {
+      value_ = input;
+    } else {
+      value_ += (input - value_) * dt / (tau_ + dt);
+    }
+    return value_;
+  }
+  double value() const { return value_; }
+  void set(double v) { value_ = v; }
+
+ private:
+  double tau_;
+  double value_;
+};
+
+/// Two-phase inlet separator: removes a temperature-dependent free-liquid
+/// fraction from the feed; the rest leaves as overhead gas.
+class InletSeparator {
+ public:
+  /// liquid fraction = base + slope * (ref_temp - T), clamped to [0, 0.5].
+  InletSeparator(double base_fraction, double slope_per_degc, double ref_temp_c)
+      : base_(base_fraction), slope_(slope_per_degc), ref_(ref_temp_c) {}
+
+  void step(const Stream& feed, double dt);
+  const Stream& overhead_gas() const { return gas_; }
+  const Stream& free_liquid() const { return liquid_; }
+
+ private:
+  double base_, slope_, ref_;
+  Stream gas_, liquid_;
+  FirstOrderLag liquid_lag_{30.0};
+};
+
+/// Gas/gas exchanger: cools the hot side toward the cold side with a fixed
+/// temperature approach.
+class GasGasExchanger {
+ public:
+  explicit GasGasExchanger(double approach_degc) : approach_(approach_degc) {}
+
+  Stream step(const Stream& hot_in, const Stream& cold_in, double dt);
+
+ private:
+  double approach_;
+  FirstOrderLag temp_lag_{20.0, 25.0};
+};
+
+/// Propane chiller: drives outlet temperature to a setpoint, first-order.
+class Chiller {
+ public:
+  Chiller(double setpoint_degc, double tau_seconds)
+      : setpoint_(setpoint_degc), lag_(tau_seconds, 25.0) {}
+
+  Stream step(const Stream& in, double dt);
+  void set_setpoint(double degc) { setpoint_ = degc; }
+  double setpoint() const { return setpoint_; }
+  /// Fault hook: a failed chiller warms toward ambient.
+  void set_failed(bool failed) { failed_ = failed; }
+
+ private:
+  double setpoint_;
+  FirstOrderLag lag_;
+  bool failed_ = false;
+};
+
+/// The low-temperature separator: condenses a temperature-dependent liquid
+/// fraction of its two-phase inlet into a holdup tank; a drain valve meters
+/// the liquid product. This is the integrating process of the Fig. 6 loop.
+class LowTempSeparator {
+ public:
+  struct Params {
+    double holdup_capacity_kmol = 120.0;  // tank size
+    /// Condensed fraction: base at ref temperature, grows as gas gets colder.
+    double condense_base = 0.35;
+    double condense_slope_per_degc = 0.01;
+    double condense_ref_degc = -20.0;
+    /// Valve coefficient: outflow (kmol/h) at 100 % opening and full level.
+    double valve_cv = 500.0;
+    double initial_level_percent = 50.0;
+  };
+
+  explicit LowTempSeparator(Params params);
+
+  void step(const Stream& feed, double dt);
+
+  /// Drain valve opening in percent [0, 100] — the controlled input.
+  void set_valve_opening(double percent) {
+    valve_opening_ = std::clamp(percent, 0.0, 100.0);
+  }
+  double valve_opening() const { return valve_opening_; }
+
+  double level_percent() const;
+  /// Initialization helper: pin the holdup to a level (experiment setup).
+  void set_level_percent(double percent) {
+    holdup_kmol_ = params_.holdup_capacity_kmol * std::clamp(percent, 0.0, 100.0) / 100.0;
+  }
+  const Stream& liquid_out() const { return liquid_out_; }
+  const Stream& gas_out() const { return gas_out_; }
+
+  /// Steady-state valve opening that balances the given liquid inflow at
+  /// the given level (used to initialize the paper's 11.48 % operating point).
+  double steady_opening(double liquid_in_kmol_h, double level_percent) const;
+
+ private:
+  Params params_;
+  double holdup_kmol_;
+  double valve_opening_ = 0.0;
+  Stream liquid_out_, gas_out_;
+};
+
+/// Stream mixer with a small transport lag.
+class Mixer {
+ public:
+  explicit Mixer(double tau_seconds) : lag_(tau_seconds) {}
+  Stream step(const Stream& a, const Stream& b, double dt);
+  double flow() const { return lag_.value(); }
+
+ private:
+  FirstOrderLag lag_;
+};
+
+/// Depropanizer column: splits the tower feed into overhead product and a
+/// low-propane bottoms product with first-order composition dynamics.
+class Depropanizer {
+ public:
+  Depropanizer(double bottoms_fraction, double tau_seconds)
+      : fraction_(bottoms_fraction), lag_(tau_seconds) {}
+
+  void step(const Stream& feed, double dt);
+  const Stream& overhead() const { return overhead_; }
+  const Stream& bottoms() const { return bottoms_; }
+
+ private:
+  double fraction_;
+  FirstOrderLag lag_;
+  Stream overhead_, bottoms_;
+};
+
+}  // namespace evm::plant

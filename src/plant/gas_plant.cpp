@@ -1,0 +1,88 @@
+#include "plant/gas_plant.hpp"
+
+#include <stdexcept>
+
+namespace evm::plant {
+
+GasPlant::GasPlant(Config config)
+    : config_(config),
+      chiller_(config.chiller_setpoint, 60.0),
+      lts_(config.lts) {
+  feed_.molar_flow = config_.feed_molar_flow;
+  feed_.temperature = config_.feed_temperature;
+  build_registry();
+}
+
+void GasPlant::step(double dt) {
+  // Recycle coupling: tower load shifts the effective inlet temperature.
+  Stream effective_feed = feed_;
+  effective_feed.temperature -=
+      config_.recycle_coupling_degc_per_kmolh *
+      (tower_feed_.molar_flow - config_.tower_feed_nominal_kmolh);
+  inlet_sep_.step(effective_feed, dt);
+  // Overhead gas pre-cooled against the cold LTS gas, then chilled.
+  const Stream precooled = exchanger_.step(inlet_sep_.overhead_gas(), lts_.gas_out(), dt);
+  chilled_ = chiller_.step(precooled, dt);
+  lts_.step(chilled_, dt);
+  tower_feed_ = mixer_.step(inlet_sep_.free_liquid(), lts_.liquid_out(), dt);
+  depropanizer_.step(tower_feed_, dt);
+}
+
+void GasPlant::settle(double seconds, double dt) {
+  for (double t = 0.0; t < seconds; t += dt) step(dt);
+}
+
+double GasPlant::steady_lts_opening(double level_percent) const {
+  // Liquid condensing into the LTS right now:
+  const double condensed_fraction = std::clamp(
+      config_.lts.condense_base +
+          config_.lts.condense_slope_per_degc *
+              (config_.lts.condense_ref_degc - chilled_.temperature),
+      0.0, 0.9);
+  const double liquid_in = lts_.gas_out().molar_flow /
+                           std::max(1.0 - condensed_fraction, 1e-9) *
+                           condensed_fraction;
+  return lts_.steady_opening(liquid_in, level_percent);
+}
+
+void GasPlant::build_registry() {
+  readers_["LTS.LiquidPercentLevel"] = [this] { return lts_level_percent(); };
+  readers_["SepLiq.MolarFlow"] = [this] { return sep_liquid_flow(); };
+  readers_["LTSLiq.MolarFlow"] = [this] { return lts_liquid_flow(); };
+  readers_["TowerFeed.MolarFlow"] = [this] { return tower_feed_flow(); };
+  readers_["Chiller.OutletTemp"] = [this] { return chiller_outlet_temp(); };
+  readers_["LTSValve.Opening"] = [this] { return lts_valve(); };
+  readers_["Bottoms.MolarFlow"] = [this] { return bottoms_flow(); };
+  readers_["Feed.MolarFlow"] = [this] { return feed_.molar_flow; };
+
+  writers_["LTSValve.Opening"] = [this](double v) { set_lts_valve(v); };
+  writers_["Feed.MolarFlow"] = [this](double v) { set_feed_flow(v); };
+  writers_["Chiller.Setpoint"] = [this](double v) { chiller_.set_setpoint(v); };
+}
+
+double GasPlant::read(const std::string& name) const {
+  auto it = readers_.find(name);
+  if (it == readers_.end()) {
+    throw std::out_of_range("no plant variable named '" + name + "'");
+  }
+  return it->second();
+}
+
+void GasPlant::write(const std::string& name, double value) {
+  auto it = writers_.find(name);
+  if (it == writers_.end()) {
+    throw std::out_of_range("no writable plant variable named '" + name + "'");
+  }
+  it->second(value);
+}
+
+std::vector<std::string> GasPlant::variable_names() const {
+  std::vector<std::string> names;
+  for (const auto& [name, fn] : readers_) {
+    (void)fn;
+    names.push_back(name);
+  }
+  return names;
+}
+
+}  // namespace evm::plant

@@ -1,0 +1,56 @@
+#include "plant/modbus.hpp"
+
+#include <stdexcept>
+
+#include "plant/gas_plant.hpp"
+
+namespace evm::plant {
+
+void ModbusGateway::map_input(std::uint16_t register_addr,
+                              std::function<double()> reader) {
+  inputs_[register_addr] = std::move(reader);
+}
+
+void ModbusGateway::map_output(std::uint16_t register_addr,
+                               std::function<void(double)> writer) {
+  outputs_[register_addr] = std::move(writer);
+}
+
+util::Status ModbusGateway::map_plant_variable(std::uint16_t register_addr,
+                                               GasPlant& plant,
+                                               const std::string& name,
+                                               bool writable) {
+  try {
+    (void)plant.read(name);  // validates the name
+  } catch (const std::out_of_range&) {
+    return util::Status::not_found("no plant variable '" + name + "'");
+  }
+  map_input(register_addr, [&plant, name] { return plant.read(name); });
+  if (writable) {
+    map_output(register_addr, [&plant, name](double v) { plant.write(name, v); });
+  }
+  return util::Status::ok();
+}
+
+util::Result<double> ModbusGateway::read_register(std::uint16_t register_addr) const {
+  auto it = inputs_.find(register_addr);
+  if (it == inputs_.end()) {
+    return util::Status::not_found("register " + std::to_string(register_addr) +
+                                   " not mapped");
+  }
+  ++reads_;
+  return it->second();
+}
+
+util::Status ModbusGateway::write_register(std::uint16_t register_addr, double value) {
+  auto it = outputs_.find(register_addr);
+  if (it == outputs_.end()) {
+    return util::Status::not_found("register " + std::to_string(register_addr) +
+                                   " not writable");
+  }
+  ++writes_;
+  it->second(value);
+  return util::Status::ok();
+}
+
+}  // namespace evm::plant

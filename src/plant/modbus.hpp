@@ -1,0 +1,46 @@
+// ModBus-style register gateway between the plant simulation and the WSAC
+// network (paper Fig. 5: "The gateway communicates with Unisim (on the
+// workstation) via ModBus"). Process variables are mapped onto holding
+// registers; the gateway node's sensor/actuator channel bindings read and
+// write them, preserving the paper's indirection (controllers never touch
+// the plant directly).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace evm::plant {
+
+class GasPlant;
+
+class ModbusGateway {
+ public:
+  /// Map `register_addr` to a read-only process variable.
+  void map_input(std::uint16_t register_addr, std::function<double()> reader);
+  /// Map `register_addr` to a writable input.
+  void map_output(std::uint16_t register_addr, std::function<void(double)> writer);
+
+  /// Convenience: wire a plant variable by name (read, write or both).
+  util::Status map_plant_variable(std::uint16_t register_addr, GasPlant& plant,
+                                  const std::string& name, bool writable);
+
+  /// ModBus "read holding register".
+  util::Result<double> read_register(std::uint16_t register_addr) const;
+  /// ModBus "write single register".
+  util::Status write_register(std::uint16_t register_addr, double value);
+
+  std::size_t read_count() const { return reads_; }
+  std::size_t write_count() const { return writes_; }
+
+ private:
+  std::map<std::uint16_t, std::function<double()>> inputs_;
+  std::map<std::uint16_t, std::function<void(double)>> outputs_;
+  mutable std::size_t reads_ = 0;
+  std::size_t writes_ = 0;
+};
+
+}  // namespace evm::plant

@@ -1,0 +1,55 @@
+#include "plant/pid.hpp"
+
+#include <algorithm>
+
+namespace evm::plant {
+
+double Pid::step(double pv, double dt) {
+  const double error = config_.action * (pv - config_.setpoint);
+  if (first_) {
+    prev_error_ = error;
+    first_ = false;
+  }
+  const double derivative = dt > 0.0 ? (error - prev_error_) / dt : 0.0;
+  prev_error_ = error;
+
+  const double unclamped =
+      config_.kp * error + config_.ki * (integral_ + error * dt) + config_.kd * derivative;
+  const double output = std::clamp(unclamped, config_.output_min, config_.output_max);
+
+  // Conditional integration anti-windup: only integrate when not saturated
+  // in the direction that would deepen saturation.
+  const bool saturated_high = unclamped > config_.output_max && error > 0.0;
+  const bool saturated_low = unclamped < config_.output_min && error < 0.0;
+  if (!saturated_high && !saturated_low) {
+    integral_ += error * dt;
+  }
+  return output;
+}
+
+void Pid::reset() {
+  integral_ = 0.0;
+  prev_error_ = 0.0;
+  first_ = true;
+}
+
+double SecondOrderFilter::step(double input, double dt) {
+  if (first_) {
+    stage1_ = input;
+    stage2_ = input;
+    first_ = false;
+    return stage2_;
+  }
+  const double alpha = tau_ > 0.0 ? dt / (tau_ + dt) : 1.0;
+  stage1_ += alpha * (input - stage1_);
+  stage2_ += alpha * (stage1_ - stage2_);
+  return stage2_;
+}
+
+void SecondOrderFilter::reset(double value) {
+  stage1_ = value;
+  stage2_ = value;
+  first_ = true;
+}
+
+}  // namespace evm::plant

@@ -1,0 +1,58 @@
+// Controllers used by the plant loops: a PID regulator with output clamping
+// and integrator anti-windup, and the second-order input filter the paper's
+// controllers apply before the PID ("The liquid's percentage level in LTS is
+// used as an input to the controllers, which perform second order filtering
+// with a PID regulator", §4.2).
+#pragma once
+
+namespace evm::plant {
+
+struct PidConfig {
+  double kp = 1.0;
+  double ki = 0.0;
+  double kd = 0.0;
+  double setpoint = 0.0;
+  double output_min = 0.0;
+  double output_max = 100.0;
+  /// +1: output increases when the measurement is above setpoint (direct
+  /// acting — correct for a level loop driving a drain valve). -1: reverse.
+  double action = 1.0;
+};
+
+class Pid {
+ public:
+  explicit Pid(PidConfig config) : config_(config) {}
+
+  /// One control step with measurement `pv` over interval `dt` seconds.
+  double step(double pv, double dt);
+
+  void reset();
+  const PidConfig& config() const { return config_; }
+  void set_setpoint(double sp) { config_.setpoint = sp; }
+  double integrator() const { return integral_; }
+
+ private:
+  PidConfig config_;
+  double integral_ = 0.0;
+  double prev_error_ = 0.0;
+  bool first_ = true;
+};
+
+/// Unity-gain second-order low-pass: two cascaded first-order lags with the
+/// same time constant (critically damped).
+class SecondOrderFilter {
+ public:
+  explicit SecondOrderFilter(double tau_seconds) : tau_(tau_seconds) {}
+
+  double step(double input, double dt);
+  double value() const { return stage2_; }
+  void reset(double value = 0.0);
+
+ private:
+  double tau_;
+  double stage1_ = 0.0;
+  double stage2_ = 0.0;
+  bool first_ = true;
+};
+
+}  // namespace evm::plant

@@ -1,0 +1,54 @@
+#include "plant/sensors.hpp"
+
+#include <cmath>
+
+namespace evm::plant {
+
+namespace {
+constexpr double kTwoPi = 6.283185307179586;
+}
+
+double TemperatureSensor::value(util::TimePoint t) {
+  const double phase = kTwoPi * t.to_seconds() / period_s_;
+  return mean_ + swing_ * std::sin(phase) + rng_.normal(0.0, noise_);
+}
+
+double LightSensor::value(util::TimePoint t) {
+  const double phase = std::fmod(t.to_seconds(), period_s_) / period_s_;
+  const bool day = phase > 0.25 && phase < 0.75;
+  const double base = day ? day_ : night_;
+  // Cloud cover: multiplicative noise during the day.
+  const double cloud = day ? rng_.uniform(0.6, 1.0) : 1.0;
+  return base * cloud;
+}
+
+double MotionSensor::value(util::TimePoint t) {
+  if (!scheduled_) {
+    next_event_ = t + util::Duration::from_seconds(rng_.exponential(rate_per_s_));
+    scheduled_ = true;
+  }
+  while (t >= next_event_) {
+    event_end_ = next_event_ + hold_;
+    ++events_;
+    next_event_ =
+        next_event_ + util::Duration::from_seconds(rng_.exponential(rate_per_s_));
+  }
+  return t < event_end_ ? 1.0 : 0.0;
+}
+
+double VoltageSensor::value(util::TimePoint t) {
+  return initial_ - sag_per_s_ * t.to_seconds() + rng_.normal(0.0, noise_);
+}
+
+double VibrationSensor::value(util::TimePoint t) {
+  if (t >= next_check_) {
+    if (rng_.bernoulli(burst_rate_per_s_)) {
+      burst_until_ = t + util::Duration::seconds(2);
+    }
+    next_check_ = t + util::Duration::seconds(1);
+  }
+  const double level = t < burst_until_ ? burst_ : base_;
+  return std::fabs(level + rng_.normal(0.0, level * 0.2));
+}
+
+}  // namespace evm::plant

@@ -1,0 +1,101 @@
+// Synthetic models of the FireFly expansion-board sensors (paper §2.1:
+// "light, temperature, audio, passive infrared motion, dual axis
+// acceleration and voltage sensors"). Each produces a deterministic,
+// seedable signal with realistic structure (diurnal drift, noise, events)
+// for workload generation when no physical plant variable is the source.
+#pragma once
+
+#include <cstdint>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace evm::plant {
+
+/// Common base: value(t) is a pure function of the virtual time and seed.
+class SyntheticSensor {
+ public:
+  virtual ~SyntheticSensor() = default;
+  virtual double value(util::TimePoint t) = 0;
+};
+
+/// Ambient temperature: slow sinusoidal drift + Gaussian noise.
+class TemperatureSensor final : public SyntheticSensor {
+ public:
+  TemperatureSensor(double mean_c = 22.0, double swing_c = 4.0,
+                    double period_s = 24.0 * 3600.0, double noise_c = 0.1,
+                    std::uint64_t seed = 1)
+      : mean_(mean_c), swing_(swing_c), period_s_(period_s), noise_(noise_c),
+        rng_(seed) {}
+  double value(util::TimePoint t) override;
+
+ private:
+  double mean_, swing_, period_s_, noise_;
+  util::Rng rng_;
+};
+
+/// Light level (lux, log-normal-ish): day/night square-ish wave + clouds.
+class LightSensor final : public SyntheticSensor {
+ public:
+  LightSensor(double day_lux = 800.0, double night_lux = 2.0,
+              double period_s = 24.0 * 3600.0, std::uint64_t seed = 2)
+      : day_(day_lux), night_(night_lux), period_s_(period_s), rng_(seed) {}
+  double value(util::TimePoint t) override;
+
+ private:
+  double day_, night_, period_s_;
+  util::Rng rng_;
+};
+
+/// PIR motion: Poisson event arrivals; reads 1.0 while an event is active.
+class MotionSensor final : public SyntheticSensor {
+ public:
+  MotionSensor(double events_per_hour = 6.0,
+               util::Duration hold = util::Duration::seconds(5),
+               std::uint64_t seed = 3)
+      : rate_per_s_(events_per_hour / 3600.0), hold_(hold), rng_(seed) {}
+  double value(util::TimePoint t) override;
+  std::size_t events_emitted() const { return events_; }
+
+ private:
+  double rate_per_s_;
+  util::Duration hold_;
+  util::Rng rng_;
+  util::TimePoint next_event_ = util::TimePoint::zero();
+  util::TimePoint event_end_ = util::TimePoint::zero();
+  bool scheduled_ = false;
+  std::size_t events_ = 0;
+};
+
+/// Battery voltage: linear sag with load plus measurement noise.
+class VoltageSensor final : public SyntheticSensor {
+ public:
+  VoltageSensor(double initial_v = 3.0, double sag_v_per_day = 0.01,
+                double noise_v = 0.002, std::uint64_t seed = 4)
+      : initial_(initial_v), sag_per_s_(sag_v_per_day / 86400.0),
+        noise_(noise_v), rng_(seed) {}
+  double value(util::TimePoint t) override;
+
+ private:
+  double initial_, sag_per_s_, noise_;
+  util::Rng rng_;
+};
+
+/// Dual-axis accelerometer magnitude: machinery vibration with occasional
+/// bursts (the signal a vibration-diagnostics task would sample).
+class VibrationSensor final : public SyntheticSensor {
+ public:
+  VibrationSensor(double base_g = 0.02, double burst_g = 0.5,
+                  double burst_per_hour = 2.0, std::uint64_t seed = 5)
+      : base_(base_g), burst_(burst_g), burst_rate_per_s_(burst_per_hour / 3600.0),
+        rng_(seed) {}
+  double value(util::TimePoint t) override;
+
+ private:
+  double base_, burst_, burst_rate_per_s_;
+  util::Rng rng_;
+  util::TimePoint burst_until_ = util::TimePoint::zero();
+  util::TimePoint next_check_ = util::TimePoint::zero();
+};
+
+}  // namespace evm::plant

@@ -1,0 +1,75 @@
+#include "rtos/aperiodic.hpp"
+
+#include <algorithm>
+
+namespace evm::rtos {
+
+PollingServer::PollingServer(sim::Simulator& sim, Kernel& kernel, Params params)
+    : sim_(sim), kernel_(kernel), params_(params) {}
+
+util::Status PollingServer::start() {
+  if (task_ != kInvalidTask) {
+    return util::Status::failed_precondition("server already started");
+  }
+  TaskParams task;
+  task.name = params_.name;
+  task.period = params_.period;
+  task.wcet = params_.budget;  // analysis sees the full budget
+  task.priority = params_.priority;
+  auto id = kernel_.admit_task(
+      task, [this] { serve_quantum(); }, [this] { return plan_quantum(); });
+  if (!id) return id.status();
+  task_ = *id;
+  return kernel_.start_task(task_);
+}
+
+util::Status PollingServer::stop() {
+  if (task_ == kInvalidTask) {
+    return util::Status::failed_precondition("server not started");
+  }
+  util::Status status = kernel_.stop_task(task_);
+  task_ = kInvalidTask;
+  return status;
+}
+
+util::Status PollingServer::submit(util::Duration demand,
+                                   std::function<void()> on_complete,
+                                   std::string name) {
+  if (!demand.is_positive()) {
+    return util::Status::invalid_argument("job demand must be positive");
+  }
+  if (queue_.size() >= params_.queue_capacity) {
+    ++rejected_;
+    return util::Status::resource_exhausted("aperiodic queue full");
+  }
+  queue_.push_back(Job{std::move(name), demand, sim_.now(), std::move(on_complete)});
+  return util::Status::ok();
+}
+
+util::Duration PollingServer::plan_quantum() {
+  // The polling server's defining property: work present at the release
+  // consumes up to one budget; an idle release costs (next to) nothing.
+  util::Duration pending = util::Duration::zero();
+  for (const Job& job : queue_) pending += job.remaining;
+  planned_ = std::min(params_.budget, pending);
+  if (!planned_.is_positive()) planned_ = util::Duration::nanos(1);
+  return planned_;
+}
+
+void PollingServer::serve_quantum() {
+  util::Duration remaining = planned_;
+  while (remaining.is_positive() && !queue_.empty()) {
+    Job& job = queue_.front();
+    const util::Duration slice = std::min(remaining, job.remaining);
+    job.remaining -= slice;
+    remaining -= slice;
+    if (!job.remaining.is_positive()) {
+      ++completed_;
+      response_ms_.add(static_cast<double>((sim_.now() - job.submitted).ns()) / 1e6);
+      if (job.on_complete) job.on_complete();
+      queue_.pop_front();
+    }
+  }
+}
+
+}  // namespace evm::rtos

@@ -1,0 +1,73 @@
+// Polling server for aperiodic/sporadic work (paper §1.2, challenge 1:
+// "It is generally easier to incorporate sporadic tasks in a time-triggered
+// regime than vice versa"). The server is an ordinary periodic task with a
+// fixed budget; queued aperiodic jobs consume that budget FIFO each period,
+// so sporadic load is schedulable like any periodic task (utilization =
+// budget/period) and cannot disturb the control loops' guarantees.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <string>
+
+#include "rtos/kernel.hpp"
+#include "util/stats.hpp"
+
+namespace evm::rtos {
+
+struct PollingServerParams {
+  std::string name = "aperiodic-server";
+  util::Duration period = util::Duration::millis(100);
+  util::Duration budget = util::Duration::millis(10);
+  Priority priority = 12;
+  std::size_t queue_capacity = 16;
+};
+
+class PollingServer {
+ public:
+  using Params = PollingServerParams;
+
+  PollingServer(sim::Simulator& sim, Kernel& kernel, Params params = {});
+
+  /// Admission-checks the server task itself (budget/period must fit).
+  util::Status start();
+  util::Status stop();
+
+  /// Enqueue an aperiodic job needing `demand` of CPU; `on_complete` fires
+  /// when its last quantum finishes. Fails when the queue is full.
+  util::Status submit(util::Duration demand, std::function<void()> on_complete = {},
+                      std::string name = "job");
+
+  std::size_t pending() const { return queue_.size(); }
+  std::size_t completed() const { return completed_; }
+  std::size_t rejected() const { return rejected_; }
+  /// Response times (submit -> completion) in milliseconds.
+  const util::Samples& response_times_ms() const { return response_ms_; }
+  double utilization() const {
+    return static_cast<double>(params_.budget.ns()) /
+           static_cast<double>(params_.period.ns());
+  }
+
+ private:
+  struct Job {
+    std::string name;
+    util::Duration remaining;
+    util::TimePoint submitted;
+    std::function<void()> on_complete;
+  };
+
+  util::Duration plan_quantum();
+  void serve_quantum();
+
+  sim::Simulator& sim_;
+  Kernel& kernel_;
+  Params params_;
+  TaskId task_ = kInvalidTask;
+  std::deque<Job> queue_;
+  util::Duration planned_ = util::Duration::zero();
+  std::size_t completed_ = 0;
+  std::size_t rejected_ = 0;
+  util::Samples response_ms_;
+};
+
+}  // namespace evm::rtos

@@ -1,0 +1,121 @@
+#include "rtos/schedulability.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace evm::rtos {
+namespace {
+
+double utilization_of(const std::vector<AnalysisTask>& tasks) {
+  double total = 0.0;
+  for (const auto& t : tasks) {
+    total += static_cast<double>(t.wcet.ns()) / static_cast<double>(t.period.ns());
+  }
+  return total;
+}
+
+}  // namespace
+
+AnalysisResult liu_layland_test(const std::vector<AnalysisTask>& tasks) {
+  AnalysisResult result;
+  result.total_utilization = utilization_of(tasks);
+  if (tasks.empty()) {
+    result.schedulable = true;
+    return result;
+  }
+  const double n = static_cast<double>(tasks.size());
+  const double bound = n * (std::pow(2.0, 1.0 / n) - 1.0);
+  result.schedulable = result.total_utilization <= bound + 1e-12;
+  return result;
+}
+
+AnalysisResult hyperbolic_test(const std::vector<AnalysisTask>& tasks) {
+  AnalysisResult result;
+  result.total_utilization = utilization_of(tasks);
+  double product = 1.0;
+  for (const auto& t : tasks) {
+    const double u =
+        static_cast<double>(t.wcet.ns()) / static_cast<double>(t.period.ns());
+    product *= (u + 1.0);
+  }
+  result.schedulable = product <= 2.0 + 1e-12;
+  return result;
+}
+
+AnalysisResult response_time_analysis(const std::vector<AnalysisTask>& tasks) {
+  AnalysisResult result;
+  result.total_utilization = utilization_of(tasks);
+  result.response_times.assign(tasks.size(), util::Duration::zero());
+  result.schedulable = true;
+
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const AnalysisTask& ti = tasks[i];
+    const util::Duration deadline = ti.effective_deadline();
+
+    util::Duration r = ti.wcet;
+    bool converged = false;
+    // Iterate to fixed point; bail out once R exceeds the deadline (the
+    // iteration is monotonically non-decreasing).
+    for (int iter = 0; iter < 1000; ++iter) {
+      util::Duration interference = util::Duration::zero();
+      for (std::size_t j = 0; j < tasks.size(); ++j) {
+        if (j == i) continue;
+        const AnalysisTask& tj = tasks[j];
+        const bool higher = tj.priority < ti.priority ||
+                            (tj.priority == ti.priority && j < i);
+        if (!higher) continue;
+        const std::int64_t jobs =
+            (r.ns() + tj.period.ns() - 1) / tj.period.ns();  // ceil(R/Tj)
+        interference += tj.wcet * jobs;
+      }
+      const util::Duration next = ti.wcet + interference;
+      if (next == r) {
+        converged = true;
+        break;
+      }
+      r = next;
+      if (r > deadline) break;
+    }
+
+    if (!converged || r > deadline) {
+      result.schedulable = false;
+      result.response_times[i] = converged ? r : util::Duration::max();
+    } else {
+      result.response_times[i] = r;
+    }
+  }
+  return result;
+}
+
+void assign_rate_monotonic(std::vector<AnalysisTask>& tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].period < tasks[b].period;
+  });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    tasks[order[rank]].priority = static_cast<Priority>(rank);
+  }
+}
+
+void assign_deadline_monotonic(std::vector<AnalysisTask>& tasks) {
+  std::vector<std::size_t> order(tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return tasks[a].effective_deadline() < tasks[b].effective_deadline();
+  });
+  for (std::size_t rank = 0; rank < order.size(); ++rank) {
+    tasks[order[rank]].priority = static_cast<Priority>(rank);
+  }
+}
+
+std::vector<AnalysisTask> to_analysis(const std::vector<TaskParams>& params) {
+  std::vector<AnalysisTask> tasks;
+  tasks.reserve(params.size());
+  for (const auto& p : params) {
+    tasks.push_back(AnalysisTask{p.wcet, p.period, p.deadline, p.priority});
+  }
+  return tasks;
+}
+
+}  // namespace evm::rtos

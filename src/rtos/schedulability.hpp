@@ -1,0 +1,51 @@
+// Schedulability analysis for fixed-priority preemptive task sets (paper
+// §3.1.1, operation 3: "the new task-set or schedule will only be activated
+// if the schedulability test is passed"). Three tests with increasing
+// precision: Liu-Layland utilization bound, the hyperbolic bound, and exact
+// response-time analysis (Joseph & Pandya / Audsley iteration).
+#pragma once
+
+#include <vector>
+
+#include "rtos/task.hpp"
+
+namespace evm::rtos {
+
+struct AnalysisTask {
+  util::Duration wcet;
+  util::Duration period;
+  util::Duration deadline = util::Duration::zero();  // zero => period
+  Priority priority = 0;  // lower = higher
+
+  util::Duration effective_deadline() const {
+    return deadline.is_zero() ? period : deadline;
+  }
+};
+
+struct AnalysisResult {
+  bool schedulable = false;
+  double total_utilization = 0.0;
+  /// Worst-case response time per task (same order as input); only filled by
+  /// response-time analysis. Duration::max() marks divergent tasks.
+  std::vector<util::Duration> response_times;
+};
+
+/// Liu-Layland: sum(U) <= n(2^(1/n) - 1). Sufficient, not necessary.
+AnalysisResult liu_layland_test(const std::vector<AnalysisTask>& tasks);
+
+/// Hyperbolic bound (Bini-Buttazzo): prod(U_i + 1) <= 2. Tighter than L&L.
+AnalysisResult hyperbolic_test(const std::vector<AnalysisTask>& tasks);
+
+/// Exact test for deadline <= period task sets: iterate
+/// R = C + sum_{hp} ceil(R / T_j) C_j to a fixed point, compare to deadline.
+AnalysisResult response_time_analysis(const std::vector<AnalysisTask>& tasks);
+
+/// Assign rate-monotonic priorities in place (shorter period = higher).
+void assign_rate_monotonic(std::vector<AnalysisTask>& tasks);
+/// Assign deadline-monotonic priorities in place.
+void assign_deadline_monotonic(std::vector<AnalysisTask>& tasks);
+
+/// Convenience: analysis view of a set of TaskParams.
+std::vector<AnalysisTask> to_analysis(const std::vector<TaskParams>& params);
+
+}  // namespace evm::rtos

@@ -1,0 +1,307 @@
+#include "rtos/scheduler.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace evm::rtos {
+
+Scheduler::Scheduler(sim::Simulator& sim, ReservationManager* reservations)
+    : sim_(sim), reservations_(reservations), epoch_(sim.now()) {}
+
+TaskId Scheduler::add_task(TaskParams params, std::function<void()> body,
+                           std::function<util::Duration()> execution_time) {
+  const TaskId id = next_id_++;
+  Tcb tcb;
+  tcb.id = id;
+  tcb.params = std::move(params);
+  tcb.body = std::move(body);
+  tcb.execution_time = std::move(execution_time);
+  tasks_[id] = std::move(tcb);
+  return id;
+}
+
+util::Status Scheduler::remove_task(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return util::Status::not_found("no such task");
+  (void)deactivate(id);
+  tasks_.erase(it);
+  return util::Status::ok();
+}
+
+util::Status Scheduler::activate(TaskId id) {
+  auto it = tasks_.find(id);
+  if (it == tasks_.end()) return util::Status::not_found("no such task");
+  auto& state = active_[id];
+  if (state.releasing) return util::Status::already_exists("task already active");
+  state.releasing = true;
+  it->second.state = TaskState::kFinished;  // waiting for first release
+  state.release_event = sim_.schedule_after(
+      it->second.params.phase, [this, id] { release_job(id); });
+  return util::Status::ok();
+}
+
+util::Status Scheduler::deactivate(TaskId id) {
+  auto it = active_.find(id);
+  if (it == active_.end() || !it->second.releasing) {
+    return util::Status::failed_precondition("task not active");
+  }
+  sim_.cancel(it->second.release_event);
+  abort_job(id);
+  active_.erase(id);
+  if (Tcb* tcb = task(id)) tcb->state = TaskState::kDormant;
+  return util::Status::ok();
+}
+
+util::Status Scheduler::bind_reservation(TaskId id, ReservationId reservation) {
+  Tcb* tcb = task(id);
+  if (tcb == nullptr) return util::Status::not_found("no such task");
+  if (reservations_ != nullptr && reservation != kNoReservation &&
+      !reservations_->has_cpu(reservation)) {
+    return util::Status::not_found("no such reservation");
+  }
+  tcb->reservation = reservation;
+  return util::Status::ok();
+}
+
+util::Status Scheduler::set_priority(TaskId id, Priority priority) {
+  Tcb* tcb = task(id);
+  if (tcb == nullptr) return util::Status::not_found("no such task");
+  tcb->params.priority = priority;
+  // A priority change can make the running job preemptible immediately.
+  dispatch();
+  return util::Status::ok();
+}
+
+Tcb* Scheduler::task(TaskId id) {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+const Tcb* Scheduler::task(TaskId id) const {
+  auto it = tasks_.find(id);
+  return it == tasks_.end() ? nullptr : &it->second;
+}
+
+std::vector<TaskId> Scheduler::task_ids() const {
+  std::vector<TaskId> ids;
+  ids.reserve(tasks_.size());
+  for (const auto& [id, tcb] : tasks_) {
+    (void)tcb;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+double Scheduler::utilization() const {
+  double total = 0.0;
+  for (const auto& [id, state] : active_) {
+    if (!state.releasing) continue;
+    const Tcb* tcb = task(id);
+    if (tcb != nullptr) total += tcb->params.utilization();
+  }
+  return total;
+}
+
+double Scheduler::measured_utilization() const {
+  util::Duration busy = busy_time_;
+  if (running_.has_value()) busy += sim_.now() - segment_start_;
+  const util::Duration span = sim_.now() - epoch_;
+  if (!span.is_positive()) return 0.0;
+  return static_cast<double>(busy.ns()) / static_cast<double>(span.ns());
+}
+
+std::optional<TaskId> Scheduler::running() const {
+  if (!running_.has_value()) return std::nullopt;
+  return running_->task;
+}
+
+bool Scheduler::is_active(TaskId id) const {
+  auto it = active_.find(id);
+  return it != active_.end() && it->second.releasing;
+}
+
+void Scheduler::release_job(TaskId id) {
+  auto state_it = active_.find(id);
+  if (state_it == active_.end() || !state_it->second.releasing) return;
+  Tcb* tcb = task(id);
+  assert(tcb != nullptr);
+
+  // Overrun policy: if the previous job is still pending at its successor's
+  // release, it has missed its deadline; abort it (skip-next) so a single
+  // overloaded task cannot wedge the node.
+  if (state_it->second.job_pending) {
+    ++tcb->stats.deadline_misses;
+    abort_job(id);
+  }
+
+  ++tcb->stats.releases;
+  Job job;
+  job.task = id;
+  job.release = sim_.now();
+  job.remaining = tcb->execution_time ? tcb->execution_time() : tcb->params.wcet;
+  if (!job.remaining.is_positive()) job.remaining = util::Duration::nanos(1);
+  state_it->second.job_pending = true;
+  state_it->second.job = job;
+  tcb->state = TaskState::kReady;
+  enqueue_ready(job);
+  schedule_next_release(id);
+  dispatch();
+}
+
+void Scheduler::schedule_next_release(TaskId id) {
+  auto it = active_.find(id);
+  if (it == active_.end() || !it->second.releasing) return;
+  const Tcb* tcb = task(id);
+  it->second.release_event =
+      sim_.schedule_after(tcb->params.period, [this, id] { release_job(id); });
+}
+
+void Scheduler::enqueue_ready(Job job) { ready_.push_back(std::move(job)); }
+
+void Scheduler::dispatch() {
+  // Select the highest-priority ready job (lowest number, FIFO tie-break).
+  auto best = ready_.end();
+  for (auto it = ready_.begin(); it != ready_.end(); ++it) {
+    const Tcb* tcb = task(it->task);
+    if (tcb == nullptr) continue;
+    if (best == ready_.end() ||
+        tcb->params.priority < task(best->task)->params.priority) {
+      best = it;
+    }
+  }
+
+  if (running_.has_value()) {
+    if (best == ready_.end()) return;
+    const Tcb* run_tcb = task(running_->task);
+    const Tcb* best_tcb = task(best->task);
+    if (run_tcb != nullptr && best_tcb->params.priority >= run_tcb->params.priority) {
+      return;  // current job keeps the CPU
+    }
+    preempt_running();
+    // preempt_running pushed the old job onto ready_; re-select.
+    dispatch();
+    return;
+  }
+
+  if (best == ready_.end()) return;
+  running_ = *best;
+  ready_.erase(best);
+  if (Tcb* tcb = task(running_->task)) tcb->state = TaskState::kRunning;
+  start_segment();
+}
+
+void Scheduler::start_segment() {
+  assert(running_.has_value());
+  Tcb* tcb = task(running_->task);
+  assert(tcb != nullptr);
+  segment_start_ = sim_.now();
+
+  util::Duration slice = running_->remaining;
+  if (reservations_ != nullptr && tcb->reservation != kNoReservation) {
+    const util::Duration available = reservations_->cpu_available(tcb->reservation);
+    if (!available.is_positive()) {
+      // Budget dry: suspend until replenishment.
+      ++tcb->stats.throttles;
+      tcb->state = TaskState::kSuspended;
+      Job job = *running_;
+      running_.reset();
+      const util::TimePoint wake = reservations_->cpu_next_replenish(tcb->reservation);
+      sim_.schedule_at(wake, [this, job] {
+        if (Tcb* t = task(job.task); t != nullptr && t->state == TaskState::kSuspended) {
+          t->state = TaskState::kReady;
+          enqueue_ready(job);
+          dispatch();
+        }
+      });
+      dispatch();
+      return;
+    }
+    slice = std::min(slice, available);
+  }
+
+  const std::uint64_t generation = ++segment_generation_;
+  segment_event_ = sim_.schedule_after(
+      slice, [this, generation] { end_segment(generation); });
+}
+
+void Scheduler::end_segment(std::uint64_t generation) {
+  if (generation != segment_generation_ || !running_.has_value()) return;
+  Tcb* tcb = task(running_->task);
+  assert(tcb != nullptr);
+
+  const util::Duration executed = sim_.now() - segment_start_;
+  busy_time_ += executed;
+  running_->remaining -= executed;
+  if (reservations_ != nullptr && tcb->reservation != kNoReservation) {
+    reservations_->cpu_consume(tcb->reservation, executed);
+  }
+
+  if (running_->remaining.is_positive()) {
+    // Budget exhausted mid-job: suspend (start_segment handles the wait).
+    Job job = *running_;
+    running_.reset();
+    running_ = job;
+    start_segment();
+    return;
+  }
+
+  Job done = *running_;
+  running_.reset();
+  complete_job(done);
+  dispatch();
+}
+
+void Scheduler::preempt_running() {
+  assert(running_.has_value());
+  Tcb* tcb = task(running_->task);
+  const util::Duration executed = sim_.now() - segment_start_;
+  busy_time_ += executed;
+  running_->remaining -= executed;
+  if (reservations_ != nullptr && tcb != nullptr &&
+      tcb->reservation != kNoReservation && executed.is_positive()) {
+    reservations_->cpu_consume(tcb->reservation, executed);
+  }
+  ++segment_generation_;  // invalidate the pending end-of-segment event
+  sim_.cancel(segment_event_);
+  if (tcb != nullptr) {
+    ++tcb->stats.preemptions;
+    tcb->state = TaskState::kReady;
+  }
+  enqueue_ready(*running_);
+  running_.reset();
+}
+
+void Scheduler::abort_job(TaskId id) {
+  if (running_.has_value() && running_->task == id) {
+    const util::Duration executed = sim_.now() - segment_start_;
+    busy_time_ += executed;
+    ++segment_generation_;
+    sim_.cancel(segment_event_);
+    running_.reset();
+    dispatch();
+  }
+  std::erase_if(ready_, [id](const Job& j) { return j.task == id; });
+  auto it = active_.find(id);
+  if (it != active_.end()) it->second.job_pending = false;
+}
+
+void Scheduler::complete_job(Job job) {
+  Tcb* tcb = task(job.task);
+  if (tcb == nullptr) return;
+  auto state_it = active_.find(job.task);
+  if (state_it != active_.end()) state_it->second.job_pending = false;
+
+  const util::Duration response = sim_.now() - job.release;
+  ++tcb->stats.completions;
+  tcb->stats.total_response += response;
+  tcb->stats.worst_response = std::max(tcb->stats.worst_response, response);
+  if (response > tcb->params.effective_deadline()) {
+    ++tcb->stats.deadline_misses;
+  }
+  tcb->state = TaskState::kFinished;
+  if (tcb->body) tcb->body();
+}
+
+}  // namespace evm::rtos

@@ -1,0 +1,101 @@
+#include "sim/simulator.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/log.hpp"
+
+namespace evm::sim {
+
+Simulator::Simulator(std::uint64_t seed) : now_(TimePoint::zero()), rng_(seed) {}
+
+Simulator::~Simulator() = default;
+
+EventHandle Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
+  assert(when >= now_ && "cannot schedule events in the past");
+  const std::uint64_t id = next_id_++;
+  queue_.push(Event{when, next_sequence_++, id, std::move(fn)});
+  return EventHandle(id);
+}
+
+EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) {
+  return schedule_at(now_ + delay, std::move(fn));
+}
+
+void Simulator::cancel(EventHandle handle) {
+  if (!handle.valid()) return;
+  cancelled_.push_back(handle.id());
+  ++cancelled_pending_;
+}
+
+bool Simulator::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    // const_cast is safe: we immediately pop and never re-inspect the slot.
+    Event& top = const_cast<Event&>(queue_.top());
+    const auto it = std::find(cancelled_.begin(), cancelled_.end(), top.id);
+    if (it != cancelled_.end()) {
+      cancelled_.erase(it);
+      --cancelled_pending_;
+      queue_.pop();
+      continue;
+    }
+    out = std::move(top);
+    queue_.pop();
+    return true;
+  }
+  return false;
+}
+
+std::size_t Simulator::run_until(TimePoint until) {
+  std::size_t count = 0;
+  Event event;
+  while (!queue_.empty() && queue_.top().when <= until) {
+    if (!pop_next(event)) break;
+    if (event.when > until) {
+      // Re-queue: the next live event is beyond the horizon.
+      queue_.push(std::move(event));
+      break;
+    }
+    now_ = event.when;
+    event.fn();
+    ++dispatched_;
+    ++count;
+  }
+  if (now_ < until) now_ = until;
+  return count;
+}
+
+std::size_t Simulator::run_all() {
+  std::size_t count = 0;
+  Event event;
+  while (pop_next(event)) {
+    now_ = event.when;
+    event.fn();
+    ++dispatched_;
+    ++count;
+  }
+  return count;
+}
+
+bool Simulator::step() {
+  Event event;
+  if (!pop_next(event)) return false;
+  now_ = event.when;
+  event.fn();
+  ++dispatched_;
+  return true;
+}
+
+std::size_t Simulator::pending_events() const {
+  return queue_.size() - cancelled_pending_;
+}
+
+ScopedLogClock::ScopedLogClock(const Simulator& sim) {
+  util::Logger::instance().set_time_source([&sim] { return sim.now(); });
+}
+
+ScopedLogClock::~ScopedLogClock() {
+  util::Logger::instance().set_time_source(nullptr);
+}
+
+}  // namespace evm::sim

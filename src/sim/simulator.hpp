@@ -1,0 +1,96 @@
+// Deterministic discrete-event simulator. Everything in the repository —
+// radios, MAC protocols, RTOS scheduling, plant integration — is driven by
+// one instance of this clock, so a whole hardware-in-loop experiment is a
+// pure function of (configuration, seed).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "util/rng.hpp"
+#include "util/time.hpp"
+
+namespace evm::sim {
+
+using util::Duration;
+using util::TimePoint;
+
+/// Handle used to cancel a pending event. Default-constructed handles are
+/// inert.
+class EventHandle {
+ public:
+  EventHandle() = default;
+  bool valid() const { return id_ != 0; }
+  std::uint64_t id() const { return id_; }
+
+ private:
+  friend class Simulator;
+  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  std::uint64_t id_ = 0;
+};
+
+class Simulator {
+ public:
+  explicit Simulator(std::uint64_t seed = 1);
+  ~Simulator();
+
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  TimePoint now() const { return now_; }
+  util::Rng& rng() { return rng_; }
+
+  /// Schedule `fn` to run at absolute time `when` (>= now).
+  EventHandle schedule_at(TimePoint when, std::function<void()> fn);
+  /// Schedule `fn` to run `delay` from now.
+  EventHandle schedule_after(Duration delay, std::function<void()> fn);
+  /// Cancel a pending event. Safe to call on fired/cancelled handles.
+  void cancel(EventHandle handle);
+
+  /// Run until the event queue drains or `until` is reached, whichever is
+  /// first. Returns the number of events dispatched.
+  std::size_t run_until(TimePoint until);
+  /// Run until the queue drains (use only for workloads known to terminate).
+  std::size_t run_all();
+  /// Dispatch exactly one event if present; returns false when queue empty.
+  bool step();
+
+  std::size_t pending_events() const;
+  std::size_t dispatched_events() const { return dispatched_; }
+
+ private:
+  struct Event {
+    TimePoint when;
+    std::uint64_t sequence;  // FIFO tie-break for simultaneous events
+    std::uint64_t id;
+    std::function<void()> fn;
+  };
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  bool pop_next(Event& out);
+
+  TimePoint now_;
+  util::Rng rng_;
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::vector<std::uint64_t> cancelled_;  // sorted insertion not needed; small
+  std::uint64_t next_sequence_ = 1;
+  std::uint64_t next_id_ = 1;
+  std::size_t dispatched_ = 0;
+  std::size_t cancelled_pending_ = 0;
+};
+
+/// RAII installer that points the global logger's timestamps at a simulator.
+class ScopedLogClock {
+ public:
+  explicit ScopedLogClock(const Simulator& sim);
+  ~ScopedLogClock();
+};
+
+}  // namespace evm::sim

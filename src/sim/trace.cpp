@@ -1,0 +1,91 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <limits>
+
+namespace evm::sim {
+
+void Trace::record(const std::string& series, util::TimePoint t, double value) {
+  auto& s = series_[series];
+  if (s.name.empty()) s.name = series;
+  s.samples.emplace_back(t, value);
+}
+
+const Series* Trace::find(const std::string& series) const {
+  auto it = series_.find(series);
+  return it == series_.end() ? nullptr : &it->second;
+}
+
+std::vector<std::string> Trace::series_names() const {
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const auto& [name, unused] : series_) names.push_back(name);
+  return names;
+}
+
+std::size_t Trace::total_samples() const {
+  std::size_t n = 0;
+  for (const auto& [unused, s] : series_) n += s.samples.size();
+  return n;
+}
+
+double Trace::value_at(const std::string& series, util::TimePoint t) const {
+  const Series* s = find(series);
+  if (s == nullptr || s->samples.empty()) return 0.0;
+  // Samples are recorded in time order; find last sample with time <= t.
+  auto it = std::upper_bound(
+      s->samples.begin(), s->samples.end(), t,
+      [](util::TimePoint lhs, const auto& sample) { return lhs < sample.first; });
+  if (it == s->samples.begin()) return it->second;
+  return std::prev(it)->second;
+}
+
+double Trace::last_value(const std::string& series) const {
+  const Series* s = find(series);
+  if (s == nullptr || s->samples.empty()) return 0.0;
+  return s->samples.back().second;
+}
+
+double Trace::min_value(const std::string& series) const {
+  const Series* s = find(series);
+  if (s == nullptr || s->samples.empty()) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& [t, v] : s->samples) best = std::min(best, v);
+  return best;
+}
+
+double Trace::max_value(const std::string& series) const {
+  const Series* s = find(series);
+  if (s == nullptr || s->samples.empty()) return 0.0;
+  double best = -std::numeric_limits<double>::infinity();
+  for (const auto& [t, v] : s->samples) best = std::max(best, v);
+  return best;
+}
+
+void Trace::print_table(std::ostream& os, util::Duration step) const {
+  if (series_.empty()) return;
+  util::TimePoint start = util::TimePoint::max();
+  util::TimePoint end = util::TimePoint::zero();
+  for (const auto& [unused, s] : series_) {
+    if (s.samples.empty()) continue;
+    start = std::min(start, s.samples.front().first);
+    end = std::max(end, s.samples.back().first);
+  }
+  if (start > end) return;
+
+  os << std::setw(12) << "time_s";
+  for (const auto& [name, unused] : series_) os << std::setw(18) << name;
+  os << '\n';
+  for (util::TimePoint t = start; t <= end; t += step) {
+    os << std::setw(12) << std::fixed << std::setprecision(1) << t.to_seconds();
+    for (const auto& [name, unused] : series_) {
+      os << std::setw(18) << std::setprecision(4) << value_at(name, t);
+    }
+    os << '\n';
+  }
+}
+
+void Trace::clear() { series_.clear(); }
+
+}  // namespace evm::sim

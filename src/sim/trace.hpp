@@ -1,0 +1,43 @@
+// Time-series trace recorder. Benches and the Fig. 6(b) reproduction sample
+// plant variables into named series and print them as aligned columns.
+#pragma once
+
+#include <map>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/time.hpp"
+
+namespace evm::sim {
+
+/// One named series of (time, value) samples.
+struct Series {
+  std::string name;
+  std::vector<std::pair<util::TimePoint, double>> samples;
+};
+
+class Trace {
+ public:
+  void record(const std::string& series, util::TimePoint t, double value);
+
+  const Series* find(const std::string& series) const;
+  std::vector<std::string> series_names() const;
+  std::size_t total_samples() const;
+
+  /// Value of a series at (or immediately before) time t; 0 if none.
+  double value_at(const std::string& series, util::TimePoint t) const;
+  double last_value(const std::string& series) const;
+  double min_value(const std::string& series) const;
+  double max_value(const std::string& series) const;
+
+  /// Print all series resampled onto a shared time grid, one row per step.
+  void print_table(std::ostream& os, util::Duration step) const;
+
+  void clear();
+
+ private:
+  std::map<std::string, Series> series_;
+};
+
+}  // namespace evm::sim

@@ -1,0 +1,209 @@
+#include "testbed/gas_plant_testbed.hpp"
+
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace evm::testbed {
+
+using TB = TestbedIds;
+
+GasPlantTestbed::GasPlantTestbed(GasPlantTestbedConfig config)
+    : config_(config), sim_(config.seed), plant_(config.plant) {
+  // Full mesh: controllers must overhear each other's broadcasts for
+  // passive observation ("all of which are connected with wireless
+  // connections to each other", §4).
+  std::vector<net::NodeId> ids = {TB::kGateway, TB::kSensor, TB::kCtrlA,
+                                  TB::kCtrlB,  TB::kCtrlC,  TB::kActuator};
+  topology_ = net::Topology::full_mesh(ids, config_.link_loss);
+  medium_ = std::make_unique<net::Medium>(sim_, topology_);
+
+  // 10 slots x 5 ms = 50 ms frame: every node transmits once per frame,
+  // keeping worst-case link access at 50 ms << the 250 ms control cycle.
+  schedule_ = std::make_unique<net::RtLinkSchedule>(10, util::Duration::millis(5));
+  int slot = 0;
+  for (net::NodeId id : ids) schedule_->assign_tx(slot++, id);
+  // A second slot per frame for the chatty nodes (sensor + controllers).
+  schedule_->assign_tx(slot++, TB::kSensor);
+  schedule_->assign_tx(slot++, TB::kCtrlA);
+  schedule_->assign_tx(slot++, TB::kCtrlB);
+  schedule_->assign_tx(slot++, TB::kGateway);
+
+  net::TimeSyncParams sync;
+  sync.period = util::Duration::seconds(1);
+  timesync_ = std::make_unique<net::TimeSync>(sim_, sync);
+
+  plant::HilConfig hil_config;
+  hil_config.plant_step = util::Duration::millis(100);
+  hil_config.record_period = util::Duration::seconds(1);
+  hil_ = std::make_unique<plant::HilHarness>(sim_, plant_, hil_config);
+
+  build_descriptor();
+  build_nodes();
+}
+
+void GasPlantTestbed::build_descriptor() {
+  descriptor_.id = 1;
+  descriptor_.name = "lts-level-vc";
+  descriptor_.head = TB::kGateway;
+  descriptor_.members = {TB::kGateway, TB::kSensor, TB::kCtrlA,
+                         TB::kCtrlB,  TB::kActuator};
+  if (config_.third_controller) descriptor_.members.push_back(TB::kCtrlC);
+
+  core::ControlFunction loop;
+  loop.id = kLtsLevelLoop;
+  loop.name = "lts-level";
+  loop.sensor_stream = kLevelStream;
+  loop.actuator_channel = kValveChannel;
+  loop.task.name = "lts-pid";
+  loop.task.period = config_.control_period;
+  loop.task.wcet = util::Duration::millis(2);
+  loop.task.priority = 8;
+  loop.output_min = 0.0;
+  loop.output_max = 100.0;
+  loop.deviation_threshold = 10.0;
+  loop.evidence_threshold = config_.evidence_threshold;
+  loop.silence_threshold = 8;
+
+  core::FilteredPidSpec pid;
+  pid.kp = 2.0;
+  pid.ki = 0.02;
+  pid.kd = 0.0;
+  pid.setpoint = config_.level_setpoint;
+  pid.action = 1.0;  // level above setpoint -> open the drain valve further
+  pid.output_min = 0.0;
+  pid.output_max = 100.0;
+  pid.integral_min = -40.0;
+  pid.integral_max = 40.0;
+  pid.filter_tau_s = 2.0;
+  pid.dt_s = config_.control_period.to_seconds();
+  pid.sensor_channel = kLevelStream;
+  pid.actuator_channel = kValveChannel;
+  auto capsule = core::make_filtered_pid(kLtsLevelLoop, "lts-level-pid", pid);
+  if (!capsule) {
+    throw std::runtime_error("PID capsule assembly failed: " +
+                             capsule.status().to_string());
+  }
+  loop.algorithm = *capsule;
+  descriptor_.functions[kLtsLevelLoop] = loop;
+
+  auto& replica_order = descriptor_.replicas[kLtsLevelLoop];
+  replica_order = {TB::kCtrlA, TB::kCtrlB};
+  if (config_.third_controller) replica_order.push_back(TB::kCtrlC);
+
+  // Object transfer relationships (Fig. 1c / §3.1.2): the sensor publishes
+  // directionally to the controllers; controllers actuate directionally;
+  // backups hold health-assessment transfers over the primary.
+  descriptor_.transfers.push_back(
+      {TB::kSensor, TB::kCtrlA, core::TransferType::kDirectional, {}, {}});
+  descriptor_.transfers.push_back(
+      {TB::kSensor, TB::kCtrlB, core::TransferType::kDirectional, {}, {}});
+  descriptor_.transfers.push_back(
+      {TB::kCtrlA, TB::kActuator, core::TransferType::kDirectional, {}, {}});
+  descriptor_.transfers.push_back({TB::kCtrlB, TB::kCtrlA,
+                                   core::TransferType::kHealthAssessment,
+                                   util::Duration::zero(),
+                                   core::FaultResponse::kTriggerBackup});
+  if (config_.third_controller) {
+    descriptor_.transfers.push_back({TB::kCtrlC, TB::kCtrlA,
+                                     core::TransferType::kHealthAssessment,
+                                     util::Duration::zero(),
+                                     core::FaultResponse::kTriggerBackup});
+  }
+}
+
+void GasPlantTestbed::build_nodes() {
+  core::FailoverPolicy policy;
+  policy.reports_required = 1;
+  policy.dormant_delay = config_.dormant_delay;
+
+  std::vector<net::NodeId> ids = {TB::kGateway, TB::kSensor, TB::kCtrlA,
+                                  TB::kCtrlB,  TB::kCtrlC,  TB::kActuator};
+  double drift = -30.0;
+  for (net::NodeId id : ids) {
+    core::NodeConfig config;
+    config.id = id;
+    config.clock_drift_ppm = drift;  // spread drifts across the fleet
+    drift += 12.0;
+    nodes_[id] = std::make_unique<core::Node>(sim_, *medium_, *schedule_,
+                                              *timesync_, config);
+    services_[id] =
+        std::make_unique<core::EvmService>(*nodes_[id], descriptor_, policy);
+  }
+
+  // Sensor node S1 samples the LTS level (in HIL, straight from the plant
+  // model — physically this is its ADC reading the level transmitter).
+  nodes_[TB::kSensor]->bind_sensor(kLevelStream,
+                                   [this] { return plant_.lts_level_percent(); });
+  // Actuator node A1 drives the LTS drain valve.
+  nodes_[TB::kActuator]->bind_actuator(
+      kValveChannel, [this](double percent) { plant_.set_lts_valve(percent); });
+  services_[TB::kActuator]->set_actuation_handler([this](const core::ActuationMsg& msg) {
+    (void)nodes_[TB::kActuator]->write_actuator(msg.channel, msg.value);
+  });
+
+  // Gateway monitors the plant through the ModBus register map (Fig. 5).
+  (void)hil_->modbus().map_plant_variable(0, plant_, "LTS.LiquidPercentLevel", false);
+  (void)hil_->modbus().map_plant_variable(1, plant_, "SepLiq.MolarFlow", false);
+  (void)hil_->modbus().map_plant_variable(2, plant_, "LTSLiq.MolarFlow", false);
+  (void)hil_->modbus().map_plant_variable(3, plant_, "TowerFeed.MolarFlow", false);
+  (void)hil_->modbus().map_plant_variable(100, plant_, "LTSValve.Opening", true);
+}
+
+void GasPlantTestbed::start() {
+  if (started_) return;
+  started_ = true;
+
+  // Bring the plant to its operating point: settle the thermal transients,
+  // compute the balancing valve opening (the paper's 11.48 % equivalent),
+  // then pin level and valve at the operating point.
+  plant_.settle(600.0);
+  steady_opening_ = plant_.steady_lts_opening(config_.level_setpoint);
+  plant_.set_lts_valve(steady_opening_);
+  plant_.lts().set_level_percent(config_.level_setpoint);
+  plant_.settle(120.0);
+
+  timesync_->start();
+  hil_->start();
+
+  for (auto& [id, service] : services_) {
+    (void)id;
+    util::Status status = service->start();
+    if (!status) {
+      throw std::runtime_error("service start failed: " + status.to_string());
+    }
+  }
+  // S1 publishes the level stream once per control period.
+  util::Status pub = services_[TB::kSensor]->add_sensor_publisher(
+      kLevelStream, kLevelStream, config_.control_period);
+  if (!pub) throw std::runtime_error("sensor publisher failed: " + pub.to_string());
+
+  // Bumpless start: pre-seed every controller replica's PID state at the
+  // operating point so the experiment opens in regulation, not bootstrap.
+  std::vector<net::NodeId> controllers = {TB::kCtrlA, TB::kCtrlB};
+  if (config_.third_controller) controllers.push_back(TB::kCtrlC);
+  for (net::NodeId id : controllers) {
+    auto& svc = *services_[id];
+    (void)svc.seed_function_slot(kLtsLevelLoop, core::kPidSlotIntegral,
+                                 steady_opening_);
+    (void)svc.seed_function_slot(kLtsLevelLoop, core::kPidSlotFilter1,
+                                 config_.level_setpoint);
+    (void)svc.seed_function_slot(kLtsLevelLoop, core::kPidSlotFilter2,
+                                 config_.level_setpoint);
+    (void)svc.seed_function_slot(kLtsLevelLoop, core::kPidSlotInit, 1.0);
+  }
+}
+
+void GasPlantTestbed::inject_primary_fault(double wrong_value) {
+  services_[TB::kCtrlA]->inject_output_fault(kLtsLevelLoop, wrong_value);
+}
+
+void GasPlantTestbed::clear_primary_fault() {
+  services_[TB::kCtrlA]->clear_output_fault(kLtsLevelLoop);
+}
+
+void GasPlantTestbed::run_until(util::Duration until) {
+  sim_.run_until(util::TimePoint::zero() + until);
+}
+
+}  // namespace evm::testbed

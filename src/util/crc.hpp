@@ -1,0 +1,17 @@
+// CRC-16-CCITT and CRC-32 used by packet integrity checks and the EVM's
+// software-attestation step (paper §3.1.1, operation 8).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace evm::util {
+
+/// CRC-16-CCITT (poly 0x1021, init 0xFFFF) — the checksum 802.15.4 frames use.
+std::uint16_t crc16(std::span<const std::uint8_t> data);
+
+/// CRC-32 (IEEE, reflected) — used for code-capsule attestation.
+std::uint32_t crc32(std::span<const std::uint8_t> data);
+
+}  // namespace evm::util

@@ -1,0 +1,58 @@
+// Minimal leveled logger. The simulator installs a time source so log lines
+// carry virtual time, which is what matters when debugging protocol traces.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "util/time.hpp"
+
+namespace evm::util {
+
+enum class LogLevel { kTrace = 0, kDebug, kInfo, kWarn, kError, kOff };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  LogLevel level() const { return level_; }
+
+  /// Install a virtual-clock source (the simulator does this); nullptr to
+  /// fall back to untimestamped lines.
+  void set_time_source(std::function<TimePoint()> source) {
+    time_source_ = std::move(source);
+  }
+
+  /// Redirect output (tests capture lines this way). nullptr restores stderr.
+  void set_sink(std::function<void(const std::string&)> sink) {
+    sink_ = std::move(sink);
+  }
+
+  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+  void write(LogLevel level, const std::string& tag, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<TimePoint()> time_source_;
+  std::function<void(const std::string&)> sink_;
+};
+
+#define EVM_LOG(level, tag, expr)                                         \
+  do {                                                                    \
+    if (::evm::util::Logger::instance().enabled(level)) {                 \
+      std::ostringstream evm_log_oss;                                     \
+      evm_log_oss << expr;                                                \
+      ::evm::util::Logger::instance().write(level, tag, evm_log_oss.str()); \
+    }                                                                     \
+  } while (0)
+
+#define EVM_TRACE(tag, expr) EVM_LOG(::evm::util::LogLevel::kTrace, tag, expr)
+#define EVM_DEBUG(tag, expr) EVM_LOG(::evm::util::LogLevel::kDebug, tag, expr)
+#define EVM_INFO(tag, expr) EVM_LOG(::evm::util::LogLevel::kInfo, tag, expr)
+#define EVM_WARN(tag, expr) EVM_LOG(::evm::util::LogLevel::kWarn, tag, expr)
+#define EVM_ERROR(tag, expr) EVM_LOG(::evm::util::LogLevel::kError, tag, expr)
+
+}  // namespace evm::util

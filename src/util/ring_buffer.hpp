@@ -1,0 +1,69 @@
+// Fixed-capacity ring buffer modelling the bounded RX/TX queues of a
+// memory-constrained mote (8 KB RAM on the FireFly). Overflow is an explicit,
+// observable event rather than silent unbounded growth.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <utility>
+#include <vector>
+
+namespace evm::util {
+
+template <typename T>
+class RingBuffer {
+ public:
+  explicit RingBuffer(std::size_t capacity)
+      : storage_(capacity), capacity_(capacity) {}
+
+  std::size_t capacity() const { return capacity_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  bool full() const { return size_ == capacity_; }
+  std::size_t drop_count() const { return drops_; }
+
+  /// Returns false (and counts a drop) when full.
+  bool push(T value) {
+    if (full()) {
+      ++drops_;
+      return false;
+    }
+    storage_[(head_ + size_) % capacity_] = std::move(value);
+    ++size_;
+    return true;
+  }
+
+  /// Push that evicts the oldest element when full (lossy sensor streams).
+  void push_evict(T value) {
+    if (full()) {
+      ++drops_;
+      head_ = (head_ + 1) % capacity_;
+      --size_;
+    }
+    push(std::move(value));
+  }
+
+  std::optional<T> pop() {
+    if (empty()) return std::nullopt;
+    T out = std::move(storage_[head_]);
+    head_ = (head_ + 1) % capacity_;
+    --size_;
+    return out;
+  }
+
+  const T& front() const { return storage_[head_]; }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+ private:
+  std::vector<T> storage_;
+  std::size_t capacity_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::size_t drops_ = 0;
+};
+
+}  // namespace evm::util

@@ -1,0 +1,93 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+namespace evm::util {
+
+std::vector<double> Samples::sorted() const {
+  std::vector<double> v = values_;
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+double Samples::min() const {
+  if (values_.empty()) return 0.0;
+  return *std::min_element(values_.begin(), values_.end());
+}
+
+double Samples::max() const {
+  if (values_.empty()) return 0.0;
+  return *std::max_element(values_.begin(), values_.end());
+}
+
+double Samples::mean() const {
+  if (values_.empty()) return 0.0;
+  double sum = 0.0;
+  for (double v : values_) sum += v;
+  return sum / static_cast<double>(values_.size());
+}
+
+double Samples::stddev() const {
+  if (values_.size() < 2) return 0.0;
+  const double m = mean();
+  double sum_sq = 0.0;
+  for (double v : values_) sum_sq += (v - m) * (v - m);
+  return std::sqrt(sum_sq / static_cast<double>(values_.size() - 1));
+}
+
+double Samples::percentile(double p) const {
+  if (values_.empty()) return 0.0;
+  const auto v = sorted();
+  p = std::clamp(p, 0.0, 1.0);
+  const auto index = static_cast<std::size_t>(p * static_cast<double>(v.size() - 1));
+  return v[index];
+}
+
+std::string Samples::summary(const std::string& unit) const {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf), "p50 %.3g%s  p90 %.3g%s  p99 %.3g%s  max %.3g%s",
+                percentile(0.5), unit.c_str(), percentile(0.9), unit.c_str(),
+                percentile(0.99), unit.c_str(), max(), unit.c_str());
+  return buf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {}
+
+void Histogram::add(double value) {
+  const double span = hi_ - lo_;
+  std::ptrdiff_t bin = 0;
+  if (span > 0.0) {
+    bin = static_cast<std::ptrdiff_t>((value - lo_) / span *
+                                      static_cast<double>(counts_.size()));
+  }
+  bin = std::clamp<std::ptrdiff_t>(bin, 0,
+                                   static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+double Histogram::bin_low(std::size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) /
+                   static_cast<double>(counts_.size());
+}
+
+std::string Histogram::render(std::size_t max_bar) const {
+  std::size_t peak = 1;
+  for (std::size_t c : counts_) peak = std::max(peak, c);
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    char line[96];
+    std::snprintf(line, sizeof(line), "[%8.3g, %8.3g) %8zu ", bin_low(b),
+                  bin_low(b + 1), counts_[b]);
+    out += line;
+    out.append(counts_[b] * max_bar / peak, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace evm::util

@@ -1,0 +1,57 @@
+// Small descriptive-statistics helpers shared by benches and tests:
+// percentile summaries and fixed-bin histograms over double samples.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace evm::util {
+
+/// Accumulates samples; summary statistics computed on demand.
+class Samples {
+ public:
+  void add(double value) { values_.push_back(value); }
+  std::size_t count() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  double min() const;
+  double max() const;
+  double mean() const;
+  double stddev() const;
+  /// p in [0, 1]; nearest-rank on the sorted sample.
+  double percentile(double p) const;
+  double median() const { return percentile(0.5); }
+
+  /// "p50 1.2  p90 3.4  p99 5.6  max 7.8" with the given unit suffix.
+  std::string summary(const std::string& unit = "") const;
+
+  const std::vector<double>& values() const { return values_; }
+  void clear() { values_.clear(); }
+
+ private:
+  std::vector<double> sorted() const;
+  std::vector<double> values_;
+};
+
+/// Fixed-width-bin histogram over [lo, hi); out-of-range clamps to edge bins.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double value);
+  std::size_t bin_count(std::size_t bin) const { return counts_.at(bin); }
+  std::size_t total() const { return total_; }
+  std::size_t bins() const { return counts_.size(); }
+  double bin_low(std::size_t bin) const;
+
+  /// One line per bin: "[lo, hi)  count  ####".
+  std::string render(std::size_t max_bar = 50) const;
+
+ private:
+  double lo_, hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace evm::util

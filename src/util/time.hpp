@@ -1,0 +1,93 @@
+// Virtual time representation shared by the simulator, the network stack and
+// the RTOS model. All times are signed 64-bit nanosecond counts so that
+// sub-microsecond radio timing and multi-hour plant transients coexist in one
+// clock domain without precision loss.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace evm::util {
+
+/// A span of virtual time in nanoseconds. Value type; freely copyable.
+class Duration {
+ public:
+  constexpr Duration() = default;
+  constexpr explicit Duration(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr Duration nanos(std::int64_t n) { return Duration(n); }
+  static constexpr Duration micros(std::int64_t u) { return Duration(u * 1000); }
+  static constexpr Duration millis(std::int64_t m) { return Duration(m * 1'000'000); }
+  static constexpr Duration seconds(std::int64_t s) { return Duration(s * 1'000'000'000); }
+  /// Fractional seconds; convenient for plant-scale constants.
+  static constexpr Duration from_seconds(double s) {
+    return Duration(static_cast<std::int64_t>(s * 1e9));
+  }
+  static constexpr Duration zero() { return Duration(0); }
+  static constexpr Duration max() {
+    return Duration(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr std::int64_t us() const { return ns_ / 1000; }
+  constexpr std::int64_t ms() const { return ns_ / 1'000'000; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  constexpr bool is_zero() const { return ns_ == 0; }
+  constexpr bool is_positive() const { return ns_ > 0; }
+
+  friend constexpr Duration operator+(Duration a, Duration b) { return Duration(a.ns_ + b.ns_); }
+  friend constexpr Duration operator-(Duration a, Duration b) { return Duration(a.ns_ - b.ns_); }
+  friend constexpr Duration operator*(Duration a, std::int64_t k) { return Duration(a.ns_ * k); }
+  friend constexpr Duration operator*(std::int64_t k, Duration a) { return Duration(a.ns_ * k); }
+  friend constexpr Duration operator/(Duration a, std::int64_t k) { return Duration(a.ns_ / k); }
+  friend constexpr std::int64_t operator/(Duration a, Duration b) { return a.ns_ / b.ns_; }
+  friend constexpr Duration operator%(Duration a, Duration b) { return Duration(a.ns_ % b.ns_); }
+  constexpr Duration operator-() const { return Duration(-ns_); }
+  Duration& operator+=(Duration o) { ns_ += o.ns_; return *this; }
+  Duration& operator-=(Duration o) { ns_ -= o.ns_; return *this; }
+
+  friend constexpr auto operator<=>(Duration, Duration) = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// An absolute instant on the simulator's virtual clock.
+class TimePoint {
+ public:
+  constexpr TimePoint() = default;
+  constexpr explicit TimePoint(std::int64_t ns) : ns_(ns) {}
+
+  static constexpr TimePoint zero() { return TimePoint(0); }
+  static constexpr TimePoint max() {
+    return TimePoint(std::numeric_limits<std::int64_t>::max());
+  }
+
+  constexpr std::int64_t ns() const { return ns_; }
+  constexpr std::int64_t us() const { return ns_ / 1000; }
+  constexpr std::int64_t ms() const { return ns_ / 1'000'000; }
+  constexpr double to_seconds() const { return static_cast<double>(ns_) * 1e-9; }
+
+  friend constexpr TimePoint operator+(TimePoint t, Duration d) { return TimePoint(t.ns_ + d.ns()); }
+  friend constexpr TimePoint operator+(Duration d, TimePoint t) { return t + d; }
+  friend constexpr TimePoint operator-(TimePoint t, Duration d) { return TimePoint(t.ns_ - d.ns()); }
+  friend constexpr Duration operator-(TimePoint a, TimePoint b) { return Duration(a.ns_ - b.ns_); }
+  TimePoint& operator+=(Duration d) { ns_ += d.ns(); return *this; }
+
+  friend constexpr auto operator<=>(TimePoint, TimePoint) = default;
+
+ private:
+  std::int64_t ns_ = 0;
+};
+
+/// Render as "12.345s" for logs and bench output.
+inline std::string to_string(Duration d) {
+  return std::to_string(d.to_seconds()) + "s";
+}
+inline std::string to_string(TimePoint t) {
+  return std::to_string(t.to_seconds()) + "s";
+}
+
+}  // namespace evm::util

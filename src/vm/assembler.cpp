@@ -1,0 +1,185 @@
+#include "vm/assembler.hpp"
+
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "vm/isa.hpp"
+
+namespace evm::vm {
+namespace {
+
+struct Token {
+  std::string text;
+};
+
+std::vector<std::string> tokenize_line(std::string line) {
+  // Strip comments.
+  for (const char marker : {';', '#'}) {
+    const auto pos = line.find(marker);
+    if (pos != std::string::npos) line.erase(pos);
+  }
+  std::vector<std::string> tokens;
+  std::istringstream iss(line);
+  std::string tok;
+  while (iss >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+bool is_number(const std::string& s) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  std::strtod(s.c_str(), &end);
+  return end == s.c_str() + s.size();
+}
+
+}  // namespace
+
+util::Result<std::vector<std::uint8_t>> assemble(const std::string& source) {
+  struct Pending {
+    std::size_t offset;  // where the i16 operand lives
+    std::string label;
+    int line;
+  };
+
+  std::vector<std::uint8_t> code;
+  std::map<std::string, std::size_t> labels;
+  std::vector<Pending> fixups;
+
+  std::istringstream stream(source);
+  std::string raw_line;
+  int line_no = 0;
+  while (std::getline(stream, raw_line)) {
+    ++line_no;
+    auto tokens = tokenize_line(raw_line);
+    std::size_t i = 0;
+    // Labels: any leading tokens ending in ':'.
+    while (i < tokens.size() && tokens[i].back() == ':') {
+      const std::string label = tokens[i].substr(0, tokens[i].size() - 1);
+      if (labels.count(label) > 0) {
+        return util::Status::invalid_argument(
+            "duplicate label '" + label + "' at line " + std::to_string(line_no));
+      }
+      labels[label] = code.size();
+      ++i;
+    }
+    if (i >= tokens.size()) continue;
+
+    const auto opcode = opcode_of(tokens[i]);
+    if (!opcode.has_value()) {
+      return util::Status::invalid_argument("unknown mnemonic '" + tokens[i] +
+                                            "' at line " + std::to_string(line_no));
+    }
+    code.push_back(*opcode);
+    const int operand = operand_bytes(*opcode);
+    ++i;
+
+    if (operand == 0) {
+      if (i != tokens.size()) {
+        return util::Status::invalid_argument("unexpected operand at line " +
+                                              std::to_string(line_no));
+      }
+      continue;
+    }
+    if (i >= tokens.size()) {
+      return util::Status::invalid_argument("missing operand at line " +
+                                            std::to_string(line_no));
+    }
+    const std::string& arg = tokens[i];
+
+    if (operand == 8) {  // push f64
+      if (!is_number(arg)) {
+        return util::Status::invalid_argument("push needs a number at line " +
+                                              std::to_string(line_no));
+      }
+      const double v = std::strtod(arg.c_str(), nullptr);
+      std::uint64_t bits;
+      std::memcpy(&bits, &v, sizeof(bits));
+      for (int b = 0; b < 8; ++b) code.push_back(static_cast<std::uint8_t>(bits >> (8 * b)));
+    } else if (operand == 2) {
+      const std::uint8_t op = *opcode;
+      const bool is_branch = op == static_cast<std::uint8_t>(Op::kJmp) ||
+                             op == static_cast<std::uint8_t>(Op::kJz) ||
+                             op == static_cast<std::uint8_t>(Op::kJnz) ||
+                             op == static_cast<std::uint8_t>(Op::kCall);
+      if (is_branch && !is_number(arg)) {
+        fixups.push_back(Pending{code.size(), arg, line_no});
+        code.push_back(0);
+        code.push_back(0);
+      } else {
+        if (!is_number(arg)) {
+          return util::Status::invalid_argument("numeric operand expected at line " +
+                                                std::to_string(line_no));
+        }
+        const long v = std::strtol(arg.c_str(), nullptr, 10);
+        const auto i16 = static_cast<std::int16_t>(v);
+        code.push_back(static_cast<std::uint8_t>(i16 & 0xFF));
+        code.push_back(static_cast<std::uint8_t>((i16 >> 8) & 0xFF));
+      }
+    } else if (operand == 1) {
+      if (!is_number(arg)) {
+        return util::Status::invalid_argument("numeric operand expected at line " +
+                                              std::to_string(line_no));
+      }
+      code.push_back(static_cast<std::uint8_t>(std::strtol(arg.c_str(), nullptr, 10)));
+    }
+    if (i + 1 != tokens.size()) {
+      return util::Status::invalid_argument("trailing tokens at line " +
+                                            std::to_string(line_no));
+    }
+  }
+
+  for (const Pending& fix : fixups) {
+    auto it = labels.find(fix.label);
+    if (it == labels.end()) {
+      return util::Status::invalid_argument("undefined label '" + fix.label +
+                                            "' at line " + std::to_string(fix.line));
+    }
+    // Branch offsets are relative to the byte after the 2-byte operand.
+    const auto rel = static_cast<std::int16_t>(
+        static_cast<std::ptrdiff_t>(it->second) -
+        static_cast<std::ptrdiff_t>(fix.offset + 2));
+    code[fix.offset] = static_cast<std::uint8_t>(rel & 0xFF);
+    code[fix.offset + 1] = static_cast<std::uint8_t>((rel >> 8) & 0xFF);
+  }
+  return code;
+}
+
+std::string disassemble(std::span<const std::uint8_t> code) {
+  std::ostringstream out;
+  std::size_t pc = 0;
+  while (pc < code.size()) {
+    const std::uint8_t op = code[pc];
+    const auto name = mnemonic(op);
+    out << pc << ":\t";
+    if (!name.has_value()) {
+      out << "??? 0x" << std::hex << static_cast<int>(op) << std::dec << '\n';
+      ++pc;
+      continue;
+    }
+    out << *name;
+    const int operand = operand_bytes(op);
+    ++pc;
+    if (operand > 0 && pc + static_cast<std::size_t>(operand) <= code.size()) {
+      if (operand == 8) {
+        std::uint64_t bits = 0;
+        for (int b = 0; b < 8; ++b) bits |= static_cast<std::uint64_t>(code[pc + b]) << (8 * b);
+        double v;
+        std::memcpy(&v, &bits, sizeof(v));
+        out << ' ' << v;
+      } else if (operand == 2) {
+        const auto i16 = static_cast<std::int16_t>(
+            static_cast<std::uint16_t>(code[pc]) |
+            (static_cast<std::uint16_t>(code[pc + 1]) << 8));
+        out << ' ' << i16;
+      } else {
+        out << ' ' << static_cast<int>(code[pc]);
+      }
+      pc += static_cast<std::size_t>(operand);
+    }
+    out << '\n';
+  }
+  return out.str();
+}
+
+}  // namespace evm::vm

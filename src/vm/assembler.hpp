@@ -1,0 +1,31 @@
+// Two-pass assembler for the EVM ISA. Syntax, one instruction per line:
+//
+//     ; second-order filter + PID, runs once per control period
+//     sensor 0        ; read level
+//     load 3          ; setpoint
+//     sub
+//     ...
+//     loop:  pushi 1
+//            jnz loop
+//
+// Labels end with ':', immediates are decimal (push takes a float), and
+// ';' or '#' start comments. Branch operands are labels or numbers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/status.hpp"
+#include "vm/program.hpp"
+
+namespace evm::vm {
+
+/// Assemble source text into bytecode. Returns the code bytes only; wrap in
+/// a Capsule (and seal()) to ship it.
+util::Result<std::vector<std::uint8_t>> assemble(const std::string& source);
+
+/// Human-readable listing of bytecode (round-trips with assemble for all
+/// valid programs, modulo label names).
+std::string disassemble(std::span<const std::uint8_t> code);
+
+}  // namespace evm::vm

@@ -1,0 +1,75 @@
+#include "vm/attestation.hpp"
+
+#include <string>
+
+#include "vm/isa.hpp"
+
+namespace evm::vm {
+
+AttestationReport verify_code(std::span<const std::uint8_t> code,
+                              const Interpreter* interpreter) {
+  AttestationReport report;
+  report.crc_ok = true;  // raw code: CRC checked at capsule level
+
+  std::size_t pc = 0;
+  while (pc < code.size()) {
+    const std::uint8_t op = code[pc];
+    if (op >= kExtSlots) {
+      const std::uint8_t slot = op - kExtSlots;
+      if (interpreter == nullptr || !interpreter->has_extension(slot)) {
+        report.failure = "unbound extension ext" + std::to_string(slot) +
+                         " at pc " + std::to_string(pc);
+        return report;
+      }
+      ++pc;
+      ++report.instructions;
+      continue;
+    }
+    const int operand = operand_bytes(op);
+    if (operand < 0) {
+      report.failure = "unknown opcode 0x" + std::to_string(op) + " at pc " +
+                       std::to_string(pc);
+      return report;
+    }
+    if (pc + 1 + static_cast<std::size_t>(operand) > code.size()) {
+      report.failure = "truncated operand at pc " + std::to_string(pc);
+      return report;
+    }
+    // Validate branch targets.
+    const Op typed = static_cast<Op>(op);
+    if (typed == Op::kJmp || typed == Op::kJz || typed == Op::kJnz ||
+        typed == Op::kCall) {
+      const auto rel = static_cast<std::int16_t>(
+          static_cast<std::uint16_t>(code[pc + 1]) |
+          (static_cast<std::uint16_t>(code[pc + 2]) << 8));
+      const std::ptrdiff_t target =
+          static_cast<std::ptrdiff_t>(pc) + 3 + rel;
+      if (target < 0 || static_cast<std::size_t>(target) > code.size()) {
+        report.failure = "branch escapes program at pc " + std::to_string(pc);
+        return report;
+      }
+    }
+    // Validate slot indices.
+    if (typed == Op::kLoad || typed == Op::kStore) {
+      if (code[pc + 1] >= Interpreter::kSlots) {
+        report.failure = "slot index out of range at pc " + std::to_string(pc);
+        return report;
+      }
+    }
+    pc += 1 + static_cast<std::size_t>(operand);
+    ++report.instructions;
+  }
+  report.structure_ok = true;
+  return report;
+}
+
+AttestationReport attest(const Capsule& capsule, const Interpreter* interpreter) {
+  AttestationReport report = verify_code(capsule.code, interpreter);
+  report.crc_ok = capsule.crc_ok();
+  if (!report.crc_ok && report.failure.empty()) {
+    report.failure = "capsule CRC mismatch";
+  }
+  return report;
+}
+
+}  // namespace evm::vm

@@ -1,0 +1,36 @@
+// Software attestation (paper §3.1.1, operation 8): "When new code or data
+// is received by a node from another node, the node executes a basic
+// attestation test to ensure the code/data is not corrupted and passes the
+// schedulability test." We verify (a) the capsule CRC, and (b) structural
+// well-formedness of the bytecode: every opcode known or a bound extension,
+// every operand complete, every branch target inside the program. The
+// schedulability half of the gate lives in rtos::Kernel::admissible.
+#pragma once
+
+#include <span>
+
+#include "util/status.hpp"
+#include "vm/interpreter.hpp"
+#include "vm/program.hpp"
+
+namespace evm::vm {
+
+struct AttestationReport {
+  bool crc_ok = false;
+  bool structure_ok = false;
+  std::size_t instructions = 0;
+  std::string failure;
+
+  bool passed() const { return crc_ok && structure_ok; }
+};
+
+/// Structural verification of raw bytecode. `interpreter` (optional) lets
+/// the verifier accept extension opcodes that are actually bound.
+AttestationReport verify_code(std::span<const std::uint8_t> code,
+                              const Interpreter* interpreter = nullptr);
+
+/// Full capsule attestation: CRC + structure.
+AttestationReport attest(const Capsule& capsule,
+                         const Interpreter* interpreter = nullptr);
+
+}  // namespace evm::vm

@@ -1,0 +1,304 @@
+#include "vm/interpreter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+#include "util/bytes.hpp"
+
+namespace evm::vm {
+namespace {
+
+std::int16_t read_i16(std::span<const std::uint8_t> code, std::size_t pos) {
+  return static_cast<std::int16_t>(static_cast<std::uint16_t>(code[pos]) |
+                                   (static_cast<std::uint16_t>(code[pos + 1]) << 8));
+}
+
+double read_f64(std::span<const std::uint8_t> code, std::size_t pos) {
+  std::uint64_t bits = 0;
+  for (int b = 0; b < 8; ++b) bits |= static_cast<std::uint64_t>(code[pos + b]) << (8 * b);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+
+}  // namespace
+
+Interpreter::Interpreter(Environment env, ExecLimits limits)
+    : env_(std::move(env)), limits_(limits) {}
+
+std::vector<std::uint8_t> Interpreter::save_slots() const {
+  util::ByteWriter w;
+  for (double v : slots_) w.f64(v);
+  return w.take();
+}
+
+util::Status Interpreter::load_slots(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() != kSlots * 8) {
+    return util::Status::invalid_argument("slot image size mismatch");
+  }
+  util::ByteReader r(bytes);
+  for (auto& v : slots_) v = r.f64();
+  return util::Status::ok();
+}
+
+util::Status Interpreter::register_extension(std::uint8_t slot, std::string name,
+                                             ExtHandler handler) {
+  if (slot >= kExtSlots) return util::Status::invalid_argument("extension slot out of range");
+  if (extensions_[slot]) {
+    return util::Status::already_exists("extension slot " + std::to_string(slot) +
+                                        " already bound to " + extension_names_[slot]);
+  }
+  extensions_[slot] = std::move(handler);
+  extension_names_[slot] = std::move(name);
+  return util::Status::ok();
+}
+
+bool Interpreter::has_extension(std::uint8_t slot) const {
+  return slot < kExtSlots && static_cast<bool>(extensions_[slot]);
+}
+
+util::Status Interpreter::run(const Capsule& capsule) {
+  if (!capsule.crc_ok()) {
+    return util::Status::data_loss("capsule '" + capsule.name + "' fails CRC");
+  }
+  return run(capsule.code);
+}
+
+util::Status Interpreter::run(std::span<const std::uint8_t> code) {
+  stats_ = ExecStats{};
+  std::vector<double> stack;
+  stack.reserve(limits_.stack_cells);
+  std::vector<std::size_t> rstack;
+  rstack.reserve(limits_.return_cells);
+
+  std::size_t pc = 0;
+  while (pc < code.size()) {
+    if (++stats_.instructions > limits_.max_instructions) {
+      return util::Status::deadline_exceeded("instruction budget exhausted");
+    }
+    util::Status status = step(code, pc, stack, rstack);
+    if (!status) return status;
+    stats_.max_stack_depth = std::max<std::uint64_t>(stats_.max_stack_depth, stack.size());
+    if (pc == static_cast<std::size_t>(-1)) break;  // halt sentinel
+  }
+  return util::Status::ok();
+}
+
+util::Status Interpreter::step(std::span<const std::uint8_t> code, std::size_t& pc,
+                               std::vector<double>& stack,
+                               std::vector<std::size_t>& rstack) {
+  const std::uint8_t raw = code[pc];
+
+  auto need = [&](std::size_t n) -> util::Status {
+    if (stack.size() < n) {
+      return util::Status::failed_precondition("stack underflow at pc " +
+                                               std::to_string(pc));
+    }
+    return util::Status::ok();
+  };
+  auto push = [&](double v) -> util::Status {
+    if (stack.size() >= limits_.stack_cells) {
+      return util::Status::resource_exhausted("stack overflow at pc " +
+                                              std::to_string(pc));
+    }
+    stack.push_back(v);
+    return util::Status::ok();
+  };
+  auto pop = [&]() -> double {
+    const double v = stack.back();
+    stack.pop_back();
+    return v;
+  };
+  auto binary = [&](auto fn) -> util::Status {
+    if (auto s = need(2); !s) return s;
+    const double b = pop();
+    const double a = pop();
+    return push(fn(a, b));
+  };
+
+  if (raw >= kExtSlots) {
+    const std::uint8_t slot = raw - kExtSlots;
+    if (!extensions_[slot]) {
+      return util::Status::not_found("unbound extension instruction ext" +
+                                     std::to_string(slot));
+    }
+    ++pc;
+    return extensions_[slot](stack);
+  }
+
+  const int operand = operand_bytes(raw);
+  if (operand < 0) {
+    return util::Status::invalid_argument("illegal opcode at pc " + std::to_string(pc));
+  }
+  if (pc + 1 + static_cast<std::size_t>(operand) > code.size()) {
+    return util::Status::data_loss("truncated operand at pc " + std::to_string(pc));
+  }
+  const std::size_t arg_at = pc + 1;
+  const std::size_t next = pc + 1 + static_cast<std::size_t>(operand);
+
+  switch (static_cast<Op>(raw)) {
+    case Op::kNop: break;
+    case Op::kHalt: pc = static_cast<std::size_t>(-1); return util::Status::ok();
+    case Op::kPush:
+      if (auto s = push(read_f64(code, arg_at)); !s) return s;
+      break;
+    case Op::kPushSmall:
+      if (auto s = push(static_cast<double>(read_i16(code, arg_at))); !s) return s;
+      break;
+    case Op::kDup:
+      if (auto s = need(1); !s) return s;
+      if (auto s = push(stack.back()); !s) return s;
+      break;
+    case Op::kDrop:
+      if (auto s = need(1); !s) return s;
+      pop();
+      break;
+    case Op::kSwap: {
+      if (auto s = need(2); !s) return s;
+      std::swap(stack[stack.size() - 1], stack[stack.size() - 2]);
+      break;
+    }
+    case Op::kOver:
+      if (auto s = need(2); !s) return s;
+      if (auto s = push(stack[stack.size() - 2]); !s) return s;
+      break;
+    case Op::kRot: {
+      if (auto s = need(3); !s) return s;
+      const double c = pop();
+      const double b = pop();
+      const double a = pop();
+      (void)push(b);
+      (void)push(c);
+      if (auto s = push(a); !s) return s;
+      break;
+    }
+    case Op::kAdd: if (auto s = binary([](double a, double b) { return a + b; }); !s) return s; break;
+    case Op::kSub: if (auto s = binary([](double a, double b) { return a - b; }); !s) return s; break;
+    case Op::kMul: if (auto s = binary([](double a, double b) { return a * b; }); !s) return s; break;
+    case Op::kDiv: {
+      if (auto s = need(2); !s) return s;
+      const double b = pop();
+      const double a = pop();
+      if (b == 0.0) return util::Status::invalid_argument("division by zero at pc " + std::to_string(pc));
+      if (auto s = push(a / b); !s) return s;
+      break;
+    }
+    case Op::kNeg:
+      if (auto s = need(1); !s) return s;
+      stack.back() = -stack.back();
+      break;
+    case Op::kAbs:
+      if (auto s = need(1); !s) return s;
+      stack.back() = std::fabs(stack.back());
+      break;
+    case Op::kMin: if (auto s = binary([](double a, double b) { return std::min(a, b); }); !s) return s; break;
+    case Op::kMax: if (auto s = binary([](double a, double b) { return std::max(a, b); }); !s) return s; break;
+    case Op::kClamp: {
+      if (auto s = need(3); !s) return s;
+      const double hi = pop();
+      const double lo = pop();
+      const double x = pop();
+      if (auto s = push(std::clamp(x, lo, hi)); !s) return s;
+      break;
+    }
+    case Op::kEq: if (auto s = binary([](double a, double b) { return a == b ? 1.0 : 0.0; }); !s) return s; break;
+    case Op::kLt: if (auto s = binary([](double a, double b) { return a < b ? 1.0 : 0.0; }); !s) return s; break;
+    case Op::kGt: if (auto s = binary([](double a, double b) { return a > b ? 1.0 : 0.0; }); !s) return s; break;
+    case Op::kLe: if (auto s = binary([](double a, double b) { return a <= b ? 1.0 : 0.0; }); !s) return s; break;
+    case Op::kGe: if (auto s = binary([](double a, double b) { return a >= b ? 1.0 : 0.0; }); !s) return s; break;
+    case Op::kAnd: if (auto s = binary([](double a, double b) { return (a != 0.0 && b != 0.0) ? 1.0 : 0.0; }); !s) return s; break;
+    case Op::kOr: if (auto s = binary([](double a, double b) { return (a != 0.0 || b != 0.0) ? 1.0 : 0.0; }); !s) return s; break;
+    case Op::kNot:
+      if (auto s = need(1); !s) return s;
+      stack.back() = stack.back() == 0.0 ? 1.0 : 0.0;
+      break;
+    case Op::kLoad: {
+      const std::uint8_t slot = code[arg_at];
+      if (slot >= kSlots) return util::Status::invalid_argument("slot out of range");
+      if (auto s = push(slots_[slot]); !s) return s;
+      break;
+    }
+    case Op::kStore: {
+      const std::uint8_t slot = code[arg_at];
+      if (slot >= kSlots) return util::Status::invalid_argument("slot out of range");
+      if (auto s = need(1); !s) return s;
+      slots_[slot] = pop();
+      break;
+    }
+    case Op::kSensor: {
+      if (!env_.read_sensor) return util::Status::failed_precondition("no sensor binding");
+      if (auto s = push(env_.read_sensor(code[arg_at])); !s) return s;
+      break;
+    }
+    case Op::kActuate: {
+      if (!env_.write_actuator) return util::Status::failed_precondition("no actuator binding");
+      if (auto s = need(1); !s) return s;
+      env_.write_actuator(code[arg_at], pop());
+      break;
+    }
+    case Op::kSend: {
+      if (!env_.send) return util::Status::failed_precondition("no send binding");
+      if (auto s = need(1); !s) return s;
+      env_.send(code[arg_at], pop());
+      break;
+    }
+    case Op::kNow:
+      if (auto s = push(env_.now_seconds ? env_.now_seconds() : 0.0); !s) return s;
+      break;
+    case Op::kJmp: {
+      const std::ptrdiff_t target =
+          static_cast<std::ptrdiff_t>(next) + read_i16(code, arg_at);
+      if (target < 0 || static_cast<std::size_t>(target) > code.size()) {
+        return util::Status::invalid_argument("branch out of range at pc " + std::to_string(pc));
+      }
+      pc = static_cast<std::size_t>(target);
+      return util::Status::ok();
+    }
+    case Op::kJz:
+    case Op::kJnz: {
+      if (auto s = need(1); !s) return s;
+      const double flag = pop();
+      const bool take = (static_cast<Op>(raw) == Op::kJz) ? (flag == 0.0) : (flag != 0.0);
+      if (take) {
+        const std::ptrdiff_t target =
+            static_cast<std::ptrdiff_t>(next) + read_i16(code, arg_at);
+        if (target < 0 || static_cast<std::size_t>(target) > code.size()) {
+          return util::Status::invalid_argument("branch out of range at pc " + std::to_string(pc));
+        }
+        pc = static_cast<std::size_t>(target);
+        return util::Status::ok();
+      }
+      break;
+    }
+    case Op::kCall: {
+      if (rstack.size() >= limits_.return_cells) {
+        return util::Status::resource_exhausted("return stack overflow");
+      }
+      rstack.push_back(next);
+      const std::ptrdiff_t target =
+          static_cast<std::ptrdiff_t>(next) + read_i16(code, arg_at);
+      if (target < 0 || static_cast<std::size_t>(target) > code.size()) {
+        return util::Status::invalid_argument("call out of range at pc " + std::to_string(pc));
+      }
+      pc = static_cast<std::size_t>(target);
+      return util::Status::ok();
+    }
+    case Op::kRet: {
+      if (rstack.empty()) {
+        pc = static_cast<std::size_t>(-1);  // top-level ret behaves like halt
+        return util::Status::ok();
+      }
+      pc = rstack.back();
+      rstack.pop_back();
+      return util::Status::ok();
+    }
+    default:
+      return util::Status::invalid_argument("illegal opcode at pc " + std::to_string(pc));
+  }
+
+  pc = next;
+  return util::Status::ok();
+}
+
+}  // namespace evm::vm

@@ -1,0 +1,86 @@
+#include "vm/isa.hpp"
+
+#include <map>
+
+namespace evm::vm {
+namespace {
+
+struct OpInfo {
+  const char* name;
+  int operand_bytes;
+};
+
+const std::map<std::uint8_t, OpInfo>& table() {
+  static const std::map<std::uint8_t, OpInfo> t = {
+      {static_cast<std::uint8_t>(Op::kNop), {"nop", 0}},
+      {static_cast<std::uint8_t>(Op::kHalt), {"halt", 0}},
+      {static_cast<std::uint8_t>(Op::kPush), {"push", 8}},
+      {static_cast<std::uint8_t>(Op::kPushSmall), {"pushi", 2}},
+      {static_cast<std::uint8_t>(Op::kDup), {"dup", 0}},
+      {static_cast<std::uint8_t>(Op::kDrop), {"drop", 0}},
+      {static_cast<std::uint8_t>(Op::kSwap), {"swap", 0}},
+      {static_cast<std::uint8_t>(Op::kOver), {"over", 0}},
+      {static_cast<std::uint8_t>(Op::kRot), {"rot", 0}},
+      {static_cast<std::uint8_t>(Op::kAdd), {"add", 0}},
+      {static_cast<std::uint8_t>(Op::kSub), {"sub", 0}},
+      {static_cast<std::uint8_t>(Op::kMul), {"mul", 0}},
+      {static_cast<std::uint8_t>(Op::kDiv), {"div", 0}},
+      {static_cast<std::uint8_t>(Op::kNeg), {"neg", 0}},
+      {static_cast<std::uint8_t>(Op::kAbs), {"abs", 0}},
+      {static_cast<std::uint8_t>(Op::kMin), {"min", 0}},
+      {static_cast<std::uint8_t>(Op::kMax), {"max", 0}},
+      {static_cast<std::uint8_t>(Op::kClamp), {"clamp", 0}},
+      {static_cast<std::uint8_t>(Op::kEq), {"eq", 0}},
+      {static_cast<std::uint8_t>(Op::kLt), {"lt", 0}},
+      {static_cast<std::uint8_t>(Op::kGt), {"gt", 0}},
+      {static_cast<std::uint8_t>(Op::kLe), {"le", 0}},
+      {static_cast<std::uint8_t>(Op::kGe), {"ge", 0}},
+      {static_cast<std::uint8_t>(Op::kAnd), {"and", 0}},
+      {static_cast<std::uint8_t>(Op::kOr), {"or", 0}},
+      {static_cast<std::uint8_t>(Op::kNot), {"not", 0}},
+      {static_cast<std::uint8_t>(Op::kLoad), {"load", 1}},
+      {static_cast<std::uint8_t>(Op::kStore), {"store", 1}},
+      {static_cast<std::uint8_t>(Op::kSensor), {"sensor", 1}},
+      {static_cast<std::uint8_t>(Op::kActuate), {"actuate", 1}},
+      {static_cast<std::uint8_t>(Op::kSend), {"send", 1}},
+      {static_cast<std::uint8_t>(Op::kNow), {"now", 0}},
+      {static_cast<std::uint8_t>(Op::kJmp), {"jmp", 2}},
+      {static_cast<std::uint8_t>(Op::kJz), {"jz", 2}},
+      {static_cast<std::uint8_t>(Op::kJnz), {"jnz", 2}},
+      {static_cast<std::uint8_t>(Op::kCall), {"call", 2}},
+      {static_cast<std::uint8_t>(Op::kRet), {"ret", 0}},
+  };
+  return t;
+}
+
+}  // namespace
+
+int operand_bytes(std::uint8_t opcode) {
+  if (opcode >= kExtSlots) return 0;  // extensions take operands on the stack
+  auto it = table().find(opcode);
+  return it == table().end() ? -1 : it->second.operand_bytes;
+}
+
+std::optional<std::string> mnemonic(std::uint8_t opcode) {
+  if (opcode >= kExtSlots) {
+    return "ext" + std::to_string(opcode - kExtSlots);
+  }
+  auto it = table().find(opcode);
+  if (it == table().end()) return std::nullopt;
+  return std::string(it->second.name);
+}
+
+std::optional<std::uint8_t> opcode_of(const std::string& name) {
+  for (const auto& [code, info] : table()) {
+    if (name == info.name) return code;
+  }
+  if (name.rfind("ext", 0) == 0 && name.size() > 3) {
+    const int slot = std::stoi(name.substr(3));
+    if (slot >= 0 && slot < kExtSlots) {
+      return static_cast<std::uint8_t>(kExtSlots + slot);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace evm::vm

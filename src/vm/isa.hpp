@@ -1,0 +1,80 @@
+// Instruction set of the EVM's FORTH-like interpreter (paper §3.1: "As with
+// Mate, the EVM is based on a FORTH-like interpreter... unlike Mate, the
+// EVM's instruction set is extensible at runtime"). The machine is a stack
+// machine over 64-bit float cells — control laws are arithmetic-heavy, so
+// float cells keep PID regulators to a handful of instructions.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace evm::vm {
+
+enum class Op : std::uint8_t {
+  kNop = 0x00,
+  kHalt = 0x01,
+
+  // Literals
+  kPush = 0x02,    // + f64 immediate (8 bytes LE)
+  kPushSmall = 0x03,  // + i16 immediate (2 bytes LE)
+
+  // Stack manipulation
+  kDup = 0x08,
+  kDrop = 0x09,
+  kSwap = 0x0A,
+  kOver = 0x0B,
+  kRot = 0x0C,
+
+  // Arithmetic
+  kAdd = 0x10,
+  kSub = 0x11,
+  kMul = 0x12,
+  kDiv = 0x13,
+  kNeg = 0x14,
+  kAbs = 0x15,
+  kMin = 0x16,
+  kMax = 0x17,
+  kClamp = 0x18,  // (x lo hi -- clamped)
+
+  // Comparison / logic (results are 0.0 / 1.0)
+  kEq = 0x20,
+  kLt = 0x21,
+  kGt = 0x22,
+  kLe = 0x23,
+  kGe = 0x24,
+  kAnd = 0x25,
+  kOr = 0x26,
+  kNot = 0x27,
+
+  // Memory: numbered slots in the task's data segment
+  kLoad = 0x30,   // + u8 slot    ( -- value)
+  kStore = 0x31,  // + u8 slot    (value -- )
+
+  // Environment I/O
+  kSensor = 0x38,   // + u8 channel ( -- reading)
+  kActuate = 0x39,  // + u8 channel (value -- )
+  kSend = 0x3A,     // + u8 stream  (value -- )   publish to the VC data plane
+  kNow = 0x3B,      // ( -- seconds since epoch, virtual)
+
+  // Control flow: relative i16 offsets from the byte after the operand
+  kJmp = 0x40,
+  kJz = 0x41,   // (flag -- ) jump when flag == 0
+  kJnz = 0x42,  // (flag -- ) jump when flag != 0
+  kCall = 0x43,
+  kRet = 0x44,
+
+  // Runtime-extended instructions dispatch through the extension table.
+  kExtBase = 0x80,
+};
+
+inline constexpr std::uint8_t kExtSlots = 0x80;  // 0x80..0xFF
+
+/// Bytes of inline operand following each opcode (0 for most).
+int operand_bytes(std::uint8_t opcode);
+
+/// Mnemonic for assembly / disassembly; nullopt for unknown opcodes.
+std::optional<std::string> mnemonic(std::uint8_t opcode);
+std::optional<std::uint8_t> opcode_of(const std::string& mnemonic);
+
+}  // namespace evm::vm

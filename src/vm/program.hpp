@@ -1,0 +1,45 @@
+// Code capsule: a versioned, checksummed unit of bytecode that travels
+// between nodes when the EVM spawns, replicates or migrates an algorithm.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/crc.hpp"
+
+namespace evm::vm {
+
+struct Capsule {
+  std::uint16_t program_id = 0;
+  std::uint16_t version = 0;
+  std::string name;
+  std::vector<std::uint8_t> code;
+  std::uint32_t crc = 0;  // crc32 over code
+
+  void seal() { crc = util::crc32(code); }
+  bool crc_ok() const { return crc == util::crc32(code); }
+
+  std::vector<std::uint8_t> encode() const {
+    util::ByteWriter w;
+    w.u16(program_id);
+    w.u16(version);
+    w.str(name);
+    w.blob(code);
+    w.u32(crc);
+    return w.take();
+  }
+  static bool decode(std::span<const std::uint8_t> bytes, Capsule& out) {
+    util::ByteReader r(bytes);
+    out.program_id = r.u16();
+    out.version = r.u16();
+    out.name = r.str();
+    out.code = r.blob();
+    out.crc = r.u32();
+    return r.ok() && r.at_end();
+  }
+};
+
+}  // namespace evm::vm

@@ -1,0 +1,107 @@
+#include "vm/stdlib.hpp"
+
+#include <cmath>
+
+namespace evm::vm {
+namespace {
+
+util::Status need(const std::vector<double>& stack, std::size_t n) {
+  if (stack.size() < n) {
+    return util::Status::failed_precondition("stdlib word: stack underflow");
+  }
+  return util::Status::ok();
+}
+
+}  // namespace
+
+util::Status register_stdlib(Interpreter& interpreter) {
+  struct Entry {
+    StdWord word;
+    const char* name;
+    Interpreter::ExtHandler handler;
+  };
+  const Entry entries[] = {
+      {StdWord::kSqrt, "sqrt",
+       [](std::vector<double>& s) {
+         if (auto st = need(s, 1); !st) return st;
+         if (s.back() < 0.0) {
+           return util::Status::invalid_argument("sqrt of negative value");
+         }
+         s.back() = std::sqrt(s.back());
+         return util::Status::ok();
+       }},
+      {StdWord::kExp, "exp",
+       [](std::vector<double>& s) {
+         if (auto st = need(s, 1); !st) return st;
+         s.back() = std::exp(s.back());
+         return util::Status::ok();
+       }},
+      {StdWord::kLog, "log",
+       [](std::vector<double>& s) {
+         if (auto st = need(s, 1); !st) return st;
+         if (s.back() <= 0.0) {
+           return util::Status::invalid_argument("log of non-positive value");
+         }
+         s.back() = std::log(s.back());
+         return util::Status::ok();
+       }},
+      {StdWord::kPow, "pow",
+       [](std::vector<double>& s) {
+         if (auto st = need(s, 2); !st) return st;
+         const double y = s.back();
+         s.pop_back();
+         s.back() = std::pow(s.back(), y);
+         return util::Status::ok();
+       }},
+      {StdWord::kSin, "sin",
+       [](std::vector<double>& s) {
+         if (auto st = need(s, 1); !st) return st;
+         s.back() = std::sin(s.back());
+         return util::Status::ok();
+       }},
+      {StdWord::kCos, "cos",
+       [](std::vector<double>& s) {
+         if (auto st = need(s, 1); !st) return st;
+         s.back() = std::cos(s.back());
+         return util::Status::ok();
+       }},
+      {StdWord::kFloor, "floor",
+       [](std::vector<double>& s) {
+         if (auto st = need(s, 1); !st) return st;
+         s.back() = std::floor(s.back());
+         return util::Status::ok();
+       }},
+      {StdWord::kLerp, "lerp",
+       [](std::vector<double>& s) {
+         if (auto st = need(s, 3); !st) return st;
+         const double t = s.back();
+         s.pop_back();
+         const double b = s.back();
+         s.pop_back();
+         s.back() = s.back() + (b - s.back()) * t;
+         return util::Status::ok();
+       }},
+  };
+  for (const Entry& e : entries) {
+    util::Status status = interpreter.register_extension(
+        static_cast<std::uint8_t>(e.word), e.name, e.handler);
+    if (!status) return status;
+  }
+  return util::Status::ok();
+}
+
+const char* stdlib_mnemonic(StdWord word) {
+  switch (word) {
+    case StdWord::kSqrt: return "ext0";
+    case StdWord::kExp: return "ext1";
+    case StdWord::kLog: return "ext2";
+    case StdWord::kPow: return "ext3";
+    case StdWord::kSin: return "ext4";
+    case StdWord::kCos: return "ext5";
+    case StdWord::kFloor: return "ext6";
+    case StdWord::kLerp: return "ext7";
+  }
+  return "ext?";
+}
+
+}  // namespace evm::vm

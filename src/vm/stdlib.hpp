@@ -1,0 +1,32 @@
+// Standard runtime-extension library for the EVM interpreter: the common
+// math words control algorithms want beyond the core ISA, registered into
+// the extension slots 0..7. This is the mechanism the paper calls an
+// instruction set "extensible at runtime" (§3.1) — the same call a node
+// uses to install domain-specific words over the air.
+#pragma once
+
+#include "util/status.hpp"
+#include "vm/interpreter.hpp"
+
+namespace evm::vm {
+
+/// Extension slot assignments installed by register_stdlib.
+enum class StdWord : std::uint8_t {
+  kSqrt = 0,   // (x -- sqrt x), negative input faults
+  kExp = 1,    // (x -- e^x)
+  kLog = 2,    // (x -- ln x), non-positive input faults
+  kPow = 3,    // (x y -- x^y)
+  kSin = 4,    // (x -- sin x)
+  kCos = 5,    // (x -- cos x)
+  kFloor = 6,  // (x -- floor x)
+  kLerp = 7,   // (a b t -- a + (b-a)*t)
+};
+
+/// Registers the standard words into slots 0..7. Fails if any slot is
+/// already bound (the interpreter enforces slot uniqueness).
+util::Status register_stdlib(Interpreter& interpreter);
+
+/// Assembly mnemonic for a standard word ("ext0" for sqrt, ...).
+const char* stdlib_mnemonic(StdWord word);
+
+}  // namespace evm::vm

@@ -1,0 +1,143 @@
+#include <gtest/gtest.h>
+
+#include "rtos/aperiodic.hpp"
+
+namespace evm::rtos {
+namespace {
+
+using util::Duration;
+
+struct PollingFixture : ::testing::Test {
+  sim::Simulator sim{9};
+  Kernel kernel{sim};
+
+  void run_for(Duration d) { sim.run_until(sim.now() + d); }
+};
+
+TEST_F(PollingFixture, StartRespectsAdmission) {
+  // Fill the node first; an over-budget server must be refused.
+  TaskParams hog;
+  hog.name = "hog";
+  hog.period = Duration::millis(100);
+  hog.wcet = Duration::millis(80);
+  hog.priority = 1;
+  ASSERT_TRUE(kernel.admit_task(hog).ok());
+
+  PollingServer::Params params;
+  params.budget = Duration::millis(50);
+  params.period = Duration::millis(100);
+  PollingServer server(sim, kernel, params);
+  EXPECT_FALSE(server.start());
+}
+
+TEST_F(PollingFixture, ServesSingleJob) {
+  PollingServer server(sim, kernel, {});
+  ASSERT_TRUE(server.start());
+  bool done = false;
+  ASSERT_TRUE(server.submit(Duration::millis(5), [&] { done = true; }));
+  run_for(Duration::millis(250));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(server.completed(), 1u);
+  EXPECT_EQ(server.pending(), 0u);
+}
+
+TEST_F(PollingFixture, LargeJobSpansMultipleBudgets) {
+  // 35 ms of work through a 10 ms/100 ms server: 4 periods.
+  PollingServer server(sim, kernel, {});
+  ASSERT_TRUE(server.start());
+  bool done = false;
+  ASSERT_TRUE(server.submit(Duration::millis(35), [&] { done = true; }));
+  run_for(Duration::millis(250));
+  EXPECT_FALSE(done);  // only ~2-3 budgets elapsed
+  run_for(Duration::millis(200));
+  EXPECT_TRUE(done);
+  // Response spans ~4 server periods.
+  EXPECT_GE(server.response_times_ms().max(), 300.0);
+}
+
+TEST_F(PollingFixture, FifoOrderAcrossJobs) {
+  PollingServer server(sim, kernel, {});
+  ASSERT_TRUE(server.start());
+  std::vector<int> order;
+  ASSERT_TRUE(server.submit(Duration::millis(4), [&] { order.push_back(1); }));
+  ASSERT_TRUE(server.submit(Duration::millis(4), [&] { order.push_back(2); }));
+  ASSERT_TRUE(server.submit(Duration::millis(4), [&] { order.push_back(3); }));
+  run_for(Duration::seconds(1));
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  // 12 ms of total work fits in two 10 ms budgets.
+  EXPECT_EQ(server.completed(), 3u);
+}
+
+TEST_F(PollingFixture, QueueOverflowRejects) {
+  PollingServer::Params params;
+  params.queue_capacity = 2;
+  PollingServer server(sim, kernel, params);
+  ASSERT_TRUE(server.start());
+  ASSERT_TRUE(server.submit(Duration::millis(1)));
+  ASSERT_TRUE(server.submit(Duration::millis(1)));
+  EXPECT_FALSE(server.submit(Duration::millis(1)));
+  EXPECT_EQ(server.rejected(), 1u);
+}
+
+TEST_F(PollingFixture, InvalidDemandRejected) {
+  PollingServer server(sim, kernel, {});
+  ASSERT_TRUE(server.start());
+  EXPECT_FALSE(server.submit(Duration::zero()));
+}
+
+TEST_F(PollingFixture, DoesNotDisturbPeriodicGuarantees) {
+  // A high-priority control task plus a loaded low-priority server: the
+  // control task's deadlines stay intact because the server's interference
+  // is bounded by its declared budget.
+  TaskParams control;
+  control.name = "control";
+  control.period = Duration::millis(50);
+  control.wcet = Duration::millis(10);
+  control.priority = 1;
+  auto control_id = kernel.admit_task(control);
+  ASSERT_TRUE(control_id.ok());
+  ASSERT_TRUE(kernel.start_task(*control_id));
+
+  PollingServer::Params params;
+  params.budget = Duration::millis(20);
+  params.period = Duration::millis(100);
+  params.priority = 10;  // below the control task
+  PollingServer server(sim, kernel, params);
+  ASSERT_TRUE(server.start());
+  for (int i = 0; i < 50; ++i) {
+    (void)server.submit(Duration::millis(15));
+  }
+  run_for(Duration::seconds(10));
+  EXPECT_EQ(kernel.scheduler().task(*control_id)->stats.deadline_misses, 0u);
+  EXPECT_GT(server.completed(), 10u);
+}
+
+TEST_F(PollingFixture, UtilizationAccessor) {
+  PollingServer::Params params;
+  params.budget = Duration::millis(25);
+  params.period = Duration::millis(100);
+  PollingServer server(sim, kernel, params);
+  EXPECT_DOUBLE_EQ(server.utilization(), 0.25);
+}
+
+TEST_F(PollingFixture, IdleServerCostsAlmostNothing) {
+  PollingServer server(sim, kernel, {});
+  ASSERT_TRUE(server.start());
+  run_for(Duration::seconds(10));
+  // No jobs: measured CPU utilization of the node ~ 0.
+  EXPECT_LT(kernel.scheduler().measured_utilization(), 0.001);
+}
+
+TEST_F(PollingFixture, StopHaltsService) {
+  PollingServer server(sim, kernel, {});
+  ASSERT_TRUE(server.start());
+  ASSERT_TRUE(server.stop());
+  bool done = false;
+  (void)server.submit(Duration::millis(1), [&] { done = true; });
+  run_for(Duration::seconds(1));
+  EXPECT_FALSE(done);
+  EXPECT_FALSE(server.stop());
+}
+
+}  // namespace
+}  // namespace evm::rtos

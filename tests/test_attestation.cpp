@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "vm/assembler.hpp"
+#include "vm/attestation.hpp"
+
+namespace evm::vm {
+namespace {
+
+Capsule sealed(const std::string& source) {
+  auto code = assemble(source);
+  EXPECT_TRUE(code.ok()) << code.status().to_string();
+  Capsule c;
+  c.name = "test";
+  c.code = *code;
+  c.seal();
+  return c;
+}
+
+TEST(Attestation, AcceptsWellFormedCapsule) {
+  const Capsule c = sealed("pushi 1\npushi 2\nadd\ndrop\nhalt");
+  const auto report = attest(c);
+  EXPECT_TRUE(report.passed());
+  EXPECT_TRUE(report.crc_ok);
+  EXPECT_TRUE(report.structure_ok);
+  EXPECT_EQ(report.instructions, 5u);
+}
+
+TEST(Attestation, DetectsCrcCorruption) {
+  Capsule c = sealed("pushi 1\ndrop\nhalt");
+  c.code[1] ^= 0x40;  // flip a bit in the immediate — structurally still valid
+  const auto report = attest(c);
+  EXPECT_FALSE(report.passed());
+  EXPECT_FALSE(report.crc_ok);
+  EXPECT_EQ(report.failure, "capsule CRC mismatch");
+}
+
+TEST(Attestation, DetectsUnknownOpcode) {
+  Capsule c = sealed("nop");
+  c.code[0] = 0x7F;  // not a defined opcode
+  c.seal();          // CRC is fine; structure is not
+  const auto report = attest(c);
+  EXPECT_TRUE(report.crc_ok);
+  EXPECT_FALSE(report.structure_ok);
+}
+
+TEST(Attestation, DetectsTruncatedOperand) {
+  Capsule c = sealed("pushi 300");
+  c.code.pop_back();  // cut the immediate short
+  c.seal();
+  const auto report = attest(c);
+  EXPECT_FALSE(report.structure_ok);
+  EXPECT_NE(report.failure.find("truncated"), std::string::npos);
+}
+
+TEST(Attestation, DetectsWildBranch) {
+  Capsule c = sealed("jmp 0");
+  // Rewrite the branch displacement to jump far outside the program.
+  c.code[1] = 0xF4;
+  c.code[2] = 0x01;  // +500
+  c.seal();
+  const auto report = attest(c);
+  EXPECT_FALSE(report.structure_ok);
+  EXPECT_NE(report.failure.find("branch"), std::string::npos);
+}
+
+TEST(Attestation, NegativeBranchBeforeProgramRejected) {
+  Capsule c = sealed("jmp 0");
+  c.code[1] = 0x00;
+  c.code[2] = 0x80;  // -32768
+  c.seal();
+  EXPECT_FALSE(attest(c).structure_ok);
+}
+
+TEST(Attestation, DetectsSlotOutOfRange) {
+  Capsule c = sealed("load 0");
+  c.code[1] = 200;  // slot 200 of 32
+  c.seal();
+  const auto report = attest(c);
+  EXPECT_FALSE(report.structure_ok);
+  EXPECT_NE(report.failure.find("slot"), std::string::npos);
+}
+
+TEST(Attestation, ExtensionRequiresBinding) {
+  const Capsule c = sealed("ext5");
+  EXPECT_FALSE(attest(c).structure_ok);  // no interpreter: nothing bound
+
+  Interpreter interp;
+  (void)interp.register_extension(5, "f",
+                                  [](std::vector<double>&) { return util::Status::ok(); });
+  EXPECT_TRUE(attest(c, &interp).passed());
+}
+
+TEST(Attestation, EmptyProgramPasses) {
+  Capsule c;
+  c.seal();
+  EXPECT_TRUE(attest(c).passed());
+}
+
+TEST(Attestation, CountsInstructionsNotBytes) {
+  const Capsule c = sealed("push 1.5\npush 2.5\nadd\nhalt");  // 8-byte operands
+  const auto report = attest(c);
+  EXPECT_EQ(report.instructions, 4u);
+  EXPECT_EQ(c.code.size(), 20u);
+}
+
+// Fuzz-ish property: random byte strings either fail attestation or, if
+// they pass, the interpreter must execute them without crashing (errors are
+// fine; UB is not).
+class AttestationFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AttestationFuzz, PassingCodeNeverCrashesInterpreter) {
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> code(rng.uniform_int(1, 40));
+    for (auto& b : code) b = static_cast<std::uint8_t>(rng.next_u64());
+    const auto report = verify_code(code);
+    if (!report.structure_ok) continue;
+    Interpreter interp(Environment{
+        [](std::uint8_t) { return 1.0; },
+        [](std::uint8_t, double) {},
+        [](std::uint8_t, double) {},
+        [] { return 0.0; }});
+    (void)interp.run(code);  // outcome irrelevant; must not crash/hang
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AttestationFuzz,
+                         ::testing::Values(101, 202, 303, 404, 505));
+
+}  // namespace
+}  // namespace evm::vm

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/health.hpp"
+
+namespace evm::core {
+namespace {
+
+ControlFunction make_function(std::uint32_t evidence = 3, std::uint32_t silence = 2,
+                              double deviation = 5.0) {
+  ControlFunction f;
+  f.id = 1;
+  f.output_min = 0.0;
+  f.output_max = 100.0;
+  f.deviation_threshold = deviation;
+  f.evidence_threshold = evidence;
+  f.silence_threshold = silence;
+  return f;
+}
+
+TEST(HealthMonitor, AgreementProducesNoVerdict) {
+  const auto f = make_function();
+  HealthMonitor monitor(f, 3);
+  for (std::uint32_t c = 0; c < 10; ++c) {
+    EXPECT_FALSE(monitor.observe(c, 11.5, 11.4).has_value());
+  }
+  EXPECT_EQ(monitor.consecutive_faulty(), 0u);
+}
+
+TEST(HealthMonitor, DeviationAccumulatesEvidence) {
+  const auto f = make_function(3);
+  HealthMonitor monitor(f, 3);
+  EXPECT_FALSE(monitor.observe(1, 75.0, 11.5).has_value());
+  EXPECT_FALSE(monitor.observe(2, 75.0, 11.5).has_value());
+  const auto verdict = monitor.observe(3, 75.0, 11.5);
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->reason, FaultReason::kImplausibleOutput);
+  EXPECT_EQ(verdict->evidence, 3u);
+  EXPECT_DOUBLE_EQ(verdict->observed, 75.0);
+  EXPECT_DOUBLE_EQ(verdict->expected, 11.5);
+}
+
+TEST(HealthMonitor, GoodCycleResetsEvidence) {
+  const auto f = make_function(3);
+  HealthMonitor monitor(f, 3);
+  (void)monitor.observe(1, 75.0, 11.5);
+  (void)monitor.observe(2, 75.0, 11.5);
+  (void)monitor.observe(3, 11.5, 11.5);  // recovers
+  EXPECT_EQ(monitor.consecutive_faulty(), 0u);
+  EXPECT_FALSE(monitor.observe(4, 75.0, 11.5).has_value());  // starts over
+}
+
+TEST(HealthMonitor, EnvelopeViolationIsFaultyEvenIfShadowAgrees) {
+  const auto f = make_function(1);
+  HealthMonitor monitor(f, 3);
+  // Both primary and shadow say 140 — outside [0, 100], still a fault.
+  const auto verdict = monitor.observe(1, 140.0, 140.0);
+  ASSERT_TRUE(verdict.has_value());
+}
+
+TEST(HealthMonitor, RearmsAfterReport) {
+  const auto f = make_function(2);
+  HealthMonitor monitor(f, 3);
+  (void)monitor.observe(1, 75.0, 11.5);
+  ASSERT_TRUE(monitor.observe(2, 75.0, 11.5).has_value());
+  // Persistent fault: reports again after another full evidence window.
+  EXPECT_FALSE(monitor.observe(3, 75.0, 11.5).has_value());
+  EXPECT_TRUE(monitor.observe(4, 75.0, 11.5).has_value());
+}
+
+TEST(HealthMonitor, SilenceDetection) {
+  const auto f = make_function(3, 2);
+  HealthMonitor monitor(f, 3);
+  EXPECT_FALSE(monitor.observe_silence().has_value());
+  const auto verdict = monitor.observe_silence();
+  ASSERT_TRUE(verdict.has_value());
+  EXPECT_EQ(verdict->reason, FaultReason::kSilent);
+  EXPECT_EQ(verdict->evidence, 2u);
+}
+
+TEST(HealthMonitor, HeardClearsSilence) {
+  const auto f = make_function(3, 2);
+  HealthMonitor monitor(f, 3);
+  (void)monitor.observe_silence();
+  monitor.heard();
+  EXPECT_EQ(monitor.consecutive_silent(), 0u);
+  EXPECT_FALSE(monitor.observe_silence().has_value());
+}
+
+TEST(HealthMonitor, ObservationImpliesHeard) {
+  const auto f = make_function(3, 2);
+  HealthMonitor monitor(f, 3);
+  (void)monitor.observe_silence();
+  (void)monitor.observe(1, 10.0, 10.0);
+  EXPECT_EQ(monitor.consecutive_silent(), 0u);
+}
+
+TEST(HealthMonitor, ResetClearsEverything) {
+  const auto f = make_function(5, 5);
+  HealthMonitor monitor(f, 3);
+  (void)monitor.observe(1, 75.0, 11.5);
+  (void)monitor.observe_silence();
+  monitor.reset();
+  EXPECT_EQ(monitor.consecutive_faulty(), 0u);
+  EXPECT_EQ(monitor.consecutive_silent(), 0u);
+}
+
+TEST(HealthMonitor, ThresholdBoundaryExactlyAtDeviation) {
+  const auto f = make_function(1, 2, 5.0);
+  HealthMonitor monitor(f, 3);
+  // Exactly at threshold: |16.5 - 11.5| = 5.0 is NOT > 5.0.
+  EXPECT_FALSE(monitor.observe(1, 16.5, 11.5).has_value());
+  EXPECT_TRUE(monitor.observe(2, 16.6, 11.5).has_value());
+}
+
+// The Fig. 6(b) timing: 4 Hz control, evidence threshold 1200 cycles
+// -> exactly 300 s from fault onset to report.
+TEST(HealthMonitor, PaperTimingEvidenceWindow) {
+  auto f = make_function(1200);
+  HealthMonitor monitor(f, 3);
+  std::uint32_t report_cycle = 0;
+  for (std::uint32_t c = 1; c <= 1300; ++c) {
+    if (monitor.observe(c, 75.0, 11.48).has_value()) {
+      report_cycle = c;
+      break;
+    }
+  }
+  EXPECT_EQ(report_cycle, 1200u);
+  EXPECT_DOUBLE_EQ(report_cycle * 0.25, 300.0);  // seconds at 4 Hz
+}
+
+}  // namespace
+}  // namespace evm::core

@@ -1,0 +1,202 @@
+#include <gtest/gtest.h>
+
+#include "rtos/kernel.hpp"
+
+namespace evm::rtos {
+namespace {
+
+using util::Duration;
+
+struct KernelFixture : ::testing::Test {
+  sim::Simulator sim{3};
+  Kernel kernel{sim};
+
+  TaskParams params(const std::string& name, std::int64_t period_ms,
+                    std::int64_t wcet_ms, Priority prio = 8) {
+    TaskParams p;
+    p.name = name;
+    p.period = Duration::millis(period_ms);
+    p.wcet = Duration::millis(wcet_ms);
+    p.priority = prio;
+    return p;
+  }
+};
+
+TEST_F(KernelFixture, AdmitsSchedulableTask) {
+  auto id = kernel.admit_task(params("ok", 100, 10));
+  EXPECT_TRUE(id.ok());
+  EXPECT_NE(kernel.scheduler().task(*id), nullptr);
+}
+
+TEST_F(KernelFixture, RejectsUnschedulableSet) {
+  ASSERT_TRUE(kernel.admit_task(params("a", 100, 60, 1)).ok());
+  auto second = kernel.admit_task(params("b", 100, 60, 2));
+  EXPECT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), util::StatusCode::kResourceExhausted);
+  // Failed admission leaves no residue.
+  EXPECT_EQ(kernel.scheduler().task_count(), 1u);
+}
+
+TEST_F(KernelFixture, RejectsInvalidParams) {
+  EXPECT_FALSE(kernel.admit_task(params("zero-wcet", 100, 0)).ok());
+  TaskParams p = params("neg", 0, 1);
+  EXPECT_FALSE(kernel.admit_task(p).ok());
+}
+
+TEST_F(KernelFixture, RamBudgetEnforced) {
+  // 6 KB usable (8 KB - 2 KB reserved). Two 3 KB stacks fit; a third fails.
+  auto a = kernel.admit_task(params("a", 1000, 1), {}, {}, 3 * 1024, 0);
+  ASSERT_TRUE(a.ok());
+  auto b = kernel.admit_task(params("b", 1000, 1), {}, {}, 3 * 1024 - 256, 0);
+  ASSERT_TRUE(b.ok());
+  auto c = kernel.admit_task(params("c", 1000, 1), {}, {}, 512, 0);
+  EXPECT_FALSE(c.ok());
+  EXPECT_GE(kernel.ram_used(), 6 * 1024u - 256u);
+}
+
+TEST_F(KernelFixture, AdmissibleIsSideEffectFree) {
+  EXPECT_TRUE(kernel.admissible(params("probe", 100, 50)));
+  EXPECT_EQ(kernel.scheduler().task_count(), 0u);
+}
+
+TEST_F(KernelFixture, StartStopRemove) {
+  int runs = 0;
+  auto id = kernel.admit_task(params("t", 100, 5), [&] { ++runs; });
+  ASSERT_TRUE(kernel.start_task(*id));
+  sim.run_until(util::TimePoint::zero() + Duration::millis(350));
+  EXPECT_EQ(runs, 4);
+  ASSERT_TRUE(kernel.stop_task(*id));
+  ASSERT_TRUE(kernel.remove_task(*id));
+  EXPECT_EQ(kernel.scheduler().task_count(), 0u);
+}
+
+TEST_F(KernelFixture, ReserveCpuBindsBudget) {
+  auto id = kernel.admit_task(params("t", 100, 10));
+  ASSERT_TRUE(kernel.reserve_cpu(*id));
+  const Tcb* tcb = kernel.scheduler().task(*id);
+  EXPECT_NE(tcb->reservation, kNoReservation);
+}
+
+TEST_F(KernelFixture, SnapshotCapturesFullTcbImage) {
+  auto id = kernel.admit_task(params("t", 250, 10, 3), {}, {}, 128, 64);
+  Tcb* tcb = kernel.scheduler().task(*id);
+  tcb->stack.assign(128, 0xAB);
+  tcb->data.assign(64, 0xCD);
+  tcb->registers.pc = 0x1234;
+  tcb->registers.sp = 0x0456;
+  tcb->registers.gp[7] = 99;
+
+  auto snap = kernel.snapshot(*id);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_EQ(snap->params.name, "t");
+  EXPECT_EQ(snap->params.period.ms(), 250);
+  EXPECT_EQ(snap->stack.size(), 128u);
+  EXPECT_EQ(snap->stack[0], 0xAB);
+  EXPECT_EQ(snap->data[10], 0xCD);
+  EXPECT_EQ(snap->registers.pc, 0x1234u);
+  EXPECT_EQ(snap->registers.gp[7], 99);
+}
+
+TEST_F(KernelFixture, SnapshotEncodeDecodeRoundTrip) {
+  auto id = kernel.admit_task(params("traveler", 100, 5, 7), {}, {}, 32, 16);
+  kernel.scheduler().task(*id)->data.assign(16, 0x5A);
+  auto snap = kernel.snapshot(*id);
+  ASSERT_TRUE(snap.ok());
+  const auto bytes = snap->encode();
+  TaskSnapshot decoded;
+  ASSERT_TRUE(TaskSnapshot::decode(bytes, decoded));
+  EXPECT_EQ(decoded.params.name, "traveler");
+  EXPECT_EQ(decoded.params.priority, 7);
+  EXPECT_EQ(decoded.data, snap->data);
+  EXPECT_EQ(decoded.stack.size(), 32u);
+}
+
+TEST_F(KernelFixture, SnapshotWithFreezeStopsTask) {
+  auto id = kernel.admit_task(params("t", 100, 5));
+  (void)kernel.start_task(*id);
+  sim.run_until(util::TimePoint::zero() + Duration::millis(150));
+  auto snap = kernel.snapshot(*id, /*freeze=*/true);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_FALSE(kernel.scheduler().is_active(*id));
+}
+
+TEST_F(KernelFixture, RestoreOnSecondKernelRunsTask) {
+  auto id = kernel.admit_task(params("migrant", 100, 5), {}, {}, 64, 32);
+  kernel.scheduler().task(*id)->data.assign(32, 0x77);
+  auto snap = kernel.snapshot(*id, true);
+  ASSERT_TRUE(snap.ok());
+
+  Kernel destination(sim);
+  int runs = 0;
+  auto restored = destination.restore(*snap, [&] { ++runs; });
+  ASSERT_TRUE(restored.ok());
+  EXPECT_EQ(destination.scheduler().task(*restored)->data[0], 0x77);
+  (void)destination.start_task(*restored);
+  sim.run_until(sim.now() + Duration::millis(550));
+  EXPECT_EQ(runs, 6);  // releases at 0, 100, ..., 500 ms after restart
+}
+
+TEST_F(KernelFixture, RestoreRespectsAdmission) {
+  // Destination already nearly full: restoring a heavy task must fail.
+  Kernel destination(sim);
+  ASSERT_TRUE(destination.admit_task(params("resident", 100, 80, 1)).ok());
+
+  auto id = kernel.admit_task(params("heavy", 100, 40, 2));
+  auto snap = kernel.snapshot(*id);
+  ASSERT_TRUE(snap.ok());
+  auto restored = destination.restore(*snap);
+  EXPECT_FALSE(restored.ok());
+  EXPECT_EQ(restored.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST_F(KernelFixture, SnapshotCarriesReservation) {
+  auto id = kernel.admit_task(params("t", 100, 10));
+  ASSERT_TRUE(kernel.reserve_cpu(*id));
+  auto snap = kernel.snapshot(*id);
+  ASSERT_TRUE(snap.ok());
+  EXPECT_TRUE(snap->has_cpu_reservation);
+  EXPECT_EQ(snap->cpu_reservation.budget.ms(), 10);
+  EXPECT_EQ(snap->cpu_reservation.period.ms(), 100);
+
+  Kernel destination(sim);
+  auto restored = destination.restore(*snap);
+  ASSERT_TRUE(restored.ok());
+  EXPECT_NE(destination.scheduler().task(*restored)->reservation, kNoReservation);
+}
+
+TEST_F(KernelFixture, UtilizationAndCapacityAccessors) {
+  EXPECT_EQ(kernel.ram_capacity(), 6 * 1024u);
+  auto id = kernel.admit_task(params("t", 100, 25));
+  (void)kernel.start_task(*id);
+  EXPECT_DOUBLE_EQ(kernel.utilization(), 0.25);
+}
+
+// Admission tests parameterized over the three analysis flavors: all three
+// must agree on clearly-schedulable and clearly-infeasible sets.
+class AdmissionTestKind
+    : public ::testing::TestWithParam<KernelConfig::Test> {};
+
+TEST_P(AdmissionTestKind, AgreesOnExtremes) {
+  sim::Simulator sim(1);
+  KernelConfig config;
+  config.test = GetParam();
+  Kernel kernel(sim, config);
+  TaskParams light;
+  light.name = "light";
+  light.period = Duration::millis(100);
+  light.wcet = Duration::millis(5);
+  EXPECT_TRUE(kernel.admit_task(light).ok());
+  TaskParams impossible;
+  impossible.name = "impossible";
+  impossible.period = Duration::millis(100);
+  impossible.wcet = Duration::millis(99);
+  EXPECT_FALSE(kernel.admit_task(impossible).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllTests, AdmissionTestKind,
+                         ::testing::Values(KernelConfig::Test::kLiuLayland,
+                                           KernelConfig::Test::kHyperbolic,
+                                           KernelConfig::Test::kResponseTime));
+
+}  // namespace
+}  // namespace evm::rtos

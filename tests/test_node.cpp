@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "core/node.hpp"
+
+namespace evm::core {
+namespace {
+
+struct NodeFixture : ::testing::Test {
+  sim::Simulator sim{12};
+  net::Topology topo = net::Topology::full_mesh({1, 2});
+  net::Medium medium{sim, topo};
+  net::RtLinkSchedule schedule{4, util::Duration::millis(5)};
+  net::TimeSync sync{sim, {}};
+
+  Node make(net::NodeId id) {
+    NodeConfig config;
+    config.id = id;
+    return Node(sim, medium, schedule, sync, config);
+  }
+};
+
+TEST_F(NodeFixture, SensorBindingRoundTrip) {
+  Node node = make(1);
+  EXPECT_FALSE(node.has_sensor(0));
+  EXPECT_EQ(node.read_sensor(0), 0.0);  // unbound: safe default
+  node.bind_sensor(0, [] { return 42.5; });
+  EXPECT_TRUE(node.has_sensor(0));
+  EXPECT_EQ(node.read_sensor(0), 42.5);
+}
+
+TEST_F(NodeFixture, ActuatorBindingRoundTrip) {
+  Node node = make(1);
+  double written = -1;
+  EXPECT_FALSE(node.write_actuator(3, 5.0));  // unbound
+  node.bind_actuator(3, [&](double v) { written = v; });
+  EXPECT_TRUE(node.write_actuator(3, 7.5));
+  EXPECT_EQ(written, 7.5);
+}
+
+TEST_F(NodeFixture, FailStopsMacAndTasks) {
+  Node node = make(1);
+  schedule.assign_tx(0, 1);
+  node.start();
+  rtos::TaskParams p;
+  p.name = "t";
+  p.period = util::Duration::millis(100);
+  p.wcet = util::Duration::millis(1);
+  int runs = 0;
+  auto id = node.kernel().admit_task(p, [&] { ++runs; });
+  (void)node.kernel().start_task(*id);
+  sim.run_until(util::TimePoint::zero() + util::Duration::millis(350));
+  EXPECT_EQ(runs, 4);
+
+  node.fail();
+  EXPECT_TRUE(node.failed());
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(2));
+  EXPECT_EQ(runs, 4);  // dead node computes nothing
+  EXPECT_FALSE(node.kernel().scheduler().is_active(*id));
+}
+
+TEST_F(NodeFixture, FailIsIdempotentAndRecoverRestartsMac) {
+  Node node = make(1);
+  node.start();
+  node.fail();
+  node.fail();
+  EXPECT_TRUE(node.failed());
+  node.recover();
+  EXPECT_FALSE(node.failed());
+  node.recover();  // no-op
+}
+
+TEST_F(NodeFixture, FailedNodeIsRadioSilent) {
+  Node a = make(1);
+  Node b = make(2);
+  schedule.assign_tx(0, 1);
+  schedule.assign_tx(1, 2);
+  sync.start();
+  a.start();
+  b.start();
+  int received = 0;
+  b.router().set_receive_handler([&](const net::Datagram&) { ++received; });
+  a.fail();
+  (void)a.router().send(2, 1, {1});
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(1));
+  EXPECT_EQ(received, 0);
+}
+
+TEST_F(NodeFixture, BatteryAccounting) {
+  Node node = make(1);
+  EXPECT_NEAR(node.battery_fraction(), 1.0, 1e-6);
+  node.radio().set_state(net::RadioState::kIdleListen);
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(3600));
+  // 18.8 mA for 1 h on a 2500 mAh battery: ~0.75 % consumed.
+  EXPECT_NEAR(node.battery_fraction(), 1.0 - 18.8 / 2500.0, 1e-4);
+  const double years = node.projected_lifetime_years();
+  EXPECT_NEAR(years, 2500.0 / 18.8 / 24.0 / 365.0, 0.01);
+}
+
+TEST_F(NodeFixture, ClockUsesConfiguredDrift) {
+  NodeConfig config;
+  config.id = 5;
+  config.clock_drift_ppm = 100.0;
+  Node node(sim, medium, schedule, sync, config);
+  const auto t = util::TimePoint::zero() + util::Duration::seconds(10);
+  EXPECT_NEAR(static_cast<double>((node.clock().local_time(t) - t).us()),
+              1000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace evm::core

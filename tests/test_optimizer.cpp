@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/optimizer.hpp"
+
+namespace evm::core {
+namespace {
+
+BqpProblem two_by_two() {
+  BqpProblem p;
+  p.num_tasks = 2;
+  p.num_nodes = 2;
+  p.task_utilization = {0.4, 0.4};
+  p.node_capacity = {1.0, 1.0};
+  p.linear = {0.0, 1.0,   // task 0 prefers node 0
+              1.0, 0.0};  // task 1 prefers node 1
+  p.quadratic = {0.0, 0.5,
+                 0.0, 0.0};  // colocation costs 0.5
+  return p;
+}
+
+TEST(Evaluate, LinearPlusQuadratic) {
+  const auto p = two_by_two();
+  EXPECT_DOUBLE_EQ(evaluate(p, {0, 1}), 0.0);        // both on preferred nodes
+  EXPECT_DOUBLE_EQ(evaluate(p, {0, 0}), 0.0 + 1.0 + 0.5);  // colocated on 0
+  EXPECT_DOUBLE_EQ(evaluate(p, {1, 0}), 2.0);
+}
+
+TEST(Evaluate, InfeasibleIsInfinite) {
+  auto p = two_by_two();
+  p.node_capacity = {0.5, 1.0};  // node 0 can host at most one... 0.4 fits,
+  // but both (0.8) do not.
+  EXPECT_TRUE(std::isinf(evaluate(p, {0, 0})));
+  EXPECT_TRUE(std::isfinite(evaluate(p, {0, 1})));
+}
+
+TEST(SolveExact, FindsOptimum) {
+  const auto p = two_by_two();
+  auto solution = solve_exact(p);
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->optimal);
+  EXPECT_DOUBLE_EQ(solution->cost, 0.0);
+  EXPECT_EQ(solution->assignment, (std::vector<std::size_t>{0, 1}));
+}
+
+TEST(SolveExact, RespectsCapacity) {
+  BqpProblem p;
+  p.num_tasks = 3;
+  p.num_nodes = 2;
+  p.task_utilization = {0.6, 0.6, 0.6};
+  p.node_capacity = {1.0, 1.0};
+  p.linear.assign(6, 0.0);
+  // Three 0.6 tasks cannot fit on two unit nodes.
+  auto solution = solve_exact(p);
+  EXPECT_FALSE(solution.ok());
+  EXPECT_EQ(solution.status().code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(SolveExact, EmptyProblemRejected) {
+  EXPECT_FALSE(solve_exact(BqpProblem{}).ok());
+}
+
+TEST(SolveExact, QuadraticTermDrivesSpreading) {
+  BqpProblem p;
+  p.num_tasks = 4;
+  p.num_nodes = 2;
+  p.task_utilization = {0.1, 0.1, 0.1, 0.1};
+  p.node_capacity = {1.0, 1.0};
+  p.linear.assign(8, 0.0);
+  p.quadratic.assign(16, 0.0);
+  for (std::size_t a = 0; a < 4; ++a) {
+    for (std::size_t b = a + 1; b < 4; ++b) p.quadratic[a * 4 + b] = 1.0;
+  }
+  auto solution = solve_exact(p);
+  ASSERT_TRUE(solution.ok());
+  // Optimal split is 2-2: cost = 2 pairs colocated = 2.0 (4-0 would be 6).
+  EXPECT_DOUBLE_EQ(solution->cost, 2.0);
+  int on_zero = 0;
+  for (auto n : solution->assignment) on_zero += n == 0 ? 1 : 0;
+  EXPECT_EQ(on_zero, 2);
+}
+
+TEST(SolveAnneal, FeasibleAndReasonable) {
+  const auto p = two_by_two();
+  auto solution = solve_anneal(p, {.iterations = 5000, .seed = 1});
+  ASSERT_TRUE(solution.ok());
+  EXPECT_FALSE(solution->optimal);
+  EXPECT_TRUE(std::isfinite(evaluate(p, solution->assignment)));
+  EXPECT_LE(solution->cost, 1.6);  // never worse than the worst layout
+}
+
+TEST(SolveAnneal, DetectsInfeasibleStart) {
+  BqpProblem p;
+  p.num_tasks = 2;
+  p.num_nodes = 1;
+  p.task_utilization = {0.7, 0.7};
+  p.node_capacity = {1.0};
+  p.linear.assign(2, 0.0);
+  EXPECT_FALSE(solve_anneal(p).ok());
+}
+
+TEST(Solve, DispatchesExactForSmall) {
+  auto solution = solve(two_by_two());
+  ASSERT_TRUE(solution.ok());
+  EXPECT_TRUE(solution->optimal);
+}
+
+TEST(MakeBalanceProblem, BuildsExpectedShape) {
+  const auto p = make_balance_problem({0.2, 0.3}, {1.0, 1.0, 1.0},
+                                      {{0.0, 0.1, 0.2}, {0.2, 0.1, 0.0}}, 0.25);
+  EXPECT_EQ(p.num_tasks, 2u);
+  EXPECT_EQ(p.num_nodes, 3u);
+  EXPECT_DOUBLE_EQ(p.linear_cost(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(p.linear_cost(1, 2), 0.0);
+  EXPECT_DOUBLE_EQ(p.pair_cost(0, 1), 0.25);
+  EXPECT_DOUBLE_EQ(p.pair_cost(1, 0), 0.25);  // symmetric lookup
+}
+
+TEST(MakeBalanceProblem, SolutionSpreadsLoad) {
+  // 6 identical tasks, 3 nodes: colocation penalty should yield 2-2-2.
+  const auto p = make_balance_problem(std::vector<double>(6, 0.15),
+                                      std::vector<double>(3, 1.0),
+                                      {}, 0.1);
+  auto solution = solve(p);
+  ASSERT_TRUE(solution.ok());
+  std::vector<int> counts(3, 0);
+  for (auto n : solution->assignment) ++counts[n];
+  for (int c : counts) EXPECT_EQ(c, 2);
+}
+
+// Property: annealing never reports a cost lower than the exact optimum,
+// and both report feasible assignments.
+class AnnealVsExact : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AnnealVsExact, AnnealIsBoundedByExact) {
+  util::Rng rng(GetParam());
+  BqpProblem p;
+  p.num_tasks = 5;
+  p.num_nodes = 3;
+  for (std::size_t t = 0; t < p.num_tasks; ++t) {
+    p.task_utilization.push_back(rng.uniform(0.05, 0.3));
+  }
+  p.node_capacity.assign(p.num_nodes, 1.0);
+  for (std::size_t i = 0; i < p.num_tasks * p.num_nodes; ++i) {
+    p.linear.push_back(rng.uniform(0.0, 1.0));
+  }
+  p.quadratic.assign(p.num_tasks * p.num_tasks, 0.0);
+  for (std::size_t a = 0; a < p.num_tasks; ++a) {
+    for (std::size_t b = a + 1; b < p.num_tasks; ++b) {
+      p.quadratic[a * p.num_tasks + b] = rng.uniform(0.0, 0.4);
+    }
+  }
+
+  auto exact = solve_exact(p);
+  ASSERT_TRUE(exact.ok());
+  auto anneal = solve_anneal(p, {.iterations = 30000, .seed = GetParam()});
+  ASSERT_TRUE(anneal.ok());
+
+  EXPECT_TRUE(std::isfinite(evaluate(p, exact->assignment)));
+  EXPECT_TRUE(std::isfinite(evaluate(p, anneal->assignment)));
+  EXPECT_GE(anneal->cost + 1e-9, exact->cost);
+  // Annealing should land within 30% of optimal on these small instances.
+  EXPECT_LE(anneal->cost, exact->cost * 1.3 + 0.2);
+  // Reported costs must match re-evaluation (no drift in incremental delta).
+  EXPECT_NEAR(anneal->cost, evaluate(p, anneal->assignment), 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AnnealVsExact,
+                         ::testing::Values(7, 14, 21, 28, 35, 42));
+
+}  // namespace
+}  // namespace evm::core

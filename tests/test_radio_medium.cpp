@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include "net/medium.hpp"
+#include "net/radio.hpp"
+
+namespace evm::net {
+namespace {
+
+struct RadioFixture : ::testing::Test {
+  sim::Simulator sim{1};
+  Topology topo = Topology::full_mesh({1, 2, 3});
+  Medium medium{sim, topo};
+};
+
+TEST_F(RadioFixture, AirtimeMatchesBitrate) {
+  // 125 bytes at 250 kbps = 4 ms.
+  EXPECT_EQ(airtime(125, 250'000.0).us(), 4000);
+}
+
+TEST_F(RadioFixture, PacketOnAirSizeIncludesOverhead) {
+  Packet p;
+  p.payload.assign(10, 0);
+  EXPECT_EQ(p.on_air_bytes(), 10 + kFrameOverheadBytes);
+}
+
+TEST_F(RadioFixture, EnergyAccountingPerState) {
+  Radio radio(sim, medium, 1);
+  radio.set_state(RadioState::kIdleListen);
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(3600));
+  radio.set_state(RadioState::kOff);
+  // 18.8 mA for 1 h = 18.8 mAh.
+  EXPECT_NEAR(radio.consumed_mah(), 18.8, 0.01);
+  EXPECT_EQ(radio.time_in(RadioState::kIdleListen).to_seconds(), 3600.0);
+}
+
+TEST_F(RadioFixture, AverageCurrentBlendsStates) {
+  Radio radio(sim, medium, 1);
+  radio.set_state(RadioState::kOff);
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(1800));
+  radio.set_state(RadioState::kIdleListen);
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(3600));
+  // Half the time at 0.001 mA, half at 18.8 -> ~9.4 mA.
+  EXPECT_NEAR(radio.average_current_ma(sim.now()), 9.4, 0.05);
+}
+
+TEST_F(RadioFixture, ResetEnergyZeroes) {
+  Radio radio(sim, medium, 1);
+  radio.set_state(RadioState::kIdleListen);
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(100));
+  radio.reset_energy(sim.now());
+  EXPECT_NEAR(radio.consumed_mah(), 0.0, 1e-9);
+}
+
+TEST_F(RadioFixture, UnicastDelivery) {
+  Radio tx(sim, medium, 1), rx(sim, medium, 2);
+  tx.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  Packet received;
+  int count = 0;
+  rx.set_receive_handler([&](const Packet& p) {
+    received = p;
+    ++count;
+  });
+  Packet p;
+  p.src = 1;
+  p.dst = 2;
+  p.type = 9;
+  p.payload = {1, 2, 3};
+  EXPECT_TRUE(tx.transmit(p));
+  sim.run_all();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(received.payload, (std::vector<std::uint8_t>{1, 2, 3}));
+  EXPECT_EQ(medium.delivered_count(), 1u);
+}
+
+TEST_F(RadioFixture, AddressFilterDropsForeignUnicast) {
+  Radio tx(sim, medium, 1), rx2(sim, medium, 2), rx3(sim, medium, 3);
+  tx.set_state(RadioState::kIdleListen);
+  rx2.set_state(RadioState::kIdleListen);
+  rx3.set_state(RadioState::kIdleListen);
+  int count2 = 0, count3 = 0;
+  rx2.set_receive_handler([&](const Packet&) { ++count2; });
+  rx3.set_receive_handler([&](const Packet&) { ++count3; });
+  Packet p;
+  p.dst = 2;
+  tx.transmit(p);
+  sim.run_all();
+  EXPECT_EQ(count2, 1);
+  EXPECT_EQ(count3, 0);
+}
+
+TEST_F(RadioFixture, BroadcastReachesAllListeners) {
+  Radio tx(sim, medium, 1), rx2(sim, medium, 2), rx3(sim, medium, 3);
+  tx.set_state(RadioState::kIdleListen);
+  rx2.set_state(RadioState::kIdleListen);
+  rx3.set_state(RadioState::kIdleListen);
+  int count = 0;
+  rx2.set_receive_handler([&](const Packet&) { ++count; });
+  rx3.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = kBroadcast;
+  tx.transmit(p);
+  sim.run_all();
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(RadioFixture, SleepingRadioHearsNothing) {
+  Radio tx(sim, medium, 1), rx(sim, medium, 2);
+  tx.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kOff);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = kBroadcast;
+  tx.transmit(p);
+  sim.run_all();
+  EXPECT_EQ(count, 0);
+}
+
+TEST_F(RadioFixture, OffRadioCannotTransmit) {
+  Radio tx(sim, medium, 1);
+  tx.set_state(RadioState::kOff);
+  EXPECT_FALSE(tx.transmit(Packet{}));
+}
+
+TEST_F(RadioFixture, ConcurrentTransmissionsCollide) {
+  Radio tx1(sim, medium, 1), tx2(sim, medium, 2), rx(sim, medium, 3);
+  tx1.set_state(RadioState::kIdleListen);
+  tx2.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = kBroadcast;
+  tx1.transmit(p);
+  tx2.transmit(p);  // same instant: overlap at node 3
+  sim.run_all();
+  EXPECT_EQ(count, 0);
+  EXPECT_GE(medium.collision_count(), 1u);
+}
+
+TEST_F(RadioFixture, NonOverlappingTransmissionsBothArrive) {
+  Radio tx1(sim, medium, 1), tx2(sim, medium, 2), rx(sim, medium, 3);
+  tx1.set_state(RadioState::kIdleListen);
+  tx2.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = kBroadcast;
+  tx1.transmit(p);
+  sim.schedule_after(util::Duration::millis(20), [&] { tx2.transmit(p); });
+  sim.run_all();
+  EXPECT_EQ(count, 2);
+}
+
+TEST_F(RadioFixture, LinkLossDropsProbabilistically) {
+  topo.set_loss(1, 2, 1.0);  // always lose
+  Radio tx(sim, medium, 1), rx(sim, medium, 2);
+  tx.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = 2;
+  tx.transmit(p);
+  sim.run_all();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(medium.loss_count(), 1u);
+}
+
+TEST_F(RadioFixture, CarrierWakesListeners) {
+  Radio tx(sim, medium, 1), rx(sim, medium, 2);
+  tx.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  bool carrier = false;
+  rx.set_carrier_handler([&] { carrier = true; });
+  tx.transmit_carrier(util::Duration::millis(5));
+  sim.run_all();
+  EXPECT_TRUE(carrier);
+}
+
+TEST_F(RadioFixture, TransmitReturnsToIdleAndCountsFrames) {
+  Radio tx(sim, medium, 1);
+  tx.set_state(RadioState::kIdleListen);
+  bool done = false;
+  Packet p;
+  tx.transmit(p, [&] { done = true; });
+  EXPECT_TRUE(tx.transmitting());
+  sim.run_all();
+  EXPECT_TRUE(done);
+  EXPECT_EQ(tx.state(), RadioState::kIdleListen);
+  EXPECT_EQ(tx.tx_count(), 1u);
+}
+
+TEST_F(RadioFixture, DisconnectedNodesDoNotHear) {
+  topo.set_link_up(1, 2, false);
+  Radio tx(sim, medium, 1), rx(sim, medium, 2);
+  tx.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = kBroadcast;
+  tx.transmit(p);
+  sim.run_all();
+  EXPECT_EQ(count, 0);
+}
+
+}  // namespace
+}  // namespace evm::net

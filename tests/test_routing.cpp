@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/medium.hpp"
+#include "net/routing.hpp"
+#include "net/rtlink.hpp"
+
+namespace evm::net {
+namespace {
+
+struct RoutingFixture : ::testing::Test {
+  sim::Simulator sim{5};
+  Topology topo = Topology::line({1, 2, 3, 4, 5});
+  Medium medium{sim, topo};
+  RtLinkSchedule schedule{10, util::Duration::millis(5)};
+  TimeSync sync{sim, {}};
+
+  struct Stack {
+    NodeClock clock;
+    std::unique_ptr<Radio> radio;
+    std::unique_ptr<RtLink> mac;
+    std::unique_ptr<Router> router;
+  };
+  std::map<NodeId, Stack> stacks;
+
+  Router& make_node(NodeId id) {
+    auto& s = stacks[id];
+    s.radio = std::make_unique<Radio>(sim, medium, id);
+    s.mac = std::make_unique<RtLink>(sim, *s.radio, s.clock, schedule);
+    s.router = std::make_unique<Router>(*s.mac, topo);
+    sync.attach(id, s.clock);
+    schedule.assign_tx(static_cast<int>(id) - 1, id);
+    return *s.router;
+  }
+
+  void start_all() {
+    sync.start();
+    for (auto& [id, s] : stacks) {
+      (void)id;
+      s.mac->start();
+    }
+  }
+  void run_for(util::Duration d) { sim.run_until(sim.now() + d); }
+};
+
+TEST(Datagram, EncodeDecodeRoundTrip) {
+  Datagram d;
+  d.source = 3;
+  d.destination = 9;
+  d.type = 0x42;
+  d.ttl = 5;
+  d.payload = {1, 2, 3, 4, 5};
+  Datagram out;
+  ASSERT_TRUE(Router::decode(Router::encode(d), out));
+  EXPECT_EQ(out.source, 3);
+  EXPECT_EQ(out.destination, 9);
+  EXPECT_EQ(out.type, 0x42);
+  EXPECT_EQ(out.ttl, 5);
+  EXPECT_EQ(out.payload, d.payload);
+}
+
+TEST(Datagram, DecodeRejectsGarbage) {
+  Datagram out;
+  EXPECT_FALSE(Router::decode(std::vector<std::uint8_t>{1, 2}, out));
+}
+
+TEST_F(RoutingFixture, SingleHopDelivery) {
+  Router& a = make_node(1);
+  Router& b = make_node(2);
+  int got = 0;
+  b.set_receive_handler([&](const Datagram& d) {
+    EXPECT_EQ(d.source, 1);
+    EXPECT_EQ(d.type, 7);
+    ++got;
+  });
+  start_all();
+  ASSERT_TRUE(a.send(2, 7, {1, 2, 3}));
+  run_for(util::Duration::millis(500));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(RoutingFixture, MultiHopForwardsAlongLine) {
+  Router& a = make_node(1);
+  make_node(2);
+  make_node(3);
+  Router& d4 = make_node(4);
+  int got = 0;
+  d4.set_receive_handler([&](const Datagram& d) {
+    EXPECT_EQ(d.source, 1);
+    ++got;
+  });
+  start_all();
+  ASSERT_TRUE(a.send(4, 1, {0xAB}));
+  run_for(util::Duration::seconds(2));
+  EXPECT_EQ(got, 1);
+  EXPECT_GE(stacks[2].router->forwarded_count() +
+                stacks[3].router->forwarded_count(),
+            2u);
+}
+
+TEST_F(RoutingFixture, NoRouteFailsFast) {
+  Router& a = make_node(1);
+  topo.add_node(99);
+  start_all();
+  const util::Status status = a.send(99, 1, {});
+  EXPECT_FALSE(status);
+  EXPECT_EQ(status.code(), util::StatusCode::kUnavailable);
+}
+
+TEST_F(RoutingFixture, ReroutesAroundFailedLink) {
+  // Add a detour 1-3 so breaking 1-2 still leaves a path to 3.
+  topo.set_link(1, 3, {true, 0.0});
+  Router& a = make_node(1);
+  make_node(2);
+  Router& c = make_node(3);
+  int got = 0;
+  c.set_receive_handler([&](const Datagram&) { ++got; });
+  start_all();
+  topo.set_link_up(1, 2, false);
+  ASSERT_TRUE(a.send(3, 1, {}));
+  run_for(util::Duration::seconds(1));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(RoutingFixture, BroadcastIsOneHop) {
+  Router& a = make_node(1);
+  Router& b = make_node(2);
+  Router& c = make_node(3);  // two hops away: must NOT hear a broadcast
+  int got_b = 0, got_c = 0;
+  b.set_receive_handler([&](const Datagram&) { ++got_b; });
+  c.set_receive_handler([&](const Datagram&) { ++got_c; });
+  start_all();
+  ASSERT_TRUE(a.send(kBroadcast, 1, {}));
+  run_for(util::Duration::seconds(1));
+  EXPECT_EQ(got_b, 1);
+  EXPECT_EQ(got_c, 0);
+}
+
+}  // namespace
+}  // namespace evm::net

@@ -1,0 +1,89 @@
+#include <gtest/gtest.h>
+
+#include "plant/sensors.hpp"
+
+namespace evm::plant {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+TimePoint at_s(double s) {
+  return TimePoint::zero() + Duration::from_seconds(s);
+}
+
+TEST(TemperatureSensor, StaysNearMeanWithDiurnalSwing) {
+  TemperatureSensor sensor(22.0, 4.0, 86400.0, 0.05);
+  double lo = 1e9, hi = -1e9;
+  for (int h = 0; h < 24; ++h) {
+    const double v = sensor.value(at_s(h * 3600.0));
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_GT(lo, 22.0 - 4.5);
+  EXPECT_LT(hi, 22.0 + 4.5);
+  EXPECT_GT(hi - lo, 6.0);  // the swing is visible
+}
+
+TEST(LightSensor, DayNightContrast) {
+  LightSensor sensor(800.0, 2.0, 86400.0);
+  const double noon = sensor.value(at_s(43200.0));   // phase 0.5: day
+  const double midnight = sensor.value(at_s(100.0)); // phase ~0: night
+  EXPECT_GT(noon, 100.0);
+  EXPECT_LT(midnight, 5.0);
+}
+
+TEST(MotionSensor, EventRateApproximatelyPoisson) {
+  MotionSensor sensor(60.0, Duration::seconds(2), 7);  // 1 event/minute
+  int active_samples = 0;
+  const int samples = 3600;
+  for (int s = 0; s < samples; ++s) {
+    active_samples += sensor.value(at_s(s)) > 0.5 ? 1 : 0;
+  }
+  // ~60 events/hour x 2 s hold = ~120 active seconds of 3600 (wide bounds).
+  EXPECT_GT(active_samples, 40);
+  EXPECT_LT(active_samples, 300);
+  EXPECT_GT(sensor.events_emitted(), 30u);
+}
+
+TEST(MotionSensor, MonotoneTimeQueriesOnly) {
+  MotionSensor sensor(10.0);
+  double last = sensor.value(at_s(0));
+  for (int s = 1; s < 100; ++s) {
+    last = sensor.value(at_s(s));
+    EXPECT_TRUE(last == 0.0 || last == 1.0);
+  }
+}
+
+TEST(VoltageSensor, SagsOverTime) {
+  VoltageSensor sensor(3.0, 0.05, 0.0);  // 50 mV/day, noiseless
+  const double day0 = sensor.value(at_s(0));
+  const double day10 = sensor.value(at_s(10 * 86400.0));
+  EXPECT_NEAR(day0, 3.0, 1e-9);
+  EXPECT_NEAR(day10, 2.5, 1e-9);
+}
+
+TEST(VibrationSensor, BaselineAndBursts) {
+  VibrationSensor sensor(0.02, 0.5, 360.0, 11);  // burst ~10% of checks
+  double peak = 0.0;
+  double sum = 0.0;
+  const int samples = 600;
+  for (int s = 0; s < samples; ++s) {
+    const double v = sensor.value(at_s(s));
+    EXPECT_GE(v, 0.0);
+    peak = std::max(peak, v);
+    sum += v;
+  }
+  EXPECT_GT(peak, 0.3);               // bursts visible
+  EXPECT_LT(sum / samples, 0.45);     // but not the norm
+}
+
+TEST(Sensors, DeterministicPerSeed) {
+  TemperatureSensor a(22, 4, 86400, 0.1, 42), b(22, 4, 86400, 0.1, 42);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(a.value(at_s(i)), b.value(at_s(i)));
+  }
+}
+
+}  // namespace
+}  // namespace evm::plant

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+#include "sim/simulator.hpp"
+#include "sim/trace.hpp"
+
+namespace evm::sim {
+namespace {
+
+TEST(Simulator, StartsAtZero) {
+  Simulator sim;
+  EXPECT_EQ(sim.now(), TimePoint::zero());
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, DispatchesInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint(300), [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint(100), [&] { order.push_back(1); });
+  sim.schedule_at(TimePoint(200), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint(300));
+}
+
+TEST(Simulator, SimultaneousEventsAreFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_at(TimePoint(50), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(Simulator, ScheduleAfterIsRelative) {
+  Simulator sim;
+  TimePoint fired;
+  sim.schedule_at(TimePoint(1000), [&] {
+    sim.schedule_after(Duration(500), [&] { fired = sim.now(); });
+  });
+  sim.run_all();
+  EXPECT_EQ(fired, TimePoint(1500));
+}
+
+TEST(Simulator, CancelPreventsDispatch) {
+  Simulator sim;
+  bool fired = false;
+  EventHandle h = sim.schedule_at(TimePoint(10), [&] { fired = true; });
+  sim.cancel(h);
+  sim.run_all();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_events(), 0u);
+}
+
+TEST(Simulator, CancelIsIdempotentAndSafeAfterFire) {
+  Simulator sim;
+  EventHandle h = sim.schedule_at(TimePoint(10), [] {});
+  sim.run_all();
+  sim.cancel(h);  // no crash, no effect
+  sim.cancel(EventHandle{});
+  EXPECT_TRUE(sim.step() == false);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  int count = 0;
+  for (int i = 1; i <= 10; ++i) {
+    sim.schedule_at(TimePoint(i * 100), [&] { ++count; });
+  }
+  sim.run_until(TimePoint(500));
+  EXPECT_EQ(count, 5);
+  EXPECT_EQ(sim.now(), TimePoint(500));
+  sim.run_until(TimePoint(2000));
+  EXPECT_EQ(count, 10);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(TimePoint(12345));
+  EXPECT_EQ(sim.now(), TimePoint(12345));
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int depth = 0;
+  std::function<void()> chain = [&] {
+    if (++depth < 100) sim.schedule_after(Duration(1), chain);
+  };
+  sim.schedule_at(TimePoint(0), chain);
+  sim.run_all();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(sim.now(), TimePoint(99));
+}
+
+TEST(Simulator, StepDispatchesExactlyOne) {
+  Simulator sim;
+  int count = 0;
+  sim.schedule_at(TimePoint(1), [&] { ++count; });
+  sim.schedule_at(TimePoint(2), [&] { ++count; });
+  EXPECT_TRUE(sim.step());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, DeterministicRngFromSeed) {
+  Simulator a(99), b(99);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+}
+
+// --- Trace ---------------------------------------------------------------
+
+TEST(Trace, RecordsAndLooksUp) {
+  Trace trace;
+  trace.record("level", TimePoint(0), 50.0);
+  trace.record("level", TimePoint(1000), 51.0);
+  trace.record("level", TimePoint(2000), 52.0);
+  EXPECT_EQ(trace.value_at("level", TimePoint(0)), 50.0);
+  EXPECT_EQ(trace.value_at("level", TimePoint(1500)), 51.0);  // step-hold
+  EXPECT_EQ(trace.value_at("level", TimePoint(5000)), 52.0);
+  EXPECT_EQ(trace.last_value("level"), 52.0);
+}
+
+TEST(Trace, MinMax) {
+  Trace trace;
+  trace.record("x", TimePoint(0), 5.0);
+  trace.record("x", TimePoint(1), -3.0);
+  trace.record("x", TimePoint(2), 9.0);
+  EXPECT_EQ(trace.min_value("x"), -3.0);
+  EXPECT_EQ(trace.max_value("x"), 9.0);
+}
+
+TEST(Trace, MissingSeriesIsZero) {
+  Trace trace;
+  EXPECT_EQ(trace.value_at("ghost", TimePoint(0)), 0.0);
+  EXPECT_EQ(trace.find("ghost"), nullptr);
+}
+
+TEST(Trace, PrintTableHasHeaderAndRows) {
+  Trace trace;
+  trace.record("a", TimePoint(0), 1.0);
+  trace.record("a", TimePoint::zero() + Duration::seconds(10), 2.0);
+  trace.record("b", TimePoint(0), 3.0);
+  std::ostringstream os;
+  trace.print_table(os, Duration::seconds(5));
+  const std::string out = os.str();
+  EXPECT_NE(out.find("time_s"), std::string::npos);
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("b"), std::string::npos);
+  // 3 time rows (0, 5, 10) + header.
+  int lines = 0;
+  for (char c : out) lines += c == '\n' ? 1 : 0;
+  EXPECT_EQ(lines, 4);
+}
+
+TEST(Trace, SeriesNamesAndTotals) {
+  Trace trace;
+  trace.record("a", TimePoint(0), 1.0);
+  trace.record("b", TimePoint(0), 1.0);
+  trace.record("b", TimePoint(1), 2.0);
+  EXPECT_EQ(trace.series_names().size(), 2u);
+  EXPECT_EQ(trace.total_samples(), 3u);
+  trace.clear();
+  EXPECT_EQ(trace.total_samples(), 0u);
+}
+
+}  // namespace
+}  // namespace evm::sim

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "vm/assembler.hpp"
+#include "vm/attestation.hpp"
+#include "vm/stdlib.hpp"
+
+namespace evm::vm {
+namespace {
+
+struct StdlibFixture : ::testing::Test {
+  double actuated = 0.0;
+  Interpreter interp;
+
+  StdlibFixture()
+      : interp(Environment{[](std::uint8_t) { return 0.0; },
+                           [this](std::uint8_t, double v) { actuated = v; },
+                           {},
+                           {}}) {
+    EXPECT_TRUE(register_stdlib(interp));
+  }
+
+  util::Status run(const std::string& source) {
+    auto code = assemble(source);
+    EXPECT_TRUE(code.ok()) << code.status().to_string();
+    return interp.run(*code);
+  }
+};
+
+TEST_F(StdlibFixture, Sqrt) {
+  ASSERT_TRUE(run("pushi 16\next0\nactuate 0"));
+  EXPECT_DOUBLE_EQ(actuated, 4.0);
+}
+
+TEST_F(StdlibFixture, SqrtNegativeFaults) {
+  EXPECT_FALSE(run("pushi -4\next0"));
+}
+
+TEST_F(StdlibFixture, ExpAndLogInvert) {
+  ASSERT_TRUE(run("push 2.5\next1\next2\nactuate 0"));
+  EXPECT_NEAR(actuated, 2.5, 1e-12);
+}
+
+TEST_F(StdlibFixture, LogNonPositiveFaults) {
+  EXPECT_FALSE(run("pushi 0\next2"));
+}
+
+TEST_F(StdlibFixture, Pow) {
+  ASSERT_TRUE(run("pushi 2\npushi 10\next3\nactuate 0"));
+  EXPECT_DOUBLE_EQ(actuated, 1024.0);
+}
+
+TEST_F(StdlibFixture, SinCosIdentity) {
+  // sin^2 + cos^2 == 1 computed entirely in bytecode.
+  ASSERT_TRUE(run(R"(
+      push 0.7
+      dup
+      ext4
+      dup
+      mul
+      swap
+      ext5
+      dup
+      mul
+      add
+      actuate 0
+  )"));
+  EXPECT_NEAR(actuated, 1.0, 1e-12);
+}
+
+TEST_F(StdlibFixture, Floor) {
+  ASSERT_TRUE(run("push 3.99\next6\nactuate 0"));
+  EXPECT_DOUBLE_EQ(actuated, 3.0);
+}
+
+TEST_F(StdlibFixture, Lerp) {
+  ASSERT_TRUE(run("pushi 10\npushi 20\npush 0.25\next7\nactuate 0"));
+  EXPECT_DOUBLE_EQ(actuated, 12.5);
+}
+
+TEST_F(StdlibFixture, UnderflowIsCaught) {
+  EXPECT_FALSE(run("ext3"));
+  EXPECT_FALSE(run("pushi 1\next7"));
+}
+
+TEST_F(StdlibFixture, DoubleRegistrationRejected) {
+  EXPECT_FALSE(register_stdlib(interp));
+}
+
+TEST_F(StdlibFixture, AttestationAcceptsStdlibWords) {
+  auto code = assemble("pushi 4\next0\ndrop\nhalt");
+  ASSERT_TRUE(code.ok());
+  EXPECT_TRUE(verify_code(*code, &interp).structure_ok);
+  // Without the stdlib bound, the same code fails attestation.
+  Interpreter bare;
+  EXPECT_FALSE(verify_code(*code, &bare).structure_ok);
+}
+
+TEST(StdlibNames, MnemonicsMatchSlots) {
+  EXPECT_STREQ(stdlib_mnemonic(StdWord::kSqrt), "ext0");
+  EXPECT_STREQ(stdlib_mnemonic(StdWord::kLerp), "ext7");
+}
+
+}  // namespace
+}  // namespace evm::vm

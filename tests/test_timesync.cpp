@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include "net/clock.hpp"
+#include "net/timesync.hpp"
+
+namespace evm::net {
+namespace {
+
+TEST(NodeClock, ZeroDriftTracksTruth) {
+  NodeClock clock(0.0);
+  const auto t = util::TimePoint::zero() + util::Duration::seconds(100);
+  EXPECT_EQ(clock.local_time(t).ns(), t.ns());
+}
+
+TEST(NodeClock, DriftAccumulates) {
+  NodeClock clock(100.0);  // +100 ppm
+  const auto t = util::TimePoint::zero() + util::Duration::seconds(10);
+  // 10 s at +100 ppm -> 1 ms fast.
+  EXPECT_NEAR(static_cast<double>((clock.local_time(t) - t).us()), 1000.0, 1.0);
+}
+
+TEST(NodeClock, DisciplineZeroesError) {
+  NodeClock clock(50.0);
+  const auto t1 = util::TimePoint::zero() + util::Duration::seconds(100);
+  clock.discipline(t1, t1);  // perfect reference
+  EXPECT_EQ(clock.local_time(t1).ns(), t1.ns());
+  // Error re-grows from the discipline point.
+  const auto t2 = t1 + util::Duration::seconds(10);
+  EXPECT_NEAR(static_cast<double>((clock.local_time(t2) - t2).us()), 500.0, 1.0);
+}
+
+TEST(NodeClock, GlobalForInvertsLocalTime) {
+  NodeClock clock(-75.0);
+  clock.discipline(util::TimePoint(123456789), util::TimePoint(120000000));
+  const auto local = util::TimePoint::zero() + util::Duration::seconds(55);
+  const auto global = clock.global_for(local);
+  EXPECT_NEAR(static_cast<double>(clock.local_time(global).ns() - local.ns()), 0.0, 10.0);
+}
+
+TEST(TimeSync, DisciplinesAttachedClocks) {
+  sim::Simulator sim(4);
+  TimeSyncParams params;
+  params.period = util::Duration::millis(100);
+  params.jitter_sigma = util::Duration::micros(40);
+  params.jitter_max = util::Duration::micros(150);
+  TimeSync sync(sim, params);
+
+  NodeClock clock(40.0);
+  sync.attach(7, clock);
+  sync.start();
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(2));
+
+  // After many pulses, clock error is bounded by jitter + drift-per-period,
+  // far below undisciplined drift (40 ppm * 2 s = 80 us... bounded anyway).
+  const auto err = clock.local_time(sim.now()) - sim.now();
+  EXPECT_LT(std::abs(err.ns()), util::Duration::micros(200).ns());
+  EXPECT_GE(sync.pulses_emitted(), 20u);
+}
+
+TEST(TimeSync, JitterRespectsHardBound) {
+  sim::Simulator sim(5);
+  TimeSyncParams params;
+  params.period = util::Duration::millis(10);
+  params.jitter_sigma = util::Duration::micros(60);
+  params.jitter_max = util::Duration::micros(150);
+  TimeSync sync(sim, params);
+  NodeClock clock(0.0);
+  sync.attach(1, clock);
+  sync.start();
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(10));
+
+  ASSERT_GT(sync.jitter_samples().size(), 500u);
+  for (const auto& j : sync.jitter_samples()) {
+    EXPECT_GE(j.ns(), 0);
+    EXPECT_LE(j.us(), 150);
+  }
+}
+
+TEST(TimeSync, SubMillisecondJitterTypical) {
+  // The paper's claim: sub-150 us jitter via the AM pulse. With sigma=40 us
+  // the mean detection latency is ~32 us; check the empirical mean.
+  sim::Simulator sim(6);
+  TimeSync sync(sim, {});
+  NodeClock clock(10.0);
+  sync.attach(1, clock);
+  sync.start();
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(200));
+  double sum = 0.0;
+  for (const auto& j : sync.jitter_samples()) sum += static_cast<double>(j.us());
+  const double mean_us = sum / static_cast<double>(sync.jitter_samples().size());
+  EXPECT_LT(mean_us, 60.0);
+  EXPECT_GT(mean_us, 10.0);
+}
+
+TEST(TimeSync, MissedPulsesCounted) {
+  sim::Simulator sim(7);
+  TimeSyncParams params;
+  params.period = util::Duration::millis(10);
+  params.miss_probability = 0.5;
+  TimeSync sync(sim, params);
+  NodeClock clock(0.0);
+  sync.attach(1, clock);
+  sync.start();
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(10));
+  EXPECT_GT(sync.pulses_missed(), 300u);
+  EXPECT_LT(sync.pulses_missed(), 700u);
+}
+
+TEST(TimeSync, CallbackReceivesJitter) {
+  sim::Simulator sim(8);
+  TimeSync sync(sim, {});
+  NodeClock clock(0.0);
+  int calls = 0;
+  sync.attach(1, clock, [&](util::Duration jitter) {
+    EXPECT_GE(jitter.ns(), 0);
+    ++calls;
+  });
+  sync.start();
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(5));
+  EXPECT_GE(calls, 5);
+}
+
+TEST(TimeSync, DetachStopsDisciplining) {
+  sim::Simulator sim(9);
+  TimeSyncParams params;
+  params.period = util::Duration::millis(100);
+  TimeSync sync(sim, params);
+  NodeClock clock(1000.0);  // monstrous drift to make error visible
+  sync.attach(1, clock);
+  sync.start();
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(1));
+  sync.detach(1);
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(11));
+  // 10 s of undisciplined 1000 ppm drift = 10 ms error.
+  const auto err = clock.local_time(sim.now()) - sim.now();
+  EXPECT_GT(std::abs(err.us()), 5000);
+}
+
+}  // namespace
+}  // namespace evm::net

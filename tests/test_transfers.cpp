@@ -1,0 +1,115 @@
+#include <gtest/gtest.h>
+
+#include "core/transfers.hpp"
+
+namespace evm::core {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+VcDescriptor descriptor_with(std::vector<ObjectTransfer> transfers) {
+  VcDescriptor vc;
+  vc.id = 1;
+  vc.members = {1, 2, 3};
+  vc.transfers = std::move(transfers);
+  return vc;
+}
+
+TEST(TransferGuard, UndeclaredRelationDefaultsToAccept) {
+  const auto vc = descriptor_with({});
+  TransferGuard guard(vc, 2);
+  EXPECT_TRUE(guard.accept(1, TimePoint(0), TimePoint(100), 1));
+  EXPECT_EQ(guard.stats().accepted, 1u);
+}
+
+TEST(TransferGuard, DirectionalAlwaysAccepts) {
+  const auto vc = descriptor_with({{1, 2, TransferType::kDirectional, {}, {}}});
+  TransferGuard guard(vc, 2);
+  for (std::uint32_t seq : {5u, 3u, 3u}) {  // even out of order
+    EXPECT_TRUE(guard.accept(1, TimePoint(0), TimePoint(1'000'000'000), seq));
+  }
+}
+
+TEST(TransferGuard, DisjointRejectsEverything) {
+  const auto vc = descriptor_with({{1, 2, TransferType::kDisjoint, {}, {}}});
+  TransferGuard guard(vc, 2);
+  EXPECT_FALSE(guard.accept(1, TimePoint(0), TimePoint(0), 1));
+  EXPECT_EQ(guard.stats().rejected_disjoint, 1u);
+}
+
+TEST(TransferGuard, TemporalConditionalDropsStale) {
+  const auto vc = descriptor_with(
+      {{1, 2, TransferType::kTemporalConditional, Duration::millis(500), {}}});
+  TransferGuard guard(vc, 2);
+  const TimePoint sent(0);
+  EXPECT_TRUE(guard.accept(1, sent, TimePoint::zero() + Duration::millis(400), 1));
+  EXPECT_FALSE(guard.accept(1, sent, TimePoint::zero() + Duration::millis(600), 2));
+  EXPECT_EQ(guard.stats().rejected_stale, 1u);
+  EXPECT_EQ(guard.stats().accepted, 1u);
+}
+
+TEST(TransferGuard, TemporalZeroMaxAgeMeansNoLimit) {
+  const auto vc = descriptor_with(
+      {{1, 2, TransferType::kTemporalConditional, Duration::zero(), {}}});
+  TransferGuard guard(vc, 2);
+  EXPECT_TRUE(guard.accept(1, TimePoint(0),
+                           TimePoint::zero() + Duration::seconds(3600), 1));
+}
+
+TEST(TransferGuard, CausalConditionalEnforcesOrder) {
+  const auto vc = descriptor_with(
+      {{1, 2, TransferType::kCausalConditional, {}, {}}});
+  TransferGuard guard(vc, 2);
+  EXPECT_TRUE(guard.accept(1, TimePoint(0), TimePoint(0), 1));
+  EXPECT_TRUE(guard.accept(1, TimePoint(0), TimePoint(0), 2));
+  EXPECT_FALSE(guard.accept(1, TimePoint(0), TimePoint(0), 2));  // duplicate
+  EXPECT_FALSE(guard.accept(1, TimePoint(0), TimePoint(0), 1));  // regression
+  EXPECT_TRUE(guard.accept(1, TimePoint(0), TimePoint(0), 5));   // gap is fine
+  EXPECT_EQ(guard.stats().rejected_disorder, 2u);
+}
+
+TEST(TransferGuard, CausalTracksSourcesIndependently) {
+  const auto vc = descriptor_with(
+      {{1, 3, TransferType::kCausalConditional, {}, {}},
+       {2, 3, TransferType::kCausalConditional, {}, {}}});
+  TransferGuard guard(vc, 3);
+  EXPECT_TRUE(guard.accept(1, TimePoint(0), TimePoint(0), 10));
+  EXPECT_TRUE(guard.accept(2, TimePoint(0), TimePoint(0), 3));
+  EXPECT_FALSE(guard.accept(1, TimePoint(0), TimePoint(0), 10));
+  EXPECT_TRUE(guard.accept(2, TimePoint(0), TimePoint(0), 4));
+}
+
+TEST(TransferGuard, RelationOnlyAppliesToDeclaredDirection) {
+  const auto vc = descriptor_with({{1, 2, TransferType::kDisjoint, {}, {}}});
+  TransferGuard guard_at_3(vc, 3);  // relation is 1->2, node 3 unaffected
+  EXPECT_TRUE(guard_at_3.accept(1, TimePoint(0), TimePoint(0), 1));
+}
+
+TEST(TransferGuard, BidirectionalMatchesBothDirections) {
+  const auto vc = descriptor_with({{1, 2, TransferType::kBidirectional, {}, {}}});
+  TransferGuard at_2(vc, 2);
+  TransferGuard at_1(vc, 1);
+  EXPECT_TRUE(at_2.relation_from(1).has_value());
+  EXPECT_TRUE(at_1.relation_from(2).has_value());  // symmetric
+  EXPECT_FALSE(at_1.relation_from(3).has_value());
+}
+
+TEST(TransferGuard, HealthAssessmentIsNotADataRelation) {
+  const auto vc = descriptor_with(
+      {{1, 2, TransferType::kHealthAssessment, {}, FaultResponse::kTriggerBackup}});
+  TransferGuard guard(vc, 2);
+  EXPECT_FALSE(guard.relation_from(1).has_value());
+  EXPECT_TRUE(guard.accept(1, TimePoint(0), TimePoint(0), 1));
+}
+
+TEST(TransferGuard, StatsResettable) {
+  const auto vc = descriptor_with({{1, 2, TransferType::kDisjoint, {}, {}}});
+  TransferGuard guard(vc, 2);
+  (void)guard.accept(1, TimePoint(0), TimePoint(0), 1);
+  guard.reset_stats();
+  EXPECT_EQ(guard.stats().rejected_disjoint, 0u);
+}
+
+}  // namespace
+}  // namespace evm::core

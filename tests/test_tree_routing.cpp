@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "net/medium.hpp"
+#include "net/rtlink.hpp"
+#include "net/tree_routing.hpp"
+
+namespace evm::net {
+namespace {
+
+struct TreeFixture : ::testing::Test {
+  sim::Simulator sim{21};
+  // Line: sink(1) - 2 - 3 - 4 (multi-hop convergecast).
+  Topology topo = Topology::line({1, 2, 3, 4});
+  Medium medium{sim, topo};
+  RtLinkSchedule schedule{8, util::Duration::millis(5)};
+  TimeSync sync{sim, {}};
+
+  struct Stack {
+    NodeClock clock;
+    std::unique_ptr<Radio> radio;
+    std::unique_ptr<RtLink> mac;
+    std::unique_ptr<TreeRouter> tree;
+  };
+  std::map<NodeId, Stack> stacks;
+
+  TreeRouter& make_node(NodeId id, bool is_sink) {
+    auto& s = stacks[id];
+    s.radio = std::make_unique<Radio>(sim, medium, id);
+    s.mac = std::make_unique<RtLink>(sim, *s.radio, s.clock, schedule);
+    s.tree = std::make_unique<TreeRouter>(sim, *s.mac, is_sink,
+                                          util::Duration::millis(200));
+    sync.attach(id, s.clock);
+    schedule.assign_tx(static_cast<int>(id) - 1, id);
+    schedule.assign_tx(static_cast<int>(id) + 3, id);
+    return *s.tree;
+  }
+
+  void start_all() {
+    sync.start();
+    for (auto& [id, s] : stacks) {
+      (void)id;
+      s.mac->start();
+      s.tree->start();
+    }
+  }
+  void run_for(util::Duration d) { sim.run_until(sim.now() + d); }
+};
+
+TEST_F(TreeFixture, TreeFormsWithCorrectDepths) {
+  TreeRouter& sink = make_node(1, true);
+  TreeRouter& n2 = make_node(2, false);
+  TreeRouter& n3 = make_node(3, false);
+  TreeRouter& n4 = make_node(4, false);
+  start_all();
+  run_for(util::Duration::seconds(5));
+
+  EXPECT_TRUE(sink.is_sink());
+  EXPECT_EQ(sink.hops_to_sink(), 0);
+  EXPECT_EQ(n2.parent(), 1);
+  EXPECT_EQ(n2.hops_to_sink(), 1);
+  EXPECT_EQ(n3.parent(), 2);
+  EXPECT_EQ(n3.hops_to_sink(), 2);
+  EXPECT_EQ(n4.parent(), 3);
+  EXPECT_EQ(n4.hops_to_sink(), 3);
+  EXPECT_TRUE(n4.joined());
+}
+
+TEST_F(TreeFixture, ConvergecastReachesSink) {
+  TreeRouter& sink = make_node(1, true);
+  make_node(2, false);
+  make_node(3, false);
+  TreeRouter& leaf = make_node(4, false);
+  NodeId from = kInvalidNode;
+  std::vector<std::uint8_t> got;
+  sink.set_receive_handler(
+      [&](NodeId source, std::uint8_t type, const std::vector<std::uint8_t>& p) {
+        EXPECT_EQ(type, 9);
+        from = source;
+        got = p;
+      });
+  start_all();
+  run_for(util::Duration::seconds(5));
+  ASSERT_TRUE(leaf.joined());
+  ASSERT_TRUE(leaf.send_up(9, {1, 2, 3}));
+  run_for(util::Duration::seconds(3));
+  EXPECT_EQ(from, 4);
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{1, 2, 3}));
+  // Intermediate nodes forwarded it.
+  EXPECT_GE(stacks[2].tree->forwarded() + stacks[3].tree->forwarded(), 2u);
+}
+
+TEST_F(TreeFixture, DownwardFollowsRecordedRoute) {
+  TreeRouter& sink = make_node(1, true);
+  make_node(2, false);
+  make_node(3, false);
+  TreeRouter& leaf = make_node(4, false);
+  std::vector<std::uint8_t> got;
+  leaf.set_receive_handler(
+      [&](NodeId, std::uint8_t type, const std::vector<std::uint8_t>& p) {
+        EXPECT_EQ(type, 7);
+        got = p;
+      });
+  start_all();
+  run_for(util::Duration::seconds(5));
+  // No route until the leaf has sent something up.
+  EXPECT_FALSE(sink.send_down(4, 7, {9}));
+  ASSERT_TRUE(leaf.send_up(1, {0}));
+  run_for(util::Duration::seconds(3));
+  ASSERT_TRUE(sink.send_down(4, 7, {4, 5}));
+  run_for(util::Duration::seconds(3));
+  EXPECT_EQ(got, (std::vector<std::uint8_t>{4, 5}));
+}
+
+TEST_F(TreeFixture, UnjoinedNodeCannotSend) {
+  make_node(1, true);
+  TreeRouter& n2 = make_node(2, false);
+  // Not started: no beacons heard yet.
+  EXPECT_FALSE(n2.joined());
+  EXPECT_FALSE(n2.send_up(1, {}));
+}
+
+TEST_F(TreeFixture, OnlySinkRoutesDown) {
+  make_node(1, true);
+  TreeRouter& n2 = make_node(2, false);
+  start_all();
+  run_for(util::Duration::seconds(2));
+  EXPECT_FALSE(n2.send_down(1, 1, {}));
+}
+
+TEST_F(TreeFixture, SinkLoopback) {
+  TreeRouter& sink = make_node(1, true);
+  int got = 0;
+  sink.set_receive_handler(
+      [&](NodeId source, std::uint8_t, const std::vector<std::uint8_t>&) {
+        EXPECT_EQ(source, 1);
+        ++got;
+      });
+  start_all();
+  EXPECT_TRUE(sink.send_up(1, {1}));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(TreeFixture, ReparentsAfterTopologyChange) {
+  // Add a shortcut 1-4 after the tree forms: node 4 should adopt the sink
+  // as parent once it hears the sink's (hop 0) beacon directly.
+  TreeRouter& sink = make_node(1, true);
+  make_node(2, false);
+  make_node(3, false);
+  TreeRouter& leaf = make_node(4, false);
+  (void)sink;
+  start_all();
+  run_for(util::Duration::seconds(5));
+  ASSERT_EQ(leaf.hops_to_sink(), 3);
+
+  topo.set_link(1, 4, {true, 0.0});
+  run_for(util::Duration::seconds(5));
+  EXPECT_EQ(leaf.parent(), 1);
+  EXPECT_EQ(leaf.hops_to_sink(), 1);
+}
+
+}  // namespace
+}  // namespace evm::net

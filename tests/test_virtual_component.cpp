@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "core/virtual_component.hpp"
+
+namespace evm::core {
+namespace {
+
+VcDescriptor sample_vc() {
+  VcDescriptor vc;
+  vc.id = 1;
+  vc.head = 1;
+  vc.members = {1, 2, 3, 4};
+  ControlFunction f;
+  f.id = 10;
+  f.name = "loop";
+  vc.functions[10] = f;
+  vc.replicas[10] = {3, 4, 2};  // 3 primary; 4 and 2 backups in that order
+  vc.transfers.push_back({4, 3, TransferType::kHealthAssessment,
+                          util::Duration::zero(), FaultResponse::kTriggerBackup});
+  vc.transfers.push_back({2, 3, TransferType::kDirectional, {}, {}});
+  return vc;
+}
+
+TEST(VcDescriptor, Membership) {
+  const auto vc = sample_vc();
+  EXPECT_TRUE(vc.is_member(3));
+  EXPECT_FALSE(vc.is_member(9));
+}
+
+TEST(VcDescriptor, InitialPrimaryAndModes) {
+  const auto vc = sample_vc();
+  EXPECT_EQ(vc.initial_primary(10), 3);
+  EXPECT_EQ(vc.initial_mode(10, 3), ControllerMode::kActive);
+  EXPECT_EQ(vc.initial_mode(10, 4), ControllerMode::kBackup);
+  EXPECT_EQ(vc.initial_mode(10, 2), ControllerMode::kBackup);
+  EXPECT_EQ(vc.initial_mode(10, 1), ControllerMode::kDormant);
+  EXPECT_EQ(vc.initial_mode(99, 3), ControllerMode::kDormant);
+  EXPECT_FALSE(vc.initial_primary(99).has_value());
+}
+
+TEST(VcDescriptor, HealthTransferQuery) {
+  const auto vc = sample_vc();
+  const auto transfers = vc.health_transfers_from(4);
+  ASSERT_EQ(transfers.size(), 1u);
+  EXPECT_EQ(transfers[0].to, 3);
+  EXPECT_EQ(transfers[0].response, FaultResponse::kTriggerBackup);
+  EXPECT_TRUE(vc.health_transfers_from(2).empty());  // directional, not health
+}
+
+TEST(TransferType, Names) {
+  EXPECT_STREQ(to_string(TransferType::kDisjoint), "disjoint");
+  EXPECT_STREQ(to_string(TransferType::kTemporalConditional), "temporal-conditional");
+  EXPECT_STREQ(to_string(TransferType::kCausalConditional), "causal-conditional");
+  EXPECT_STREQ(to_string(TransferType::kHealthAssessment), "health-assessment");
+  EXPECT_STREQ(to_string(FaultResponse::kFailSafe), "fail-safe");
+}
+
+TEST(RoleTable, ModesAndActive) {
+  RoleTable roles;
+  EXPECT_EQ(roles.mode(1, 3), ControllerMode::kDormant);
+  roles.set_mode(1, 3, ControllerMode::kActive);
+  roles.set_mode(1, 4, ControllerMode::kBackup);
+  EXPECT_EQ(roles.active(1), 3);
+  EXPECT_EQ(roles.mode(1, 4), ControllerMode::kBackup);
+  EXPECT_FALSE(roles.active(2).has_value());
+}
+
+TEST(RoleTable, BestBackupPrefersWarmState) {
+  RoleTable roles;
+  roles.set_mode(1, 3, ControllerMode::kActive);
+  roles.set_mode(1, 4, ControllerMode::kIndicator);
+  roles.set_mode(1, 5, ControllerMode::kBackup);
+  roles.set_mode(1, 6, ControllerMode::kDormant);
+  EXPECT_EQ(roles.best_backup(1, 3), 5);   // Backup beats Indicator
+  roles.set_mode(1, 5, ControllerMode::kDormant);
+  EXPECT_EQ(roles.best_backup(1, 3), 4);   // Indicator beats Dormant
+  roles.set_mode(1, 4, ControllerMode::kDormant);
+  EXPECT_EQ(roles.best_backup(1, 3), 4);   // Dormant: lowest id among 4, 5, 6
+}
+
+TEST(RoleTable, BestBackupExcludesSuspectAndActive) {
+  RoleTable roles;
+  roles.set_mode(1, 3, ControllerMode::kActive);
+  roles.set_mode(1, 4, ControllerMode::kBackup);
+  EXPECT_EQ(roles.best_backup(1, 4), std::nullopt);  // only candidate excluded
+}
+
+TEST(RoleTable, EpochsAreMonotonePerFunction) {
+  RoleTable roles;
+  EXPECT_EQ(roles.epoch(1), 0u);
+  EXPECT_EQ(roles.bump_epoch(1), 1u);
+  EXPECT_EQ(roles.bump_epoch(1), 2u);
+  EXPECT_EQ(roles.bump_epoch(2), 1u);  // independent counter
+  EXPECT_EQ(roles.epoch(1), 2u);
+}
+
+TEST(RoleTable, ReplicasListing) {
+  RoleTable roles;
+  roles.set_mode(1, 3, ControllerMode::kActive);
+  roles.set_mode(1, 4, ControllerMode::kBackup);
+  const auto replicas = roles.replicas(1);
+  EXPECT_EQ(replicas.size(), 2u);
+  EXPECT_TRUE(roles.replicas(9).empty());
+}
+
+}  // namespace
+}  // namespace evm::core

@@ -1,0 +1,339 @@
+#include <gtest/gtest.h>
+
+#include "vm/assembler.hpp"
+#include "vm/interpreter.hpp"
+
+namespace evm::vm {
+namespace {
+
+/// Assemble-and-run helper: returns the actuated value on channel 0.
+struct VmHarness {
+  double actuated = 0.0;
+  std::uint8_t actuated_channel = 0xFF;
+  double sensor_value = 0.0;
+  std::vector<std::pair<std::uint8_t, double>> sent;
+  Interpreter interp;
+
+  VmHarness()
+      : interp(Environment{
+            [this](std::uint8_t) { return sensor_value; },
+            [this](std::uint8_t ch, double v) {
+              actuated = v;
+              actuated_channel = ch;
+            },
+            [this](std::uint8_t stream, double v) { sent.emplace_back(stream, v); },
+            [] { return 123.5; }}) {}
+
+  util::Status run(const std::string& source) {
+    auto code = assemble(source);
+    EXPECT_TRUE(code.ok()) << code.status().to_string();
+    if (!code.ok()) return code.status();
+    return interp.run(*code);
+  }
+};
+
+TEST(Assembler, EmptyProgram) {
+  auto code = assemble("; nothing\n\n");
+  ASSERT_TRUE(code.ok());
+  EXPECT_TRUE(code->empty());
+}
+
+TEST(Assembler, UnknownMnemonicFails) {
+  EXPECT_FALSE(assemble("frobnicate").ok());
+}
+
+TEST(Assembler, MissingOperandFails) {
+  EXPECT_FALSE(assemble("push").ok());
+}
+
+TEST(Assembler, TrailingTokensFail) {
+  EXPECT_FALSE(assemble("dup 5").ok());
+}
+
+TEST(Assembler, DuplicateLabelFails) {
+  EXPECT_FALSE(assemble("x: nop\nx: nop").ok());
+}
+
+TEST(Assembler, UndefinedLabelFails) {
+  EXPECT_FALSE(assemble("jmp nowhere").ok());
+}
+
+TEST(Assembler, DisassembleRoundTrips) {
+  const std::string source = "pushi 5\npushi 3\nadd\nhalt\n";
+  auto code = assemble(source);
+  ASSERT_TRUE(code.ok());
+  const std::string listing = disassemble(*code);
+  EXPECT_NE(listing.find("pushi 5"), std::string::npos);
+  EXPECT_NE(listing.find("add"), std::string::npos);
+  EXPECT_NE(listing.find("halt"), std::string::npos);
+}
+
+TEST(Interpreter, Arithmetic) {
+  VmHarness h;
+  ASSERT_TRUE(h.run("pushi 7\npushi 3\nsub\npushi 5\nmul\nactuate 0\nhalt"));
+  EXPECT_EQ(h.actuated, 20.0);  // (7-3)*5
+}
+
+TEST(Interpreter, FloatImmediates) {
+  VmHarness h;
+  ASSERT_TRUE(h.run("push 2.5\npush -0.5\nadd\nactuate 0"));
+  EXPECT_DOUBLE_EQ(h.actuated, 2.0);
+}
+
+TEST(Interpreter, StackOps) {
+  VmHarness h;
+  // (1 2) over -> (1 2 1); rot of (1 2 1) -> (2 1 1); add, sub -> 2-(1+1)=0
+  ASSERT_TRUE(h.run("pushi 1\npushi 2\nover\nrot\nadd\nsub\nactuate 0"));
+  // Stack trace: 1 2 | over: 1 2 1 | rot: 2 1 1 | add: 2 2 | sub: 0.
+  EXPECT_EQ(h.actuated, 0.0);
+}
+
+TEST(Interpreter, DupDropSwap) {
+  VmHarness h;
+  ASSERT_TRUE(h.run("pushi 4\ndup\nadd\npushi 9\nswap\ndrop\nactuate 0"));
+  // 4 dup add = 8; push 9 -> (8 9); swap -> (9 8); drop -> (9)... wait
+  // swap gives (9 8), drop removes 8, leaving 9? No: drop removes top (8).
+  EXPECT_EQ(h.actuated, 9.0);
+}
+
+TEST(Interpreter, MinMaxAbsNeg) {
+  VmHarness h;
+  ASSERT_TRUE(h.run("pushi 5\nneg\nabs\npushi 3\nmax\npushi 4\nmin\nactuate 0"));
+  EXPECT_EQ(h.actuated, 4.0);  // |−5|=5, max(5,3)=5, min(5,4)=4
+}
+
+TEST(Interpreter, ClampBehavior) {
+  VmHarness h;
+  ASSERT_TRUE(h.run("pushi 150\npushi 0\npushi 100\nclamp\nactuate 0"));
+  EXPECT_EQ(h.actuated, 100.0);
+  ASSERT_TRUE(h.run("pushi -3\npushi 0\npushi 100\nclamp\nactuate 0"));
+  EXPECT_EQ(h.actuated, 0.0);
+}
+
+TEST(Interpreter, Comparisons) {
+  VmHarness h;
+  ASSERT_TRUE(h.run("pushi 2\npushi 3\nlt\nactuate 0"));
+  EXPECT_EQ(h.actuated, 1.0);
+  ASSERT_TRUE(h.run("pushi 2\npushi 3\nge\nactuate 0"));
+  EXPECT_EQ(h.actuated, 0.0);
+  ASSERT_TRUE(h.run("pushi 3\npushi 3\neq\nactuate 0"));
+  EXPECT_EQ(h.actuated, 1.0);
+}
+
+TEST(Interpreter, Logic) {
+  VmHarness h;
+  ASSERT_TRUE(h.run("pushi 1\npushi 0\nor\npushi 1\nand\nnot\nactuate 0"));
+  EXPECT_EQ(h.actuated, 0.0);
+}
+
+TEST(Interpreter, LoadStorePersistAcrossRuns) {
+  VmHarness h;
+  ASSERT_TRUE(h.run("pushi 42\nstore 5\nhalt"));
+  EXPECT_EQ(h.interp.slot(5), 42.0);
+  ASSERT_TRUE(h.run("load 5\npushi 1\nadd\nstore 5\nhalt"));
+  EXPECT_EQ(h.interp.slot(5), 43.0);
+}
+
+TEST(Interpreter, SensorActuateSendNow) {
+  VmHarness h;
+  h.sensor_value = 77.0;
+  ASSERT_TRUE(h.run("sensor 2\nsend 4\nnow\nactuate 3"));
+  ASSERT_EQ(h.sent.size(), 1u);
+  EXPECT_EQ(h.sent[0].first, 4);
+  EXPECT_EQ(h.sent[0].second, 77.0);
+  EXPECT_EQ(h.actuated, 123.5);
+  EXPECT_EQ(h.actuated_channel, 3);
+}
+
+TEST(Interpreter, ForwardAndBackwardBranches) {
+  VmHarness h;
+  // Count down from 5: loop body increments slot 0 each pass.
+  ASSERT_TRUE(h.run(R"(
+        pushi 0
+        store 0
+        pushi 5
+loop:   dup
+        jz done
+        load 0
+        pushi 1
+        add
+        store 0
+        pushi 1
+        sub
+        jmp loop
+done:   drop
+        load 0
+        actuate 0
+  )"));
+  EXPECT_EQ(h.actuated, 5.0);
+}
+
+TEST(Interpreter, CallRet) {
+  VmHarness h;
+  ASSERT_TRUE(h.run(R"(
+        pushi 3
+        call double
+        call double
+        actuate 0
+        halt
+double: dup
+        add
+        ret
+  )"));
+  EXPECT_EQ(h.actuated, 12.0);
+}
+
+TEST(Interpreter, TopLevelRetHalts) {
+  VmHarness h;
+  ASSERT_TRUE(h.run("pushi 1\nactuate 0\nret\npushi 9\nactuate 0"));
+  EXPECT_EQ(h.actuated, 1.0);
+}
+
+TEST(Interpreter, StackUnderflowCaught) {
+  VmHarness h;
+  const auto status = h.run("add");
+  EXPECT_FALSE(status);
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST(Interpreter, DivisionByZeroCaught) {
+  VmHarness h;
+  EXPECT_FALSE(h.run("pushi 1\npushi 0\ndiv"));
+}
+
+TEST(Interpreter, StackOverflowCaught) {
+  VmHarness h;
+  std::string source;
+  for (int i = 0; i < 100; ++i) source += "pushi 1\n";
+  const auto status = h.run(source);
+  EXPECT_FALSE(status);
+  EXPECT_EQ(status.code(), util::StatusCode::kResourceExhausted);
+}
+
+TEST(Interpreter, InstructionBudgetStopsInfiniteLoop) {
+  VmHarness h;
+  const auto status = h.run("loop: jmp loop");
+  EXPECT_FALSE(status);
+  EXPECT_EQ(status.code(), util::StatusCode::kDeadlineExceeded);
+}
+
+TEST(Interpreter, SlotOutOfRangeCaught) {
+  VmHarness h;
+  EXPECT_FALSE(h.run("load 33"));
+}
+
+TEST(Interpreter, UnboundEnvironmentCaught) {
+  Interpreter bare;  // no environment bindings
+  auto code = assemble("sensor 0");
+  ASSERT_TRUE(code.ok());
+  EXPECT_FALSE(bare.run(*code));
+}
+
+TEST(Interpreter, RuntimeExtensions) {
+  VmHarness h;
+  ASSERT_TRUE(h.interp.register_extension(0, "square", [](std::vector<double>& s) {
+    if (s.empty()) return util::Status::failed_precondition("underflow");
+    s.back() = s.back() * s.back();
+    return util::Status::ok();
+  }));
+  ASSERT_TRUE(h.run("pushi 7\next0\nactuate 0"));
+  EXPECT_EQ(h.actuated, 49.0);
+}
+
+TEST(Interpreter, ExtensionSlotConflictRejected) {
+  Interpreter interp;
+  auto ok = [](std::vector<double>&) { return util::Status::ok(); };
+  ASSERT_TRUE(interp.register_extension(3, "a", ok));
+  EXPECT_FALSE(interp.register_extension(3, "b", ok));
+  EXPECT_TRUE(interp.has_extension(3));
+  EXPECT_FALSE(interp.has_extension(4));
+}
+
+TEST(Interpreter, UnboundExtensionFaults) {
+  VmHarness h;
+  EXPECT_FALSE(h.run("ext9"));
+}
+
+TEST(Interpreter, SlotImageRoundTrip) {
+  Interpreter a;
+  a.set_slot(0, 1.5);
+  a.set_slot(31, -2.5);
+  const auto image = a.save_slots();
+  Interpreter b;
+  ASSERT_TRUE(b.load_slots(image));
+  EXPECT_EQ(b.slot(0), 1.5);
+  EXPECT_EQ(b.slot(31), -2.5);
+  EXPECT_FALSE(b.load_slots(std::vector<std::uint8_t>(7)));
+}
+
+TEST(Interpreter, CapsuleCrcGate) {
+  auto code = assemble("pushi 1\ndrop\nhalt");
+  ASSERT_TRUE(code.ok());
+  Capsule capsule;
+  capsule.code = *code;
+  capsule.seal();
+  Interpreter interp;
+  EXPECT_TRUE(interp.run(capsule));
+  capsule.code[0] = 0x0B;
+  EXPECT_FALSE(interp.run(capsule));  // CRC now stale
+}
+
+TEST(Interpreter, StatsTrackInstructionCountAndDepth) {
+  VmHarness h;
+  ASSERT_TRUE(h.run("pushi 1\npushi 2\npushi 3\nadd\nadd\ndrop\nhalt"));
+  EXPECT_EQ(h.interp.last_stats().instructions, 7u);
+  EXPECT_EQ(h.interp.last_stats().max_stack_depth, 3u);
+}
+
+TEST(Capsule, EncodeDecodeRoundTrip) {
+  Capsule c;
+  c.program_id = 9;
+  c.version = 2;
+  c.name = "pid";
+  c.code = {1, 2, 3};
+  c.seal();
+  Capsule out;
+  ASSERT_TRUE(Capsule::decode(c.encode(), out));
+  EXPECT_EQ(out.program_id, 9);
+  EXPECT_EQ(out.version, 2);
+  EXPECT_EQ(out.name, "pid");
+  EXPECT_EQ(out.code, c.code);
+  EXPECT_TRUE(out.crc_ok());
+}
+
+// Parameterized arithmetic identity sweep: a op b computed by the VM must
+// match native C++ for a grid of values.
+struct BinOpCase {
+  const char* mnemonic;
+  double (*eval)(double, double);
+};
+
+class VmArithmetic
+    : public ::testing::TestWithParam<std::tuple<BinOpCase, int, int>> {};
+
+TEST_P(VmArithmetic, MatchesNative) {
+  const auto& [op, a, b] = GetParam();
+  if (std::string(op.mnemonic) == "div" && b == 0) GTEST_SKIP();
+  VmHarness h;
+  const std::string source = "pushi " + std::to_string(a) + "\npushi " +
+                             std::to_string(b) + "\n" + op.mnemonic +
+                             "\nactuate 0";
+  ASSERT_TRUE(h.run(source));
+  EXPECT_DOUBLE_EQ(h.actuated, op.eval(a, b));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, VmArithmetic,
+    ::testing::Combine(
+        ::testing::Values(
+            BinOpCase{"add", [](double a, double b) { return a + b; }},
+            BinOpCase{"sub", [](double a, double b) { return a - b; }},
+            BinOpCase{"mul", [](double a, double b) { return a * b; }},
+            BinOpCase{"div", [](double a, double b) { return a / b; }},
+            BinOpCase{"min", [](double a, double b) { return std::min(a, b); }},
+            BinOpCase{"max", [](double a, double b) { return std::max(a, b); }}),
+        ::testing::Values(-7, 0, 3),
+        ::testing::Values(-2, 0, 5)));
+
+}  // namespace
+}  // namespace evm::vm

@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "plant/workcell.hpp"
+
+namespace evm::plant {
+namespace {
+
+using util::Duration;
+using util::TimePoint;
+
+constexpr UnitType kCamry = 0;
+constexpr UnitType kPrius = 1;
+
+struct LineFixture : ::testing::Test {
+  sim::Simulator sim{13};
+  AssemblyLine line{sim, 3};
+
+  LineFixture() {
+    line.define_unit(kCamry, {"camry",
+                              {Duration::seconds(10), Duration::seconds(10),
+                               Duration::seconds(10)}});
+    line.define_unit(kPrius, {"prius",
+                              {Duration::seconds(15), Duration::seconds(12),
+                               Duration::seconds(15)}});
+  }
+
+  void run_for(Duration d) { sim.run_until(sim.now() + d); }
+};
+
+TEST_F(LineFixture, SingleUnitFlowsThrough) {
+  UnitType completed_type = 99;
+  Duration flow;
+  line.set_on_complete([&](UnitType t, Duration f) {
+    completed_type = t;
+    flow = f;
+  });
+  line.release(kCamry);
+  run_for(Duration::seconds(31));
+  EXPECT_EQ(line.stats().completed, 1u);
+  EXPECT_EQ(completed_type, kCamry);
+  EXPECT_NEAR(flow.to_seconds(), 30.0, 1e-6);  // 3 stations x 10 s
+}
+
+TEST_F(LineFixture, PipelineOverlapsUnits) {
+  // Three units: steady-state exit interval equals the bottleneck (10 s),
+  // not the full flow time.
+  for (int i = 0; i < 3; ++i) line.release(kCamry);
+  run_for(Duration::seconds(51));
+  EXPECT_EQ(line.stats().completed, 3u);  // 30, 40, 50 s
+}
+
+TEST_F(LineFixture, MixedModelSequencing) {
+  line.release(kCamry);
+  line.release(kPrius);
+  run_for(Duration::seconds(120));
+  EXPECT_EQ(line.stats().completed, 2u);
+  EXPECT_EQ(line.stats().completed_by_type.at(kCamry), 1u);
+  EXPECT_EQ(line.stats().completed_by_type.at(kPrius), 1u);
+  // Prius is slower end-to-end.
+  EXPECT_GT(line.stats().average_flow_time().to_seconds(), 30.0);
+}
+
+TEST_F(LineFixture, PatternReleasesInterleave) {
+  // The paper's 3-Camry : 2-Prius interleave.
+  line.start_pattern({kCamry, kCamry, kCamry, kPrius, kPrius},
+                     Duration::seconds(20));
+  run_for(Duration::seconds(1000));
+  line.stop_pattern();
+  const auto& by_type = line.stats().completed_by_type;
+  ASSERT_GT(line.stats().completed, 20u);
+  const double ratio = static_cast<double>(by_type.at(kCamry)) /
+                       static_cast<double>(by_type.at(kPrius));
+  EXPECT_NEAR(ratio, 1.5, 0.25);
+}
+
+TEST_F(LineFixture, FaultBlocksLineAndRepairResumes) {
+  line.release(kCamry);
+  line.release(kCamry);
+  run_for(Duration::seconds(12));  // first unit now in station 1
+  line.fault_station(1);
+  run_for(Duration::seconds(100));
+  EXPECT_EQ(line.stats().completed, 0u);  // everything stuck behind station 1
+
+  line.repair_station(1);
+  run_for(Duration::seconds(100));
+  EXPECT_EQ(line.stats().completed, 2u);  // both drain after the repair
+  EXPECT_GT(line.stats().blocked_events, 0u);
+}
+
+TEST_F(LineFixture, FaultOnEmptyStationStillRecovers) {
+  line.fault_station(2);
+  line.release(kCamry);
+  run_for(Duration::seconds(60));
+  EXPECT_EQ(line.stats().completed, 0u);  // waiting to enter station 2
+  line.repair_station(2);
+  run_for(Duration::seconds(30));
+  EXPECT_EQ(line.stats().completed, 1u);
+}
+
+TEST_F(LineFixture, StationSpeedChangesThroughput) {
+  line.set_station_speed(0, 2.0);
+  line.set_station_speed(1, 2.0);
+  line.set_station_speed(2, 2.0);
+  line.release(kCamry);
+  run_for(Duration::seconds(16));
+  EXPECT_EQ(line.stats().completed, 1u);  // 30 s of work at 2x = 15 s
+}
+
+TEST_F(LineFixture, ThroughputAccountsElapsedTime) {
+  line.start_pattern({kCamry}, Duration::seconds(10));
+  run_for(Duration::seconds(3600));
+  line.stop_pattern();
+  // Bottleneck 10 s/unit -> ~360 units/h.
+  EXPECT_NEAR(line.throughput_per_hour(), 360.0, 20.0);
+}
+
+TEST_F(LineFixture, StatsTrackReleasesAndQueue) {
+  for (int i = 0; i < 5; ++i) line.release(kCamry);
+  EXPECT_EQ(line.stats().released, 5u);
+  EXPECT_GT(line.input_queue_depth(), 0u);
+  EXPECT_TRUE(line.station_busy(0));
+}
+
+}  // namespace
+}  // namespace evm::plant
