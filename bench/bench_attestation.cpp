@@ -3,12 +3,11 @@
 // latency vs capsule size, plus a corruption-detection table: fraction of
 // randomly corrupted capsules caught by CRC alone, by structural
 // verification alone, and by the combined gate.
-#include <benchmark/benchmark.h>
-
 #include <iomanip>
 #include <iostream>
 
 #include "core/control_programs.hpp"
+#include "harness.hpp"
 #include "util/rng.hpp"
 #include "vm/assembler.hpp"
 #include "vm/attestation.hpp"
@@ -33,36 +32,17 @@ Capsule capsule_of_size(std::size_t approx_bytes) {
   }
 }
 
-void bm_attest(benchmark::State& state) {
-  const Capsule c = capsule_of_size(static_cast<std::size_t>(state.range(0)));
-  for (auto unused : state) {
-    benchmark::DoNotOptimize(attest(c));
-  }
-  state.SetBytesProcessed(
-      static_cast<std::int64_t>(state.iterations() * c.code.size()));
-}
-BENCHMARK(bm_attest)->Arg(64)->Arg(256)->Arg(1024)->Arg(4096)->Arg(16384);
-
-void bm_crc_only(benchmark::State& state) {
-  const Capsule c = capsule_of_size(static_cast<std::size_t>(state.range(0)));
-  for (auto unused : state) {
-    benchmark::DoNotOptimize(c.crc_ok());
-  }
-  state.SetBytesProcessed(
-      static_cast<std::int64_t>(state.iterations() * c.code.size()));
-}
-BENCHMARK(bm_crc_only)->Arg(1024)->Arg(16384);
-
-void bm_attest_real_pid(benchmark::State& state) {
-  core::FilteredPidSpec spec;
-  const auto capsule = core::make_filtered_pid(1, "pid", spec);
-  for (auto unused : state) {
-    benchmark::DoNotOptimize(attest(*capsule));
+void time_row(bench::Reporter& report, const std::string& label,
+              std::size_t code_bytes, const std::function<void()>& op) {
+  auto timed = bench::time_scenario(report, label, op);
+  if (code_bytes > 0) {
+    timed.scenario.param("code_bytes", code_bytes)
+        .metric("p50_bytes_per_ns",
+                static_cast<double>(code_bytes) / timed.ns.percentile(0.5));
   }
 }
-BENCHMARK(bm_attest_real_pid);
 
-void print_detection_table() {
+void detection_table(bench::Reporter& report) {
   std::cout << "\n=== E11 corruption detection (10,000 corrupted capsules) ===\n\n";
   util::Rng rng(1234);
   const Capsule clean = capsule_of_size(256);
@@ -90,13 +70,38 @@ void print_detection_table() {
   std::cout << "\n(CRC catches everything here; the structural check exists for\n"
                " semantic safety — wild branches, bad slots — that a correct\n"
                " CRC from a malicious/buggy sender would not flag.)\n";
+  report.scenario("corruption_detection")
+      .param("trials", trials)
+      .param("capsule_bytes", clean.code.size())
+      .metric("caught_by_crc", caught_crc / double(trials))
+      .metric("caught_by_structure", caught_structure / double(trials))
+      .metric("caught_by_either", caught_either / double(trials));
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  print_detection_table();
-  return 0;
+int main() {
+  std::cout << "=== E11: software attestation cost ===\n\n";
+  bench::print_time_header();
+  bench::Reporter report("attestation");
+
+  for (std::size_t bytes : {64u, 256u, 1024u, 4096u, 16384u}) {
+    const Capsule c = capsule_of_size(bytes);
+    time_row(report, "attest_" + std::to_string(bytes) + "B", c.code.size(),
+             [&c] { bench::do_not_optimize(attest(c)); });
+  }
+  for (std::size_t bytes : {1024u, 16384u}) {
+    const Capsule c = capsule_of_size(bytes);
+    time_row(report, "crc_only_" + std::to_string(bytes) + "B", c.code.size(),
+             [&c] { bench::do_not_optimize(c.crc_ok()); });
+  }
+  {
+    core::FilteredPidSpec spec;
+    const auto capsule = core::make_filtered_pid(1, "pid", spec);
+    time_row(report, "attest_real_pid", capsule->code.size(),
+             [&capsule] { bench::do_not_optimize(attest(*capsule)); });
+  }
+
+  detection_table(report);
+  return report.write() ? 0 : 1;
 }

@@ -2,13 +2,12 @@
 // §3.1.1 op. 7). Solve time of the exact branch-and-bound vs the simulated-
 // annealing heuristic across instance sizes, plus a solution-quality table
 // (anneal cost / exact cost) on instances where both run.
-#include <benchmark/benchmark.h>
-
 #include <cmath>
 #include <iomanip>
 #include <iostream>
 
 #include "core/optimizer.hpp"
+#include "harness.hpp"
 
 using namespace evm;
 using namespace evm::core;
@@ -37,35 +36,19 @@ BqpProblem random_problem(std::size_t tasks, std::size_t nodes,
   return p;
 }
 
-void bm_exact(benchmark::State& state) {
-  const auto p = random_problem(static_cast<std::size_t>(state.range(0)),
-                                static_cast<std::size_t>(state.range(1)), 7);
-  for (auto unused : state) {
-    benchmark::DoNotOptimize(solve_exact(p));
-  }
+void time_solver(bench::Reporter& report, const std::string& solver,
+                 std::size_t tasks, std::size_t nodes,
+                 const std::function<void()>& op) {
+  bench::time_scenario(report,
+                       solver + "_" + std::to_string(tasks) + "x" +
+                           std::to_string(nodes),
+                       op, 10)
+      .scenario.param("solver", solver)
+      .param("tasks", tasks)
+      .param("nodes", nodes);
 }
-BENCHMARK(bm_exact)
-    ->Args({4, 3})
-    ->Args({6, 3})
-    ->Args({8, 3})
-    ->Args({10, 3})
-    ->Args({8, 4})
-    ->Args({10, 4});
 
-void bm_anneal(benchmark::State& state) {
-  const auto p = random_problem(static_cast<std::size_t>(state.range(0)),
-                                static_cast<std::size_t>(state.range(1)), 7);
-  for (auto unused : state) {
-    benchmark::DoNotOptimize(solve_anneal(p));
-  }
-}
-BENCHMARK(bm_anneal)
-    ->Args({8, 3})
-    ->Args({16, 6})
-    ->Args({32, 8})
-    ->Args({64, 12});
-
-void print_quality_table() {
+void quality_table(bench::Reporter& report) {
   std::cout << "\n=== E7 solution quality: annealing vs exact optimum ===\n\n";
   std::cout << "  tasks x nodes    exact cost   anneal cost   ratio\n";
   for (auto [tasks, nodes] : {std::pair<int, int>{5, 3}, {7, 3}, {8, 4}, {10, 4}}) {
@@ -82,22 +65,48 @@ void print_quality_table() {
       ++solved;
     }
     if (solved == 0) continue;
+    const double ratio = anneal_sum / std::max(exact_sum, 1e-9);
     std::cout << "  " << std::setw(4) << tasks << " x " << nodes << "      "
               << std::fixed << std::setprecision(3) << std::setw(12)
               << exact_sum / solved << std::setw(13) << anneal_sum / solved
-              << std::setw(10) << std::setprecision(3)
-              << (anneal_sum / std::max(exact_sum, 1e-9)) << "\n";
+              << std::setw(10) << std::setprecision(3) << ratio << "\n";
+    report
+        .scenario("quality_" + std::to_string(tasks) + "x" +
+                  std::to_string(nodes))
+        .param("tasks", tasks)
+        .param("nodes", nodes)
+        .param("instances", solved)
+        .param("anneal_iterations", 20000)
+        .metric("exact_cost_mean", exact_sum / solved)
+        .metric("anneal_cost_mean", anneal_sum / solved)
+        .metric("anneal_over_exact", ratio);
   }
-  std::cout << "\nshape: exact cost grows exponentially in tasks (see bm_exact\n"
+  std::cout << "\nshape: exact cost grows exponentially in tasks (see exact\n"
             << "timings above); annealing stays near-optimal at mote-feasible\n"
             << "cost, which is why the EVM dispatcher switches at ~10^6 states.\n";
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  print_quality_table();
-  return 0;
+int main() {
+  std::cout << "=== E7: BQP task assignment, exact vs annealing ===\n\n";
+  bench::print_time_header();
+  bench::Reporter report("bqp_optimizer");
+
+  for (auto [tasks, nodes] :
+       {std::pair<std::size_t, std::size_t>{4, 3}, {6, 3}, {8, 3}, {10, 3},
+        {8, 4}, {10, 4}}) {
+    const auto p = random_problem(tasks, nodes, 7);
+    time_solver(report, "exact", tasks, nodes,
+                [&p] { bench::do_not_optimize(solve_exact(p)); });
+  }
+  for (auto [tasks, nodes] :
+       {std::pair<std::size_t, std::size_t>{8, 3}, {16, 6}, {32, 8}, {64, 12}}) {
+    const auto p = random_problem(tasks, nodes, 7);
+    time_solver(report, "anneal", tasks, nodes,
+                [&p] { bench::do_not_optimize(solve_anneal(p)); });
+  }
+
+  quality_table(report);
+  return report.write() ? 0 : 1;
 }

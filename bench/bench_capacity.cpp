@@ -12,6 +12,7 @@
 
 #include "core/control_programs.hpp"
 #include "core/service.hpp"
+#include "harness.hpp"
 
 using namespace evm;
 using namespace evm::core;
@@ -94,12 +95,22 @@ Outcome run(int num_functions, int joiners, bool optimize) {
   return outcome;
 }
 
-void row(const std::string& label, const Outcome& o) {
+void row(bench::Reporter& report, const std::string& label, int functions,
+         int joiners, bool optimize, const Outcome& o) {
   std::cout << "  " << std::left << std::setw(30) << label << std::right
             << std::fixed << std::setprecision(2) << std::setw(8)
             << o.head_before << std::setw(10) << o.max_after << std::setw(10)
             << o.spread_after << std::setw(8) << o.moves << std::setw(10)
             << o.committed << "\n";
+  report.scenario(label)
+      .param("functions", functions)
+      .param("joiners", joiners)
+      .param("optimizer", optimize)
+      .metric("head_utilization_before", o.head_before)
+      .metric("max_utilization_after", o.max_after)
+      .metric("utilization_spread_after", o.spread_after)
+      .metric("moves", o.moves)
+      .metric("migrations_committed", o.committed);
 }
 
 }  // namespace
@@ -112,19 +123,21 @@ int main() {
             << "migrated\n";
   std::cout << "  (U0 = head utilization before expansion; maxU' = max node "
                "utilization after)\n";
+  bench::Reporter report("capacity");
 
   for (int functions : {4, 6}) {
     for (int joiners : {1, 2, 3}) {
-      row(std::to_string(functions) + " fns, +" + std::to_string(joiners) +
+      row(report,
+          std::to_string(functions) + " fns, +" + std::to_string(joiners) +
               " nodes, BQP",
-          run(functions, joiners, true));
+          functions, joiners, true, run(functions, joiners, true));
     }
   }
 
   std::cout << "\n-- ablation: optimizer disabled ------------------------------\n";
-  row("6 fns, +2 nodes, no rebalance", run(6, 2, false));
+  row(report, "6 fns, +2 nodes, no rebalance", 6, 2, false, run(6, 2, false));
 
   std::cout << "\nshape: with BQP the post-expansion max utilization drops\n"
                "toward U0/(1+joiners); without it the head stays saturated.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -6,6 +6,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "harness.hpp"
 #include "net/link_dynamics.hpp"
 #include "testbed/gas_plant_testbed.hpp"
 #include "util/stats.hpp"
@@ -69,6 +70,7 @@ int main() {
   std::cout << "random 4 s link outages across the six-node VC while a\n"
                "wrong-output fault is detected (evidence window ~2 s)\n\n";
   std::cout << "  outages/min   success   takeover latency (s from fault)\n";
+  bench::Reporter report("churn");
   for (int churn : {0, 5, 15, 30, 60}) {
     const auto result = run_level(churn, 10);
     std::cout << "  " << std::setw(8) << churn << "      " << std::setw(2)
@@ -76,9 +78,17 @@ int main() {
               << (result.takeover_s.empty() ? std::string("-")
                                             : result.takeover_s.summary(" s"))
               << "\n";
+    report.scenario("churn_" + std::to_string(churn) + "_per_min")
+        .param("outages_per_minute", churn)
+        .param("trials", result.trials)
+        .param("outage_seconds", 4)
+        .metric("successes", result.successes)
+        .metric("success_rate",
+                static_cast<double>(result.successes) / result.trials)
+        .metric("takeover_s", result.takeover_s, "s");
   }
   std::cout << "\nshape: takeover latency degrades gracefully with churn —\n"
                "lost reports are retried on the next evidence window, and the\n"
                "router re-routes around down links per hop.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -5,30 +5,19 @@
 // On the six-node HIL testbed, measures the end-to-end data-plane latency
 // (sensor publication -> actuation applied at the valve node) for a range
 // of RT-Link frame lengths, against the 1/3-cycle bound.
-#include <algorithm>
 #include <iomanip>
 #include <iostream>
-#include <vector>
 
+#include "harness.hpp"
 #include "testbed/gas_plant_testbed.hpp"
+#include "util/stats.hpp"
 
 using namespace evm;
 using TB = testbed::TestbedIds;
 
 namespace {
 
-struct LatencyStats {
-  double p50_ms = 0, p99_ms = 0, max_ms = 0;
-  std::size_t samples = 0;
-};
-
-double percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  return v[static_cast<std::size_t>(p * (v.size() - 1))];
-}
-
-LatencyStats measure(util::Duration control_period) {
+util::Samples measure(util::Duration control_period) {
   testbed::GasPlantTestbedConfig config;
   config.control_period = control_period;
   config.evidence_threshold = 1 << 30;  // no failover interference
@@ -39,7 +28,7 @@ LatencyStats measure(util::Duration control_period) {
   // that sample. Conservative: actuations lag the newest sample by at most
   // one control period + network legs; we report actuation_time - newest
   // sample timestamp seen at the actuator.
-  std::vector<double> latencies_ms;
+  util::Samples latencies_ms;
   std::int64_t last_sample_ns = -1;
 
   tb.service(TB::kActuator).set_on_stream([&](const core::SensorDataMsg& msg) {
@@ -48,20 +37,14 @@ LatencyStats measure(util::Duration control_period) {
   tb.service(TB::kActuator).set_actuation_handler([&](const core::ActuationMsg& msg) {
     (void)tb.node(TB::kActuator).write_actuator(msg.channel, msg.value);
     if (last_sample_ns >= 0) {
-      latencies_ms.push_back(
+      latencies_ms.add(
           static_cast<double>(tb.sim().now().ns() - last_sample_ns) / 1e6);
     }
   });
 
   tb.start();
   tb.run_until(util::Duration::seconds(120));
-
-  LatencyStats stats;
-  stats.samples = latencies_ms.size();
-  stats.p50_ms = percentile(latencies_ms, 0.5);
-  stats.p99_ms = percentile(latencies_ms, 0.99);
-  stats.max_ms = percentile(latencies_ms, 1.0);
-  return stats;
+  return latencies_ms;
 }
 
 }  // namespace
@@ -71,21 +54,29 @@ int main() {
   std::cout << "six-node HIL VC over RT-Link (50 ms frame), sensor->controller->"
                "actuator\n\n";
   std::cout << "  cycle      bound(1/3)   p50        p99        max      verdict\n";
+  bench::Reporter report("control_cycle");
 
   bool all_met = true;
   for (int period_ms : {250, 200, 150, 100}) {
-    const auto stats = measure(util::Duration::millis(period_ms));
+    const auto latency = measure(util::Duration::millis(period_ms));
     const double bound = period_ms / 3.0;
-    const bool met = stats.p99_ms <= bound;
+    const bool met = latency.percentile(0.99) <= bound;
     all_met = all_met && met;
     std::cout << std::fixed << std::setprecision(1) << "  " << std::setw(4)
               << period_ms << " ms" << std::setw(9) << bound << " ms"
-              << std::setw(9) << stats.p50_ms << " ms" << std::setw(9)
-              << stats.p99_ms << " ms" << std::setw(9) << stats.max_ms << " ms"
-              << "   " << (met ? "MET" : "MISSED") << "  (" << stats.samples
+              << std::setw(9) << latency.percentile(0.5) << " ms" << std::setw(9)
+              << latency.percentile(0.99) << " ms" << std::setw(9)
+              << latency.max() << " ms"
+              << "   " << (met ? "MET" : "MISSED") << "  (" << latency.count()
               << " actuations)\n";
+    report.scenario("cycle_" + std::to_string(period_ms) + "ms")
+        .param("control_period_ms", period_ms)
+        .param("latency_bound_ms", bound)
+        .param("sim_seconds", 120)
+        .metric("latency_ms", latency, "ms")
+        .metric("bound_met", met);
   }
   std::cout << "\npaper objective: cycle <= 250 ms with latency <= 1/3 cycle -> "
             << (all_met ? "all configurations MET" : "see MISSED rows") << "\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

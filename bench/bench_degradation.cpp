@@ -14,6 +14,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "harness.hpp"
 #include "testbed/gas_plant_testbed.hpp"
 
 using namespace evm;
@@ -34,7 +35,14 @@ std::string active_name(testbed::GasPlantTestbed& tb) {
   return "(none healthy)";
 }
 
-void run_scenario(bool deviation_detection) {
+struct PhaseOutcome {
+  double err0 = 0, err1 = 0, err2 = 0;  // max |level - 50| per phase
+  double t_fo1 = -1, t_fo2 = -1;        // failover times, -1 = none
+  std::size_t failovers = 0;
+  std::string survivor;
+};
+
+PhaseOutcome run_scenario(bool deviation_detection) {
   testbed::GasPlantTestbedConfig config;
   config.third_controller = true;
   config.evidence_threshold = deviation_detection ? 8 : (1 << 30);
@@ -101,6 +109,31 @@ void run_scenario(bool deviation_detection) {
   std::cout << "    crash of successor:     " << err2 << " %\n";
   std::cout << "  failovers: " << tb.head().failovers().size()
             << ", surviving active: " << active_name(tb) << "\n";
+
+  PhaseOutcome outcome;
+  outcome.err0 = err0;
+  outcome.err1 = err1;
+  outcome.err2 = err2;
+  outcome.t_fo1 = t_fo1;
+  outcome.t_fo2 = t_fo2;
+  outcome.failovers = tb.head().failovers().size();
+  outcome.survivor = active_name(tb);
+  return outcome;
+}
+
+void record(bench::Reporter& report, const std::string& name,
+            bool deviation_detection, const PhaseOutcome& o) {
+  report.scenario(name)
+      .param("deviation_detection", deviation_detection)
+      .param("replicas", 3)
+      .metric("max_level_error_healthy_pct", o.err0)
+      .metric("max_level_error_fault1_pct", o.err1)
+      .metric("max_level_error_fault2_pct", o.err2)
+      .metric("failover1_s", o.t_fo1)
+      .metric("failover2_s", o.t_fo2)
+      .metric("failovers", o.failovers)
+      .metric("fault1_detected", o.t_fo1 >= 0)
+      .metric("surviving_active", o.survivor);
 }
 
 }  // namespace
@@ -108,12 +141,13 @@ void run_scenario(bool deviation_detection) {
 int main() {
   std::cout << "=== E8: graceful degradation under successive controller "
                "failures ===\n\n";
+  bench::Reporter report("degradation");
   std::cout << "-- detection: silence + output deviation (EVM default) ------\n";
-  run_scenario(true);
+  record(report, "silence_plus_deviation", true, run_scenario(true));
   std::cout << "\n-- ablation: heartbeat-silence detection only ----------------\n";
-  run_scenario(false);
+  record(report, "silence_only", false, run_scenario(false));
   std::cout << "\nshape: with health-assessment transfers each failure costs a\n"
                "bounded excursion and control survives while any replica does;\n"
                "without output comparison a wrong-but-alive primary is fatal.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

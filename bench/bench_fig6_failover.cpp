@@ -8,6 +8,7 @@
 #include <iomanip>
 #include <iostream>
 
+#include "harness.hpp"
 #include "testbed/gas_plant_testbed.hpp"
 
 using namespace evm;
@@ -73,5 +74,19 @@ int main() {
                         at("LTS-LiqPctLevel", 600) < 30.0 &&
                         at("LTS-LiqPctLevel", 1000) > at("LTS-LiqPctLevel", 610);
   std::cout << "\nshape reproduction: " << (shape_ok ? "OK" : "MISMATCH") << "\n";
-  return shape_ok ? 0 : 1;
+
+  bench::Reporter report("fig6_failover");
+  report.scenario("fig6b")
+      .param("fault_injected_s", 300)
+      .param("paper_t2_s", 600)
+      .param("paper_t3_s", 800)
+      .metric("measured_t2_s", t2)
+      .metric("level_steady_pct", at("LTS-LiqPctLevel", 290))
+      .metric("level_at_takeover_pct", at("LTS-LiqPctLevel", 600))
+      .metric("level_at_1000s_pct", at("LTS-LiqPctLevel", 1000))
+      .metric("tower_feed_nominal_kmolh", at("TowerFeed-MolarFlow", 290))
+      .metric("tower_feed_peak_kmolh", trace.max_value("TowerFeed-MolarFlow"))
+      .metric("shape_ok", shape_ok);
+  const bool wrote = report.write();
+  return shape_ok && wrote ? 0 : 1;
 }

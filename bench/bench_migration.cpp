@@ -11,6 +11,7 @@
 #include <memory>
 
 #include "core/migration.hpp"
+#include "harness.hpp"
 #include "net/medium.hpp"
 #include "net/rtlink.hpp"
 
@@ -86,12 +87,23 @@ Result run_migration(int hops, std::size_t state_bytes, double loss,
   return result;
 }
 
-void row(const std::string& label, const Result& r) {
+void row(bench::Reporter& report, const std::string& sweep,
+         const std::string& label, int hops, std::size_t state_bytes,
+         double loss, const Result& r) {
   std::cout << "  " << std::left << std::setw(28) << label << std::right
             << (r.success ? "  ok  " : " FAIL ") << std::fixed
             << std::setprecision(3) << std::setw(9) << r.seconds << " s"
             << std::setw(8) << r.chunks << " chunks" << std::setw(6)
             << r.retransmissions << " rtx\n";
+  report.scenario(sweep + "_" + label)
+      .param("sweep", sweep)
+      .param("hops", hops)
+      .param("state_bytes", state_bytes)
+      .param("link_loss", loss)
+      .metric("success", r.success)
+      .metric("commit_s", r.seconds)
+      .metric("chunks", r.chunks)
+      .metric("retransmissions", r.retransmissions);
 }
 
 }  // namespace
@@ -101,24 +113,27 @@ int main() {
   std::cout << "full protocol: offer -> capability check -> chunked state "
                "transfer\n(stop-and-wait, 64 B chunks) -> attestation -> "
                "commit; RT-Link transport\n\n";
+  bench::Reporter report("migration");
 
   std::cout << "-- (a) state size at 1 hop -------------------------------\n";
   for (std::size_t bytes : {64u, 256u, 1024u, 4096u, 8192u}) {
-    row(std::to_string(bytes) + " B", run_migration(1, bytes, 0.0));
+    row(report, "state_size", std::to_string(bytes) + " B", 1, bytes, 0.0,
+        run_migration(1, bytes, 0.0));
   }
 
   std::cout << "\n-- (b) hop count at 1 KiB --------------------------------\n";
   for (int hops : {1, 2, 3, 4, 5}) {
-    row(std::to_string(hops) + " hop(s)", run_migration(hops, 1024, 0.0));
+    row(report, "hops", std::to_string(hops) + " hop(s)", hops, 1024, 0.0,
+        run_migration(hops, 1024, 0.0));
   }
 
   std::cout << "\n-- (c) link loss at 1 KiB, 1 hop --------------------------\n";
   for (double loss : {0.0, 0.05, 0.1, 0.2, 0.3}) {
-    row(std::to_string(static_cast<int>(loss * 100)) + " % loss",
-        run_migration(1, 1024, loss));
+    row(report, "loss", std::to_string(static_cast<int>(loss * 100)) + " % loss",
+        1, 1024, loss, run_migration(1, 1024, loss));
   }
 
   std::cout << "\nobservation: latency scales ~linearly with chunks and hops;\n"
                "loss adds retransmissions but the protocol still commits.\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -2,14 +2,14 @@
 // change is gated by an on-node schedulability test, so the test itself must
 // be cheap on mote-class hardware.
 //
-// google-benchmark timing of the three tests vs task-set size, plus an
+// Harness timing of the three tests vs task-set size, plus an
 // admission-quality table (acceptance ratio vs utilization: how much
 // capacity each test gives away).
-#include <benchmark/benchmark.h>
-
+#include <cmath>
 #include <iomanip>
 #include <iostream>
 
+#include "harness.hpp"
 #include "rtos/schedulability.hpp"
 #include "util/rng.hpp"
 
@@ -44,34 +44,19 @@ std::vector<AnalysisTask> random_set(std::size_t n, double total_u,
   return tasks;
 }
 
-void bm_liu_layland(benchmark::State& state) {
-  util::Rng rng(1);
-  auto tasks = random_set(static_cast<std::size_t>(state.range(0)), 0.6, rng);
-  for (auto unused : state) {
-    benchmark::DoNotOptimize(liu_layland_test(tasks));
-  }
+void time_test(bench::Reporter& report, const std::string& test,
+               std::size_t n_tasks, std::uint64_t seed,
+               const std::function<void(const std::vector<AnalysisTask>&)>& run) {
+  util::Rng rng(seed);
+  const auto tasks = random_set(n_tasks, 0.6, rng);
+  bench::time_scenario(report, test + "_" + std::to_string(n_tasks),
+                       [&] { run(tasks); })
+      .scenario.param("test", test)
+      .param("tasks", n_tasks)
+      .param("total_utilization", 0.6);
 }
-BENCHMARK(bm_liu_layland)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
 
-void bm_hyperbolic(benchmark::State& state) {
-  util::Rng rng(2);
-  auto tasks = random_set(static_cast<std::size_t>(state.range(0)), 0.6, rng);
-  for (auto unused : state) {
-    benchmark::DoNotOptimize(hyperbolic_test(tasks));
-  }
-}
-BENCHMARK(bm_hyperbolic)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
-
-void bm_response_time(benchmark::State& state) {
-  util::Rng rng(3);
-  auto tasks = random_set(static_cast<std::size_t>(state.range(0)), 0.6, rng);
-  for (auto unused : state) {
-    benchmark::DoNotOptimize(response_time_analysis(tasks));
-  }
-}
-BENCHMARK(bm_response_time)->Arg(4)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
-
-void print_admission_table() {
+void admission_table(bench::Reporter& report) {
   std::cout << "\n=== E6 admission-quality: acceptance ratio vs utilization ===\n";
   std::cout << "(1000 random 8-task sets per cell; RTA is exact — the gap is\n"
                " capacity the sufficient-only tests give away)\n\n";
@@ -90,14 +75,39 @@ void print_admission_table() {
               << std::setw(12) << static_cast<double>(ll) / trials
               << std::setw(13) << static_cast<double>(hb) / trials
               << std::setw(15) << static_cast<double>(rta) / trials << "\n";
+    report.scenario("admission_u" + std::to_string(static_cast<int>(u * 100)))
+        .param("total_utilization", u)
+        .param("tasks", 8)
+        .param("trials", trials)
+        .metric("accept_liu_layland", static_cast<double>(ll) / trials)
+        .metric("accept_hyperbolic", static_cast<double>(hb) / trials)
+        .metric("accept_response_time", static_cast<double>(rta) / trials);
   }
 }
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  print_admission_table();
-  return 0;
+int main() {
+  std::cout << "=== E6: schedulability test cost ===\n\n";
+  bench::print_time_header();
+  bench::Reporter report("schedulability");
+
+  for (std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    time_test(report, "liu_layland", n, 1, [](const auto& tasks) {
+      bench::do_not_optimize(liu_layland_test(tasks));
+    });
+  }
+  for (std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    time_test(report, "hyperbolic", n, 2, [](const auto& tasks) {
+      bench::do_not_optimize(hyperbolic_test(tasks));
+    });
+  }
+  for (std::size_t n : {4u, 8u, 16u, 32u, 64u}) {
+    time_test(report, "response_time", n, 3, [](const auto& tasks) {
+      bench::do_not_optimize(response_time_analysis(tasks));
+    });
+  }
+
+  admission_table(report);
+  return report.write() ? 0 : 1;
 }

@@ -4,31 +4,21 @@
 // Collects the pulse-detection jitter distribution over 10,000 sync pulses
 // and reports percentiles, plus the residual clock error between two nodes
 // (what RT-Link's guard interval must absorb) for several sync periods.
-#include <algorithm>
 #include <cmath>
 #include <iomanip>
 #include <iostream>
-#include <vector>
 
+#include "harness.hpp"
 #include "net/clock.hpp"
 #include "net/timesync.hpp"
+#include "util/stats.hpp"
 
 using namespace evm;
 using namespace evm::net;
 
-namespace {
-
-double percentile(std::vector<double> values, double p) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const auto index = static_cast<std::size_t>(p * (values.size() - 1));
-  return values[index];
-}
-
-}  // namespace
-
 int main() {
   std::cout << "=== E3: AM-pulse time synchronization jitter ===\n\n";
+  bench::Reporter report("sync_jitter");
 
   // --- jitter distribution over 10^4 pulses -------------------------------
   sim::Simulator sim(2024);
@@ -42,18 +32,23 @@ int main() {
   sync.start();
   sim.run_until(util::TimePoint::zero() + util::Duration::seconds(1000));
 
-  std::vector<double> jitter_us;
+  util::Samples jitter_us;
   for (const auto& j : sync.jitter_samples()) {
-    jitter_us.push_back(static_cast<double>(j.ns()) / 1000.0);
+    jitter_us.add(static_cast<double>(j.ns()) / 1000.0);
   }
-  std::cout << "pulses observed: " << jitter_us.size() << "\n";
+  const bool bound_met = jitter_us.max() <= 150.0;
+  std::cout << "pulses observed: " << jitter_us.count() << "\n";
   std::cout << std::fixed << std::setprecision(1);
-  std::cout << "detection jitter:  p50 " << percentile(jitter_us, 0.5)
-            << " us   p90 " << percentile(jitter_us, 0.9) << " us   p99 "
-            << percentile(jitter_us, 0.99) << " us   max "
-            << percentile(jitter_us, 1.0) << " us\n";
-  std::cout << "paper bound: < 150 us -> "
-            << (percentile(jitter_us, 1.0) <= 150.0 ? "MET" : "VIOLATED") << "\n";
+  std::cout << "detection jitter:  " << jitter_us.summary(" us") << "\n";
+  std::cout << "paper bound: < 150 us -> " << (bound_met ? "MET" : "VIOLATED")
+            << "\n";
+  report.scenario("pulse_detection_jitter")
+      .param("pulses", jitter_us.count())
+      .param("sync_period_ms", 100)
+      .param("jitter_sigma_us", 40)
+      .param("jitter_max_us", 150)
+      .metric("jitter_us", jitter_us, "us")
+      .metric("paper_bound_150us_met", bound_met);
 
   // --- pairwise clock error vs sync period (drives guard sizing) -----------
   std::cout << "\npairwise clock error (40 ppm vs -40 ppm crystals):\n";
@@ -66,21 +61,26 @@ int main() {
     NodeClock a(40.0), b(-40.0);
     sync2.attach(1, a);
     sync2.attach(2, b);
-    std::vector<double> errors_us;
+    util::Samples errors_us;
     // Sample the pairwise error just before each pulse (worst point).
     sync2.attach(3, a, [&](util::Duration) {
       const auto now = s2.now();
-      errors_us.push_back(std::fabs(
+      errors_us.add(std::fabs(
           static_cast<double>((a.local_time(now) - b.local_time(now)).ns())) /
           1000.0);
     });
     sync2.start();
     s2.run_until(util::TimePoint::zero() + util::Duration::seconds(600));
     std::cout << "  " << std::setw(8) << period_ms << " ms" << std::setw(11)
-              << percentile(errors_us, 0.99) << " us" << std::setw(10)
-              << percentile(errors_us, 1.0) << " us\n";
+              << errors_us.percentile(0.99) << " us" << std::setw(10)
+              << errors_us.max() << " us\n";
+    report.scenario("pairwise_clock_error_" + std::to_string(period_ms) + "ms")
+        .param("sync_period_ms", period_ms)
+        .param("drift_ppm_a", 40)
+        .param("drift_ppm_b", -40)
+        .metric("error_us", errors_us, "us");
   }
   std::cout << "\nRT-Link's 200 us guard absorbs the 1 s-period error budget\n"
                "(jitter + 80 ppm relative drift over one period).\n";
-  return 0;
+  return report.write() ? 0 : 1;
 }

@@ -1,0 +1,262 @@
+#include "harness.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+
+namespace evm::bench {
+
+namespace {
+
+std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void append_number(std::string& out, double n) {
+  if (!std::isfinite(n)) {
+    out += "null";
+    return;
+  }
+  // Integers print without a fraction so counts stay readable.
+  if (n == std::floor(n) && std::fabs(n) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", n);
+    out += buf;
+    return;
+  }
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", n);
+  out += buf;
+}
+
+}  // namespace
+
+// --- Json --------------------------------------------------------------------
+
+Json& Json::set(const std::string& key, Json value) {
+  kind_ = Kind::kObject;
+  for (auto& [k, v] : members_) {
+    if (k == key) {
+      v = std::move(value);
+      return *this;
+    }
+  }
+  members_.emplace_back(key, std::move(value));
+  return *this;
+}
+
+Json& Json::push(Json value) {
+  kind_ = Kind::kArray;
+  elements_.push_back(std::move(value));
+  return *this;
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent);
+  return out;
+}
+
+void Json::dump_to(std::string& out, int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+  const std::string inner_pad(static_cast<std::size_t>(indent + 1) * 2, ' ');
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: append_number(out, number_); break;
+    case Kind::kString: append_escaped(out, string_); break;
+    case Kind::kObject: {
+      if (members_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        out += inner_pad;
+        append_escaped(out, members_[i].first);
+        out += ": ";
+        members_[i].second.dump_to(out, indent + 1);
+        if (i + 1 < members_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "}";
+      break;
+    }
+    case Kind::kArray: {
+      if (elements_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        out += inner_pad;
+        elements_[i].dump_to(out, indent + 1);
+        if (i + 1 < elements_.size()) out += ',';
+        out += '\n';
+      }
+      out += pad + "]";
+      break;
+    }
+  }
+}
+
+Json summarize(const util::Samples& samples, const std::string& unit) {
+  const util::SummaryStats s = samples.summarize();
+  Json j = Json::object();
+  j.set("unit", unit);
+  j.set("count", s.count);
+  j.set("mean", s.mean);
+  j.set("p50", s.p50);
+  j.set("p90", s.p90);
+  j.set("p99", s.p99);
+  j.set("max", s.max);
+  return j;
+}
+
+// --- timing ------------------------------------------------------------------
+
+void Stopwatch::reset() { start_ns_ = now_ns(); }
+
+double Stopwatch::elapsed_ns() const {
+  return static_cast<double>(now_ns() - start_ns_);
+}
+
+util::Samples measure_ns(const std::function<void()>& fn, int samples,
+                         double min_batch_ms) {
+  // Calibrate the batch size: grow until one batch meets the time floor, so
+  // per-call cost is measured well above clock granularity.
+  std::size_t batch = 1;
+  for (;;) {
+    Stopwatch sw;
+    for (std::size_t i = 0; i < batch; ++i) fn();
+    const double ms = sw.elapsed_ms();
+    if (ms >= min_batch_ms || batch >= (1u << 24)) break;
+    if (ms <= 0.01) {
+      batch *= 32;
+    } else {
+      batch = static_cast<std::size_t>(
+          static_cast<double>(batch) * (min_batch_ms / ms) * 1.3 + 1.0);
+    }
+  }
+
+  util::Samples per_call_ns;
+  for (int s = 0; s < samples; ++s) {
+    Stopwatch sw;
+    for (std::size_t i = 0; i < batch; ++i) fn();
+    per_call_ns.add(sw.elapsed_ns() / static_cast<double>(batch));
+  }
+  return per_call_ns;
+}
+
+// --- reporting ---------------------------------------------------------------
+
+void print_time_header() {
+  char row[160];
+  std::snprintf(row, sizeof(row), "  %-34s%14s%14s%14s\n", "scenario", "p50",
+                "p99", "max");
+  std::cout << row;
+}
+
+TimedScenario time_scenario(Reporter& report, const std::string& label,
+                            const std::function<void()>& op, int samples) {
+  util::Samples ns = measure_ns(op, samples);
+  const util::SummaryStats s = ns.summarize();
+  char row[160];
+  std::snprintf(row, sizeof(row), "  %-34s%11.0f ns%11.0f ns%11.0f ns\n",
+                label.c_str(), s.p50, s.p99, s.max);
+  std::cout << row;
+  Scenario& scenario = report.scenario(label).metric("latency_ns", ns, "ns");
+  return {std::move(ns), scenario};
+}
+
+Scenario& Scenario::param(const std::string& key, Json value) {
+  params_.set(key, std::move(value));
+  return *this;
+}
+
+Scenario& Scenario::metric(const std::string& key, Json value) {
+  metrics_.set(key, std::move(value));
+  return *this;
+}
+
+Scenario& Scenario::metric(const std::string& key, const util::Samples& samples,
+                           const std::string& unit) {
+  metrics_.set(key, summarize(samples, unit));
+  return *this;
+}
+
+Json Scenario::to_json() const {
+  Json j = Json::object();
+  j.set("name", name_);
+  j.set("params", params_);
+  j.set("metrics", metrics_);
+  return j;
+}
+
+Scenario& Reporter::scenario(const std::string& name) {
+  scenarios_.emplace_back(name);
+  return scenarios_.back();
+}
+
+std::string Reporter::out_dir() {
+  if (const char* env = std::getenv("EVM_BENCH_OUT"); env && *env) return env;
+  return "bench/out";
+}
+
+bool Reporter::write() const {
+  Json root = Json::object();
+  root.set("bench", name_);
+  root.set("schema", 1);
+  Json list = Json::array();
+  for (const auto& s : scenarios_) list.push(s.to_json());
+  root.set("scenarios", list);
+
+  const std::filesystem::path dir(out_dir());
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    std::cerr << "bench harness: cannot create " << dir << ": " << ec.message()
+              << "\n";
+    return false;
+  }
+  const std::filesystem::path path = dir / (name_ + ".json");
+  std::ofstream out(path);
+  out << root.dump() << "\n";
+  out.close();
+  if (!out) {
+    std::cerr << "bench harness: cannot write " << path << "\n";
+    return false;
+  }
+  std::cout << "\n[bench json] " << path.string() << "\n";
+  return true;
+}
+
+}  // namespace evm::bench

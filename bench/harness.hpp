@@ -1,0 +1,151 @@
+// Shared benchmark harness: wall-clock timing, calibrated micro-benchmark
+// sampling, and machine-readable JSON reports.
+//
+// Every bench builds a `Reporter`, fills one `Scenario` per measured
+// configuration (params + metrics), and calls `write()` at exit, which
+// emits `bench/out/<name>.json` (override the directory with the
+// EVM_BENCH_OUT environment variable) next to the usual human-readable
+// table on stdout.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/stats.hpp"
+
+namespace evm::bench {
+
+// --- minimal JSON value tree -------------------------------------------------
+
+class Json {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
+
+  Json() : kind_(Kind::kNull) {}
+  Json(bool b) : kind_(Kind::kBool), bool_(b) {}            // NOLINT(runtime/explicit)
+  Json(double n) : kind_(Kind::kNumber), number_(n) {}      // NOLINT(runtime/explicit)
+  Json(int n) : Json(static_cast<double>(n)) {}             // NOLINT(runtime/explicit)
+  Json(std::int64_t n) : Json(static_cast<double>(n)) {}    // NOLINT(runtime/explicit)
+  Json(std::size_t n) : Json(static_cast<double>(n)) {}     // NOLINT(runtime/explicit)
+  Json(const char* s) : kind_(Kind::kString), string_(s) {} // NOLINT(runtime/explicit)
+  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
+
+  static Json object() { Json j; j.kind_ = Kind::kObject; return j; }
+  static Json array() { Json j; j.kind_ = Kind::kArray; return j; }
+
+  /// Object member set; insertion order is preserved, duplicate keys replace.
+  Json& set(const std::string& key, Json value);
+  /// Array append.
+  Json& push(Json value);
+
+  Kind kind() const { return kind_; }
+  bool empty() const { return members_.empty() && elements_.empty(); }
+
+  /// Serialize with two-space indentation. NaN/Inf become null.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent) const;
+
+  Kind kind_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<std::pair<std::string, Json>> members_;
+  std::vector<Json> elements_;
+};
+
+/// Percentile summary of a sample set as a JSON object:
+/// {"unit", "count", "mean", "p50", "p90", "p99", "max"}.
+Json summarize(const util::Samples& samples, const std::string& unit);
+
+// --- timing ------------------------------------------------------------------
+
+/// Monotonic wall-clock stopwatch.
+class Stopwatch {
+ public:
+  Stopwatch() { reset(); }
+  void reset();
+  double elapsed_ns() const;
+  double elapsed_ms() const { return elapsed_ns() / 1e6; }
+  double elapsed_s() const { return elapsed_ns() / 1e9; }
+
+ private:
+  std::int64_t start_ns_ = 0;
+};
+
+/// Calibrated micro-benchmark: times `fn` in batches sized so each batch
+/// runs for at least `min_batch_ms`, and returns `samples` per-call
+/// durations in nanoseconds. Suitable for ops from ~ns to ~ms.
+util::Samples measure_ns(const std::function<void()>& fn, int samples = 25,
+                         double min_batch_ms = 2.0);
+
+/// Keeps `value` observable so the optimizer cannot delete the computation.
+template <typename T>
+inline void do_not_optimize(T const& value) {
+  asm volatile("" : : "r,m"(value) : "memory");
+}
+
+// --- reporting ---------------------------------------------------------------
+
+class Scenario {
+ public:
+  explicit Scenario(std::string name) : name_(std::move(name)) {}
+
+  Scenario& param(const std::string& key, Json value);
+  Scenario& metric(const std::string& key, Json value);
+  /// Expands to a percentile-summary object (see `summarize`).
+  Scenario& metric(const std::string& key, const util::Samples& samples,
+                   const std::string& unit);
+
+  Json to_json() const;
+
+ private:
+  std::string name_;
+  Json params_ = Json::object();
+  Json metrics_ = Json::object();
+};
+
+class Reporter;
+
+/// Result of `time_scenario`: the raw per-call samples plus the scenario
+/// they were recorded on, so callers can attach params and derived metrics.
+struct TimedScenario {
+  util::Samples ns;
+  Scenario& scenario;
+};
+
+/// Prints the header matching `time_scenario`'s table rows.
+void print_time_header();
+
+/// Times `op` (see `measure_ns`), prints a standard "label  p50  p99  max"
+/// table row, and records a scenario named `label` with a `latency_ns`
+/// percentile summary.
+TimedScenario time_scenario(Reporter& report, const std::string& label,
+                            const std::function<void()>& op, int samples = 25);
+
+class Reporter {
+ public:
+  /// `name` is the bench identity: the report lands at `<out>/<name>.json`.
+  explicit Reporter(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a scenario; the reference stays valid for the Reporter's lifetime.
+  Scenario& scenario(const std::string& name);
+
+  /// Directory reports are written to: $EVM_BENCH_OUT or "bench/out".
+  static std::string out_dir();
+
+  /// Writes `<out_dir>/<name>.json` and prints the path; returns false (with
+  /// a message on stderr) if the directory or file cannot be written.
+  bool write() const;
+
+ private:
+  std::string name_;
+  std::deque<Scenario> scenarios_;  // deque: stable references across growth
+};
+
+}  // namespace evm::bench

@@ -73,9 +73,14 @@ int main() {
   net::TimeSync timesync(sim);
 
   const auto descriptor = make_descriptor(6);
-  core::Node head_node(sim, medium, schedule, timesync, {.id = 1});
-  core::Node worker2(sim, medium, schedule, timesync, {.id = 2});
-  core::Node worker3(sim, medium, schedule, timesync, {.id = 3});
+  auto node_config = [](net::NodeId id) {
+    core::NodeConfig config;
+    config.id = id;
+    return config;
+  };
+  core::Node head_node(sim, medium, schedule, timesync, node_config(1));
+  core::Node worker2(sim, medium, schedule, timesync, node_config(2));
+  core::Node worker3(sim, medium, schedule, timesync, node_config(3));
   core::EvmService head(head_node, descriptor);
   core::EvmService svc2(worker2, descriptor);
   core::EvmService svc3(worker3, descriptor);

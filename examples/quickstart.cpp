@@ -85,8 +85,13 @@ int main() {
   schedule.assign_tx(0, 1);
   schedule.assign_tx(1, 2);
   net::TimeSync timesync(sim);
-  core::Node alice(sim, medium, schedule, timesync, {.id = 1});
-  core::Node bob(sim, medium, schedule, timesync, {.id = 2});
+  auto node_config = [](net::NodeId id) {
+    core::NodeConfig config;
+    config.id = id;
+    return config;
+  };
+  core::Node alice(sim, medium, schedule, timesync, node_config(1));
+  core::Node bob(sim, medium, schedule, timesync, node_config(2));
 
   bool got = false;
   bob.router().set_receive_handler([&got](const net::Datagram& d) {

@@ -46,11 +46,30 @@ double Samples::percentile(double p) const {
   return v[index];
 }
 
+SummaryStats Samples::summarize() const {
+  SummaryStats s;
+  s.count = values_.size();
+  if (values_.empty()) return s;
+  const auto v = sorted();
+  auto rank = [&v](double p) {
+    return v[static_cast<std::size_t>(p * static_cast<double>(v.size() - 1))];
+  };
+  s.min = v.front();
+  s.max = v.back();
+  s.mean = mean();
+  s.stddev = stddev();
+  s.p50 = rank(0.5);
+  s.p90 = rank(0.9);
+  s.p99 = rank(0.99);
+  return s;
+}
+
 std::string Samples::summary(const std::string& unit) const {
+  const SummaryStats s = summarize();
   char buf[160];
   std::snprintf(buf, sizeof(buf), "p50 %.3g%s  p90 %.3g%s  p99 %.3g%s  max %.3g%s",
-                percentile(0.5), unit.c_str(), percentile(0.9), unit.c_str(),
-                percentile(0.99), unit.c_str(), max(), unit.c_str());
+                s.p50, unit.c_str(), s.p90, unit.c_str(), s.p99, unit.c_str(),
+                s.max, unit.c_str());
   return buf;
 }
 

@@ -8,6 +8,13 @@
 
 namespace evm::util {
 
+/// One-pass percentile summary of a sample set (see Samples::summarize).
+struct SummaryStats {
+  std::size_t count = 0;
+  double min = 0, mean = 0, stddev = 0;
+  double p50 = 0, p90 = 0, p99 = 0, max = 0;
+};
+
 /// Accumulates samples; summary statistics computed on demand.
 class Samples {
  public:
@@ -22,6 +29,9 @@ class Samples {
   /// p in [0, 1]; nearest-rank on the sorted sample.
   double percentile(double p) const;
   double median() const { return percentile(0.5); }
+
+  /// All summary statistics with a single sort of the sample set.
+  SummaryStats summarize() const;
 
   /// "p50 1.2  p90 3.4  p99 5.6  max 7.8" with the given unit suffix.
   std::string summary(const std::string& unit = "") const;

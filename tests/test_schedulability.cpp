@@ -118,8 +118,12 @@ TEST_P(TestOrdering, SufficientTestsNeverContradictExact) {
     const bool ll = liu_layland_test(tasks).schedulable;
     const bool hb = hyperbolic_test(tasks).schedulable;
     const bool rta = response_time_analysis(tasks).schedulable;
-    if (ll) EXPECT_TRUE(hb) << "LL passed but hyperbolic failed";
-    if (hb) EXPECT_TRUE(rta) << "hyperbolic passed but exact RTA failed";
+    if (ll) {
+      EXPECT_TRUE(hb) << "LL passed but hyperbolic failed";
+    }
+    if (hb) {
+      EXPECT_TRUE(rta) << "hyperbolic passed but exact RTA failed";
+    }
   }
 }
 
@@ -147,7 +151,8 @@ TEST_P(RtaVsSimulation, MeasuredResponseNeverExceedsAnalyticBound) {
   std::vector<TaskId> ids;
   for (const auto& t : tasks) {
     TaskParams p;
-    p.name = "t" + std::to_string(ids.size());
+    p.name = "t";
+    p.name += std::to_string(ids.size());
     p.period = t.period;
     p.wcet = t.wcet;
     p.priority = t.priority;

@@ -230,7 +230,8 @@ TEST_P(BusyTimeConservation, BusyTimeMatchesCompletedWork) {
     total_u += static_cast<double>(wcet) / static_cast<double>(period);
     if (total_u > 0.7) break;
     TaskParams p;
-    p.name = "t" + std::to_string(i);
+    p.name = "t";
+    p.name += std::to_string(i);
     p.period = Duration::millis(period);
     p.wcet = Duration::millis(wcet);
     p.priority = static_cast<Priority>(i);

@@ -378,7 +378,9 @@ TEST_F(ServiceFixture, ParametricRejectedFromNonHead) {
   run_for(util::Duration::seconds(1));
   for (rtos::TaskId id : nodes[2]->kernel().scheduler().task_ids()) {
     const auto* tcb = nodes[2]->kernel().scheduler().task(id);
-    if (tcb->params.name == "loop") EXPECT_EQ(tcb->params.priority, 8);
+    if (tcb->params.name == "loop") {
+      EXPECT_EQ(tcb->params.priority, 8);
+    }
   }
 }
 

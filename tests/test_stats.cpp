@@ -34,6 +34,28 @@ TEST(Samples, Percentiles) {
   EXPECT_NEAR(s.percentile(0.9), 90.0, 1.0);
 }
 
+TEST(Samples, SummarizeMatchesIndividualAccessors) {
+  Rng rng(17);
+  Samples s;
+  for (int i = 0; i < 500; ++i) s.add(rng.normal(5.0, 2.0));
+  const SummaryStats stats = s.summarize();
+  EXPECT_EQ(stats.count, s.count());
+  EXPECT_DOUBLE_EQ(stats.min, s.min());
+  EXPECT_DOUBLE_EQ(stats.max, s.max());
+  EXPECT_DOUBLE_EQ(stats.mean, s.mean());
+  EXPECT_DOUBLE_EQ(stats.stddev, s.stddev());
+  EXPECT_DOUBLE_EQ(stats.p50, s.percentile(0.5));
+  EXPECT_DOUBLE_EQ(stats.p90, s.percentile(0.9));
+  EXPECT_DOUBLE_EQ(stats.p99, s.percentile(0.99));
+}
+
+TEST(Samples, SummarizeEmptyIsZero) {
+  const SummaryStats stats = Samples().summarize();
+  EXPECT_EQ(stats.count, 0u);
+  EXPECT_EQ(stats.p50, 0.0);
+  EXPECT_EQ(stats.max, 0.0);
+}
+
 TEST(Samples, SummaryContainsMarkers) {
   Samples s;
   s.add(1.0);
