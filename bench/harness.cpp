@@ -18,127 +18,10 @@ std::int64_t now_ns() {
       .count();
 }
 
-void append_escaped(std::string& out, const std::string& s) {
-  out += '"';
-  for (char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      case '\r': out += "\\r"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-}
-
-void append_number(std::string& out, double n) {
-  if (!std::isfinite(n)) {
-    out += "null";
-    return;
-  }
-  // Integers print without a fraction so counts stay readable.
-  if (n == std::floor(n) && std::fabs(n) < 1e15) {
-    char buf[32];
-    std::snprintf(buf, sizeof(buf), "%.0f", n);
-    out += buf;
-    return;
-  }
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.12g", n);
-  out += buf;
-}
-
 }  // namespace
 
-// --- Json --------------------------------------------------------------------
-
-Json& Json::set(const std::string& key, Json value) {
-  kind_ = Kind::kObject;
-  for (auto& [k, v] : members_) {
-    if (k == key) {
-      v = std::move(value);
-      return *this;
-    }
-  }
-  members_.emplace_back(key, std::move(value));
-  return *this;
-}
-
-Json& Json::push(Json value) {
-  kind_ = Kind::kArray;
-  elements_.push_back(std::move(value));
-  return *this;
-}
-
-std::string Json::dump(int indent) const {
-  std::string out;
-  dump_to(out, indent);
-  return out;
-}
-
-void Json::dump_to(std::string& out, int indent) const {
-  const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
-  const std::string inner_pad(static_cast<std::size_t>(indent + 1) * 2, ' ');
-  switch (kind_) {
-    case Kind::kNull: out += "null"; break;
-    case Kind::kBool: out += bool_ ? "true" : "false"; break;
-    case Kind::kNumber: append_number(out, number_); break;
-    case Kind::kString: append_escaped(out, string_); break;
-    case Kind::kObject: {
-      if (members_.empty()) {
-        out += "{}";
-        break;
-      }
-      out += "{\n";
-      for (std::size_t i = 0; i < members_.size(); ++i) {
-        out += inner_pad;
-        append_escaped(out, members_[i].first);
-        out += ": ";
-        members_[i].second.dump_to(out, indent + 1);
-        if (i + 1 < members_.size()) out += ',';
-        out += '\n';
-      }
-      out += pad + "}";
-      break;
-    }
-    case Kind::kArray: {
-      if (elements_.empty()) {
-        out += "[]";
-        break;
-      }
-      out += "[\n";
-      for (std::size_t i = 0; i < elements_.size(); ++i) {
-        out += inner_pad;
-        elements_[i].dump_to(out, indent + 1);
-        if (i + 1 < elements_.size()) out += ',';
-        out += '\n';
-      }
-      out += pad + "]";
-      break;
-    }
-  }
-}
-
 Json summarize(const util::Samples& samples, const std::string& unit) {
-  const util::SummaryStats s = samples.summarize();
-  Json j = Json::object();
-  j.set("unit", unit);
-  j.set("count", s.count);
-  j.set("mean", s.mean);
-  j.set("p50", s.p50);
-  j.set("p90", s.p90);
-  j.set("p99", s.p99);
-  j.set("max", s.max);
-  return j;
+  return util::to_json(samples.summarize(), unit);
 }
 
 // --- timing ------------------------------------------------------------------

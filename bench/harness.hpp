@@ -15,49 +15,14 @@
 #include <utility>
 #include <vector>
 
+#include "util/json.hpp"
 #include "util/stats.hpp"
 
 namespace evm::bench {
 
-// --- minimal JSON value tree -------------------------------------------------
-
-class Json {
- public:
-  enum class Kind { kNull, kBool, kNumber, kString, kObject, kArray };
-
-  Json() : kind_(Kind::kNull) {}
-  Json(bool b) : kind_(Kind::kBool), bool_(b) {}            // NOLINT(runtime/explicit)
-  Json(double n) : kind_(Kind::kNumber), number_(n) {}      // NOLINT(runtime/explicit)
-  Json(int n) : Json(static_cast<double>(n)) {}             // NOLINT(runtime/explicit)
-  Json(std::int64_t n) : Json(static_cast<double>(n)) {}    // NOLINT(runtime/explicit)
-  Json(std::size_t n) : Json(static_cast<double>(n)) {}     // NOLINT(runtime/explicit)
-  Json(const char* s) : kind_(Kind::kString), string_(s) {} // NOLINT(runtime/explicit)
-  Json(std::string s) : kind_(Kind::kString), string_(std::move(s)) {}
-
-  static Json object() { Json j; j.kind_ = Kind::kObject; return j; }
-  static Json array() { Json j; j.kind_ = Kind::kArray; return j; }
-
-  /// Object member set; insertion order is preserved, duplicate keys replace.
-  Json& set(const std::string& key, Json value);
-  /// Array append.
-  Json& push(Json value);
-
-  Kind kind() const { return kind_; }
-  bool empty() const { return members_.empty() && elements_.empty(); }
-
-  /// Serialize with two-space indentation. NaN/Inf become null.
-  std::string dump(int indent = 0) const;
-
- private:
-  void dump_to(std::string& out, int indent) const;
-
-  Kind kind_;
-  bool bool_ = false;
-  double number_ = 0.0;
-  std::string string_;
-  std::vector<std::pair<std::string, Json>> members_;
-  std::vector<Json> elements_;
-};
+/// The JSON value tree used by bench reports now lives in util (shared with
+/// the scenario engine's spec parser and campaign reports).
+using Json = util::Json;
 
 /// Percentile summary of a sample set as a JSON object:
 /// {"unit", "count", "mean", "p50", "p90", "p99", "max"}.

@@ -1,0 +1,193 @@
+// Scenario engine CLI: load a declarative scenario spec, fan it out across
+// seeds on a thread pool, print the per-seed and aggregate metrics, and
+// write the campaign JSON report.
+//
+//   run_scenario scenarios/fig6_failover.json --seeds 8 --jobs 4
+//
+// The same spec + seed always produces byte-identical metrics; --jobs only
+// changes wall-clock time.
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "scenario/campaign.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+using namespace evm;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " <spec.json> [options]\n"
+      << "  --seeds N        seeds to run (default 1)\n"
+      << "  --jobs J         worker threads (default min(seeds, cores))\n"
+      << "  --base-seed S    first seed (default 1)\n"
+      << "  --horizon-s H    override the spec's horizon\n"
+      << "  --out DIR        report directory (default $EVM_BENCH_OUT or bench/out)\n"
+      << "  --csv FILE       dump the base seed's plant trace as CSV\n"
+      << "  --trace-json FILE  dump the base seed's plant trace as JSON\n"
+      << "  --print-trace    print the base seed's trace table (20 s grid)\n";
+  return 2;
+}
+
+bool parse_u64(const char* s, std::uint64_t& out) {
+  // strtoull silently wraps negatives ("-1" -> 2^64-1); reject anything
+  // that is not a plain decimal digit string.
+  if (*s == '\0') return false;
+  for (const char* p = s; *p != '\0'; ++p) {
+    if (*p < '0' || *p > '9') return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(s, &end, 10);
+  if (end == s || *end != '\0' || errno == ERANGE) return false;
+  out = v;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage(argv[0]);
+  const std::string spec_path = argv[1];
+
+  scenario::CampaignConfig config;
+  config.seeds = 1;
+  double horizon_override = -1.0;
+  std::string out_dir = scenario::report_dir();
+  std::string csv_path, trace_json_path;
+  bool print_trace = false;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    std::uint64_t value = 0;
+    if (arg == "--seeds" || arg == "--jobs" || arg == "--base-seed") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, value)) return usage(argv[0]);
+      if (arg == "--seeds") config.seeds = static_cast<std::size_t>(value);
+      else if (arg == "--jobs") config.jobs = static_cast<std::size_t>(value);
+      else config.base_seed = value;
+    } else if (arg == "--horizon-s") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      horizon_override = std::atof(v);
+      if (horizon_override <= 0.0) return usage(argv[0]);
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      out_dir = v;
+    } else if (arg == "--csv") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      csv_path = v;
+    } else if (arg == "--trace-json") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      trace_json_path = v;
+    } else if (arg == "--print-trace") {
+      print_trace = true;
+    } else {
+      std::cerr << "unknown option: " << arg << "\n";
+      return usage(argv[0]);
+    }
+  }
+  if (config.seeds == 0) return usage(argv[0]);
+
+  auto spec = scenario::ScenarioSpec::load_file(spec_path);
+  if (!spec) {
+    std::cerr << "error: " << spec.status().to_string() << "\n";
+    return 2;
+  }
+  if (horizon_override > 0.0) spec->horizon_s = horizon_override;
+
+  std::cout << "=== scenario: " << spec->name << " ===\n";
+  if (!spec->description.empty()) std::cout << spec->description << "\n";
+  std::cout << "horizon " << spec->horizon_s << " s, " << spec->events.size()
+            << " scheduled events"
+            << (spec->churn.enabled ? " + seeded churn" : "") << ", seeds "
+            << config.base_seed << ".." << (config.base_seed + config.seeds - 1)
+            << "\n\n";
+
+  const scenario::CampaignResult result = scenario::run_campaign(*spec, config);
+
+  std::cout << "  seed   failover_s   missed_dl   loss_rate   level_rmse_%  modes(A/B)\n";
+  for (const auto& run : result.runs) {
+    std::cout << "  " << std::setw(4) << run.seed;
+    if (!run.ok) {
+      std::cout << "   FAILED: " << run.error << "\n";
+      continue;
+    }
+    std::cout << std::fixed << std::setprecision(2) << std::setw(11)
+              << run.failover_latency_s << std::setw(12) << run.missed_deadlines
+              << std::setw(12) << std::setprecision(4) << run.packet_loss_rate
+              << std::setw(14) << std::setprecision(2) << run.level_rmse_pct
+              << "  " << run.ctrl_a_mode << "/" << run.ctrl_b_mode << "\n";
+  }
+
+  const util::Json report = scenario::campaign_report(*spec, config, result);
+  if (const util::Json* aggregate = report.find("aggregate")) {
+    std::cout << "\naggregate over " << result.ok_count() << "/"
+              << result.runs.size() << " runs:\n";
+    if (const util::Json* latency = aggregate->find("failover_latency_s")) {
+      std::cout << "  failover latency  p50 " << std::setprecision(2)
+                << latency->find("p50")->as_double() << " s   p90 "
+                << latency->find("p90")->as_double() << " s   p99 "
+                << latency->find("p99")->as_double() << " s\n";
+    }
+    std::cout << "  failovers detected: "
+              << aggregate->find("failovers_detected")->as_int() << ", backups active: "
+              << aggregate->find("backups_active")->as_int() << "\n";
+  }
+
+  auto written = scenario::write_campaign_report(report, spec->name, out_dir);
+  if (!written) {
+    std::cerr << "error: " << written.status().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "\n[campaign json] " << *written << "\n";
+
+  if (!csv_path.empty() || !trace_json_path.empty() || print_trace) {
+    // Re-run the base seed alone to capture its trace (campaign workers
+    // discard their testbeds as they go).
+    scenario::ScenarioRunner runner(*spec, config.base_seed);
+    const scenario::RunMetrics run = runner.run();
+    if (!run.ok) {
+      std::cerr << "error: trace run failed: " << run.error << "\n";
+      return 1;
+    }
+    if (!csv_path.empty()) {
+      std::ofstream csv(csv_path);
+      runner.trace().to_csv(csv);
+      if (!csv) {
+        std::cerr << "error: cannot write " << csv_path << "\n";
+        return 1;
+      }
+      std::cout << "[trace csv] " << csv_path << "\n";
+    }
+    if (!trace_json_path.empty()) {
+      std::ofstream tj(trace_json_path);
+      tj << runner.trace().to_json().dump() << "\n";
+      if (!tj) {
+        std::cerr << "error: cannot write " << trace_json_path << "\n";
+        return 1;
+      }
+      std::cout << "[trace json] " << trace_json_path << "\n";
+    }
+    if (print_trace) {
+      std::cout << "\n";
+      runner.trace().print_table(std::cout, util::Duration::seconds(20));
+    }
+  }
+
+  return result.all_ok() ? 0 : 1;
+}

@@ -1,0 +1,145 @@
+#include "scenario/campaign.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cctype>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "util/stats.hpp"
+
+namespace evm::scenario {
+
+using util::Json;
+
+namespace {
+
+Json summarize(const util::Samples& samples, const std::string& unit) {
+  return util::to_json(samples.summarize(), unit);
+}
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out += (std::isalnum(static_cast<unsigned char>(c)) != 0) ? c : '_';
+  }
+  return out.empty() ? std::string("scenario") : out;
+}
+
+}  // namespace
+
+std::size_t CampaignResult::ok_count() const {
+  std::size_t n = 0;
+  for (const auto& run : runs) n += run.ok ? 1 : 0;
+  return n;
+}
+
+CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& config) {
+  CampaignResult result;
+  result.runs.resize(config.seeds);
+  if (config.seeds == 0) return result;
+
+  std::size_t jobs = config.jobs;
+  if (jobs == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    jobs = hw == 0 ? 1 : hw;
+  }
+  jobs = std::min(jobs, config.seeds);
+
+  // Work-stealing over the seed index; every run writes only its own slot,
+  // so the result vector is in seed order no matter which worker got there.
+  std::atomic<std::size_t> next{0};
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= config.seeds) return;
+      ScenarioRunner runner(spec, config.base_seed + i);
+      result.runs[i] = runner.run();
+    }
+  };
+
+  if (jobs == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  return result;
+}
+
+Json campaign_report(const ScenarioSpec& spec, const CampaignConfig& config,
+                     const CampaignResult& result) {
+  Json root = Json::object();
+  root.set("schema", 1);
+  root.set("scenario", spec.name);
+  root.set("spec", spec.to_json());
+
+  Json campaign = Json::object();
+  campaign.set("base_seed", static_cast<std::int64_t>(config.base_seed));
+  campaign.set("seeds", config.seeds);
+  root.set("campaign", std::move(campaign));
+
+  Json runs = Json::array();
+  for (const auto& run : result.runs) runs.push(run.to_json());
+  root.set("runs", std::move(runs));
+
+  util::Samples failover_latency, missed_deadlines, loss_rate, rmse, max_dev;
+  std::size_t failovers_detected = 0, backups_active = 0;
+  for (const auto& run : result.runs) {
+    if (!run.ok) continue;
+    if (run.failover_latency_s >= 0.0) {
+      failover_latency.add(run.failover_latency_s);
+      ++failovers_detected;
+    }
+    if (run.backup_active) ++backups_active;
+    missed_deadlines.add(static_cast<double>(run.missed_deadlines));
+    loss_rate.add(run.packet_loss_rate);
+    rmse.add(run.level_rmse_pct);
+    max_dev.add(run.level_max_dev_pct);
+  }
+
+  Json aggregate = Json::object();
+  aggregate.set("runs_ok", result.ok_count());
+  aggregate.set("runs_failed", result.runs.size() - result.ok_count());
+  aggregate.set("failovers_detected", failovers_detected);
+  aggregate.set("backups_active", backups_active);
+  if (!failover_latency.empty()) {
+    aggregate.set("failover_latency_s", summarize(failover_latency, "s"));
+  }
+  aggregate.set("missed_deadlines", summarize(missed_deadlines, "count"));
+  aggregate.set("packet_loss_rate", summarize(loss_rate, "fraction"));
+  aggregate.set("level_rmse_pct", summarize(rmse, "%"));
+  aggregate.set("level_max_dev_pct", summarize(max_dev, "%"));
+  root.set("aggregate", std::move(aggregate));
+  return root;
+}
+
+std::string report_dir() {
+  if (const char* env = std::getenv("EVM_BENCH_OUT"); env && *env) return env;
+  return "bench/out";
+}
+
+util::Result<std::string> write_campaign_report(const Json& report,
+                                                const std::string& scenario_name,
+                                                const std::string& dir) {
+  const std::filesystem::path out_dir(dir);
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    return util::Status::internal("cannot create " + out_dir.string() + ": " +
+                                  ec.message());
+  }
+  const std::filesystem::path path =
+      out_dir / ("scenario_" + sanitize(scenario_name) + ".json");
+  std::ofstream out(path);
+  out << report.dump() << "\n";
+  out.close();
+  if (!out) return util::Status::internal("cannot write " + path.string());
+  return path.string();
+}
+
+}  // namespace evm::scenario

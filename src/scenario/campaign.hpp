@@ -1,0 +1,50 @@
+// Multi-seed campaign engine: fans one scenario spec out across N seeds on
+// a std::thread pool (one isolated Simulator per worker), aggregates the
+// per-seed metrics through util::SummaryStats, and emits a bench/out-style
+// JSON report with p50/p90/p99 across seeds. Results are ordered by seed,
+// never by completion, so a campaign is deterministic regardless of the
+// worker count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace evm::scenario {
+
+struct CampaignConfig {
+  std::uint64_t base_seed = 1;
+  std::size_t seeds = 8;
+  /// Worker threads; 0 picks min(seeds, hardware_concurrency). The value
+  /// never affects results, only wall-clock time.
+  std::size_t jobs = 0;
+};
+
+struct CampaignResult {
+  std::vector<RunMetrics> runs;  // runs[i] used seed base_seed + i
+
+  std::size_t ok_count() const;
+  bool all_ok() const { return ok_count() == runs.size(); }
+};
+
+/// Run `spec` once per seed in [base_seed, base_seed + seeds).
+CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& config);
+
+/// Full report: spec echo, per-seed metrics, and percentile aggregates of
+/// failover latency, deadline misses, packet loss and plant error.
+util::Json campaign_report(const ScenarioSpec& spec, const CampaignConfig& config,
+                           const CampaignResult& result);
+
+/// Directory campaign reports land in: $EVM_BENCH_OUT or "bench/out".
+std::string report_dir();
+
+/// Write `<dir>/scenario_<name>.json`; returns the path written.
+util::Result<std::string> write_campaign_report(const util::Json& report,
+                                                const std::string& scenario_name,
+                                                const std::string& dir = report_dir());
+
+}  // namespace evm::scenario

@@ -1,0 +1,258 @@
+#include "scenario/runner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <exception>
+
+#include "core/modes.hpp"
+#include "util/rng.hpp"
+
+namespace evm::scenario {
+
+using TB = testbed::TestbedIds;
+using util::Json;
+
+namespace {
+
+constexpr net::NodeId kAllNodes[] = {TB::kGateway, TB::kSensor, TB::kCtrlA,
+                                     TB::kCtrlB,  TB::kCtrlC,  TB::kActuator};
+constexpr const char* kLevelVariable = "LTS.LiquidPercentLevel";
+
+util::TimePoint at(double seconds) {
+  return util::TimePoint::zero() + util::Duration::from_seconds(seconds);
+}
+
+/// Stable per-link stream seed so burst chains are independent of the order
+/// events appear in and of each other.
+std::uint64_t link_seed(std::uint64_t seed, net::NodeId a, net::NodeId b) {
+  if (a > b) std::swap(a, b);
+  return seed * 0x100000001b3ULL + (static_cast<std::uint64_t>(a) << 16 | b);
+}
+
+}  // namespace
+
+Json RunMetrics::to_json() const {
+  Json j = Json::object();
+  j.set("seed", static_cast<std::int64_t>(seed));
+  j.set("ok", ok);
+  if (!error.empty()) j.set("error", error);
+  j.set("fault_injected_s", fault_injected_s);
+  j.set("failover_at_s", failover_at_s);
+  j.set("failover_latency_s", failover_latency_s);
+  j.set("failover_count", failover_count);
+  j.set("head_successions", head_successions);
+  j.set("backup_active", backup_active);
+  j.set("missed_deadlines", static_cast<std::int64_t>(missed_deadlines));
+  j.set("task_releases", static_cast<std::int64_t>(task_releases));
+  j.set("packets_delivered", packets_delivered);
+  j.set("packets_lost", packets_lost);
+  j.set("packets_collided", packets_collided);
+  j.set("packet_loss_rate", packet_loss_rate);
+  j.set("level_rmse_pct", level_rmse_pct);
+  j.set("level_max_dev_pct", level_max_dev_pct);
+  j.set("final_level_pct", final_level_pct);
+  j.set("ctrl_a_mode", ctrl_a_mode);
+  j.set("ctrl_b_mode", ctrl_b_mode);
+  j.set("sim_events", sim_events);
+  j.set("topology_mutations", topology_mutations);
+  return j;
+}
+
+ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec, std::uint64_t seed)
+    : spec_(spec), seed_(seed) {}
+
+ScenarioRunner::~ScenarioRunner() = default;
+
+RunMetrics ScenarioRunner::run() {
+  RunMetrics metrics;
+  metrics.seed = seed_;
+  try {
+    testbed::GasPlantTestbedConfig config = spec_.testbed;
+    config.seed = seed_;
+    testbed_ = std::make_unique<testbed::GasPlantTestbed>(config);
+    script_ = std::make_unique<net::TopologyScript>(testbed_->sim(),
+                                                    testbed_->topology());
+
+    testbed_->hil().record(kLevelVariable, kLevelVariable);
+    for (const auto& variable : spec_.record) {
+      if (variable != kLevelVariable) testbed_->hil().record(variable, variable);
+    }
+
+    schedule_events();
+    schedule_churn();
+
+    testbed_->start();
+    testbed_->run_until(util::Duration::from_seconds(spec_.horizon_s));
+    metrics = collect();
+  } catch (const std::exception& e) {
+    metrics = RunMetrics{};
+    metrics.seed = seed_;
+    metrics.ok = false;
+    metrics.error = e.what();
+  }
+  return metrics;
+}
+
+const sim::Trace& ScenarioRunner::trace() const {
+  static const sim::Trace kEmpty;
+  return testbed_ ? testbed_->hil().trace() : kEmpty;
+}
+
+void ScenarioRunner::schedule_events() {
+  auto& tb = *testbed_;
+  fault_injected_s_ = spec_.first_fault_s();
+  for (const auto& e : spec_.events) {
+    const util::TimePoint when = at(e.at_s);
+    switch (e.kind) {
+      case EventKind::kPrimaryFault:
+        tb.sim().schedule_at(when, [&tb, value = e.value] {
+          tb.inject_primary_fault(value);
+        });
+        break;
+      case EventKind::kClearPrimaryFault:
+        tb.sim().schedule_at(when, [&tb] { tb.clear_primary_fault(); });
+        break;
+      case EventKind::kNodeCrash:
+        tb.sim().schedule_at(when, [&tb, node = e.node] { tb.node(node).fail(); });
+        break;
+      case EventKind::kNodeRestart:
+        tb.sim().schedule_at(when, [&tb, node = e.node] { tb.node(node).recover(); });
+        break;
+      case EventKind::kLinkDown:
+        script_->link_down(when, e.a, e.b);
+        break;
+      case EventKind::kLinkUp:
+        script_->link_up(when, e.a, e.b);
+        break;
+      case EventKind::kLinkOutage:
+        script_->outage(when, e.a, e.b, util::Duration::from_seconds(e.duration_s));
+        break;
+      case EventKind::kLinkLoss:
+        script_->set_loss(when, e.a, e.b, e.value);
+        break;
+      case EventKind::kBurstLoss:
+        tb.sim().schedule_at(when, [&tb, e, seed = seed_] {
+          tb.medium().set_burst_loss(e.a, e.b, e.burst, link_seed(seed, e.a, e.b));
+        });
+        break;
+      case EventKind::kClearBurstLoss:
+        tb.sim().schedule_at(when, [&tb, e] {
+          tb.medium().clear_burst_loss(e.a, e.b);
+        });
+        break;
+      case EventKind::kClockDrift:
+        tb.sim().schedule_at(when, [&tb, node = e.node, ppm = e.value] {
+          tb.node(node).clock().set_drift_ppm(ppm);
+        });
+        break;
+      case EventKind::kTrafficBurst:
+        for (int i = 0; i < e.count; ++i) {
+          const util::TimePoint fire =
+              when + util::Duration::from_seconds(e.interval_ms * i / 1e3);
+          tb.sim().schedule_at(fire, [&tb, node = e.node] {
+            tb.service(node).publish_sensor(testbed::kLevelStream,
+                                            tb.plant().lts_level_percent());
+          });
+        }
+        break;
+    }
+  }
+}
+
+void ScenarioRunner::schedule_churn() {
+  if (!spec_.churn.enabled || spec_.churn.outages_per_minute <= 0.0) return;
+  const ChurnSpec& churn = spec_.churn;
+  std::vector<net::NodeId> nodes = {TB::kGateway, TB::kSensor, TB::kCtrlA,
+                                    TB::kCtrlB, TB::kActuator};
+  if (spec_.testbed.third_controller) nodes.push_back(TB::kCtrlC);
+
+  const double window_end = spec_.horizon_s - churn.end_margin_s;
+  if (window_end <= churn.start_s) return;
+  // Seeded from (run seed, salt): each campaign seed explores a distinct but
+  // reproducible outage pattern. The count comes from the placement window,
+  // not the horizon, so the configured rate holds even when the CLI
+  // shortens the horizon.
+  util::Rng rng(seed_ * 0x9e3779b97f4a7c15ULL + churn.rng_salt);
+  const int outages = static_cast<int>(std::lround(
+      churn.outages_per_minute * (window_end - churn.start_s) / 60.0));
+  for (int i = 0; i < outages; ++i) {
+    const net::NodeId a = nodes[rng.next_below(nodes.size())];
+    net::NodeId b = a;
+    while (b == a) b = nodes[rng.next_below(nodes.size())];
+    const double at_s = rng.uniform(churn.start_s, window_end);
+    script_->outage(at(at_s), a, b, util::Duration::from_seconds(churn.outage_s));
+  }
+}
+
+RunMetrics ScenarioRunner::collect() {
+  auto& tb = *testbed_;
+  RunMetrics m;
+  m.seed = seed_;
+  m.ok = true;
+  m.fault_injected_s = fault_injected_s_;
+
+  // Failover actions may be logged by the original head or, after a head
+  // crash, by its successor — merge every node's log in time order.
+  std::vector<core::FailoverEvent> failovers;
+  for (net::NodeId id : kAllNodes) {
+    const auto& events = tb.service(id).failovers();
+    failovers.insert(failovers.end(), events.begin(), events.end());
+    m.head_successions += tb.service(id).head_successions();
+  }
+  std::stable_sort(failovers.begin(), failovers.end(),
+                   [](const auto& x, const auto& y) { return x.when < y.when; });
+  m.failover_count = failovers.size();
+  if (!failovers.empty()) {
+    m.failover_at_s = failovers.front().when.to_seconds();
+    if (m.fault_injected_s >= 0.0) {
+      m.failover_latency_s = m.failover_at_s - m.fault_injected_s;
+    }
+  }
+
+  for (net::NodeId id : kAllNodes) {
+    auto& scheduler = tb.node(id).kernel().scheduler();
+    for (rtos::TaskId task : scheduler.task_ids()) {
+      const rtos::Tcb* tcb = scheduler.task(task);
+      if (tcb == nullptr) continue;
+      m.missed_deadlines += tcb->stats.deadline_misses;
+      m.task_releases += tcb->stats.releases;
+    }
+  }
+
+  m.packets_delivered = tb.medium().delivered_count();
+  m.packets_lost = tb.medium().loss_count();
+  m.packets_collided = tb.medium().collision_count();
+  const std::size_t offered =
+      m.packets_delivered + m.packets_lost + m.packets_collided;
+  if (offered > 0) {
+    m.packet_loss_rate =
+        static_cast<double>(m.packets_lost + m.packets_collided) /
+        static_cast<double>(offered);
+  }
+
+  const sim::Series* level = tb.hil().trace().find(kLevelVariable);
+  if (level != nullptr && !level->samples.empty()) {
+    double sum_sq = 0.0;
+    for (const auto& [t, value] : level->samples) {
+      const double dev = value - spec_.testbed.level_setpoint;
+      sum_sq += dev * dev;
+      m.level_max_dev_pct = std::max(m.level_max_dev_pct, std::fabs(dev));
+    }
+    m.level_rmse_pct =
+        std::sqrt(sum_sq / static_cast<double>(level->samples.size()));
+    m.final_level_pct = level->samples.back().second;
+  }
+
+  m.ctrl_a_mode = core::to_string(tb.service(TB::kCtrlA).mode(testbed::kLtsLevelLoop));
+  m.ctrl_b_mode = core::to_string(tb.service(TB::kCtrlB).mode(testbed::kLtsLevelLoop));
+  m.backup_active =
+      tb.service(TB::kCtrlB).mode(testbed::kLtsLevelLoop) == core::ControllerMode::kActive ||
+      (spec_.testbed.third_controller &&
+       tb.service(TB::kCtrlC).mode(testbed::kLtsLevelLoop) == core::ControllerMode::kActive);
+
+  m.sim_events = tb.sim().dispatched_events();
+  m.topology_mutations = script_->events_applied();
+  return m;
+}
+
+}  // namespace evm::scenario

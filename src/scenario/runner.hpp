@@ -1,0 +1,77 @@
+// Instantiates one scenario deterministically from (spec, seed): builds a
+// GasPlantTestbed, compiles the fault schedule onto the simulator and a
+// TopologyScript, runs to the horizon and collects metrics — failover
+// latency, missed deadlines, packet loss, plant regulation error — plus the
+// full plant time-series in a sim::Trace for CSV/JSON export.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "scenario/spec.hpp"
+#include "sim/trace.hpp"
+#include "util/json.hpp"
+
+namespace evm::scenario {
+
+/// Metrics of one (spec, seed) run. Pure function of its inputs: the same
+/// spec and seed always produce a byte-identical `to_json().dump()`.
+struct RunMetrics {
+  std::uint64_t seed = 0;
+  bool ok = false;
+  std::string error;  // set when the run threw instead of completing
+
+  double fault_injected_s = -1.0;    // first scheduled fault; -1 when none
+  double failover_at_s = -1.0;       // first head failover action
+  double failover_latency_s = -1.0;  // failover_at_s - fault_injected_s
+  std::size_t failover_count = 0;
+  std::size_t head_successions = 0;
+  bool backup_active = false;  // a backup replica ended the run Active
+
+  std::uint64_t missed_deadlines = 0;  // summed over every node's kernel
+  std::uint64_t task_releases = 0;
+
+  std::size_t packets_delivered = 0;
+  std::size_t packets_lost = 0;
+  std::size_t packets_collided = 0;
+  double packet_loss_rate = 0.0;  // (lost + collided) / offered
+
+  double level_rmse_pct = 0.0;     // RMS |level - setpoint| over the run
+  double level_max_dev_pct = 0.0;  // worst excursion from setpoint
+  double final_level_pct = 0.0;
+  std::string ctrl_a_mode;
+  std::string ctrl_b_mode;
+
+  std::size_t sim_events = 0;
+  std::size_t topology_mutations = 0;
+
+  util::Json to_json() const;
+};
+
+class ScenarioRunner {
+ public:
+  /// `spec` must outlive the runner; it is read-only and safe to share
+  /// across concurrently running runners (the campaign engine does).
+  ScenarioRunner(const ScenarioSpec& spec, std::uint64_t seed);
+  ~ScenarioRunner();
+
+  /// Build the testbed, apply the schedule, run to the horizon, collect.
+  /// Call once. Never throws: failures land in RunMetrics::error.
+  RunMetrics run();
+
+  /// Plant time-series of the completed run (valid after run()).
+  const sim::Trace& trace() const;
+
+ private:
+  void schedule_events();
+  void schedule_churn();
+  RunMetrics collect();
+
+  const ScenarioSpec& spec_;
+  std::uint64_t seed_;
+  std::unique_ptr<testbed::GasPlantTestbed> testbed_;
+  std::unique_ptr<net::TopologyScript> script_;
+  double fault_injected_s_ = -1.0;
+};
+
+}  // namespace evm::scenario

@@ -1,0 +1,492 @@
+#include "scenario/spec.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace evm::scenario {
+
+using util::Json;
+using util::Result;
+using util::Status;
+
+namespace {
+
+struct KindName {
+  EventKind kind;
+  const char* name;
+};
+
+constexpr KindName kKindNames[] = {
+    {EventKind::kPrimaryFault, "primary_fault"},
+    {EventKind::kClearPrimaryFault, "clear_primary_fault"},
+    {EventKind::kNodeCrash, "node_crash"},
+    {EventKind::kNodeRestart, "node_restart"},
+    {EventKind::kLinkDown, "link_down"},
+    {EventKind::kLinkUp, "link_up"},
+    {EventKind::kLinkOutage, "link_outage"},
+    {EventKind::kLinkLoss, "link_loss"},
+    {EventKind::kBurstLoss, "burst_loss"},
+    {EventKind::kClearBurstLoss, "clear_burst_loss"},
+    {EventKind::kClockDrift, "clock_drift"},
+    {EventKind::kTrafficBurst, "traffic_burst"},
+};
+
+struct NodeName {
+  net::NodeId id;
+  const char* name;
+};
+
+constexpr NodeName kNodeNames[] = {
+    {testbed::TestbedIds::kGateway, "gateway"},
+    {testbed::TestbedIds::kSensor, "sensor"},
+    {testbed::TestbedIds::kCtrlA, "ctrl_a"},
+    {testbed::TestbedIds::kCtrlB, "ctrl_b"},
+    {testbed::TestbedIds::kCtrlC, "ctrl_c"},
+    {testbed::TestbedIds::kActuator, "actuator"},
+};
+
+std::string known_kinds() {
+  std::string out;
+  for (const auto& [kind, name] : kKindNames) {
+    (void)kind;
+    if (!out.empty()) out += ", ";
+    out += name;
+  }
+  return out;
+}
+
+Status missing(const std::string& what, const char* kind) {
+  return Status::invalid_argument("event '" + std::string(kind) +
+                                  "' requires field '" + what + "'");
+}
+
+/// Fetch a required node field from an event object.
+Result<net::NodeId> event_node(const Json& event, const char* field,
+                               const char* kind) {
+  const Json* ref = event.find(field);
+  if (ref == nullptr) return missing(field, kind);
+  return parse_node(*ref);
+}
+
+/// Optional spec-level numeric: absent keeps `out`, present must be an
+/// actual number — a quoted "15" must fail loudly, not fall back to a
+/// default that silently changes the experiment.
+Status read_number(const Json& obj, const char* key, double& out) {
+  const Json* v = obj.find(key);
+  if (v == nullptr) return Status::ok();
+  if (!v->is_number()) {
+    // Built up incrementally: GCC 12's -Wrestrict false-positives on
+    // "lit" + std::string(x) chains at -O2.
+    std::string message = "'";
+    message += key;
+    message += "' must be a number";
+    return Status::invalid_argument(std::move(message));
+  }
+  out = v->as_double();
+  return Status::ok();
+}
+
+/// Required numeric event field: absent or wrong-typed (e.g. a quoted
+/// number) is an error, never a silent 0.0.
+Result<double> require_number(const Json& event, const char* key,
+                              const char* kind) {
+  const Json* v = event.find(key);
+  if (v == nullptr) return missing(key, kind);
+  if (!v->is_number()) {
+    return Status::invalid_argument("event '" + std::string(kind) +
+                                    "' field '" + key + "' must be a number");
+  }
+  return v->as_double();
+}
+
+/// Optional Gilbert-Elliott probability: present values must be numeric and
+/// in [0, 1] (catches the lost-decimal-point typo class link_loss rejects).
+Status read_probability(const Json& event, const char* key, const char* kind,
+                        double& out) {
+  const Json* v = event.find(key);
+  if (v == nullptr) return Status::ok();
+  if (!v->is_number() || v->as_double() < 0.0 || v->as_double() > 1.0) {
+    return Status::invalid_argument("event '" + std::string(kind) +
+                                    "' field '" + key +
+                                    "' must be a number in [0, 1]");
+  }
+  out = v->as_double();
+  return Status::ok();
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  for (const auto& [k, name] : kKindNames) {
+    if (k == kind) return name;
+  }
+  return "unknown";
+}
+
+const char* node_name(net::NodeId id) {
+  for (const auto& [node, name] : kNodeNames) {
+    if (node == id) return name;
+  }
+  return "unknown";
+}
+
+Result<net::NodeId> parse_node(const Json& json) {
+  if (json.is_number()) {
+    const std::int64_t id = json.as_int();
+    for (const auto& [node, name] : kNodeNames) {
+      (void)name;
+      if (node == id) return node;
+    }
+    return Status::invalid_argument("unknown node id " + std::to_string(id) +
+                                    " (testbed nodes are 1..6)");
+  }
+  if (json.is_string()) {
+    for (const auto& [node, name] : kNodeNames) {
+      if (json.as_string() == name) return node;
+    }
+    return Status::invalid_argument(
+        "unknown node '" + json.as_string() +
+        "' (expected gateway, sensor, ctrl_a, ctrl_b, ctrl_c or actuator)");
+  }
+  return Status::invalid_argument("node reference must be a name or an id");
+}
+
+double ScenarioSpec::first_fault_s() const {
+  double first = -1.0;
+  for (const auto& e : events) {
+    if (e.kind != EventKind::kPrimaryFault && e.kind != EventKind::kNodeCrash)
+      continue;
+    if (first < 0.0 || e.at_s < first) first = e.at_s;
+  }
+  return first;
+}
+
+Result<ScenarioSpec> ScenarioSpec::from_json(const Json& json) {
+  if (!json.is_object()) {
+    return Status::invalid_argument("scenario spec must be a JSON object");
+  }
+  ScenarioSpec spec;
+  const Json* name = json.find("name");
+  if (name == nullptr || !name->is_string() || name->as_string().empty()) {
+    return Status::invalid_argument("spec requires a non-empty string 'name'");
+  }
+  spec.name = name->as_string();
+  if (const Json* d = json.find("description")) spec.description = d->as_string();
+
+  if (Status s = read_number(json, "horizon_s", spec.horizon_s); !s) return s;
+  if (!(spec.horizon_s > 0.0)) {
+    return Status::invalid_argument("'horizon_s' must be positive");
+  }
+
+  if (const Json* tb = json.find("testbed")) {
+    if (!tb->is_object()) {
+      return Status::invalid_argument("'testbed' must be an object");
+    }
+    auto& cfg = spec.testbed;
+    double control_period_ms = cfg.control_period.to_seconds() * 1e3;
+    if (Status s = read_number(*tb, "control_period_ms", control_period_ms); !s) return s;
+    cfg.control_period = util::Duration::from_seconds(control_period_ms / 1e3);
+    if (!cfg.control_period.is_positive()) {
+      return Status::invalid_argument("'control_period_ms' must be positive");
+    }
+    if (const Json* v = tb->find("evidence_threshold")) {
+      const std::int64_t threshold = v->is_number() ? v->as_int() : -1;
+      if (threshold < 1) {
+        return Status::invalid_argument("'evidence_threshold' must be a number >= 1");
+      }
+      cfg.evidence_threshold = static_cast<std::uint32_t>(threshold);
+    }
+    double dormant_delay_s = cfg.dormant_delay.to_seconds();
+    if (Status s = read_number(*tb, "dormant_delay_s", dormant_delay_s); !s) return s;
+    cfg.dormant_delay = util::Duration::from_seconds(dormant_delay_s);
+    if (cfg.dormant_delay < util::Duration::zero()) {
+      return Status::invalid_argument("'dormant_delay_s' must be >= 0");
+    }
+    if (Status s = read_number(*tb, "level_setpoint", cfg.level_setpoint); !s) return s;
+    if (const Json* v = tb->find("third_controller")) {
+      if (!v->is_bool()) {
+        return Status::invalid_argument("'third_controller' must be a boolean");
+      }
+      cfg.third_controller = v->as_bool();
+    }
+    if (Status s = read_number(*tb, "link_loss", cfg.link_loss); !s) return s;
+    if (cfg.link_loss < 0.0 || cfg.link_loss >= 1.0) {
+      return Status::invalid_argument("'link_loss' must be in [0, 1)");
+    }
+  }
+
+  if (const Json* record = json.find("record")) {
+    if (!record->is_array()) {
+      return Status::invalid_argument("'record' must be an array of variable names");
+    }
+    for (const Json& entry : record->elements()) {
+      if (!entry.is_string()) {
+        return Status::invalid_argument("'record' entries must be strings");
+      }
+      spec.record.push_back(entry.as_string());
+    }
+  }
+
+  if (const Json* churn = json.find("churn")) {
+    if (!churn->is_object()) {
+      return Status::invalid_argument("'churn' must be an object");
+    }
+    spec.churn.enabled = true;
+    if (Status s = read_number(*churn, "outages_per_minute",
+                               spec.churn.outages_per_minute); !s) return s;
+    if (Status s = read_number(*churn, "outage_s", spec.churn.outage_s); !s) return s;
+    if (Status s = read_number(*churn, "start_s", spec.churn.start_s); !s) return s;
+    if (Status s = read_number(*churn, "end_margin_s", spec.churn.end_margin_s); !s) return s;
+    if (const Json* salt = churn->find("rng_salt")) {
+      if (!salt->is_number()) {
+        return Status::invalid_argument("'rng_salt' must be a number");
+      }
+      spec.churn.rng_salt = static_cast<std::uint64_t>(salt->as_int());
+    }
+    if (spec.churn.outages_per_minute < 0.0 || spec.churn.outage_s <= 0.0) {
+      return Status::invalid_argument("churn rates must be non-negative, outage_s positive");
+    }
+    // Negative window edges would schedule outages in the simulator's past.
+    if (spec.churn.start_s < 0.0 || spec.churn.end_margin_s < 0.0) {
+      return Status::invalid_argument("churn 'start_s' and 'end_margin_s' must be >= 0");
+    }
+  }
+
+  const Json* events = json.find("events");
+  if (events != nullptr && !events->is_array()) {
+    return Status::invalid_argument("'events' must be an array");
+  }
+  if (events != nullptr) {
+    for (std::size_t i = 0; i < events->size(); ++i) {
+      const Json& entry = events->at(i);
+      auto parsed = [&]() -> Result<FaultEvent> {
+        if (!entry.is_object()) {
+          return Status::invalid_argument("event must be an object");
+        }
+        const Json* verb = entry.find("do");
+        if (verb == nullptr || !verb->is_string()) {
+          return Status::invalid_argument("event requires a string 'do' field");
+        }
+        FaultEvent e;
+        bool known = false;
+        for (const auto& [kind, kind_name] : kKindNames) {
+          if (verb->as_string() == kind_name) {
+            e.kind = kind;
+            known = true;
+            break;
+          }
+        }
+        if (!known) {
+          return Status::invalid_argument("unknown event '" + verb->as_string() +
+                                          "' (known: " + known_kinds() + ")");
+        }
+        const char* kind_name = to_string(e.kind);
+        auto at_s = require_number(entry, "at_s", kind_name);
+        if (!at_s) return at_s.status();
+        e.at_s = *at_s;
+        if (e.at_s < 0.0) {
+          return Status::invalid_argument("'at_s' must be >= 0");
+        }
+
+        switch (e.kind) {
+          case EventKind::kPrimaryFault: {
+            auto value = require_number(entry, "value", kind_name);
+            if (!value) return value.status();
+            e.value = *value;
+            break;
+          }
+          case EventKind::kClearPrimaryFault:
+            break;
+          case EventKind::kNodeCrash:
+          case EventKind::kNodeRestart: {
+            auto node = event_node(entry, "node", kind_name);
+            if (!node) return node.status();
+            e.node = *node;
+            break;
+          }
+          case EventKind::kLinkDown:
+          case EventKind::kLinkUp:
+          case EventKind::kLinkOutage:
+          case EventKind::kLinkLoss:
+          case EventKind::kBurstLoss:
+          case EventKind::kClearBurstLoss: {
+            auto a = event_node(entry, "a", kind_name);
+            if (!a) return a.status();
+            auto b = event_node(entry, "b", kind_name);
+            if (!b) return b.status();
+            e.a = *a;
+            e.b = *b;
+            if (e.a == e.b) {
+              return Status::invalid_argument("link event endpoints must differ");
+            }
+            if (e.kind == EventKind::kLinkOutage) {
+              auto duration = require_number(entry, "duration_s", kind_name);
+              if (!duration) return duration.status();
+              e.duration_s = *duration;
+              if (e.duration_s <= 0.0) {
+                return Status::invalid_argument("'duration_s' must be positive");
+              }
+            }
+            if (e.kind == EventKind::kLinkLoss) {
+              auto loss = require_number(entry, "loss", kind_name);
+              if (!loss) return loss.status();
+              e.value = *loss;
+              if (e.value < 0.0 || e.value > 1.0) {
+                return Status::invalid_argument("'loss' must be in [0, 1]");
+              }
+            }
+            if (e.kind == EventKind::kBurstLoss) {
+              for (auto [key, field] :
+                   {std::pair{"p_good_loss", &e.burst.p_good_loss},
+                    std::pair{"p_bad_loss", &e.burst.p_bad_loss},
+                    std::pair{"p_good_to_bad", &e.burst.p_good_to_bad},
+                    std::pair{"p_bad_to_good", &e.burst.p_bad_to_good}}) {
+                Status status = read_probability(entry, key, kind_name, *field);
+                if (!status) return status;
+              }
+            }
+            break;
+          }
+          case EventKind::kClockDrift: {
+            auto node = event_node(entry, "node", kind_name);
+            if (!node) return node.status();
+            e.node = *node;
+            auto ppm = require_number(entry, "ppm", kind_name);
+            if (!ppm) return ppm.status();
+            e.value = *ppm;
+            break;
+          }
+          case EventKind::kTrafficBurst: {
+            auto node = event_node(entry, "node", kind_name);
+            if (!node) return node.status();
+            e.node = *node;
+            auto count = require_number(entry, "count", kind_name);
+            if (!count) return count.status();
+            e.count = static_cast<int>(*count);
+            auto interval = require_number(entry, "interval_ms", kind_name);
+            if (!interval) return interval.status();
+            e.interval_ms = *interval;
+            if (e.count <= 0) {
+              return Status::invalid_argument("'count' must be >= 1");
+            }
+            if (e.interval_ms <= 0.0) {
+              return Status::invalid_argument("'interval_ms' must be positive");
+            }
+            break;
+          }
+        }
+        return e;
+      }();
+      if (!parsed) {
+        return Status::invalid_argument("events[" + std::to_string(i) +
+                                        "]: " + parsed.status().message());
+      }
+      spec.events.push_back(*parsed);
+    }
+  }
+
+  // Events referencing Ctrl-C need the third replica instantiated in the VC.
+  if (!spec.testbed.third_controller) {
+    for (const auto& e : spec.events) {
+      if (e.node == testbed::TestbedIds::kCtrlC ||
+          e.a == testbed::TestbedIds::kCtrlC ||
+          e.b == testbed::TestbedIds::kCtrlC) {
+        return Status::invalid_argument(
+            "event references ctrl_c but testbed.third_controller is false");
+      }
+    }
+  }
+  return spec;
+}
+
+Result<ScenarioSpec> ScenarioSpec::load_file(const std::string& path) {
+  auto json = util::load_json_file(path);
+  if (!json) return json.status();
+  auto spec = from_json(*json);
+  if (!spec) {
+    return Status::invalid_argument(path + ": " + spec.status().message());
+  }
+  return spec;
+}
+
+Json ScenarioSpec::to_json() const {
+  Json root = Json::object();
+  root.set("name", name);
+  if (!description.empty()) root.set("description", description);
+  root.set("horizon_s", horizon_s);
+
+  Json tb = Json::object();
+  tb.set("control_period_ms", testbed.control_period.to_seconds() * 1e3);
+  tb.set("evidence_threshold", static_cast<std::int64_t>(testbed.evidence_threshold));
+  tb.set("dormant_delay_s", testbed.dormant_delay.to_seconds());
+  tb.set("level_setpoint", testbed.level_setpoint);
+  tb.set("third_controller", testbed.third_controller);
+  tb.set("link_loss", testbed.link_loss);
+  root.set("testbed", std::move(tb));
+
+  if (!record.empty()) {
+    Json rec = Json::array();
+    for (const auto& variable : record) rec.push(variable);
+    root.set("record", std::move(rec));
+  }
+
+  if (churn.enabled) {
+    Json c = Json::object();
+    c.set("outages_per_minute", churn.outages_per_minute);
+    c.set("outage_s", churn.outage_s);
+    c.set("start_s", churn.start_s);
+    c.set("end_margin_s", churn.end_margin_s);
+    c.set("rng_salt", static_cast<std::int64_t>(churn.rng_salt));
+    root.set("churn", std::move(c));
+  }
+
+  Json list = Json::array();
+  for (const auto& e : events) {
+    Json entry = Json::object();
+    entry.set("at_s", e.at_s);
+    entry.set("do", to_string(e.kind));
+    switch (e.kind) {
+      case EventKind::kPrimaryFault:
+        entry.set("value", e.value);
+        break;
+      case EventKind::kClearPrimaryFault:
+        break;
+      case EventKind::kNodeCrash:
+      case EventKind::kNodeRestart:
+        entry.set("node", node_name(e.node));
+        break;
+      case EventKind::kLinkDown:
+      case EventKind::kLinkUp:
+      case EventKind::kLinkOutage:
+      case EventKind::kLinkLoss:
+      case EventKind::kBurstLoss:
+      case EventKind::kClearBurstLoss:
+        entry.set("a", node_name(e.a));
+        entry.set("b", node_name(e.b));
+        if (e.kind == EventKind::kLinkOutage) entry.set("duration_s", e.duration_s);
+        if (e.kind == EventKind::kLinkLoss) entry.set("loss", e.value);
+        if (e.kind == EventKind::kBurstLoss) {
+          entry.set("p_good_loss", e.burst.p_good_loss);
+          entry.set("p_bad_loss", e.burst.p_bad_loss);
+          entry.set("p_good_to_bad", e.burst.p_good_to_bad);
+          entry.set("p_bad_to_good", e.burst.p_bad_to_good);
+        }
+        break;
+      case EventKind::kClockDrift:
+        entry.set("node", node_name(e.node));
+        entry.set("ppm", e.value);
+        break;
+      case EventKind::kTrafficBurst:
+        entry.set("node", node_name(e.node));
+        entry.set("count", e.count);
+        entry.set("interval_ms", e.interval_ms);
+        break;
+    }
+    list.push(std::move(entry));
+  }
+  root.set("events", std::move(list));
+  return root;
+}
+
+}  // namespace evm::scenario

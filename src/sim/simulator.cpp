@@ -24,17 +24,14 @@ EventHandle Simulator::schedule_after(Duration delay, std::function<void()> fn) 
 
 void Simulator::cancel(EventHandle handle) {
   if (!handle.valid()) return;
-  cancelled_.push_back(handle.id());
-  ++cancelled_pending_;
+  if (cancelled_.insert(handle.id()).second) ++cancelled_pending_;
 }
 
 bool Simulator::pop_next(Event& out) {
   while (!queue_.empty()) {
     // const_cast is safe: we immediately pop and never re-inspect the slot.
     Event& top = const_cast<Event&>(queue_.top());
-    const auto it = std::find(cancelled_.begin(), cancelled_.end(), top.id);
-    if (it != cancelled_.end()) {
-      cancelled_.erase(it);
+    if (cancelled_.erase(top.id) > 0) {
       --cancelled_pending_;
       queue_.pop();
       continue;

@@ -7,6 +7,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "util/rng.hpp"
@@ -79,7 +80,11 @@ class Simulator {
   TimePoint now_;
   util::Rng rng_;
   std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  std::vector<std::uint64_t> cancelled_;  // sorted insertion not needed; small
+  /// Cancelled-but-not-yet-popped event ids. A hash set keeps cancellation
+  /// and the per-pop membership test O(1); heavy-churn scenarios cancel
+  /// thousands of retry timers, which made the previous linear scan of a
+  /// vector quadratic overall.
+  std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t next_sequence_ = 1;
   std::uint64_t next_id_ = 1;
   std::size_t dispatched_ = 0;

@@ -86,6 +86,41 @@ void Trace::print_table(std::ostream& os, util::Duration step) const {
   }
 }
 
+void Trace::to_csv(std::ostream& os) const {
+  os << "series,time_s,value\n";
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os << std::setprecision(9);
+  os.unsetf(std::ios::floatfield);
+  for (const auto& [name, s] : series_) {
+    for (const auto& [t, v] : s.samples) {
+      os << name << ',' << t.to_seconds() << ',' << v << '\n';
+    }
+  }
+  os.flags(flags);
+  os.precision(precision);
+}
+
+util::Json Trace::to_json() const {
+  util::Json list = util::Json::array();
+  for (const auto& [name, s] : series_) {
+    util::Json times = util::Json::array();
+    util::Json values = util::Json::array();
+    for (const auto& [t, v] : s.samples) {
+      times.push(t.to_seconds());
+      values.push(v);
+    }
+    util::Json entry = util::Json::object();
+    entry.set("name", name);
+    entry.set("times_s", std::move(times));
+    entry.set("values", std::move(values));
+    list.push(std::move(entry));
+  }
+  util::Json root = util::Json::object();
+  root.set("series", std::move(list));
+  return root;
+}
+
 void Trace::clear() { series_.clear(); }
 
 }  // namespace evm::sim

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
 #include "util/time.hpp"
 
 namespace evm::sim {
@@ -33,6 +34,14 @@ class Trace {
 
   /// Print all series resampled onto a shared time grid, one row per step.
   void print_table(std::ostream& os, util::Duration step) const;
+
+  /// Long-format CSV of the raw samples: `series,time_s,value`, one row per
+  /// sample, series in name order. No resampling, so offline plotting sees
+  /// exactly what was recorded.
+  void to_csv(std::ostream& os) const;
+
+  /// JSON export: {"series": [{"name", "times_s": [...], "values": [...]}]}.
+  util::Json to_json() const;
 
   void clear();
 

@@ -7,6 +7,19 @@
 
 namespace evm::util {
 
+Json to_json(const SummaryStats& stats, const std::string& unit) {
+  Json j = Json::object();
+  j.set("unit", unit);
+  j.set("count", stats.count);
+  j.set("min", stats.min);
+  j.set("mean", stats.mean);
+  j.set("p50", stats.p50);
+  j.set("p90", stats.p90);
+  j.set("p99", stats.p99);
+  j.set("max", stats.max);
+  return j;
+}
+
 std::vector<double> Samples::sorted() const {
   std::vector<double> v = values_;
   std::sort(v.begin(), v.end());

@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "util/json.hpp"
+
 namespace evm::util {
 
 /// One-pass percentile summary of a sample set (see Samples::summarize).
@@ -14,6 +16,11 @@ struct SummaryStats {
   double min = 0, mean = 0, stddev = 0;
   double p50 = 0, p90 = 0, p99 = 0, max = 0;
 };
+
+/// Percentile summary as a JSON object — the shared shape for bench and
+/// campaign reports: {"unit", "count", "min", "mean", "p50", "p90", "p99",
+/// "max"}.
+Json to_json(const SummaryStats& stats, const std::string& unit);
 
 /// Accumulates samples; summary statistics computed on demand.
 class Samples {

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "util/json.hpp"
+
+namespace evm::util {
+namespace {
+
+TEST(JsonParse, Scalars) {
+  EXPECT_TRUE(Json::parse("null")->is_null());
+  EXPECT_TRUE(Json::parse("true")->as_bool());
+  EXPECT_FALSE(Json::parse("false")->as_bool(true));
+  EXPECT_DOUBLE_EQ(Json::parse("42")->as_double(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5e2")->as_double(), -350.0);
+  EXPECT_EQ(Json::parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParse, ObjectAndArray) {
+  auto parsed = Json::parse(R"({"a": [1, 2, 3], "b": {"c": "x"}, "d": null})");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  const Json& root = *parsed;
+  ASSERT_TRUE(root.is_object());
+  const Json* a = root.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  EXPECT_EQ(a->size(), 3u);
+  EXPECT_DOUBLE_EQ(a->at(1).as_double(), 2.0);
+  EXPECT_TRUE(a->at(99).is_null());  // out of range -> null sentinel
+  const Json* b = root.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->find("c")->as_string(), "x");
+  EXPECT_TRUE(root.find("d")->is_null());
+  EXPECT_EQ(root.find("missing"), nullptr);
+}
+
+TEST(JsonParse, StringEscapes) {
+  auto parsed = Json::parse(R"("line\n\ttab \"q\" \\ \u0041 \u00e9")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "line\n\ttab \"q\" \\ A \xc3\xa9");
+}
+
+TEST(JsonParse, SurrogatePair) {
+  auto parsed = Json::parse(R"("\ud83d\ude00")");  // U+1F600
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->as_string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonParse, Whitespace) {
+  auto parsed = Json::parse(" \n\t{ \"k\" :\r [ ] } \n");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_TRUE(parsed->find("k")->is_array());
+}
+
+TEST(JsonParse, ErrorsCarryByteOffsets) {
+  const char* bad[] = {
+      "",            // empty
+      "{",           // unterminated object
+      "[1, 2",       // unterminated array
+      "{\"a\" 1}",   // missing colon
+      "{\"a\": 1,}", // trailing comma -> expected key
+      "tru",         // bad literal
+      "\"abc",       // unterminated string
+      "1 2",         // trailing garbage
+      "{\"a\": 1} x",
+      "nan",
+      "\"\\q\"",     // unknown escape
+  };
+  for (const char* text : bad) {
+    auto parsed = Json::parse(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    EXPECT_NE(parsed.status().message().find("byte"), std::string::npos);
+  }
+}
+
+TEST(JsonParse, DeepNestingRejected) {
+  std::string text(200, '[');
+  auto parsed = Json::parse(text);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(JsonRoundTrip, DumpThenParse) {
+  Json root = Json::object();
+  root.set("name", "scenario \"x\"\n");
+  root.set("count", 3);
+  root.set("ratio", 0.25);
+  root.set("flag", true);
+  root.set("nothing", Json());
+  Json list = Json::array();
+  list.push(1).push("two").push(Json::object().set("k", false));
+  root.set("list", std::move(list));
+
+  auto parsed = Json::parse(root.dump());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().to_string();
+  EXPECT_EQ(parsed->dump(), root.dump());
+  EXPECT_EQ(parsed->find("name")->as_string(), "scenario \"x\"\n");
+  EXPECT_EQ(parsed->find("list")->at(2).find("k")->as_bool(true), false);
+}
+
+TEST(JsonRoundTrip, InsertionOrderPreserved) {
+  auto parsed = Json::parse(R"({"z": 1, "a": 2, "m": 3})");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->members().size(), 3u);
+  EXPECT_EQ(parsed->members()[0].first, "z");
+  EXPECT_EQ(parsed->members()[1].first, "a");
+  EXPECT_EQ(parsed->members()[2].first, "m");
+}
+
+TEST(JsonFile, LoadMissingFileIsNotFound) {
+  auto loaded = load_json_file("/nonexistent/path.json");
+  EXPECT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kNotFound);
+}
+
+TEST(JsonFile, LoadRoundTrip) {
+  const std::string path = ::testing::TempDir() + "evm_json_test.json";
+  {
+    std::ofstream out(path);
+    out << R"({"answer": 42})";
+  }
+  auto loaded = load_json_file(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().to_string();
+  EXPECT_EQ(loaded->find("answer")->as_int(), 42);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace evm::util

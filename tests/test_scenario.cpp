@@ -1,0 +1,286 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "scenario/campaign.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+
+namespace evm::scenario {
+namespace {
+
+util::Result<ScenarioSpec> parse(const std::string& text) {
+  auto json = util::Json::parse(text);
+  if (!json) return json.status();
+  return ScenarioSpec::from_json(*json);
+}
+
+// A fast failover scenario shared by several tests: compressed evidence
+// window, fault at t=10s, 60s horizon.
+const char* kFailoverSpec = R"({
+  "name": "test-failover",
+  "horizon_s": 60,
+  "testbed": {"evidence_threshold": 8, "dormant_delay_s": 5, "link_loss": 0.05},
+  "events": [{"at_s": 10, "do": "primary_fault", "value": 75.0}]
+})";
+
+TEST(ScenarioSpec, ParsesMinimalSpec) {
+  auto spec = parse(R"({"name": "s"})");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->name, "s");
+  EXPECT_TRUE(spec->events.empty());
+  EXPECT_FALSE(spec->churn.enabled);
+  EXPECT_DOUBLE_EQ(spec->first_fault_s(), -1.0);
+}
+
+TEST(ScenarioSpec, ParsesFullSchedule) {
+  auto spec = parse(R"({
+    "name": "full",
+    "horizon_s": 90,
+    "testbed": {"control_period_ms": 200, "evidence_threshold": 4,
+                "dormant_delay_s": 7.5, "level_setpoint": 55,
+                "third_controller": true, "link_loss": 0.1},
+    "record": ["TowerFeed.MolarFlow"],
+    "churn": {"outages_per_minute": 10, "outage_s": 2},
+    "events": [
+      {"at_s": 5, "do": "link_down", "a": "gateway", "b": "sensor"},
+      {"at_s": 6, "do": "link_up", "a": 1, "b": 2},
+      {"at_s": 7, "do": "link_outage", "a": "ctrl_a", "b": "ctrl_c", "duration_s": 3},
+      {"at_s": 8, "do": "link_loss", "a": "sensor", "b": "ctrl_b", "loss": 0.4},
+      {"at_s": 9, "do": "burst_loss", "a": "sensor", "b": "ctrl_a", "p_bad_loss": 0.9},
+      {"at_s": 10, "do": "clear_burst_loss", "a": "sensor", "b": "ctrl_a"},
+      {"at_s": 11, "do": "node_crash", "node": "ctrl_b"},
+      {"at_s": 12, "do": "node_restart", "node": "ctrl_b"},
+      {"at_s": 13, "do": "clock_drift", "node": "actuator", "ppm": 55},
+      {"at_s": 14, "do": "traffic_burst", "node": "sensor", "count": 5, "interval_ms": 10},
+      {"at_s": 15, "do": "primary_fault", "value": 80},
+      {"at_s": 16, "do": "clear_primary_fault"}
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->events.size(), 12u);
+  EXPECT_EQ(spec->testbed.control_period.ms(), 200);
+  EXPECT_TRUE(spec->testbed.third_controller);
+  EXPECT_TRUE(spec->churn.enabled);
+  // node_crash at 11s precedes the primary fault at 15s.
+  EXPECT_DOUBLE_EQ(spec->first_fault_s(), 11.0);
+  EXPECT_DOUBLE_EQ(spec->events[2].duration_s, 3.0);
+  EXPECT_DOUBLE_EQ(spec->events[4].burst.p_bad_loss, 0.9);
+}
+
+TEST(ScenarioSpec, RejectsMalformedSpecs) {
+  const char* bad[] = {
+      R"({"horizon_s": 10})",                                         // no name
+      R"({"name": "x", "horizon_s": -1})",                            // bad horizon
+      R"({"name": "x", "events": [{"at_s": 1, "do": "explode"}]})",   // unknown kind
+      R"({"name": "x", "events": [{"do": "primary_fault", "value": 1}]})",  // no at_s
+      R"({"name": "x", "events": [{"at_s": 1, "do": "primary_fault"}]})",   // no value
+      R"({"name": "x", "events": [{"at_s": 1, "do": "node_crash"}]})",      // no node
+      R"({"name": "x", "events": [{"at_s": 1, "do": "node_crash", "node": "nobody"}]})",
+      R"({"name": "x", "events": [{"at_s": 1, "do": "link_down", "a": "sensor", "b": "sensor"}]})",
+      R"({"name": "x", "events": [{"at_s": 1, "do": "link_loss", "a": "sensor", "b": "ctrl_a", "loss": 2}]})",
+      R"({"name": "x", "events": [{"at_s": 1, "do": "node_crash", "node": "ctrl_c"}]})",  // no 3rd ctrl
+      R"({"name": "x", "testbed": {"evidence_threshold": 0}})",
+      R"({"name": "x", "testbed": {"dormant_delay_s": -1}})",
+      R"({"name": "x", "churn": {"outages_per_minute": 10, "start_s": -20}})",
+      R"({"name": "x", "churn": {"outages_per_minute": 10, "end_margin_s": -5}})",
+      R"({"name": "x", "record": [7]})",
+      // Wrong-typed numerics must be rejected, never silently 0.0.
+      R"({"name": "x", "events": [{"at_s": 1, "do": "primary_fault", "value": "75.0"}]})",
+      R"({"name": "x", "events": [{"at_s": "1", "do": "clear_primary_fault"}]})",
+      R"({"name": "x", "events": [{"at_s": 1, "do": "clock_drift", "node": "sensor", "ppm": "80"}]})",
+      R"({"name": "x", "events": [{"at_s": 1, "do": "burst_loss", "a": "sensor", "b": "ctrl_a", "p_bad_to_good": 25}]})",
+      R"({"name": "x", "events": [{"at_s": 1, "do": "burst_loss", "a": "sensor", "b": "ctrl_a", "p_bad_loss": "0.8"}]})",
+      R"({"name": "x", "horizon_s": "120"})",
+      R"({"name": "x", "testbed": {"link_loss": "0.5"}})",
+      R"({"name": "x", "testbed": {"third_controller": "true"}})",
+      R"({"name": "x", "churn": {"outages_per_minute": "15"}})",
+      R"({"name": "x", "events": [{"at_s": 1, "do": "link_outage", "a": "sensor", "b": "ctrl_a", "duration_s": "3"}]})",
+      R"({"name": "x", "events": [{"at_s": 1, "do": "traffic_burst", "node": "sensor", "count": "5", "interval_ms": 10}]})",
+  };
+  for (const char* text : bad) {
+    auto spec = parse(text);
+    EXPECT_FALSE(spec.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(ScenarioSpec, JsonRoundTripIsStable) {
+  auto spec = parse(kFailoverSpec);
+  ASSERT_TRUE(spec.ok());
+  auto reparsed = ScenarioSpec::from_json(spec->to_json());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed->to_json().dump(), spec->to_json().dump());
+}
+
+TEST(ScenarioRunner, BaselineHoldsLevelWithoutFailover) {
+  auto spec = parse(R"({
+    "name": "test-baseline",
+    "horizon_s": 30,
+    "testbed": {"evidence_threshold": 8, "link_loss": 0.01}
+  })");
+  ASSERT_TRUE(spec.ok());
+  ScenarioRunner runner(*spec, 1);
+  const RunMetrics m = runner.run();
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_EQ(m.failover_count, 0u);
+  EXPECT_FALSE(m.backup_active);
+  EXPECT_EQ(m.ctrl_a_mode, "Active");
+  EXPECT_LT(m.level_rmse_pct, 1.0);
+  EXPECT_GT(m.packets_delivered, 0u);
+  EXPECT_GT(m.task_releases, 0u);
+}
+
+TEST(ScenarioRunner, PrimaryFaultTriggersFailover) {
+  auto spec = parse(kFailoverSpec);
+  ASSERT_TRUE(spec.ok());
+  ScenarioRunner runner(*spec, 3);
+  const RunMetrics m = runner.run();
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_DOUBLE_EQ(m.fault_injected_s, 10.0);
+  EXPECT_GE(m.failover_count, 1u);
+  EXPECT_GT(m.failover_latency_s, 0.0);
+  EXPECT_LT(m.failover_latency_s, 30.0);
+  EXPECT_TRUE(m.backup_active);
+  EXPECT_EQ(m.ctrl_b_mode, "Active");
+}
+
+TEST(ScenarioRunner, NodeCrashIsDetectedAsSilence) {
+  auto spec = parse(R"({
+    "name": "test-crash",
+    "horizon_s": 60,
+    "testbed": {"evidence_threshold": 8, "dormant_delay_s": 5},
+    "events": [{"at_s": 10, "do": "node_crash", "node": "ctrl_a"}]
+  })");
+  ASSERT_TRUE(spec.ok());
+  ScenarioRunner runner(*spec, 2);
+  const RunMetrics m = runner.run();
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_GE(m.failover_count, 1u);
+  EXPECT_TRUE(m.backup_active);
+}
+
+TEST(ScenarioRunner, SameSeedIsByteIdentical) {
+  auto spec = parse(kFailoverSpec);
+  ASSERT_TRUE(spec.ok());
+  ScenarioRunner a(*spec, 7), b(*spec, 7);
+  EXPECT_EQ(a.run().to_json().dump(), b.run().to_json().dump());
+}
+
+TEST(ScenarioRunner, DifferentSeedsDiverge) {
+  auto spec = parse(kFailoverSpec);
+  ASSERT_TRUE(spec.ok());
+  ScenarioRunner a(*spec, 1), b(*spec, 2);
+  // Link-loss draws differ, so at minimum the packet counters move.
+  EXPECT_NE(a.run().to_json().dump(), b.run().to_json().dump());
+}
+
+TEST(ScenarioRunner, ChurnIsSeededAndApplied) {
+  auto spec = parse(R"({
+    "name": "test-churn",
+    "horizon_s": 40,
+    "testbed": {"evidence_threshold": 8},
+    "churn": {"outages_per_minute": 30, "outage_s": 2, "start_s": 5, "end_margin_s": 5}
+  })");
+  ASSERT_TRUE(spec.ok());
+  ScenarioRunner a(*spec, 5);
+  const RunMetrics m = a.run();
+  ASSERT_TRUE(m.ok) << m.error;
+  // 30/min over the 30s placement window [5, 35] -> 15 outages -> 30
+  // mutations (down + up).
+  EXPECT_EQ(m.topology_mutations, 30u);
+  ScenarioRunner b(*spec, 5);
+  EXPECT_EQ(b.run().to_json().dump(), m.to_json().dump());
+}
+
+TEST(ScenarioRunner, TraceExportsCsvAndJson) {
+  auto spec = parse(R"({
+    "name": "test-trace",
+    "horizon_s": 20,
+    "record": ["TowerFeed.MolarFlow"]
+  })");
+  ASSERT_TRUE(spec.ok());
+  ScenarioRunner runner(*spec, 1);
+  ASSERT_TRUE(runner.run().ok);
+
+  std::ostringstream csv;
+  runner.trace().to_csv(csv);
+  EXPECT_NE(csv.str().find("series,time_s,value\n"), std::string::npos);
+  EXPECT_NE(csv.str().find("LTS.LiquidPercentLevel,"), std::string::npos);
+  EXPECT_NE(csv.str().find("TowerFeed.MolarFlow,"), std::string::npos);
+
+  const util::Json exported = runner.trace().to_json();
+  const util::Json* series = exported.find("series");
+  ASSERT_NE(series, nullptr);
+  EXPECT_EQ(series->size(), 2u);
+  EXPECT_EQ(series->at(0).find("times_s")->size(),
+            series->at(0).find("values")->size());
+}
+
+TEST(Campaign, ResultIndependentOfJobCount) {
+  auto spec = parse(kFailoverSpec);
+  ASSERT_TRUE(spec.ok());
+  CampaignConfig config;
+  config.base_seed = 1;
+  config.seeds = 4;
+  config.jobs = 1;
+  const util::Json serial =
+      campaign_report(*spec, config, run_campaign(*spec, config));
+  config.jobs = 4;
+  const util::Json parallel =
+      campaign_report(*spec, config, run_campaign(*spec, config));
+  EXPECT_EQ(serial.dump(), parallel.dump());
+}
+
+TEST(Campaign, AggregatesFailoverLatencyPercentiles) {
+  auto spec = parse(kFailoverSpec);
+  ASSERT_TRUE(spec.ok());
+  CampaignConfig config;
+  config.seeds = 4;
+  config.jobs = 2;
+  const CampaignResult result = run_campaign(*spec, config);
+  EXPECT_TRUE(result.all_ok());
+  const util::Json report = campaign_report(*spec, config, result);
+
+  ASSERT_NE(report.find("runs"), nullptr);
+  EXPECT_EQ(report.find("runs")->size(), 4u);
+  const util::Json* aggregate = report.find("aggregate");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_EQ(aggregate->find("runs_ok")->as_int(), 4);
+  const util::Json* latency = aggregate->find("failover_latency_s");
+  ASSERT_NE(latency, nullptr) << "no failovers detected in any seed";
+  for (const char* key : {"p50", "p90", "p99", "mean", "max"}) {
+    ASSERT_NE(latency->find(key), nullptr) << key;
+    EXPECT_GT(latency->find(key)->as_double(), 0.0) << key;
+  }
+  // The spec echo makes reports self-describing.
+  ASSERT_NE(report.find("spec"), nullptr);
+  EXPECT_EQ(report.find("spec")->find("name")->as_string(), "test-failover");
+}
+
+TEST(Campaign, WorkerFailuresAreReportedNotThrown) {
+  // ctrl_c events require the third controller; force a runtime failure by
+  // crafting a spec that parses but cannot run. Easiest deterministic
+  // failure: a horizon so short nothing breaks — instead verify the
+  // error-capture path with an impossible control period that makes task
+  // admission fail inside GasPlantTestbed::start().
+  auto spec = parse(R"({
+    "name": "test-inadmissible",
+    "horizon_s": 10,
+    "testbed": {"control_period_ms": 1}
+  })");
+  ASSERT_TRUE(spec.ok());
+  CampaignConfig config;
+  config.seeds = 2;
+  config.jobs = 2;
+  const CampaignResult result = run_campaign(*spec, config);
+  ASSERT_EQ(result.runs.size(), 2u);
+  for (const auto& run : result.runs) {
+    EXPECT_FALSE(run.ok);
+    EXPECT_FALSE(run.error.empty());
+  }
+  const util::Json report = campaign_report(*spec, config, result);
+  EXPECT_EQ(report.find("aggregate")->find("runs_failed")->as_int(), 2);
+}
+
+}  // namespace
+}  // namespace evm::scenario
