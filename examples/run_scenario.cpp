@@ -6,7 +6,7 @@
 //
 // The same spec + seed always produces byte-identical metrics; --jobs only
 // changes wall-clock time.
-#include <cerrno>
+#include <algorithm>
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
@@ -15,11 +15,13 @@
 #include <iostream>
 #include <string>
 
+#include "cli_util.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
 
 using namespace evm;
+using evm::examples::parse_u64;
 
 namespace {
 
@@ -35,21 +37,6 @@ int usage(const char* argv0) {
       << "  --trace-json FILE  dump the base seed's plant trace as JSON\n"
       << "  --print-trace    print the base seed's trace table (20 s grid)\n";
   return 2;
-}
-
-bool parse_u64(const char* s, std::uint64_t& out) {
-  // strtoull silently wraps negatives ("-1" -> 2^64-1); reject anything
-  // that is not a plain decimal digit string.
-  if (*s == '\0') return false;
-  for (const char* p = s; *p != '\0'; ++p) {
-    if (*p < '0' || *p > '9') return false;
-  }
-  char* end = nullptr;
-  errno = 0;
-  const unsigned long long v = std::strtoull(s, &end, 10);
-  if (end == s || *end != '\0' || errno == ERANGE) return false;
-  out = v;
-  return true;
 }
 
 }  // namespace
@@ -108,7 +95,25 @@ int main(int argc, char** argv) {
     std::cerr << "error: " << spec.status().to_string() << "\n";
     return 2;
   }
-  if (horizon_override > 0.0) spec->horizon_s = horizon_override;
+  if (horizon_override > 0.0) {
+    spec->horizon_s = horizon_override;
+    // The runner rejects schedules that extend past the horizon, so a
+    // shortening override must drop the now-unreachable events — loudly,
+    // never silently.
+    std::size_t dropped = 0;
+    auto& events = spec->events;
+    events.erase(std::remove_if(events.begin(), events.end(),
+                                [&](const scenario::FaultEvent& e) {
+                                  const bool out = e.at_s > spec->horizon_s;
+                                  dropped += out ? 1 : 0;
+                                  return out;
+                                }),
+                 events.end());
+    if (dropped > 0) {
+      std::cerr << "warning: --horizon-s " << spec->horizon_s << " dropped "
+                << dropped << " event(s) scheduled past the new horizon\n";
+    }
+  }
 
   std::cout << "=== scenario: " << spec->name << " ===\n";
   if (!spec->description.empty()) std::cout << spec->description << "\n";

@@ -36,38 +36,44 @@ std::size_t CampaignResult::ok_count() const {
   return n;
 }
 
-CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& config) {
-  CampaignResult result;
-  result.runs.resize(config.seeds);
-  if (config.seeds == 0) return result;
-
-  std::size_t jobs = config.jobs;
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
   if (jobs == 0) {
     const unsigned hw = std::thread::hardware_concurrency();
     jobs = hw == 0 ? 1 : hw;
   }
-  jobs = std::min(jobs, config.seeds);
+  jobs = std::min(jobs, count);
 
-  // Work-stealing over the seed index; every run writes only its own slot,
-  // so the result vector is in seed order no matter which worker got there.
+  // Work-stealing over the index; each job writes only into its own slot of
+  // whatever the caller is filling, so results are index-ordered no matter
+  // which worker got there.
   std::atomic<std::size_t> next{0};
   auto worker = [&] {
     for (;;) {
       const std::size_t i = next.fetch_add(1);
-      if (i >= config.seeds) return;
-      ScenarioRunner runner(spec, config.base_seed + i);
-      result.runs[i] = runner.run();
+      if (i >= count) return;
+      fn(i);
     }
   };
 
   if (jobs == 1) {
     worker();
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(jobs);
-    for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
-    for (auto& t : pool) t.join();
+    return;
   }
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
+  for (auto& t : pool) t.join();
+}
+
+CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& config) {
+  CampaignResult result;
+  result.runs.resize(config.seeds);
+  parallel_for(config.seeds, config.jobs, [&](std::size_t i) {
+    ScenarioRunner runner(spec, config.base_seed + i);
+    result.runs[i] = runner.run();
+  });
   return result;
 }
 

@@ -6,6 +6,7 @@
 // worker count.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -15,6 +16,15 @@
 #include "util/status.hpp"
 
 namespace evm::scenario {
+
+/// Run `fn(0) .. fn(count - 1)` on `jobs` worker threads (0 picks
+/// min(count, hardware_concurrency)); work-stealing over the index, so the
+/// job count never affects which indices run, only wall-clock time. `fn`
+/// must be safe to call concurrently from different threads for different
+/// indices. Shared by the campaign engine (one index per seed) and the
+/// scenario fuzzer (one index per generated spec).
+void parallel_for(std::size_t count, std::size_t jobs,
+                  const std::function<void(std::size_t)>& fn);
 
 struct CampaignConfig {
   std::uint64_t base_seed = 1;

@@ -1,0 +1,125 @@
+// Property-based scenario fuzzing. A seeded generator emits random-but-valid
+// ScenarioSpecs — fault schedules drawn from every event kind, bounded by
+// validity rules (a crash of the last live controller always has a restart
+// scheduled, non-controller nodes come back within a bounded gap) so that a
+// violated invariant points at an EVM bug, not at an unsurvivable scenario.
+// Each generated (spec, seed) runs under the InvariantMonitor; on a
+// violation a greedy shrinker minimizes the spec while the violation still
+// reproduces and the minimal repro is written to bench/out/fuzz_failures/.
+// Everything is a pure function of the fuzz seed: two invocations with the
+// same --runs/--seed produce byte-identical reports.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/invariants.hpp"
+#include "scenario/spec.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace evm::scenario {
+
+/// Bounds on what the generator may emit. The caps are validity rules: they
+/// keep generated scenarios inside the envelope the paper claims to survive
+/// (bounded loss, bounded node downtime), so invariant violations are bugs.
+struct GeneratorConfig {
+  double min_horizon_s = 45.0;
+  double max_horizon_s = 75.0;
+  std::size_t max_events = 10;
+  /// Cap on per-link i.i.d. loss events. (Gilbert-Elliott bursts draw their
+  /// bad-state loss from a fixed [0.3, 0.9] — bursts are bounded in *time*
+  /// by clears and the failover-settle window, not in intensity.)
+  double max_link_loss = 0.35;
+  /// Cap on the spec-wide background loss.
+  double max_testbed_loss = 0.15;
+  /// A forced restart (any non-controller node, and every controller crash
+  /// after the first disturbance) lands at most this long after the crash.
+  double max_restart_gap_s = 8.0;
+  /// No controller crash is generated within this long of a possible
+  /// failover trigger: a promotion caught mid-flight with its target down
+  /// strands the loop, which is outside the paper's fault model.
+  double failover_settle_s = 15.0;
+  double churn_probability = 0.3;
+
+  util::Json to_json() const;
+};
+
+/// Generate a random-but-valid spec; a pure function of `run_seed`.
+ScenarioSpec generate_spec(std::uint64_t run_seed, const GeneratorConfig& config);
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;
+  std::size_t runs = 50;
+  /// Worker threads for the campaign pool; 0 picks hardware concurrency.
+  /// Never affects results, only wall-clock time.
+  std::size_t jobs = 0;
+  bool shrink = true;
+  /// Replay every run and flag metric divergence (doubles the work).
+  bool check_determinism = true;
+  /// Budget of extra runs the shrinker may spend per failure.
+  std::size_t max_shrink_runs = 200;
+  GeneratorConfig gen;
+  InvariantConfig invariants;
+};
+
+struct FuzzFailure {
+  std::size_t run_index = 0;
+  std::uint64_t run_seed = 0;
+  ScenarioSpec spec;    // as generated
+  ScenarioSpec shrunk;  // minimized repro (== spec when shrinking is off)
+  std::size_t shrink_runs = 0;
+  /// Violations of the shrunk spec (what the written repro reproduces).
+  std::vector<InvariantViolation> violations;
+  /// The bounds the violation was found under; embedded in the repro so a
+  /// replay checks the same properties, not the defaults.
+  InvariantConfig invariants;
+
+  /// Full repro document: violations + invariant bounds + shrunk spec
+  /// (under "spec") + original spec, replayable via load_repro /
+  /// fuzz_scenarios --replay.
+  util::Json to_json() const;
+};
+
+struct FuzzResult {
+  std::size_t runs = 0;
+  std::vector<FuzzFailure> failures;  // ordered by run_index
+
+  bool ok() const { return failures.empty(); }
+};
+
+FuzzResult run_fuzz(const FuzzConfig& config);
+
+/// Deterministic report: config echo, run count, every failure.
+util::Json fuzz_report(const FuzzConfig& config, const FuzzResult& result);
+
+/// Greedily minimize `spec` while `primary_invariant` still fires for
+/// (spec, seed): drop events, disable churn, zero background loss, tighten
+/// the horizon. Spends at most `max_runs` extra runs.
+ScenarioSpec shrink_spec(const ScenarioSpec& spec, std::uint64_t seed,
+                         const InvariantConfig& config,
+                         const std::string& primary_invariant,
+                         std::size_t max_runs,
+                         std::size_t* runs_used = nullptr);
+
+/// Directory minimized repros land in: <report_dir()>/fuzz_failures.
+std::string failure_dir();
+
+/// Write `<dir>/fuzz_run<index>_seed<seed>.json`; returns the path written.
+util::Result<std::string> write_failure(const FuzzFailure& failure,
+                                        const std::string& dir = failure_dir());
+
+/// A repro loaded back for replay: the (spec, seed) pair to re-run and the
+/// invariant bounds it was found under (defaults for bare spec files).
+struct FuzzRepro {
+  ScenarioSpec spec;
+  std::uint64_t seed = 1;
+  InvariantConfig invariants;
+};
+
+/// Load a repro document written by write_failure. A bare ScenarioSpec file
+/// is also accepted (seed defaults to 1), so promoted scenarios replay too.
+util::Result<FuzzRepro> load_repro(const std::string& path);
+
+}  // namespace evm::scenario

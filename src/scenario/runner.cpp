@@ -5,6 +5,7 @@
 #include <exception>
 
 #include "core/modes.hpp"
+#include "scenario/invariants.hpp"
 #include "util/rng.hpp"
 
 namespace evm::scenario {
@@ -67,6 +68,12 @@ RunMetrics ScenarioRunner::run() {
   RunMetrics metrics;
   metrics.seed = seed_;
   try {
+    if (util::Status valid = spec_.validate(); !valid) {
+      metrics.ok = false;
+      metrics.error = valid.message();
+      if (monitor_ != nullptr) monitor_->on_finish(metrics);
+      return metrics;
+    }
     testbed::GasPlantTestbedConfig config = spec_.testbed;
     config.seed = seed_;
     testbed_ = std::make_unique<testbed::GasPlantTestbed>(config);
@@ -81,6 +88,17 @@ RunMetrics ScenarioRunner::run() {
     schedule_events();
     schedule_churn();
 
+    if (monitor_ != nullptr) {
+      // Stream plant samples into the monitor as the HIL harness records
+      // them, and kick off the periodic liveness probe.
+      testbed_->hil().trace().set_observer(
+          [this](const std::string& series, util::TimePoint t, double value) {
+            if (series == kLevelVariable) monitor_->on_level(t.to_seconds(), value);
+          });
+      const double first = std::min(monitor_->config().probe_period_s, spec_.horizon_s);
+      testbed_->sim().schedule_at(at(first), [this] { probe_once(); });
+    }
+
     testbed_->start();
     testbed_->run_until(util::Duration::from_seconds(spec_.horizon_s));
     metrics = collect();
@@ -90,6 +108,7 @@ RunMetrics ScenarioRunner::run() {
     metrics.ok = false;
     metrics.error = e.what();
   }
+  if (monitor_ != nullptr) monitor_->on_finish(metrics);
   return metrics;
 }
 
@@ -181,6 +200,40 @@ void ScenarioRunner::schedule_churn() {
     while (b == a) b = nodes[rng.next_below(nodes.size())];
     const double at_s = rng.uniform(churn.start_s, window_end);
     script_->outage(at(at_s), a, b, util::Duration::from_seconds(churn.outage_s));
+  }
+}
+
+void ScenarioRunner::probe_once() {
+  auto& tb = *testbed_;
+  InvariantMonitor::ProbeSample sample;
+  // A replica counts toward liveness only when its node is up: a crashed
+  // controller whose service state still reads Active cannot drive the
+  // valve, which is exactly the gap the liveness invariant is after.
+  std::vector<net::NodeId> controllers = {TB::kCtrlA, TB::kCtrlB};
+  if (spec_.testbed.third_controller) controllers.push_back(TB::kCtrlC);
+  for (net::NodeId id : controllers) {
+    if (!tb.node(id).failed() &&
+        tb.service(id).mode(testbed::kLtsLevelLoop) == core::ControllerMode::kActive) {
+      sample.any_live_active = true;
+      break;
+    }
+  }
+  for (net::NodeId id : kAllNodes) {
+    sample.failover_count += tb.service(id).failovers().size();
+    auto& scheduler = tb.node(id).kernel().scheduler();
+    for (rtos::TaskId task : scheduler.task_ids()) {
+      const rtos::Tcb* tcb = scheduler.task(task);
+      if (tcb == nullptr) continue;
+      sample.missed_deadlines += tcb->stats.deadline_misses;
+      sample.task_releases += tcb->stats.releases;
+    }
+  }
+  const double now_s = tb.sim().now().to_seconds();
+  monitor_->on_probe(now_s, sample);
+  const double period = monitor_->config().probe_period_s;
+  if (now_s + period <= spec_.horizon_s) {
+    tb.sim().schedule_after(util::Duration::from_seconds(period),
+                            [this] { probe_once(); });
   }
 }
 

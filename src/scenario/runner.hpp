@@ -14,6 +14,8 @@
 
 namespace evm::scenario {
 
+class InvariantMonitor;
+
 /// Metrics of one (spec, seed) run. Pure function of its inputs: the same
 /// spec and seed always produce a byte-identical `to_json().dump()`.
 struct RunMetrics {
@@ -55,6 +57,14 @@ class ScenarioRunner {
   ScenarioRunner(const ScenarioSpec& spec, std::uint64_t seed);
   ~ScenarioRunner();
 
+  /// Attach a runtime invariant monitor before run(). The runner feeds it
+  /// periodic liveness/counter probes, streams plant samples into it via the
+  /// trace observer, and finalizes it with the collected metrics. The
+  /// monitor must outlive the runner. Monitored runs dispatch extra probe
+  /// events, so their `sim_events` differs from unmonitored runs of the same
+  /// (spec, seed); everything else is identical.
+  void attach_monitor(InvariantMonitor* monitor) { monitor_ = monitor; }
+
   /// Build the testbed, apply the schedule, run to the horizon, collect.
   /// Call once. Never throws: failures land in RunMetrics::error.
   RunMetrics run();
@@ -65,12 +75,14 @@ class ScenarioRunner {
  private:
   void schedule_events();
   void schedule_churn();
+  void probe_once();
   RunMetrics collect();
 
   const ScenarioSpec& spec_;
   std::uint64_t seed_;
   std::unique_ptr<testbed::GasPlantTestbed> testbed_;
   std::unique_ptr<net::TopologyScript> script_;
+  InvariantMonitor* monitor_ = nullptr;
   double fault_injected_s_ = -1.0;
 };
 

@@ -61,12 +61,20 @@ Status missing(const std::string& what, const char* kind) {
                                   "' requires field '" + what + "'");
 }
 
-/// Fetch a required node field from an event object.
+/// Fetch a required node field from an event object. Failures name the
+/// offending key, so "events[3]: event 'node_crash' field 'node': ..." tells
+/// the author exactly what to fix.
 Result<net::NodeId> event_node(const Json& event, const char* field,
                                const char* kind) {
   const Json* ref = event.find(field);
   if (ref == nullptr) return missing(field, kind);
-  return parse_node(*ref);
+  auto node = parse_node(*ref);
+  if (!node) {
+    return Status::invalid_argument("event '" + std::string(kind) +
+                                    "' field '" + field +
+                                    "': " + node.status().message());
+  }
+  return node;
 }
 
 /// Optional spec-level numeric: absent keeps `out`, present must be an
@@ -150,6 +158,19 @@ Result<net::NodeId> parse_node(const Json& json) {
         "' (expected gateway, sensor, ctrl_a, ctrl_b, ctrl_c or actuator)");
   }
   return Status::invalid_argument("node reference must be a name or an id");
+}
+
+util::Status ScenarioSpec::validate() const {
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (e.at_s > horizon_s) {
+      return Status::invalid_argument(
+          "events[" + std::to_string(i) + "]: '" + std::string(to_string(e.kind)) +
+          "' is scheduled at " + std::to_string(e.at_s) +
+          " s, past the " + std::to_string(horizon_s) + " s horizon");
+    }
+  }
+  return Status::ok();
 }
 
 double ScenarioSpec::first_fault_s() const {
@@ -397,6 +418,7 @@ Result<ScenarioSpec> ScenarioSpec::from_json(const Json& json) {
       }
     }
   }
+  if (Status s = spec.validate(); !s) return s;
   return spec;
 }
 

@@ -80,6 +80,13 @@ struct ScenarioSpec {
   /// scenario injects none. Failover latency is measured from here.
   double first_fault_s() const;
 
+  /// Cross-field checks that must hold for the spec to be runnable; today
+  /// that is "every fault event fires within the horizon". from_json calls
+  /// this, and ScenarioRunner re-checks it so specs assembled or re-timed
+  /// programmatically (e.g. a CLI horizon override) cannot silently drop
+  /// scheduled events.
+  util::Status validate() const;
+
   static util::Result<ScenarioSpec> from_json(const util::Json& json);
   static util::Result<ScenarioSpec> load_file(const std::string& path);
   /// Re-serialize (echoed into campaign reports for provenance).

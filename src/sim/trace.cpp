@@ -10,6 +10,7 @@ void Trace::record(const std::string& series, util::TimePoint t, double value) {
   auto& s = series_[series];
   if (s.name.empty()) s.name = series;
   s.samples.emplace_back(t, value);
+  if (observer_) observer_(series, t, value);
 }
 
 const Series* Trace::find(const std::string& series) const {

@@ -2,6 +2,7 @@
 // plant variables into named series and print them as aligned columns.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <ostream>
 #include <string>
@@ -20,7 +21,16 @@ struct Series {
 
 class Trace {
  public:
+  /// Called on every record() with (series, time, value). Lets a monitor
+  /// watch samples as they land (runtime invariant checking) without
+  /// re-scanning the trace after the run.
+  using SampleObserver =
+      std::function<void(const std::string&, util::TimePoint, double)>;
+
   void record(const std::string& series, util::TimePoint t, double value);
+
+  /// Install (or clear, with nullptr) the sample observer.
+  void set_observer(SampleObserver observer) { observer_ = std::move(observer); }
 
   const Series* find(const std::string& series) const;
   std::vector<std::string> series_names() const;
@@ -47,6 +57,7 @@ class Trace {
 
  private:
   std::map<std::string, Series> series_;
+  SampleObserver observer_;
 };
 
 }  // namespace evm::sim

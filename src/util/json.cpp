@@ -141,6 +141,12 @@ class Parser {
       const char c = text_[pos_];
       if (c == '"') { ++pos_; return Status::ok(); }
       if (static_cast<unsigned char>(c) < 0x20) return error("raw control character in string");
+      if (static_cast<unsigned char>(c) >= 0x80) {
+        // Raw multi-byte sequences must be valid UTF-8 (JSON documents are
+        // UTF-8 by definition); the error points at the offending lead byte.
+        if (!consume_utf8(out)) return error("invalid UTF-8 byte in string");
+        continue;
+      }
       if (c != '\\') { out += c; ++pos_; continue; }
       ++pos_;
       if (pos_ >= text_.size()) break;
@@ -176,6 +182,45 @@ class Parser {
       }
     }
     return error("unterminated string");
+  }
+
+  /// Validate and copy one raw UTF-8 sequence starting at pos_. On failure
+  /// pos_ is left on the offending lead byte so the reported offset is
+  /// exact. Enforces the well-formed table of Unicode 15 §3.9: lead range
+  /// 0xC2..0xF4 (0xC0/0xC1 overlongs excluded), tightened second-byte
+  /// ranges for 0xE0/0xED/0xF0/0xF4 (no overlongs, no surrogates, nothing
+  /// above U+10FFFF), plain 0x80..0xBF continuations elsewhere.
+  bool consume_utf8(std::string& out) {
+    const unsigned char lead = static_cast<unsigned char>(text_[pos_]);
+    std::size_t continuation = 0;
+    unsigned char second_lo = 0x80, second_hi = 0xBF;
+    if (lead >= 0xC2 && lead <= 0xDF) {
+      continuation = 1;
+    } else if (lead == 0xE0) {
+      continuation = 2; second_lo = 0xA0;  // exclude overlong < U+0800
+    } else if (lead == 0xED) {
+      continuation = 2; second_hi = 0x9F;  // exclude surrogates U+D800..DFFF
+    } else if (lead >= 0xE1 && lead <= 0xEF) {
+      continuation = 2;
+    } else if (lead == 0xF0) {
+      continuation = 3; second_lo = 0x90;  // exclude overlong < U+10000
+    } else if (lead == 0xF4) {
+      continuation = 3; second_hi = 0x8F;  // exclude > U+10FFFF
+    } else if (lead >= 0xF1 && lead <= 0xF3) {
+      continuation = 3;
+    } else {
+      return false;  // stray continuation byte or invalid lead
+    }
+    if (pos_ + continuation >= text_.size()) return false;
+    const unsigned char second = static_cast<unsigned char>(text_[pos_ + 1]);
+    if (second < second_lo || second > second_hi) return false;
+    for (std::size_t i = 2; i <= continuation; ++i) {
+      const unsigned char byte = static_cast<unsigned char>(text_[pos_ + i]);
+      if (byte < 0x80 || byte > 0xBF) return false;
+    }
+    out.append(text_, pos_, continuation + 1);
+    pos_ += continuation + 1;
+    return true;
   }
 
   bool parse_hex4(unsigned& out) {

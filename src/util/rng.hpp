@@ -80,6 +80,15 @@ class Rng {
   /// Derive an independent child stream (for per-node generators).
   Rng fork() { return Rng(next_u64()); }
 
+  /// SplitMix64 finalizer over two words: a cheap, well-mixed way to derive
+  /// one independent stream seed per (campaign seed, run index) pair.
+  static constexpr std::uint64_t mix(std::uint64_t a, std::uint64_t b) {
+    std::uint64_t z = a + 0x9e3779b97f4a7c15ULL * (b + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -1,0 +1,155 @@
+// Direct coverage of the campaign aggregation path: percentile math over
+// known sample sets fed through hand-built CampaignResults, the empty- and
+// single-seed edge cases, and the shared parallel_for worker pool (all of
+// which test_scenario.cpp previously exercised only indirectly, through
+// full simulator runs).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "scenario/campaign.hpp"
+
+namespace evm::scenario {
+namespace {
+
+ScenarioSpec minimal_spec() {
+  ScenarioSpec spec;
+  spec.name = "agg-test";
+  spec.horizon_s = 10.0;
+  return spec;
+}
+
+/// A successful run with the given failover latency and filler metrics
+/// derived from it, so every aggregated series has known inputs.
+RunMetrics ok_run(std::uint64_t seed, double latency_s) {
+  RunMetrics m;
+  m.seed = seed;
+  m.ok = true;
+  m.fault_injected_s = 10.0;
+  m.failover_at_s = 10.0 + latency_s;
+  m.failover_latency_s = latency_s;
+  m.failover_count = 1;
+  m.backup_active = true;
+  m.missed_deadlines = static_cast<std::uint64_t>(latency_s * 10);
+  m.task_releases = 1000;
+  m.packet_loss_rate = latency_s / 1000.0;
+  m.level_rmse_pct = latency_s / 100.0;
+  m.level_max_dev_pct = latency_s / 50.0;
+  return m;
+}
+
+TEST(CampaignAggregation, PercentilesOverKnownSamples) {
+  // Latencies 1..100 in scrambled seed order: the aggregate must sort, so
+  // p50/p90/p99 land on the nearest-rank values 50/90/99.
+  CampaignConfig config;
+  config.base_seed = 1;
+  config.seeds = 100;
+  CampaignResult result;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    result.runs.push_back(ok_run(1 + i, static_cast<double>((i * 37) % 100 + 1)));
+  }
+  const util::Json report = campaign_report(minimal_spec(), config, result);
+
+  const util::Json* aggregate = report.find("aggregate");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_EQ(aggregate->find("runs_ok")->as_int(), 100);
+  EXPECT_EQ(aggregate->find("runs_failed")->as_int(), 0);
+  EXPECT_EQ(aggregate->find("failovers_detected")->as_int(), 100);
+  EXPECT_EQ(aggregate->find("backups_active")->as_int(), 100);
+
+  const util::Json* latency = aggregate->find("failover_latency_s");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->find("count")->as_int(), 100);
+  EXPECT_DOUBLE_EQ(latency->find("min")->as_double(), 1.0);
+  EXPECT_DOUBLE_EQ(latency->find("p50")->as_double(), 50.0);
+  EXPECT_DOUBLE_EQ(latency->find("p90")->as_double(), 90.0);
+  EXPECT_DOUBLE_EQ(latency->find("p99")->as_double(), 99.0);
+  EXPECT_DOUBLE_EQ(latency->find("max")->as_double(), 100.0);
+  EXPECT_DOUBLE_EQ(latency->find("mean")->as_double(), 50.5);
+
+  // The derived series go through the same Samples path.
+  const util::Json* rmse = aggregate->find("level_rmse_pct");
+  ASSERT_NE(rmse, nullptr);
+  EXPECT_DOUBLE_EQ(rmse->find("p50")->as_double(), 0.5);
+  EXPECT_DOUBLE_EQ(rmse->find("max")->as_double(), 1.0);
+}
+
+TEST(CampaignAggregation, EmptyCampaignProducesEmptyAggregates) {
+  CampaignConfig config;
+  config.seeds = 0;
+  const CampaignResult result = run_campaign(minimal_spec(), config);
+  EXPECT_TRUE(result.runs.empty());
+  EXPECT_EQ(result.ok_count(), 0u);
+  EXPECT_TRUE(result.all_ok());  // vacuously
+
+  const util::Json report = campaign_report(minimal_spec(), config, result);
+  EXPECT_EQ(report.find("runs")->size(), 0u);
+  const util::Json* aggregate = report.find("aggregate");
+  ASSERT_NE(aggregate, nullptr);
+  EXPECT_EQ(aggregate->find("runs_ok")->as_int(), 0);
+  EXPECT_EQ(aggregate->find("runs_failed")->as_int(), 0);
+  // No failovers recorded at all: the latency summary is omitted entirely
+  // rather than emitted full of zeros.
+  EXPECT_EQ(aggregate->find("failover_latency_s"), nullptr);
+  EXPECT_EQ(aggregate->find("missed_deadlines")->find("count")->as_int(), 0);
+}
+
+TEST(CampaignAggregation, SingleSeedCollapsesPercentiles) {
+  CampaignConfig config;
+  config.base_seed = 9;
+  config.seeds = 1;
+  CampaignResult result;
+  result.runs.push_back(ok_run(9, 2.5));
+  const util::Json report = campaign_report(minimal_spec(), config, result);
+  const util::Json* latency = report.find("aggregate")->find("failover_latency_s");
+  ASSERT_NE(latency, nullptr);
+  for (const char* key : {"min", "p50", "p90", "p99", "max", "mean"}) {
+    EXPECT_DOUBLE_EQ(latency->find(key)->as_double(), 2.5) << key;
+  }
+}
+
+TEST(CampaignAggregation, FailedRunsAreExcludedFromAggregates) {
+  CampaignConfig config;
+  config.seeds = 3;
+  CampaignResult result;
+  result.runs.push_back(ok_run(1, 4.0));
+  RunMetrics bad;
+  bad.seed = 2;
+  bad.ok = false;
+  bad.error = "boom";
+  bad.failover_latency_s = 99.0;  // must not leak into the aggregate
+  result.runs.push_back(bad);
+  result.runs.push_back(ok_run(3, 6.0));
+
+  EXPECT_EQ(result.ok_count(), 2u);
+  EXPECT_FALSE(result.all_ok());
+  const util::Json report = campaign_report(minimal_spec(), config, result);
+  const util::Json* aggregate = report.find("aggregate");
+  EXPECT_EQ(aggregate->find("runs_ok")->as_int(), 2);
+  EXPECT_EQ(aggregate->find("runs_failed")->as_int(), 1);
+  const util::Json* latency = aggregate->find("failover_latency_s");
+  ASSERT_NE(latency, nullptr);
+  EXPECT_EQ(latency->find("count")->as_int(), 2);
+  EXPECT_DOUBLE_EQ(latency->find("max")->as_double(), 6.0);
+  EXPECT_DOUBLE_EQ(latency->find("mean")->as_double(), 5.0);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  for (std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{64}}) {
+    std::vector<std::atomic<int>> hits(97);
+    parallel_for(hits.size(), jobs, [&](std::size_t i) { hits[i].fetch_add(1); });
+    for (std::size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].load(), 1) << "index " << i << " jobs " << jobs;
+    }
+  }
+}
+
+TEST(ParallelFor, ZeroCountNeverInvokes) {
+  std::atomic<int> calls{0};
+  parallel_for(0, 8, [&](std::size_t) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+}  // namespace
+}  // namespace evm::scenario

@@ -104,6 +104,98 @@ TEST(ScenarioSpec, RejectsMalformedSpecs) {
   }
 }
 
+TEST(ScenarioSpec, EventDiagnosticsNameTheOffendingKey) {
+  // Every fault-event kind, with a required field missing or ill-typed: the
+  // diagnostic must name the key the author has to fix (and the events[i]
+  // wrapper locates the entry).
+  struct Case {
+    const char* events;     // contents of the "events" array
+    const char* expect_key; // substring the error must contain
+  };
+  const Case cases[] = {
+      // missing fields, one per kind
+      {R"([{"at_s": 1, "do": "primary_fault"}])", "'value'"},
+      {R"([{"do": "clear_primary_fault"}])", "'at_s'"},
+      {R"([{"at_s": 1, "do": "node_crash"}])", "'node'"},
+      {R"([{"at_s": 1, "do": "node_restart"}])", "'node'"},
+      {R"([{"at_s": 1, "do": "link_down", "b": "sensor"}])", "'a'"},
+      {R"([{"at_s": 1, "do": "link_up", "a": "sensor"}])", "'b'"},
+      {R"([{"at_s": 1, "do": "link_outage", "a": "sensor", "b": "ctrl_a"}])",
+       "'duration_s'"},
+      {R"([{"at_s": 1, "do": "link_loss", "a": "sensor", "b": "ctrl_a"}])",
+       "'loss'"},
+      {R"([{"at_s": 1, "do": "clear_burst_loss", "a": "sensor"}])", "'b'"},
+      {R"([{"at_s": 1, "do": "clock_drift", "node": "sensor"}])", "'ppm'"},
+      {R"([{"at_s": 1, "do": "traffic_burst", "node": "sensor", "interval_ms": 10}])",
+       "'count'"},
+      {R"([{"at_s": 1, "do": "traffic_burst", "node": "sensor", "count": 5}])",
+       "'interval_ms'"},
+      // ill-typed fields
+      {R"([{"at_s": 1, "do": "primary_fault", "value": "75"}])", "'value'"},
+      {R"([{"at_s": true, "do": "clear_primary_fault"}])", "'at_s'"},
+      {R"([{"at_s": 1, "do": "node_crash", "node": true}])", "'node'"},
+      {R"([{"at_s": 1, "do": "link_down", "a": {}, "b": "sensor"}])", "'a'"},
+      {R"([{"at_s": 1, "do": "link_outage", "a": "sensor", "b": "ctrl_a", "duration_s": "3"}])",
+       "'duration_s'"},
+      {R"([{"at_s": 1, "do": "link_loss", "a": "sensor", "b": "ctrl_a", "loss": "0.4"}])",
+       "'loss'"},
+      {R"([{"at_s": 1, "do": "burst_loss", "a": "sensor", "b": "ctrl_a", "p_good_to_bad": "x"}])",
+       "'p_good_to_bad'"},
+      {R"([{"at_s": 1, "do": "burst_loss", "a": "sensor", "b": "ctrl_a", "p_bad_loss": 9}])",
+       "'p_bad_loss'"},
+      {R"([{"at_s": 1, "do": "clock_drift", "node": "sensor", "ppm": []}])",
+       "'ppm'"},
+      {R"([{"at_s": 1, "do": "traffic_burst", "node": "sensor", "count": "5", "interval_ms": 10}])",
+       "'count'"},
+  };
+  for (const auto& c : cases) {
+    auto spec = parse(std::string(R"({"name": "x", "events": )") + c.events + "}");
+    ASSERT_FALSE(spec.ok()) << "accepted: " << c.events;
+    const std::string message = spec.status().message();
+    EXPECT_NE(message.find(c.expect_key), std::string::npos)
+        << "diagnostic for " << c.events << " does not name " << c.expect_key
+        << ": " << message;
+    EXPECT_NE(message.find("events[0]"), std::string::npos) << message;
+  }
+}
+
+TEST(ScenarioSpec, RejectsEventsScheduledPastTheHorizon) {
+  auto spec = parse(R"({
+    "name": "x",
+    "horizon_s": 60,
+    "events": [
+      {"at_s": 10, "do": "primary_fault", "value": 75},
+      {"at_s": 100, "do": "node_crash", "node": "ctrl_a"}
+    ]
+  })");
+  ASSERT_FALSE(spec.ok());
+  const std::string message = spec.status().message();
+  EXPECT_NE(message.find("events[1]"), std::string::npos) << message;
+  EXPECT_NE(message.find("horizon"), std::string::npos) << message;
+  EXPECT_NE(message.find("node_crash"), std::string::npos) << message;
+
+  // Exactly at the horizon still fires (the simulator runs events at the
+  // end time), so it is accepted.
+  auto boundary = parse(R"({
+    "name": "x",
+    "horizon_s": 60,
+    "events": [{"at_s": 60, "do": "primary_fault", "value": 75}]
+  })");
+  EXPECT_TRUE(boundary.ok()) << boundary.status().to_string();
+}
+
+TEST(ScenarioRunner, RejectsReTimedSpecWithEventsPastHorizon) {
+  // A spec re-timed after parsing (the CLI horizon override path) must be
+  // rejected by the runner rather than silently dropping scheduled faults.
+  auto spec = parse(kFailoverSpec);
+  ASSERT_TRUE(spec.ok());
+  spec->horizon_s = 5.0;  // fault is at 10 s
+  ScenarioRunner runner(*spec, 1);
+  const RunMetrics m = runner.run();
+  EXPECT_FALSE(m.ok);
+  EXPECT_NE(m.error.find("horizon"), std::string::npos) << m.error;
+}
+
 TEST(ScenarioSpec, JsonRoundTripIsStable) {
   auto spec = parse(kFailoverSpec);
   ASSERT_TRUE(spec.ok());
