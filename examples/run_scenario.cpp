@@ -28,9 +28,13 @@ namespace {
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " <spec.json> [options]\n"
+      << "       " << argv0 << " --merge <report.json>... [--out DIR]\n"
       << "  --seeds N        seeds to run (default 1)\n"
       << "  --jobs J         worker threads (default min(seeds, cores))\n"
       << "  --base-seed S    first seed (default 1)\n"
+      << "  --shard K/N      run only every N-th seed starting at K (0-based);\n"
+      << "                   N jobs with K=0..N-1 cover the campaign, and\n"
+      << "                   --merge folds their reports back together\n"
       << "  --horizon-s H    override the spec's horizon\n"
       << "  --out DIR        report directory (default $EVM_BENCH_OUT or bench/out)\n"
       << "  --csv FILE       dump the base seed's plant trace as CSV\n"
@@ -39,11 +43,52 @@ int usage(const char* argv0) {
   return 2;
 }
 
+bool parse_shard(const char* text, scenario::CampaignConfig& config) {
+  const std::string s(text);
+  const std::size_t slash = s.find('/');
+  if (slash == std::string::npos) return false;
+  std::uint64_t index = 0, count = 0;
+  if (!parse_u64(s.substr(0, slash).c_str(), index) ||
+      !parse_u64(s.substr(slash + 1).c_str(), count)) {
+    return false;
+  }
+  if (count == 0 || index >= count) return false;
+  config.shard_index = static_cast<std::size_t>(index);
+  config.shard_count = static_cast<std::size_t>(count);
+  return true;
+}
+
+int merge_reports(const std::vector<std::string>& paths, const std::string& out_dir) {
+  std::vector<util::Json> reports;
+  for (const std::string& path : paths) {
+    auto json = util::load_json_file(path);
+    if (!json) {
+      std::cerr << "error: " << json.status().to_string() << "\n";
+      return 2;
+    }
+    reports.push_back(std::move(*json));
+  }
+  auto merged = scenario::merge_campaign_reports(reports);
+  if (!merged) {
+    std::cerr << "error: " << merged.status().to_string() << "\n";
+    return 2;
+  }
+  const std::string name = merged->find("scenario")->as_string();
+  std::cout << "merged " << reports.size() << " shard report(s): "
+            << merged->find("runs")->size() << " runs of '" << name << "'\n";
+  auto written = scenario::write_campaign_report(*merged, name, out_dir);
+  if (!written) {
+    std::cerr << "error: " << written.status().to_string() << "\n";
+    return 1;
+  }
+  std::cout << "[campaign json] " << *written << "\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   if (argc < 2) return usage(argv[0]);
-  const std::string spec_path = argv[1];
 
   scenario::CampaignConfig config;
   config.seeds = 1;
@@ -51,19 +96,31 @@ int main(int argc, char** argv) {
   std::string out_dir = scenario::report_dir();
   std::string csv_path, trace_json_path;
   bool print_trace = false;
+  bool merge_mode = false;
+  std::vector<std::string> merge_paths;
+  std::string spec_path;
 
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
     std::uint64_t value = 0;
-    if (arg == "--seeds" || arg == "--jobs" || arg == "--base-seed") {
+    if (!arg.empty() && arg[0] != '-') {
+      if (merge_mode) merge_paths.push_back(arg);
+      else if (spec_path.empty()) spec_path = arg;
+      else return usage(argv[0]);
+    } else if (arg == "--merge") {
+      merge_mode = true;
+    } else if (arg == "--seeds" || arg == "--jobs" || arg == "--base-seed") {
       const char* v = next();
       if (v == nullptr || !parse_u64(v, value)) return usage(argv[0]);
       if (arg == "--seeds") config.seeds = static_cast<std::size_t>(value);
       else if (arg == "--jobs") config.jobs = static_cast<std::size_t>(value);
       else config.base_seed = value;
+    } else if (arg == "--shard") {
+      const char* v = next();
+      if (v == nullptr || !parse_shard(v, config)) return usage(argv[0]);
     } else if (arg == "--horizon-s") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -88,7 +145,11 @@ int main(int argc, char** argv) {
       return usage(argv[0]);
     }
   }
-  if (config.seeds == 0) return usage(argv[0]);
+  if (merge_mode) {
+    if (merge_paths.empty()) return usage(argv[0]);
+    return merge_reports(merge_paths, out_dir);
+  }
+  if (spec_path.empty() || config.seeds == 0) return usage(argv[0]);
 
   auto spec = scenario::ScenarioSpec::load_file(spec_path);
   if (!spec) {
@@ -120,8 +181,12 @@ int main(int argc, char** argv) {
   std::cout << "horizon " << spec->horizon_s << " s, " << spec->events.size()
             << " scheduled events"
             << (spec->churn.enabled ? " + seeded churn" : "") << ", seeds "
-            << config.base_seed << ".." << (config.base_seed + config.seeds - 1)
-            << "\n\n";
+            << config.base_seed << ".." << (config.base_seed + config.seeds - 1);
+  if (config.shard_count > 1) {
+    std::cout << " (shard " << config.shard_index << "/" << config.shard_count
+              << ")";
+  }
+  std::cout << "\n\n";
 
   const scenario::CampaignResult result = scenario::run_campaign(*spec, config);
 

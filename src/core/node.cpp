@@ -8,7 +8,8 @@ namespace evm::core {
 
 Node::Node(sim::Simulator& sim, net::Medium& medium, net::RtLinkSchedule& schedule,
            net::TimeSync& timesync, NodeConfig config)
-    : sim_(sim), config_(config), clock_(config.clock_drift_ppm) {
+    : sim_(sim), config_(config), topology_(medium.topology()),
+      clock_(config.clock_drift_ppm) {
   radio_ = std::make_unique<net::Radio>(sim, medium, config_.id, config_.radio);
   mac_ = std::make_unique<net::RtLink>(sim, *radio_, clock_, schedule);
   router_ = std::make_unique<net::Router>(*mac_, medium.topology());
@@ -47,9 +48,19 @@ void Node::fail() {
   if (failed_) return;
   failed_ = true;
   mac_->stop();
+  stopped_by_failure_.clear();
   for (rtos::TaskId id : kernel_->scheduler().task_ids()) {
-    if (kernel_->scheduler().is_active(id)) (void)kernel_->stop_task(id);
+    if (kernel_->scheduler().is_active(id)) {
+      (void)kernel_->stop_task(id);
+      stopped_by_failure_.push_back(id);
+    }
   }
+  // A crashed radio is, to its neighbours' link estimators, a batch of dead
+  // links — mark the node down so multi-hop routing steers around the
+  // corpse instead of black-holing unicast traffic through it. Liveness is
+  // tracked separately from scripted link state, so link_down/link_up
+  // events that fire while the node is dead are not clobbered on recovery.
+  topology_.set_node_down(config_.id, true);
   EVM_INFO("node", "node " << config_.id << " crash-stopped");
 }
 
@@ -57,6 +68,11 @@ void Node::recover() {
   if (!failed_) return;
   failed_ = false;
   mac_->start();
+  // Resume exactly what the crash interrupted; tasks that were dormant
+  // before the crash (e.g. a Dormant replica) stay dormant.
+  for (rtos::TaskId id : stopped_by_failure_) (void)kernel_->start_task(id);
+  stopped_by_failure_.clear();
+  topology_.set_node_down(config_.id, false);
   EVM_INFO("node", "node " << config_.id << " recovered");
 }
 

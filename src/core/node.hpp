@@ -5,6 +5,7 @@
 
 #include <map>
 #include <memory>
+#include <vector>
 
 #include "net/medium.hpp"
 #include "net/radio.hpp"
@@ -53,6 +54,9 @@ class Node {
   /// Crash-stop failure: radio silent, all tasks stopped. The EVM's fault
   /// detection sees this as silence.
   void fail();
+  /// Restart after a crash: the MAC comes back and every task the crash
+  /// stopped resumes, so the node re-joins in its sticky pre-crash state
+  /// (the head re-supervises replicas whose mode went stale meanwhile).
   void recover();
   bool failed() const { return failed_; }
 
@@ -64,6 +68,7 @@ class Node {
  private:
   sim::Simulator& sim_;
   NodeConfig config_;
+  net::Topology& topology_;
   net::NodeClock clock_;
   std::unique_ptr<net::Radio> radio_;
   std::unique_ptr<net::RtLink> mac_;
@@ -71,6 +76,7 @@ class Node {
   std::unique_ptr<rtos::Kernel> kernel_;
   std::map<std::uint8_t, std::function<double()>> sensors_;
   std::map<std::uint8_t, std::function<void(double)>> actuators_;
+  std::vector<rtos::TaskId> stopped_by_failure_;
   bool failed_ = false;
 };
 

@@ -57,6 +57,7 @@ util::Status EvmService::start() {
     (void)node_.router().send(net::kBroadcast,
                               static_cast<std::uint8_t>(MsgType::kHeadBeacon),
                               msg.encode());
+    supervise_functions();
   });
   if (beacon) {
     beacon_task_ = *beacon;
@@ -65,6 +66,7 @@ util::Status EvmService::start() {
 
   for (const auto& [fid, function] : descriptor_.functions) {
     const ControllerMode initial = descriptor_.initial_mode(fid, node_.id());
+    last_active_seen_[fid] = node_.simulator().now();
     if (is_head()) {
       auto rit = descriptor_.replicas.find(fid);
       if (rit != descriptor_.replicas.end()) {
@@ -356,7 +358,7 @@ void EvmService::run_health_checks(FunctionId function, FunctionRuntime& rt) {
     // Local shortcut: the head observed the fault itself.
     handle_fault_report(net::Datagram{
         node_.id(), node_.id(), static_cast<std::uint8_t>(MsgType::kFaultReport), 0,
-        report.encode()});
+        0, report.encode()});
   } else {
     (void)node_.router().send(head_id_,
                               static_cast<std::uint8_t>(MsgType::kFaultReport),
@@ -416,6 +418,16 @@ void EvmService::handle_heartbeat(const net::Datagram& d) {
   // heartbeats so a succeeding head can resume arbitration seamlessly. The
   // acting head trusts its own commands over (possibly stale) heartbeats.
   if (!is_head()) {
+    if (msg.mode == ControllerMode::kActive) {
+      // A mirrored Active displaces any other cached Active: the mirror
+      // must stay single-Active or a successor head would inherit an
+      // ambiguous table and arbitrate against the wrong incumbent.
+      for (const auto& [node, mode] : roles_.replicas(msg.function)) {
+        if (node != msg.node && mode == ControllerMode::kActive) {
+          roles_.set_mode(msg.function, node, ControllerMode::kBackup);
+        }
+      }
+    }
     roles_.set_mode(msg.function, msg.node, msg.mode);
   }
   roles_.observe_epoch(msg.function, msg.epoch);
@@ -425,6 +437,111 @@ void EvmService::handle_heartbeat(const net::Datagram& d) {
       last_active_heartbeat_[{msg.function, msg.node}] = node_.simulator().now();
     }
   }
+  if (is_head()) resupervise_on_heartbeat(msg);
+}
+
+void EvmService::resupervise_on_heartbeat(const HeartbeatMsg& msg) {
+  if (descriptor_.functions.count(msg.function) == 0) return;
+  const auto active = roles_.active(msg.function);
+
+  if (msg.mode == ControllerMode::kActive) {
+    if (active.has_value() && *active == msg.node) {
+      last_active_seen_[msg.function] = node_.simulator().now();
+      return;
+    }
+    if (active.has_value()) {
+      // Two replicas claim Active. The command epoch arbitrates: a stale
+      // rejoiner (restarted with its pre-crash mode, or holding a demote
+      // that got lost) carries an epoch older than the head's latest
+      // promotion and is demoted; a claimant at or above it means the role
+      // table itself is stale (e.g. a direct migration moved the Active
+      // without head involvement) and is adopted instead.
+      auto pe = last_promote_epoch_.find(msg.function);
+      const std::uint32_t promote_epoch =
+          pe == last_promote_epoch_.end() ? 0 : pe->second;
+      if (msg.epoch < promote_epoch) {
+        EVM_INFO(kTag, "head: demoting stale Active node " << msg.node
+                       << " (function " << msg.function << ", node "
+                       << *active << " is in charge since epoch "
+                       << promote_epoch << ")");
+        send_mode_command(msg.function, msg.node, ControllerMode::kBackup);
+        roles_.set_mode(msg.function, msg.node, ControllerMode::kBackup);
+      } else {
+        roles_.set_mode(msg.function, *active, ControllerMode::kBackup);
+        roles_.set_mode(msg.function, msg.node, ControllerMode::kActive);
+        last_active_seen_[msg.function] = node_.simulator().now();
+      }
+    } else {
+      // Nobody was in charge per the table; adopt the claimant.
+      roles_.set_mode(msg.function, msg.node, ControllerMode::kActive);
+      last_active_seen_[msg.function] = node_.simulator().now();
+    }
+    return;
+  }
+
+  if (msg.mode == ControllerMode::kBackup &&
+      roles_.mode(msg.function, msg.node) == ControllerMode::kDormant) {
+    // Written off (e.g. a promotion target that was down) but demonstrably
+    // alive again: restore it to the arbitration pool.
+    roles_.set_mode(msg.function, msg.node, ControllerMode::kBackup);
+  }
+  if (!active.has_value() && msg.mode == ControllerMode::kBackup) {
+    // Supervised retry: escalation ran out of replicas earlier, but a live
+    // Backup just heartbeat — promote it instead of staying stuck forever.
+    EVM_INFO(kTag, "head: retrying promotion with rejoined node " << msg.node
+                   << " (function " << msg.function << ")");
+    promote_replica(msg.function, msg.node, /*record_event=*/true);
+  }
+}
+
+void EvmService::supervise_functions() {
+  const util::TimePoint now = node_.simulator().now();
+  for (const auto& [fid, fn] : descriptor_.functions) {
+    (void)fn;
+    const auto active = roles_.active(fid);
+    if (active.has_value()) {
+      if (*active == node_.id()) continue;  // self: trivially alive
+      auto it = last_active_seen_.find(fid);
+      if (it == last_active_seen_.end()) continue;  // not started yet
+      if (now - it->second > policy_.active_silence_timeout) {
+        // Backstop silence detection: with every Backup gone there is no
+        // passive observer left to report the dead Active.
+        EVM_WARN(kTag, "head: Active node " << *active << " silent for "
+                       << (now - it->second).to_seconds() << " s (function "
+                       << fid << "); re-arbitrating");
+        last_active_seen_[fid] = now;  // re-arm; failover resets the clock
+        head_failover(fid, *active, FaultReason::kSilent);
+      }
+      continue;
+    }
+    // No Active replica at all: quiet retry over live-looking Backups only.
+    // Indicator replicas are excluded deliberately — Indicator is the
+    // graceful-degradation floor for a replica with confirmed-bad output.
+    std::optional<net::NodeId> candidate;
+    for (const auto& [node, mode] : roles_.replicas(fid)) {
+      if (mode != ControllerMode::kBackup) continue;
+      if (!candidate.has_value() || node < *candidate) candidate = node;
+    }
+    if (candidate.has_value()) {
+      promote_replica(fid, *candidate, /*record_event=*/false);
+    }
+  }
+}
+
+void EvmService::promote_replica(FunctionId function, net::NodeId node,
+                                 bool record_event) {
+  if (record_event) {
+    FailoverEvent event;
+    event.when = node_.simulator().now();
+    event.function = function;
+    event.promoted = node;
+    event.reason = FaultReason::kSilent;
+    failovers_.push_back(event);
+  }
+  send_mode_command(function, node, ControllerMode::kActive);
+  roles_.set_mode(function, node, ControllerMode::kActive);
+  last_active_seen_[function] = node_.simulator().now();
+  supervise_promotion(function, node);
 }
 
 void EvmService::handle_head_beacon(const net::Datagram& d) {
@@ -474,10 +591,18 @@ void EvmService::become_head() {
   EVM_INFO(kTag, "node " << node_.id() << " assumes VC head role (succession #"
                          << head_successions_ << ")");
   // Resume arbitration above every epoch any replica has acknowledged, so
-  // the new head's first command is not discarded as stale.
+  // the new head's first command is not discarded as stale. Silence clocks
+  // restart now: judging replicas by heartbeats heard before we were head
+  // would trigger an instant spurious failover. The promotion-epoch floor
+  // starts at the bumped epoch too, so a stale rejoiner claiming Active
+  // (its pre-crash epoch is necessarily below it) is demoted instead of
+  // adopted — without it, two live Actives could flap in the table forever
+  // with neither ever receiving a demote command.
   for (const auto& [fid, fn] : descriptor_.functions) {
     (void)fn;
     roles_.observe_epoch(fid, roles_.epoch(fid) + 100);
+    last_promote_epoch_[fid] = roles_.epoch(fid);
+    last_active_seen_[fid] = node_.simulator().now();
   }
 }
 
@@ -542,6 +667,7 @@ void EvmService::head_failover(FunctionId function, net::NodeId suspect,
 
   send_mode_command(function, *promoted, ControllerMode::kActive);
   roles_.set_mode(function, *promoted, ControllerMode::kActive);
+  last_active_seen_[function] = node_.simulator().now();
   send_mode_command(function, suspect, ControllerMode::kBackup);
   roles_.set_mode(function, suspect, ControllerMode::kBackup);
 
@@ -553,24 +679,31 @@ void EvmService::head_failover(FunctionId function, net::NodeId suspect,
     }
   });
 
+  supervise_promotion(function, *promoted);
+}
+
+void EvmService::supervise_promotion(FunctionId function, net::NodeId promoted) {
   // Promotion supervision: a promoted replica that never heartbeats as
   // Active within the timeout has itself failed; move on to the next one.
-  const net::NodeId promoted_node = *promoted;
+  // A node written off here is restored to the pool by resupervise_on_
+  // heartbeat the moment it comes back and heartbeats — the retry the
+  // fuzzer's promoted-node-was-down repro demanded.
   const util::TimePoint promoted_at = node_.simulator().now();
   node_.simulator().schedule_after(
-      policy_.promotion_timeout, [this, function, promoted_node, promoted_at] {
+      policy_.promotion_timeout, [this, function, promoted, promoted_at] {
         const auto active = roles_.active(function);
-        if (!active.has_value() || *active != promoted_node) return;
-        if (node_.id() == promoted_node) return;  // self-promotion: trivially alive
-        auto it = last_active_heartbeat_.find({function, promoted_node});
+        if (!active.has_value() || *active != promoted) return;
+        if (node_.id() == promoted) return;  // self-promotion: trivially alive
+        auto it = last_active_heartbeat_.find({function, promoted});
         if (it != last_active_heartbeat_.end() && it->second >= promoted_at) {
           return;  // alive and in charge
         }
-        EVM_WARN(kTag, "head: promoted node " << promoted_node
+        EVM_WARN(kTag, "head: promoted node " << promoted
                        << " never became active; escalating");
-        head_failover(function, promoted_node, FaultReason::kSilent);
-        // The dead promotee must not be re-picked by future arbitrations.
-        roles_.set_mode(function, promoted_node, ControllerMode::kDormant);
+        head_failover(function, promoted, FaultReason::kSilent);
+        // The dead promotee must not be re-picked by future arbitrations
+        // (until a live heartbeat re-admits it).
+        roles_.set_mode(function, promoted, ControllerMode::kDormant);
       });
 }
 
@@ -582,6 +715,7 @@ void EvmService::send_mode_command(FunctionId function, net::NodeId target,
   cmd.target = target;
   cmd.mode = mode;
   cmd.epoch = roles_.bump_epoch(function);
+  if (mode == ControllerMode::kActive) last_promote_epoch_[function] = cmd.epoch;
   if (target == node_.id()) {
     auto it = functions_.find(function);
     if (it != functions_.end() && cmd.epoch > it->second.last_epoch) {
@@ -697,7 +831,7 @@ util::Status EvmService::send_parametric(net::NodeId target,
   if (target == node_.id()) {
     handle_parametric(net::Datagram{
         node_.id(), node_.id(),
-        static_cast<std::uint8_t>(MsgType::kParametricCommand), 0, msg.encode()});
+        static_cast<std::uint8_t>(MsgType::kParametricCommand), 0, 0, msg.encode()});
     return util::Status::ok();
   }
   return node_.router().send(
@@ -755,7 +889,7 @@ util::Status EvmService::disseminate_algorithm(FunctionId function,
   // Apply locally first (the sender is a replica too, possibly).
   handle_algorithm_update(net::Datagram{
       node_.id(), node_.id(), static_cast<std::uint8_t>(MsgType::kAlgorithmUpdate),
-      0, encoded});
+      0, 0, encoded});
 
   // Capsules exceed one 802.15.4 frame, so they ship per-member through the
   // chunked, acknowledged migration engine (payload kind 2).
@@ -876,7 +1010,7 @@ bool EvmService::accept_migrated_function(const MigrationOfferMsg& meta,
     if (!r.ok()) return false;
     handle_algorithm_update(net::Datagram{
         descriptor_.head, node_.id(),
-        static_cast<std::uint8_t>(MsgType::kAlgorithmUpdate), 0,
+        static_cast<std::uint8_t>(MsgType::kAlgorithmUpdate), 0, 0,
         std::move(remaining)});
     return true;
   }

@@ -40,6 +40,11 @@ struct FailoverPolicy {
   /// a returning original head reclaims the role.
   util::Duration head_beacon_period = util::Duration::seconds(1);
   std::uint32_t beacon_loss_threshold = 5;
+  /// Head-side backstop detector: when the Active replica of a function has
+  /// not heartbeat in Active mode for this long, the head treats it as
+  /// silently failed and re-arbitrates — even with no live Backup left to
+  /// observe it (the passive-observation path needs one).
+  util::Duration active_silence_timeout = util::Duration::seconds(5);
 };
 
 struct FailoverEvent {
@@ -191,6 +196,20 @@ class EvmService {
   void handle_head_beacon(const net::Datagram& d);
   void check_head_liveness();
   void become_head();
+  /// Head, on every heartbeat: re-supervise the sender. A restarted replica
+  /// re-joining with its stale pre-crash mode is demoted (someone else is
+  /// Active) or re-admitted (it was written off as Dormant); a live Backup
+  /// heartbeat while no replica is Active triggers the supervised
+  /// promotion retry the escalation path needs when its target was down.
+  void resupervise_on_heartbeat(const HeartbeatMsg& msg);
+  /// Head, once per beacon: re-arbitrate functions with no Active replica
+  /// and fail over functions whose Active has gone silent past the policy
+  /// timeout (the backstop when no Backup is left to observe it).
+  void supervise_functions();
+  /// Promote `node`, arm the promotion-supervision timer, and optionally
+  /// log a FailoverEvent (quiet retries do not inflate failover metrics).
+  void promote_replica(FunctionId function, net::NodeId node, bool record_event);
+  void supervise_promotion(FunctionId function, net::NodeId promoted);
   void handle_parametric(const net::Datagram& d);
   void handle_algorithm_update(const net::Datagram& d);
   void transfer_function(FunctionId function, net::NodeId dest,
@@ -216,6 +235,12 @@ class EvmService {
   std::map<std::pair<FunctionId, net::NodeId>, std::uint32_t> report_counts_;
   /// Head: last time each replica heartbeat in Active mode (supervision).
   std::map<std::pair<FunctionId, net::NodeId>, util::TimePoint> last_active_heartbeat_;
+  /// Head: last evidence that *some* replica is actively in charge of the
+  /// function (heartbeat, promotion, or service start).
+  std::map<FunctionId, util::TimePoint> last_active_seen_;
+  /// Head: epoch of the latest Active-mode command issued per function;
+  /// heartbeats claiming Active below it are stale rejoiners.
+  std::map<FunctionId, std::uint32_t> last_promote_epoch_;
   std::vector<FailoverEvent> failovers_;
   std::vector<net::NodeId> members_;
   std::function<void(const ActuationMsg&)> actuation_handler_;

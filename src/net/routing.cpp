@@ -1,8 +1,17 @@
 #include "net/routing.hpp"
 
+#include <algorithm>
+
 #include "util/log.hpp"
 
 namespace evm::net {
+
+namespace {
+/// Broadcast dedup window per source. Bounds memory; deep enough that a
+/// flooded copy still in flight cannot out-live its entry at any realistic
+/// fan-out (a 20-node grid re-broadcasts each seq at most once per node).
+constexpr std::size_t kSeenWindow = 64;
+}  // namespace
 
 Router::Router(Mac& mac, Topology& topology) : mac_(mac), topology_(topology) {
   mac_.set_receive_handler([this](const Packet& p) { on_packet(p); });
@@ -14,6 +23,7 @@ std::vector<std::uint8_t> Router::encode(const Datagram& d) {
   w.u16(d.destination);
   w.u8(d.type);
   w.u8(d.ttl);
+  w.u16(d.seq);
   w.blob(d.payload);
   return w.take();
 }
@@ -24,6 +34,7 @@ bool Router::decode(std::span<const std::uint8_t> bytes, Datagram& out) {
   out.destination = r.u16();
   out.type = r.u8();
   out.ttl = r.u8();
+  out.seq = r.u16();
   out.payload = r.blob();
   return r.ok();
 }
@@ -34,8 +45,18 @@ util::Status Router::send(NodeId destination, std::uint8_t type,
   d.source = id();
   d.destination = destination;
   d.type = type;
+  d.ttl = default_ttl_;
+  d.seq = ++next_seq_;
   d.payload = std::move(payload);
   return forward(d);
+}
+
+bool Router::remember(NodeId source, std::uint16_t seq) {
+  auto& window = seen_[source];
+  if (std::find(window.begin(), window.end(), seq) != window.end()) return false;
+  window.push_back(seq);
+  if (window.size() > kSeenWindow) window.pop_front();
+  return true;
 }
 
 util::Status Router::forward(const Datagram& d) {
@@ -63,7 +84,19 @@ void Router::on_packet(const Packet& packet) {
     EVM_WARN("router", "undecodable datagram from " << packet.src);
     return;
   }
-  if (d.destination == id() || d.destination == kBroadcast) {
+  if (d.destination == kBroadcast) {
+    if (d.source == id()) return;  // flooded copy of our own broadcast
+    if (!remember(d.source, d.seq)) return;  // duplicate over another path
+    if (receive_handler_) receive_handler_(d);
+    if (flood_ && d.ttl > 0) {
+      Datagram next = d;
+      next.ttl = static_cast<std::uint8_t>(d.ttl - 1);
+      ++forwarded_;
+      (void)forward(next);
+    }
+    return;
+  }
+  if (d.destination == id()) {
     if (receive_handler_) receive_handler_(d);
     return;
   }

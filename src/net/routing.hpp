@@ -2,11 +2,15 @@
 // topology, recomputed on demand. EVM messages (task migration, health
 // assessment) ride on this so multi-hop virtual components work; the paper's
 // six-node HIL setup is single-hop through the gateway but E5 sweeps 1-5
-// hops.
+// hops. Broadcasts are one-hop by default; multi-hop worlds built from a
+// TopologySpec enable TTL-bounded deduplicated flooding so the data and
+// heartbeat planes reach replicas behind relays.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <vector>
 
 #include "net/mac.hpp"
@@ -23,6 +27,9 @@ struct Datagram {
   NodeId destination = kBroadcast;
   std::uint8_t type = 0;  // upper-layer (EVM) message class
   std::uint8_t ttl = 8;
+  /// Originator-assigned sequence number; (source, seq) deduplicates
+  /// flooded broadcasts arriving over multiple paths.
+  std::uint16_t seq = 0;
   std::vector<std::uint8_t> payload;
 };
 
@@ -32,7 +39,7 @@ class Router {
 
   NodeId id() const { return mac_.id(); }
 
-  /// Send a datagram toward `destination` (multi-hop unicast or one-hop
+  /// Send a datagram toward `destination` (multi-hop unicast or a
   /// broadcast). Fails fast when no route exists.
   util::Status send(NodeId destination, std::uint8_t type,
                     std::vector<std::uint8_t> payload);
@@ -40,6 +47,15 @@ class Router {
   void set_receive_handler(std::function<void(const Datagram&)> handler) {
     receive_handler_ = std::move(handler);
   }
+
+  /// Re-broadcast incoming broadcasts (once per (source, seq), while TTL
+  /// lasts) so they cross relays. Off by default: the Fig. 5 full mesh is
+  /// single-hop and flooding there would only burn slots and energy.
+  void enable_flooding() { flood_ = true; }
+  bool flooding() const { return flood_; }
+  /// TTL stamped on originated datagrams (raise to at least the network
+  /// diameter for flooded worlds).
+  void set_default_ttl(std::uint8_t ttl) { default_ttl_ = ttl; }
 
   std::size_t forwarded_count() const { return forwarded_; }
 
@@ -49,11 +65,18 @@ class Router {
  private:
   void on_packet(const Packet& packet);
   util::Status forward(const Datagram& d);
+  /// Record (source, seq); false when it was already seen recently.
+  bool remember(NodeId source, std::uint16_t seq);
 
   Mac& mac_;
   Topology& topology_;
   std::function<void(const Datagram&)> receive_handler_;
   std::size_t forwarded_ = 0;
+  bool flood_ = false;
+  std::uint8_t default_ttl_ = 8;
+  std::uint16_t next_seq_ = 0;
+  /// Recently seen broadcast seqs per source (bounded sliding window).
+  std::map<NodeId, std::deque<std::uint16_t>> seen_;
 };
 
 }  // namespace evm::net

@@ -36,7 +36,13 @@ std::optional<LinkState> Topology::link(NodeId a, NodeId b) const {
   return it->second;
 }
 
+void Topology::set_node_down(NodeId id, bool down) {
+  if (down) down_nodes_.insert(id);
+  else down_nodes_.erase(id);
+}
+
 bool Topology::connected(NodeId a, NodeId b) const {
+  if (node_down(a) || node_down(b)) return false;
   auto l = link(a, b);
   return l.has_value() && l->up;
 }
@@ -48,10 +54,11 @@ double Topology::loss(NodeId a, NodeId b) const {
 
 std::vector<NodeId> Topology::neighbors(NodeId id) const {
   std::vector<NodeId> out;
+  if (node_down(id)) return out;
   for (const auto& [k, state] : links_) {
     if (!state.up) continue;
-    if (k.first == id) out.push_back(k.second);
-    if (k.second == id) out.push_back(k.first);
+    if (k.first == id && !node_down(k.second)) out.push_back(k.second);
+    if (k.second == id && !node_down(k.first)) out.push_back(k.first);
   }
   return out;
 }

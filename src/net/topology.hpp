@@ -34,6 +34,14 @@ class Topology {
   void set_link_up(NodeId a, NodeId b, bool up);
   void set_loss(NodeId a, NodeId b, double loss_probability);
 
+  /// Crash-stop liveness, orthogonal to scripted link state: every link of
+  /// a down node reads as disconnected (its neighbours' link estimators see
+  /// a corpse), but the LinkState itself is untouched, so scripted
+  /// link_down/link_up sequences and crash/recover cycles compose without
+  /// clobbering each other.
+  void set_node_down(NodeId id, bool down);
+  bool node_down(NodeId id) const { return down_nodes_.count(id) > 0; }
+
   std::optional<LinkState> link(NodeId a, NodeId b) const;
   bool connected(NodeId a, NodeId b) const;
   double loss(NodeId a, NodeId b) const;
@@ -60,6 +68,7 @@ class Topology {
   }
 
   std::set<NodeId> nodes_;
+  std::set<NodeId> down_nodes_;
   std::map<std::pair<NodeId, NodeId>, LinkState> links_;
 };
 

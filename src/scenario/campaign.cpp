@@ -28,6 +28,74 @@ std::string sanitize(const std::string& name) {
   return out.empty() ? std::string("scenario") : out;
 }
 
+/// The metric fields the aggregate block summarizes, readable both from a
+/// fresh RunMetrics and from a run entry of a written report (merge path).
+struct RunView {
+  bool ok = false;
+  bool backup_active = false;
+  double failover_latency_s = -1.0;
+  double missed_deadlines = 0.0;
+  double packet_loss_rate = 0.0;
+  double level_rmse_pct = 0.0;
+  double level_max_dev_pct = 0.0;
+};
+
+RunView view_of(const RunMetrics& run) {
+  RunView v;
+  v.ok = run.ok;
+  v.backup_active = run.backup_active;
+  v.failover_latency_s = run.failover_latency_s;
+  v.missed_deadlines = static_cast<double>(run.missed_deadlines);
+  v.packet_loss_rate = run.packet_loss_rate;
+  v.level_rmse_pct = run.level_rmse_pct;
+  v.level_max_dev_pct = run.level_max_dev_pct;
+  return v;
+}
+
+RunView view_of(const Json& run) {
+  RunView v;
+  if (const Json* ok = run.find("ok")) v.ok = ok->as_bool();
+  if (const Json* b = run.find("backup_active")) v.backup_active = b->as_bool();
+  if (const Json* f = run.find("failover_latency_s")) v.failover_latency_s = f->as_double(-1.0);
+  if (const Json* m = run.find("missed_deadlines")) v.missed_deadlines = m->as_double();
+  if (const Json* p = run.find("packet_loss_rate")) v.packet_loss_rate = p->as_double();
+  if (const Json* r = run.find("level_rmse_pct")) v.level_rmse_pct = r->as_double();
+  if (const Json* d = run.find("level_max_dev_pct")) v.level_max_dev_pct = d->as_double();
+  return v;
+}
+
+Json aggregate_views(const std::vector<RunView>& views) {
+  util::Samples failover_latency, missed_deadlines, loss_rate, rmse, max_dev;
+  std::size_t ok_count = 0, failovers_detected = 0, backups_active = 0;
+  for (const RunView& v : views) {
+    if (!v.ok) continue;
+    ++ok_count;
+    if (v.failover_latency_s >= 0.0) {
+      failover_latency.add(v.failover_latency_s);
+      ++failovers_detected;
+    }
+    if (v.backup_active) ++backups_active;
+    missed_deadlines.add(v.missed_deadlines);
+    loss_rate.add(v.packet_loss_rate);
+    rmse.add(v.level_rmse_pct);
+    max_dev.add(v.level_max_dev_pct);
+  }
+
+  Json aggregate = Json::object();
+  aggregate.set("runs_ok", ok_count);
+  aggregate.set("runs_failed", views.size() - ok_count);
+  aggregate.set("failovers_detected", failovers_detected);
+  aggregate.set("backups_active", backups_active);
+  if (!failover_latency.empty()) {
+    aggregate.set("failover_latency_s", summarize(failover_latency, "s"));
+  }
+  aggregate.set("missed_deadlines", summarize(missed_deadlines, "count"));
+  aggregate.set("packet_loss_rate", summarize(loss_rate, "fraction"));
+  aggregate.set("level_rmse_pct", summarize(rmse, "%"));
+  aggregate.set("level_max_dev_pct", summarize(max_dev, "%"));
+  return aggregate;
+}
+
 }  // namespace
 
 std::size_t CampaignResult::ok_count() const {
@@ -69,9 +137,20 @@ void parallel_for(std::size_t count, std::size_t jobs,
 
 CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& config) {
   CampaignResult result;
-  result.runs.resize(config.seeds);
-  parallel_for(config.seeds, config.jobs, [&](std::size_t i) {
-    ScenarioRunner runner(spec, config.base_seed + i);
+  // Seed-striding shard: of the campaign's seed range, this invocation owns
+  // every shard_count-th seed starting at shard_index. Striding (rather
+  // than contiguous blocks) keeps each shard's mix representative even
+  // when metrics drift with the seed. An out-of-range shard owns nothing —
+  // running some other shard's seeds instead would poison a later merge.
+  const std::size_t shard_count = std::max<std::size_t>(1, config.shard_count);
+  if (config.shard_index >= shard_count) return result;
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t i = config.shard_index; i < config.seeds; i += shard_count) {
+    seeds.push_back(config.base_seed + i);
+  }
+  result.runs.resize(seeds.size());
+  parallel_for(seeds.size(), config.jobs, [&](std::size_t i) {
+    ScenarioRunner runner(spec, seeds[i]);
     result.runs[i] = runner.run();
   });
   return result;
@@ -87,40 +166,101 @@ Json campaign_report(const ScenarioSpec& spec, const CampaignConfig& config,
   Json campaign = Json::object();
   campaign.set("base_seed", static_cast<std::int64_t>(config.base_seed));
   campaign.set("seeds", config.seeds);
+  if (config.shard_count > 1) {
+    campaign.set("shard_index", config.shard_index);
+    campaign.set("shard_count", config.shard_count);
+  }
   root.set("campaign", std::move(campaign));
 
   Json runs = Json::array();
   for (const auto& run : result.runs) runs.push(run.to_json());
   root.set("runs", std::move(runs));
 
-  util::Samples failover_latency, missed_deadlines, loss_rate, rmse, max_dev;
-  std::size_t failovers_detected = 0, backups_active = 0;
-  for (const auto& run : result.runs) {
-    if (!run.ok) continue;
-    if (run.failover_latency_s >= 0.0) {
-      failover_latency.add(run.failover_latency_s);
-      ++failovers_detected;
-    }
-    if (run.backup_active) ++backups_active;
-    missed_deadlines.add(static_cast<double>(run.missed_deadlines));
-    loss_rate.add(run.packet_loss_rate);
-    rmse.add(run.level_rmse_pct);
-    max_dev.add(run.level_max_dev_pct);
+  std::vector<RunView> views;
+  views.reserve(result.runs.size());
+  for (const auto& run : result.runs) views.push_back(view_of(run));
+  root.set("aggregate", aggregate_views(views));
+  return root;
+}
+
+util::Result<Json> merge_campaign_reports(const std::vector<Json>& reports) {
+  if (reports.empty()) {
+    return util::Status::invalid_argument("no reports to merge");
+  }
+  const Json* first_spec = reports.front().find("spec");
+  const Json* first_name = reports.front().find("scenario");
+  if (first_spec == nullptr || first_name == nullptr) {
+    return util::Status::invalid_argument("report lacks 'scenario'/'spec'");
   }
 
-  Json aggregate = Json::object();
-  aggregate.set("runs_ok", result.ok_count());
-  aggregate.set("runs_failed", result.runs.size() - result.ok_count());
-  aggregate.set("failovers_detected", failovers_detected);
-  aggregate.set("backups_active", backups_active);
-  if (!failover_latency.empty()) {
-    aggregate.set("failover_latency_s", summarize(failover_latency, "s"));
+  std::vector<Json> runs;
+  std::uint64_t base_seed = 0;
+  std::size_t seeds = 0;
+  bool first = true;
+  for (const Json& report : reports) {
+    const Json* name = report.find("scenario");
+    const Json* spec = report.find("spec");
+    if (name == nullptr || spec == nullptr ||
+        name->as_string() != first_name->as_string() ||
+        spec->dump() != first_spec->dump()) {
+      return util::Status::invalid_argument(
+          "cannot merge: shard reports describe different campaigns");
+    }
+    if (const Json* campaign = report.find("campaign")) {
+      if (const Json* b = campaign->find("base_seed")) {
+        const auto value = static_cast<std::uint64_t>(b->as_int());
+        base_seed = first ? value : std::min(base_seed, value);
+      }
+      if (const Json* s = campaign->find("seeds")) {
+        seeds = std::max(seeds, static_cast<std::size_t>(s->as_int()));
+      }
+    }
+    first = false;
+    const Json* shard_runs = report.find("runs");
+    if (shard_runs == nullptr || !shard_runs->is_array()) {
+      return util::Status::invalid_argument("report lacks a 'runs' array");
+    }
+    for (const Json& run : shard_runs->elements()) runs.push_back(run);
   }
-  aggregate.set("missed_deadlines", summarize(missed_deadlines, "count"));
-  aggregate.set("packet_loss_rate", summarize(loss_rate, "fraction"));
-  aggregate.set("level_rmse_pct", summarize(rmse, "%"));
-  aggregate.set("level_max_dev_pct", summarize(max_dev, "%"));
-  root.set("aggregate", std::move(aggregate));
+
+  // Seed-sorted union; a duplicated seed means the same shard was passed
+  // twice, which would double-weight its runs in every percentile.
+  std::stable_sort(runs.begin(), runs.end(), [](const Json& x, const Json& y) {
+    const Json* a = x.find("seed");
+    const Json* b = y.find("seed");
+    return (a ? a->as_int() : 0) < (b ? b->as_int() : 0);
+  });
+  for (std::size_t i = 1; i < runs.size(); ++i) {
+    const Json* a = runs[i - 1].find("seed");
+    const Json* b = runs[i].find("seed");
+    if (a != nullptr && b != nullptr && a->as_int() == b->as_int()) {
+      return util::Status::invalid_argument(
+          "cannot merge: seed " + std::to_string(b->as_int()) +
+          " appears in more than one report");
+    }
+  }
+
+  Json root = Json::object();
+  root.set("schema", 1);
+  root.set("scenario", *first_name);
+  root.set("spec", *first_spec);
+  Json campaign = Json::object();
+  campaign.set("base_seed", static_cast<std::int64_t>(base_seed));
+  campaign.set("seeds", seeds);
+  if (runs.size() != seeds) {
+    // Partial merge (some shards missing): say so instead of passing the
+    // report off as the full campaign.
+    campaign.set("merged_runs", runs.size());
+  }
+  root.set("campaign", std::move(campaign));
+
+  std::vector<RunView> views;
+  views.reserve(runs.size());
+  for (const Json& run : runs) views.push_back(view_of(run));
+  Json runs_json = Json::array();
+  for (Json& run : runs) runs_json.push(std::move(run));
+  root.set("runs", std::move(runs_json));
+  root.set("aggregate", aggregate_views(views));
   return root;
 }
 

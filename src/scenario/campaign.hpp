@@ -32,10 +32,19 @@ struct CampaignConfig {
   /// Worker threads; 0 picks min(seeds, hardware_concurrency). The value
   /// never affects results, only wall-clock time.
   std::size_t jobs = 0;
+  /// Seed-striding shard: this invocation runs the seeds whose index i in
+  /// [0, seeds) satisfies i % shard_count == shard_index. N CI jobs each
+  /// run one shard; merge_campaign_reports folds their reports back into
+  /// exactly the single-machine campaign. A shard_index outside
+  /// [0, shard_count) owns no seeds and yields an empty result.
+  std::size_t shard_index = 0;
+  std::size_t shard_count = 1;
 };
 
 struct CampaignResult {
-  std::vector<RunMetrics> runs;  // runs[i] used seed base_seed + i
+  /// One entry per seed this invocation ran, in ascending seed order
+  /// (base_seed + i without sharding; every shard_count-th seed with).
+  std::vector<RunMetrics> runs;
 
   std::size_t ok_count() const;
   bool all_ok() const { return ok_count() == runs.size(); }
@@ -48,6 +57,13 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& conf
 /// failover latency, deadline misses, packet loss and plant error.
 util::Json campaign_report(const ScenarioSpec& spec, const CampaignConfig& config,
                            const CampaignResult& result);
+
+/// Fold shard reports (written by `--shard K/N` invocations of the same
+/// campaign) into one: runs are concatenated verbatim and re-sorted by
+/// seed, the aggregate block is recomputed over the union. Merging every
+/// shard of a campaign reproduces the unsharded report's runs exactly.
+/// Rejects reports whose scenario name or spec echo disagree.
+util::Result<util::Json> merge_campaign_reports(const std::vector<util::Json>& reports);
 
 /// Directory campaign reports land in: $EVM_BENCH_OUT or "bench/out".
 std::string report_dir();

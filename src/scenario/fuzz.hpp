@@ -1,8 +1,12 @@
 // Property-based scenario fuzzing. A seeded generator emits random-but-valid
-// ScenarioSpecs — fault schedules drawn from every event kind, bounded by
-// validity rules (a crash of the last live controller always has a restart
-// scheduled, non-controller nodes come back within a bounded gap) so that a
-// violated invariant points at an EVM bug, not at an unsurvivable scenario.
+// ScenarioSpecs — random worlds (the Fig. 5 mesh or generated line / grid /
+// star topologies with relays) plus fault schedules drawn from every event
+// kind, bounded by validity rules (a crash of the last live controller
+// always has a restart scheduled, non-controller nodes come back within a
+// bounded gap) so that a violated invariant points at an EVM bug, not at an
+// unsurvivable scenario. Since the supervision fixes (promotion retry,
+// rejoin re-supervision) the generator no longer steers controller crashes
+// away from in-flight failovers — the nightly fuzz enforces those fixes.
 // Each generated (spec, seed) runs under the InvariantMonitor; on a
 // violation a greedy shrinker minimizes the spec while the violation still
 // reproduces and the minimal repro is written to bench/out/fuzz_failures/.
@@ -37,11 +41,11 @@ struct GeneratorConfig {
   /// A forced restart (any non-controller node, and every controller crash
   /// after the first disturbance) lands at most this long after the crash.
   double max_restart_gap_s = 8.0;
-  /// No controller crash is generated within this long of a possible
-  /// failover trigger: a promotion caught mid-flight with its target down
-  /// strands the loop, which is outside the paper's fault model.
-  double failover_settle_s = 15.0;
   double churn_probability = 0.3;
+  /// Probability of running in a randomized multi-hop world (line / grid /
+  /// star with relay nodes between sensor and controllers) instead of the
+  /// Fig. 5 mesh. The control period scales with the world's TDMA frame.
+  double topology_probability = 0.5;
 
   util::Json to_json() const;
 };

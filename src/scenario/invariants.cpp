@@ -1,5 +1,6 @@
 #include "scenario/invariants.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 
@@ -54,7 +55,7 @@ Json InvariantViolation::to_json() const {
 }
 
 InvariantMonitor::InvariantMonitor(const ScenarioSpec& spec, InvariantConfig config)
-    : spec_(spec), config_(config) {}
+    : spec_(spec), config_(config), replicas_(spec.topology().replica_order()) {}
 
 void InvariantMonitor::add(const std::string& invariant, double at_s,
                            std::string detail) {
@@ -70,6 +71,28 @@ bool InvariantMonitor::fault_free() const {
 }
 
 void InvariantMonitor::on_probe(double t_s, const ProbeSample& sample) {
+  // Liveness is derived from the VC membership when the probe carries
+  // per-replica states: only nodes in the spec topology's replica set may
+  // satisfy it, and a node outside that set claiming Active is a role-table
+  // breach (e.g. a mode command leaked to a non-member).
+  bool any_live_active = sample.any_live_active;
+  if (!sample.replicas.empty()) {
+    any_live_active = false;
+    for (const ReplicaProbe& replica : sample.replicas) {
+      const bool member = std::find(replicas_.begin(), replicas_.end(),
+                                    replica.node) != replicas_.end();
+      if (!member) {
+        add("sanity.nonmember_replica", t_s,
+            "node " + std::to_string(replica.node) +
+                " probed as a replica but is outside the VC membership");
+        continue;
+      }
+      if (replica.alive && replica.mode == core::ControllerMode::kActive) {
+        any_live_active = true;
+      }
+    }
+  }
+
   if (probed_) {
     // Cumulative counters must never run backwards; a decrease means a
     // collection bug (e.g. counters reset by a restart path).
@@ -94,14 +117,15 @@ void InvariantMonitor::on_probe(double t_s, const ProbeSample& sample) {
   // starts with the primary Active, so t=0 is the initial reference point.
   const double gap = t_s - last_active_s_;
   if (gap > max_gap_s_) max_gap_s_ = gap;
-  if (!sample.any_live_active && gap > config_.max_active_gap_s) {
+  if (!any_live_active && gap > config_.max_active_gap_s) {
     add("liveness.active_gap", t_s,
         "no live Active replica for " + fmt(gap) + " s (bound " +
             fmt(config_.max_active_gap_s) + " s)");
   }
-  if (sample.any_live_active) last_active_s_ = t_s;
+  if (any_live_active) last_active_s_ = t_s;
 
   last_sample_ = sample;
+  last_sample_.any_live_active = any_live_active;
   last_probe_s_ = t_s;
   probed_ = true;
 }

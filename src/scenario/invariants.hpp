@@ -57,7 +57,17 @@ class InvariantMonitor {
   const InvariantConfig& config() const { return config_; }
 
   /// Periodic liveness/counter probe, fed by ScenarioRunner.
+  struct ReplicaProbe {
+    net::NodeId node = net::kInvalidNode;
+    bool alive = false;  // node not crash-stopped
+    core::ControllerMode mode = core::ControllerMode::kDormant;
+  };
   struct ProbeSample {
+    /// Per-replica states over the VC membership. When present, the monitor
+    /// derives liveness from them (a live Active replica must exist within
+    /// the replica set the spec's topology declares); the plain flag below
+    /// serves synthetic feeds without a full replica vector.
+    std::vector<ReplicaProbe> replicas;
     bool any_live_active = false;  // a non-failed replica is Active
     std::size_t failover_count = 0;        // cumulative
     std::uint64_t missed_deadlines = 0;    // cumulative
@@ -87,6 +97,9 @@ class InvariantMonitor {
 
   const ScenarioSpec& spec_;
   InvariantConfig config_;
+  /// VC replica set derived from the spec's topology; liveness is judged
+  /// over exactly these nodes.
+  std::vector<net::NodeId> replicas_;
   std::vector<InvariantViolation> violations_;
 
   bool probed_ = false;

@@ -10,13 +10,10 @@
 
 namespace evm::scenario {
 
-using TB = testbed::TestbedIds;
 using util::Json;
 
 namespace {
 
-constexpr net::NodeId kAllNodes[] = {TB::kGateway, TB::kSensor, TB::kCtrlA,
-                                     TB::kCtrlB,  TB::kCtrlC,  TB::kActuator};
 constexpr const char* kLevelVariable = "LTS.LiquidPercentLevel";
 
 util::TimePoint at(double seconds) {
@@ -60,7 +57,7 @@ Json RunMetrics::to_json() const {
 }
 
 ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec, std::uint64_t seed)
-    : spec_(spec), seed_(seed) {}
+    : spec_(spec), seed_(seed), topo_(spec.topology()) {}
 
 ScenarioRunner::~ScenarioRunner() = default;
 
@@ -181,9 +178,11 @@ void ScenarioRunner::schedule_events() {
 void ScenarioRunner::schedule_churn() {
   if (!spec_.churn.enabled || spec_.churn.outages_per_minute <= 0.0) return;
   const ChurnSpec& churn = spec_.churn;
-  std::vector<net::NodeId> nodes = {TB::kGateway, TB::kSensor, TB::kCtrlA,
-                                    TB::kCtrlB, TB::kActuator};
-  if (spec_.testbed.third_controller) nodes.push_back(TB::kCtrlC);
+  // Outages strike pairs of VC members (relays included in multi-hop worlds
+  // through their membership); the draw order makes churn a pure function
+  // of (seed, salt, membership).
+  const std::vector<net::NodeId> nodes = topo_.members();
+  if (nodes.size() < 2) return;
 
   const double window_end = spec_.horizon_s - churn.end_margin_s;
   if (window_end <= churn.start_s) return;
@@ -206,19 +205,22 @@ void ScenarioRunner::schedule_churn() {
 void ScenarioRunner::probe_once() {
   auto& tb = *testbed_;
   InvariantMonitor::ProbeSample sample;
-  // A replica counts toward liveness only when its node is up: a crashed
-  // controller whose service state still reads Active cannot drive the
-  // valve, which is exactly the gap the liveness invariant is after.
-  std::vector<net::NodeId> controllers = {TB::kCtrlA, TB::kCtrlB};
-  if (spec_.testbed.third_controller) controllers.push_back(TB::kCtrlC);
-  for (net::NodeId id : controllers) {
-    if (!tb.node(id).failed() &&
-        tb.service(id).mode(testbed::kLtsLevelLoop) == core::ControllerMode::kActive) {
+  // Per-replica states over the VC membership; the monitor derives the
+  // liveness verdict from them. A replica counts toward liveness only when
+  // its node is up: a crashed controller whose service state still reads
+  // Active cannot drive the valve, which is exactly the gap the liveness
+  // invariant is after.
+  for (net::NodeId id : topo_.replica_order()) {
+    InvariantMonitor::ReplicaProbe replica;
+    replica.node = id;
+    replica.alive = !tb.node(id).failed();
+    replica.mode = tb.service(id).mode(testbed::kLtsLevelLoop);
+    if (replica.alive && replica.mode == core::ControllerMode::kActive) {
       sample.any_live_active = true;
-      break;
     }
+    sample.replicas.push_back(replica);
   }
-  for (net::NodeId id : kAllNodes) {
+  for (net::NodeId id : topo_.node_ids()) {
     sample.failover_count += tb.service(id).failovers().size();
     auto& scheduler = tb.node(id).kernel().scheduler();
     for (rtos::TaskId task : scheduler.task_ids()) {
@@ -247,7 +249,7 @@ RunMetrics ScenarioRunner::collect() {
   // Failover actions may be logged by the original head or, after a head
   // crash, by its successor — merge every node's log in time order.
   std::vector<core::FailoverEvent> failovers;
-  for (net::NodeId id : kAllNodes) {
+  for (net::NodeId id : topo_.node_ids()) {
     const auto& events = tb.service(id).failovers();
     failovers.insert(failovers.end(), events.begin(), events.end());
     m.head_successions += tb.service(id).head_successions();
@@ -262,7 +264,7 @@ RunMetrics ScenarioRunner::collect() {
     }
   }
 
-  for (net::NodeId id : kAllNodes) {
+  for (net::NodeId id : topo_.node_ids()) {
     auto& scheduler = tb.node(id).kernel().scheduler();
     for (rtos::TaskId task : scheduler.task_ids()) {
       const rtos::Tcb* tcb = scheduler.task(task);
@@ -296,12 +298,21 @@ RunMetrics ScenarioRunner::collect() {
     m.final_level_pct = level->samples.back().second;
   }
 
-  m.ctrl_a_mode = core::to_string(tb.service(TB::kCtrlA).mode(testbed::kLtsLevelLoop));
-  m.ctrl_b_mode = core::to_string(tb.service(TB::kCtrlB).mode(testbed::kLtsLevelLoop));
-  m.backup_active =
-      tb.service(TB::kCtrlB).mode(testbed::kLtsLevelLoop) == core::ControllerMode::kActive ||
-      (spec_.testbed.third_controller &&
-       tb.service(TB::kCtrlC).mode(testbed::kLtsLevelLoop) == core::ControllerMode::kActive);
+  // Replica modes in priority order: "ctrl_a" = the initial primary,
+  // "ctrl_b" = the first backup (the historical Fig. 5 report keys).
+  const std::vector<net::NodeId> replicas = topo_.replica_order();
+  m.ctrl_a_mode = core::to_string(
+      replicas.empty() ? core::ControllerMode::kDormant
+                       : tb.service(replicas[0]).mode(testbed::kLtsLevelLoop));
+  m.ctrl_b_mode = core::to_string(
+      replicas.size() < 2 ? core::ControllerMode::kDormant
+                          : tb.service(replicas[1]).mode(testbed::kLtsLevelLoop));
+  for (std::size_t i = 1; i < replicas.size(); ++i) {
+    if (tb.service(replicas[i]).mode(testbed::kLtsLevelLoop) ==
+        core::ControllerMode::kActive) {
+      m.backup_active = true;
+    }
+  }
 
   m.sim_events = tb.sim().dispatched_events();
   m.topology_mutations = script_->events_applied();

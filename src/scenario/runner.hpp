@@ -80,6 +80,9 @@ class ScenarioRunner {
 
   const ScenarioSpec& spec_;
   std::uint64_t seed_;
+  /// Resolved world (spec topology or the default Fig. 5 testbed); the
+  /// source of every node set the runner iterates.
+  testbed::TopologySpec topo_;
   std::unique_ptr<testbed::GasPlantTestbed> testbed_;
   std::unique_ptr<net::TopologyScript> script_;
   InvariantMonitor* monitor_ = nullptr;

@@ -32,20 +32,6 @@ constexpr KindName kKindNames[] = {
     {EventKind::kTrafficBurst, "traffic_burst"},
 };
 
-struct NodeName {
-  net::NodeId id;
-  const char* name;
-};
-
-constexpr NodeName kNodeNames[] = {
-    {testbed::TestbedIds::kGateway, "gateway"},
-    {testbed::TestbedIds::kSensor, "sensor"},
-    {testbed::TestbedIds::kCtrlA, "ctrl_a"},
-    {testbed::TestbedIds::kCtrlB, "ctrl_b"},
-    {testbed::TestbedIds::kCtrlC, "ctrl_c"},
-    {testbed::TestbedIds::kActuator, "actuator"},
-};
-
 std::string known_kinds() {
   std::string out;
   for (const auto& [kind, name] : kKindNames) {
@@ -61,14 +47,16 @@ Status missing(const std::string& what, const char* kind) {
                                   "' requires field '" + what + "'");
 }
 
-/// Fetch a required node field from an event object. Failures name the
-/// offending key, so "events[3]: event 'node_crash' field 'node': ..." tells
-/// the author exactly what to fix.
+/// Fetch a required node field from an event object, resolved against the
+/// scenario's role table. Failures name the offending key, so "events[3]:
+/// event 'node_crash' field 'node': ..." tells the author exactly what to
+/// fix.
 Result<net::NodeId> event_node(const Json& event, const char* field,
-                               const char* kind) {
+                               const char* kind,
+                               const testbed::TopologySpec& topo) {
   const Json* ref = event.find(field);
   if (ref == nullptr) return missing(field, kind);
-  auto node = parse_node(*ref);
+  auto node = parse_node(*ref, topo);
   if (!node) {
     return Status::invalid_argument("event '" + std::string(kind) +
                                     "' field '" + field +
@@ -132,35 +120,35 @@ const char* to_string(EventKind kind) {
   return "unknown";
 }
 
-const char* node_name(net::NodeId id) {
-  for (const auto& [node, name] : kNodeNames) {
-    if (node == id) return name;
-  }
-  return "unknown";
+std::string node_name(net::NodeId id, const testbed::TopologySpec& topo) {
+  return topo.node_name(id);
 }
 
-Result<net::NodeId> parse_node(const Json& json) {
-  if (json.is_number()) {
-    const std::int64_t id = json.as_int();
-    for (const auto& [node, name] : kNodeNames) {
-      (void)name;
-      if (node == id) return node;
-    }
-    return Status::invalid_argument("unknown node id " + std::to_string(id) +
-                                    " (testbed nodes are 1..6)");
-  }
-  if (json.is_string()) {
-    for (const auto& [node, name] : kNodeNames) {
-      if (json.as_string() == name) return node;
-    }
-    return Status::invalid_argument(
-        "unknown node '" + json.as_string() +
-        "' (expected gateway, sensor, ctrl_a, ctrl_b, ctrl_c or actuator)");
-  }
-  return Status::invalid_argument("node reference must be a name or an id");
+Result<net::NodeId> parse_node(const Json& json, const testbed::TopologySpec& topo) {
+  return topo.parse_node(json);
+}
+
+testbed::TopologySpec ScenarioSpec::topology() const {
+  if (!testbed.topology.empty()) return testbed.topology;
+  return testbed::default_fig5_topology(testbed.third_controller,
+                                        testbed.link_loss);
 }
 
 util::Status ScenarioSpec::validate() const {
+  const testbed::TopologySpec topo = topology();
+  if (util::Status s = topo.validate(); !s) {
+    return Status::invalid_argument("topology: " + s.message());
+  }
+  // Schedule feasibility: one TDMA frame (the worst-case link access) must
+  // fit inside the control period, or the loop can never close on time.
+  const testbed::SchedulePlan plan = testbed::plan_schedule(topo);
+  if (plan.frame_length() > testbed.control_period) {
+    return Status::invalid_argument(
+        "infeasible schedule: the " + std::to_string(plan.slots.size()) +
+        "-slot RT-Link frame (" + std::to_string(plan.frame_length().ms()) +
+        " ms) exceeds the " + std::to_string(testbed.control_period.ms()) +
+        " ms control period");
+  }
   for (std::size_t i = 0; i < events.size(); ++i) {
     const FaultEvent& e = events[i];
     if (e.at_s > horizon_s) {
@@ -235,7 +223,35 @@ Result<ScenarioSpec> ScenarioSpec::from_json(const Json& json) {
     if (cfg.link_loss < 0.0 || cfg.link_loss >= 1.0) {
       return Status::invalid_argument("'link_loss' must be in [0, 1)");
     }
+    double promotion_timeout_s = cfg.promotion_timeout.to_seconds();
+    if (Status s = read_number(*tb, "promotion_timeout_s", promotion_timeout_s); !s) return s;
+    cfg.promotion_timeout = util::Duration::from_seconds(promotion_timeout_s);
+    if (!cfg.promotion_timeout.is_positive()) {
+      return Status::invalid_argument("'promotion_timeout_s' must be positive");
+    }
   }
+
+  if (const Json* topology = json.find("topology")) {
+    // The Fig. 5-only knobs and an explicit world are mutually exclusive:
+    // silently combining them would build a different experiment than either
+    // section describes.
+    if (spec.testbed.third_controller) {
+      return Status::invalid_argument(
+          "'testbed.third_controller' only applies to the default Fig. 5 "
+          "topology; use a controller node in the 'topology' section instead");
+    }
+    if (spec.testbed.link_loss != 0.0) {
+      return Status::invalid_argument(
+          "'testbed.link_loss' only applies to the default Fig. 5 topology; "
+          "use per-link 'loss' or the generator's 'link_loss' instead");
+    }
+    auto parsed = testbed::TopologySpec::from_json(*topology);
+    if (!parsed) {
+      return Status::invalid_argument("topology: " + parsed.status().message());
+    }
+    spec.testbed.topology = std::move(*parsed);
+  }
+  const testbed::TopologySpec topo = spec.topology();
 
   if (const Json* record = json.find("record")) {
     if (!record->is_array()) {
@@ -321,7 +337,7 @@ Result<ScenarioSpec> ScenarioSpec::from_json(const Json& json) {
             break;
           case EventKind::kNodeCrash:
           case EventKind::kNodeRestart: {
-            auto node = event_node(entry, "node", kind_name);
+            auto node = event_node(entry, "node", kind_name, topo);
             if (!node) return node.status();
             e.node = *node;
             break;
@@ -332,9 +348,9 @@ Result<ScenarioSpec> ScenarioSpec::from_json(const Json& json) {
           case EventKind::kLinkLoss:
           case EventKind::kBurstLoss:
           case EventKind::kClearBurstLoss: {
-            auto a = event_node(entry, "a", kind_name);
+            auto a = event_node(entry, "a", kind_name, topo);
             if (!a) return a.status();
-            auto b = event_node(entry, "b", kind_name);
+            auto b = event_node(entry, "b", kind_name, topo);
             if (!b) return b.status();
             e.a = *a;
             e.b = *b;
@@ -370,7 +386,7 @@ Result<ScenarioSpec> ScenarioSpec::from_json(const Json& json) {
             break;
           }
           case EventKind::kClockDrift: {
-            auto node = event_node(entry, "node", kind_name);
+            auto node = event_node(entry, "node", kind_name, topo);
             if (!node) return node.status();
             e.node = *node;
             auto ppm = require_number(entry, "ppm", kind_name);
@@ -379,7 +395,7 @@ Result<ScenarioSpec> ScenarioSpec::from_json(const Json& json) {
             break;
           }
           case EventKind::kTrafficBurst: {
-            auto node = event_node(entry, "node", kind_name);
+            auto node = event_node(entry, "node", kind_name, topo);
             if (!node) return node.status();
             e.node = *node;
             auto count = require_number(entry, "count", kind_name);
@@ -407,14 +423,36 @@ Result<ScenarioSpec> ScenarioSpec::from_json(const Json& json) {
     }
   }
 
-  // Events referencing Ctrl-C need the third replica instantiated in the VC.
-  if (!spec.testbed.third_controller) {
-    for (const auto& e : spec.events) {
-      if (e.node == testbed::TestbedIds::kCtrlC ||
-          e.a == testbed::TestbedIds::kCtrlC ||
-          e.b == testbed::TestbedIds::kCtrlC) {
+  // Link events must reference a link that exists in the world (trivially
+  // true on the Fig. 5 full mesh; a real constraint on lines and grids).
+  for (std::size_t i = 0; i < spec.events.size(); ++i) {
+    const FaultEvent& e = spec.events[i];
+    const bool link_event =
+        e.kind == EventKind::kLinkDown || e.kind == EventKind::kLinkUp ||
+        e.kind == EventKind::kLinkOutage || e.kind == EventKind::kLinkLoss ||
+        e.kind == EventKind::kBurstLoss || e.kind == EventKind::kClearBurstLoss;
+    if (link_event && !topo.has_link(e.a, e.b)) {
+      return Status::invalid_argument(
+          "events[" + std::to_string(i) + "]: no link between '" +
+          topo.node_name(e.a) + "' and '" + topo.node_name(e.b) +
+          "' in this topology");
+    }
+  }
+
+  // Events referencing a non-member controller target a replica that was
+  // never instantiated in the VC (on the default world: ctrl_c without
+  // testbed.third_controller).
+  for (const auto& e : spec.events) {
+    for (net::NodeId id : {e.node, e.a, e.b}) {
+      const testbed::TopologyNode* node = topo.find(id);
+      if (node != nullptr && node->role == testbed::NodeRole::kController &&
+          !node->vc_member) {
         return Status::invalid_argument(
-            "event references ctrl_c but testbed.third_controller is false");
+            "event references controller '" + node->name +
+            "' which is not a VC member" +
+            (spec.testbed.topology.empty()
+                 ? std::string(" (testbed.third_controller is false)")
+                 : std::string()));
       }
     }
   }
@@ -433,6 +471,7 @@ Result<ScenarioSpec> ScenarioSpec::load_file(const std::string& path) {
 }
 
 Json ScenarioSpec::to_json() const {
+  const testbed::TopologySpec topo = topology();
   Json root = Json::object();
   root.set("name", name);
   if (!description.empty()) root.set("description", description);
@@ -442,10 +481,16 @@ Json ScenarioSpec::to_json() const {
   tb.set("control_period_ms", testbed.control_period.to_seconds() * 1e3);
   tb.set("evidence_threshold", static_cast<std::int64_t>(testbed.evidence_threshold));
   tb.set("dormant_delay_s", testbed.dormant_delay.to_seconds());
+  tb.set("promotion_timeout_s", testbed.promotion_timeout.to_seconds());
   tb.set("level_setpoint", testbed.level_setpoint);
   tb.set("third_controller", testbed.third_controller);
   tb.set("link_loss", testbed.link_loss);
   root.set("testbed", std::move(tb));
+
+  // Campaign provenance: the explicit node/link list round-trips, so a
+  // report's spec echo rebuilds the exact world (generator shorthands are
+  // expanded at parse time).
+  if (!testbed.topology.empty()) root.set("topology", testbed.topology.to_json());
 
   if (!record.empty()) {
     Json rec = Json::array();
@@ -476,7 +521,7 @@ Json ScenarioSpec::to_json() const {
         break;
       case EventKind::kNodeCrash:
       case EventKind::kNodeRestart:
-        entry.set("node", node_name(e.node));
+        entry.set("node", node_name(e.node, topo));
         break;
       case EventKind::kLinkDown:
       case EventKind::kLinkUp:
@@ -484,8 +529,8 @@ Json ScenarioSpec::to_json() const {
       case EventKind::kLinkLoss:
       case EventKind::kBurstLoss:
       case EventKind::kClearBurstLoss:
-        entry.set("a", node_name(e.a));
-        entry.set("b", node_name(e.b));
+        entry.set("a", node_name(e.a, topo));
+        entry.set("b", node_name(e.b, topo));
         if (e.kind == EventKind::kLinkOutage) entry.set("duration_s", e.duration_s);
         if (e.kind == EventKind::kLinkLoss) entry.set("loss", e.value);
         if (e.kind == EventKind::kBurstLoss) {
@@ -496,11 +541,11 @@ Json ScenarioSpec::to_json() const {
         }
         break;
       case EventKind::kClockDrift:
-        entry.set("node", node_name(e.node));
+        entry.set("node", node_name(e.node, topo));
         entry.set("ppm", e.value);
         break;
       case EventKind::kTrafficBurst:
-        entry.set("node", node_name(e.node));
+        entry.set("node", node_name(e.node, topo));
         entry.set("count", e.count);
         entry.set("interval_ms", e.interval_ms);
         break;

@@ -67,7 +67,9 @@ struct ScenarioSpec {
   std::string name;
   std::string description;
   double horizon_s = 120.0;
-  /// Testbed knobs; the per-run seed overrides `testbed.seed`.
+  /// Testbed knobs; the per-run seed overrides `testbed.seed`. The optional
+  /// "topology" section of the JSON document lands in `testbed.topology`;
+  /// when absent the world is the default Fig. 5 six-node testbed.
   testbed::GasPlantTestbedConfig testbed;
   /// Plant variables traced once per record period (series named after the
   /// variable). The LTS level is always traced for the plant-error metrics.
@@ -79,6 +81,12 @@ struct ScenarioSpec {
   /// Earliest scheduled fault (primary_fault or node_crash); -1 when the
   /// scenario injects none. Failover latency is measured from here.
   double first_fault_s() const;
+
+  /// The world this scenario runs in: `testbed.topology` when set, else the
+  /// default Fig. 5 testbed derived from the third_controller / link_loss
+  /// knobs. Everything that needs the role table (event parsing, the
+  /// runner's node sets, the invariant monitor's VC membership) reads this.
+  testbed::TopologySpec topology() const;
 
   /// Cross-field checks that must hold for the spec to be runnable; today
   /// that is "every fault event fires within the horizon". from_json calls
@@ -93,9 +101,11 @@ struct ScenarioSpec {
   util::Json to_json() const;
 };
 
-/// Resolve a node reference: the Fig. 5 role names ("gateway", "sensor",
-/// "ctrl_a", "ctrl_b", "ctrl_c", "actuator") or a numeric id 1..6.
-util::Result<net::NodeId> parse_node(const util::Json& json);
-const char* node_name(net::NodeId id);
+/// Resolve a node reference — a role-table name (for the default Fig. 5
+/// world: "gateway", "sensor", "ctrl_a", "ctrl_b", "ctrl_c", "actuator") or
+/// a numeric id — against the scenario's topology.
+util::Result<net::NodeId> parse_node(const util::Json& json,
+                                     const testbed::TopologySpec& topo);
+std::string node_name(net::NodeId id, const testbed::TopologySpec& topo);
 
 }  // namespace evm::scenario

@@ -1,47 +1,19 @@
 // The paper's evaluation testbed (Fig. 5): a Honeywell-Unisim-style natural
 // gas plant in hardware-in-loop co-simulation with six FireFly-class nodes —
 // gateway, sensor, two-or-three controllers and an actuator — joined into
-// one Virtual Component over RT-Link. Examples, integration tests and the
-// Fig. 6(b) bench all build on this harness.
+// one Virtual Component over RT-Link. Since the topology redesign this is a
+// thin wrapper over TestbedBuilder: the world comes from config.topology
+// when set, else from default_fig5_topology(). Examples, integration tests
+// and the Fig. 6(b) bench all build on this harness.
 #pragma once
 
-#include <map>
-#include <memory>
-#include <vector>
+#include <utility>
 
-#include "core/control_programs.hpp"
-#include "core/service.hpp"
-#include "plant/hil.hpp"
+#include "testbed/testbed_builder.hpp"
 
 namespace evm::testbed {
 
-struct GasPlantTestbedConfig {
-  std::uint64_t seed = 7;
-  /// Control cycle (paper objective 5: 1/4 second or less).
-  util::Duration control_period = util::Duration::millis(250);
-  /// Consecutive deviating cycles before the backup reports. The paper's
-  /// scenario takes T2 - T1 = 300 s to act; at 4 Hz that is 1200 cycles.
-  std::uint32_t evidence_threshold = 1200;
-  /// T3 - T2: demoted primary parks Dormant after this long as Backup.
-  util::Duration dormant_delay = util::Duration::seconds(200);
-  /// Level setpoint (percent).
-  double level_setpoint = 50.0;
-  /// Include a third controller replica (Ctrl-C) for degradation studies.
-  bool third_controller = false;
-  /// Per-link packet loss probability.
-  double link_loss = 0.0;
-  plant::GasPlantConfig plant = [] {
-    plant::GasPlantConfig c;
-    // Small holdup so a mis-set valve drains the separator on the few-
-    // hundred-second timescale of the paper's Fig. 6(b); valve coefficient
-    // chosen so the steady opening lands at the paper's 11.48 %.
-    c.lts.holdup_capacity_kmol = 30.0;
-    c.lts.valve_cv = 433.6;
-    return c;
-  }();
-};
-
-/// Node ids in the virtual component (mirroring Fig. 5's labels).
+/// Node ids of the default Fig. 5 world (mirroring the paper's labels).
 struct TestbedIds {
   static constexpr net::NodeId kGateway = 1;  // ModBus bridge + VC head
   static constexpr net::NodeId kSensor = 2;   // S1: LTS liquid level
@@ -51,58 +23,10 @@ struct TestbedIds {
   static constexpr net::NodeId kActuator = 6; // A1: LTS drain valve
 };
 
-inline constexpr core::FunctionId kLtsLevelLoop = 1;
-inline constexpr std::uint8_t kLevelStream = 0;
-inline constexpr std::uint8_t kValveChannel = 0;
-
-class GasPlantTestbed {
+class GasPlantTestbed : public TestbedBuilder {
  public:
-  explicit GasPlantTestbed(GasPlantTestbedConfig config = {});
-
-  /// Settle the plant at its steady operating point, start every node, the
-  /// time sync, the MACs and the HIL harness.
-  void start();
-
-  /// Inject the paper's fault: Ctrl-A keeps running but emits `wrong_value`
-  /// (Fig. 6(b): 75 instead of 11.48).
-  void inject_primary_fault(double wrong_value);
-  void clear_primary_fault();
-
-  /// Run the co-simulation until absolute virtual time `until`.
-  void run_until(util::Duration until);
-
-  sim::Simulator& sim() { return sim_; }
-  plant::GasPlant& plant() { return plant_; }
-  plant::HilHarness& hil() { return *hil_; }
-  net::Topology& topology() { return topology_; }
-  net::Medium& medium() { return *medium_; }
-  net::RtLinkSchedule& schedule() { return *schedule_; }
-  core::Node& node(net::NodeId id) { return *nodes_.at(id); }
-  core::EvmService& service(net::NodeId id) { return *services_.at(id); }
-  core::EvmService& head() { return service(TestbedIds::kGateway); }
-  const core::VcDescriptor& descriptor() const { return descriptor_; }
-
-  /// The steady-state valve opening computed at initialization (the paper's
-  /// 11.48 % figure for their operating point).
-  double steady_opening() const { return steady_opening_; }
-
- private:
-  void build_descriptor();
-  void build_nodes();
-
-  GasPlantTestbedConfig config_;
-  sim::Simulator sim_;
-  net::Topology topology_;
-  std::unique_ptr<net::Medium> medium_;
-  std::unique_ptr<net::RtLinkSchedule> schedule_;
-  std::unique_ptr<net::TimeSync> timesync_;
-  plant::GasPlant plant_;
-  std::unique_ptr<plant::HilHarness> hil_;
-  core::VcDescriptor descriptor_;
-  std::map<net::NodeId, std::unique_ptr<core::Node>> nodes_;
-  std::map<net::NodeId, std::unique_ptr<core::EvmService>> services_;
-  double steady_opening_ = 0.0;
-  bool started_ = false;
+  explicit GasPlantTestbed(GasPlantTestbedConfig config = {})
+      : TestbedBuilder(std::move(config)) {}
 };
 
 }  // namespace evm::testbed

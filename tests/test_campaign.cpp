@@ -135,6 +135,88 @@ TEST(CampaignAggregation, FailedRunsAreExcludedFromAggregates) {
   EXPECT_DOUBLE_EQ(latency->find("mean")->as_double(), 5.0);
 }
 
+TEST(CampaignShards, MergedShardReportsReproduceTheFullCampaign) {
+  // Two seed-striding shards of a 5-seed campaign over hand-built metrics:
+  // shard reports merged must equal the unsharded report byte for byte
+  // (runs verbatim, aggregate recomputed over the union).
+  const ScenarioSpec spec = minimal_spec();
+  const double latencies[] = {4.0, 2.5, 7.0, 1.0, 5.5};
+
+  CampaignConfig full_config;
+  full_config.base_seed = 10;
+  full_config.seeds = 5;
+  CampaignResult full;
+  for (std::uint64_t i = 0; i < 5; ++i) full.runs.push_back(ok_run(10 + i, latencies[i]));
+  const util::Json full_report = campaign_report(spec, full_config, full);
+
+  std::vector<util::Json> shard_reports;
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    CampaignConfig config = full_config;
+    config.shard_index = shard;
+    config.shard_count = 2;
+    CampaignResult result;
+    for (std::uint64_t i = shard; i < 5; i += 2) {
+      result.runs.push_back(ok_run(10 + i, latencies[i]));
+    }
+    util::Json report = campaign_report(spec, config, result);
+    // Shard provenance is recorded...
+    EXPECT_EQ(report.find("campaign")->find("shard_count")->as_int(), 2);
+    // ...and survives a disk round-trip like the CI merge step does.
+    auto reparsed = util::Json::parse(report.dump());
+    ASSERT_TRUE(reparsed.ok());
+    shard_reports.push_back(std::move(*reparsed));
+  }
+
+  auto merged = merge_campaign_reports(shard_reports);
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  EXPECT_EQ(merged->dump(), full_report.dump());
+}
+
+TEST(CampaignShards, ShardedRunCampaignCoversDisjointSeeds) {
+  // The striding itself: 0/2 owns seeds {1,3,5}, 1/2 owns {2,4} of a
+  // 5-seed campaign starting at 1 (verified through real runner failures,
+  // which echo their seed without needing a full testbed run).
+  ScenarioSpec spec = minimal_spec();
+  spec.testbed.control_period = util::Duration::micros(10);  // inadmissible
+  CampaignConfig config;
+  config.base_seed = 1;
+  config.seeds = 5;
+  config.shard_count = 2;
+  config.shard_index = 0;
+  const CampaignResult even = run_campaign(spec, config);
+  config.shard_index = 1;
+  const CampaignResult odd = run_campaign(spec, config);
+  std::vector<std::uint64_t> seeds;
+  for (const auto& run : even.runs) seeds.push_back(run.seed);
+  for (const auto& run : odd.runs) seeds.push_back(run.seed);
+  std::sort(seeds.begin(), seeds.end());
+  EXPECT_EQ(seeds, (std::vector<std::uint64_t>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(even.runs.size(), 3u);
+  EXPECT_EQ(odd.runs.size(), 2u);
+}
+
+TEST(CampaignShards, MergeRejectsMismatchedAndDuplicateReports) {
+  const ScenarioSpec spec = minimal_spec();
+  CampaignConfig config;
+  config.seeds = 1;
+  CampaignResult result;
+  result.runs.push_back(ok_run(1, 2.0));
+  const util::Json report = campaign_report(spec, config, result);
+
+  // Same shard twice: the duplicate seed must be rejected.
+  auto duplicate = merge_campaign_reports({report, report});
+  EXPECT_FALSE(duplicate.ok());
+
+  // A report of a different scenario must be rejected.
+  ScenarioSpec other = minimal_spec();
+  other.name = "other-scenario";
+  const util::Json other_report = campaign_report(other, config, result);
+  auto mismatch = merge_campaign_reports({report, other_report});
+  EXPECT_FALSE(mismatch.ok());
+
+  EXPECT_FALSE(merge_campaign_reports({}).ok());
+}
+
 TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
   for (std::size_t jobs : {std::size_t{1}, std::size_t{4}, std::size_t{64}}) {
     std::vector<std::atomic<int>> hits(97);

@@ -5,6 +5,7 @@
 // write_failure / load_repro.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <set>
@@ -95,12 +96,12 @@ TEST(FuzzGenerator, CrashOfLastViableControllerAlwaysRestarts) {
   const GeneratorConfig config;
   for (std::uint64_t seed = 0; seed < 200; ++seed) {
     const ScenarioSpec spec = generate_spec(seed, config);
+    const auto replicas = spec.topology().replica_order();
     bool disturbed = false;
     for (const auto& e : spec.events) {
       if (e.kind != EventKind::kNodeCrash) continue;
-      const bool ctrl = e.node == testbed::TestbedIds::kCtrlA ||
-                        e.node == testbed::TestbedIds::kCtrlB ||
-                        e.node == testbed::TestbedIds::kCtrlC;
+      const bool ctrl = std::find(replicas.begin(), replicas.end(), e.node) !=
+                        replicas.end();
       if (ctrl && disturbed) {
         bool restarted = false;
         for (const auto& r : spec.events) {
@@ -113,6 +114,47 @@ TEST(FuzzGenerator, CrashOfLastViableControllerAlwaysRestarts) {
       }
       if (ctrl) disturbed = true;
     }
+  }
+}
+
+TEST(FuzzGenerator, GeneratesRandomizedMultiHopTopologies) {
+  // The generator must exercise non-Fig.5 worlds: over a few hundred seeds
+  // it emits line / grid / star topologies with relay nodes, every one of
+  // them structurally valid with a feasible schedule.
+  const GeneratorConfig config;
+  std::size_t multi_hop = 0, with_relays = 0;
+  for (std::uint64_t seed = 0; seed < 100; ++seed) {
+    const ScenarioSpec spec = generate_spec(seed, config);
+    const testbed::TopologySpec topo = spec.topology();
+    ASSERT_TRUE(topo.validate()) << "seed " << seed;
+    if (topo.multi_hop()) {
+      ++multi_hop;
+      // Frame must fit the scaled control period (schedule feasibility).
+      EXPECT_LE(testbed::plan_schedule(topo).frame_length(),
+                spec.testbed.control_period)
+          << "seed " << seed;
+    }
+    if (!topo.relays().empty()) ++with_relays;
+  }
+  EXPECT_GT(multi_hop, 20u);
+  EXPECT_GT(with_relays, 10u);
+}
+
+TEST(FuzzGenerator, FaultFreeMultiHopWorldPassesInvariants) {
+  // Acceptance gate from the issue: randomized topologies with no injected
+  // fault must come out clean under the invariant monitor.
+  const GeneratorConfig config;
+  for (std::uint64_t seed = 0; seed < 300; ++seed) {
+    ScenarioSpec spec = generate_spec(seed, config);
+    if (spec.topology().relays().empty()) continue;
+    // Strip every disturbance: this is the monitor's null hypothesis.
+    spec.events.clear();
+    spec.churn = ChurnSpec{};
+    spec.horizon_s = 30.0;
+    const CheckedRun check = check_scenario(spec, 11);
+    EXPECT_TRUE(check.ok()) << "seed " << seed << "\n" << check.to_json().dump();
+    EXPECT_EQ(check.metrics.failover_count, 0u) << "seed " << seed;
+    break;  // one full multi-hop run keeps the suite fast
   }
 }
 

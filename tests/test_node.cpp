@@ -58,6 +58,31 @@ TEST_F(NodeFixture, FailStopsMacAndTasks) {
   EXPECT_FALSE(node.kernel().scheduler().is_active(*id));
 }
 
+TEST_F(NodeFixture, RecoverResumesTasksTheCrashStopped) {
+  Node node = make(1);
+  schedule.assign_tx(0, 1);
+  node.start();
+  rtos::TaskParams p;
+  p.name = "t";
+  p.period = util::Duration::millis(100);
+  p.wcet = util::Duration::millis(1);
+  int runs = 0, dormant_runs = 0;
+  auto running = node.kernel().admit_task(p, [&] { ++runs; });
+  auto dormant = node.kernel().admit_task(p, [&] { ++dormant_runs; });
+  (void)node.kernel().start_task(*running);
+  // `dormant` is never started: it must stay dormant across fail/recover.
+  sim.run_until(util::TimePoint::zero() + util::Duration::millis(250));
+  node.fail();
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(1));
+  const int at_recovery = runs;
+  node.recover();
+  sim.run_until(util::TimePoint::zero() + util::Duration::seconds(2));
+  EXPECT_GT(runs, at_recovery) << "crash-stopped task did not resume";
+  EXPECT_TRUE(node.kernel().scheduler().is_active(*running));
+  EXPECT_FALSE(node.kernel().scheduler().is_active(*dormant));
+  EXPECT_EQ(dormant_runs, 0);
+}
+
 TEST_F(NodeFixture, FailIsIdempotentAndRecoverRestartsMac) {
   Node node = make(1);
   node.start();

@@ -50,6 +50,7 @@ TEST(Datagram, EncodeDecodeRoundTrip) {
   d.destination = 9;
   d.type = 0x42;
   d.ttl = 5;
+  d.seq = 777;
   d.payload = {1, 2, 3, 4, 5};
   Datagram out;
   ASSERT_TRUE(Router::decode(Router::encode(d), out));
@@ -57,6 +58,7 @@ TEST(Datagram, EncodeDecodeRoundTrip) {
   EXPECT_EQ(out.destination, 9);
   EXPECT_EQ(out.type, 0x42);
   EXPECT_EQ(out.ttl, 5);
+  EXPECT_EQ(out.seq, 777);
   EXPECT_EQ(out.payload, d.payload);
 }
 
@@ -120,6 +122,46 @@ TEST_F(RoutingFixture, ReroutesAroundFailedLink) {
   topo.set_link_up(1, 2, false);
   ASSERT_TRUE(a.send(3, 1, {}));
   run_for(util::Duration::seconds(1));
+  EXPECT_EQ(got, 1);
+}
+
+TEST_F(RoutingFixture, FloodedBroadcastCrossesRelaysExactlyOnce) {
+  // Line 1-2-3-4-5 with flooding on: a broadcast from one end reaches the
+  // far end (4 hops), and every node delivers it exactly once.
+  std::map<NodeId, int> got;
+  for (NodeId id : {1, 2, 3, 4, 5}) {
+    Router& r = make_node(id);
+    r.enable_flooding();
+    r.set_default_ttl(6);
+    r.set_receive_handler([&got, id](const Datagram& d) {
+      EXPECT_EQ(d.source, 1);
+      ++got[id];
+    });
+  }
+  start_all();
+  ASSERT_TRUE(stacks[1].router->send(kBroadcast, 1, {9}));
+  run_for(util::Duration::seconds(2));
+  for (NodeId id : {2, 3, 4, 5}) EXPECT_EQ(got[id], 1) << "node " << id;
+  EXPECT_EQ(got[1], 0);  // own broadcast must not echo back up
+}
+
+TEST_F(RoutingFixture, FloodDeduplicatesAcrossDiamondPaths) {
+  // Diamond 1-2, 1-3, 2-4, 3-4: node 4 hears the flood over two disjoint
+  // paths but must deliver it once.
+  topo = Topology();
+  topo.set_link(1, 2, {true, 0.0});
+  topo.set_link(1, 3, {true, 0.0});
+  topo.set_link(2, 4, {true, 0.0});
+  topo.set_link(3, 4, {true, 0.0});
+  int got = 0;
+  for (NodeId id : {1, 2, 3, 4}) {
+    Router& r = make_node(id);
+    r.enable_flooding();
+    if (id == 4) r.set_receive_handler([&](const Datagram&) { ++got; });
+  }
+  start_all();
+  ASSERT_TRUE(stacks[1].router->send(kBroadcast, 1, {}));
+  run_for(util::Duration::seconds(2));
   EXPECT_EQ(got, 1);
 }
 

@@ -204,6 +204,148 @@ TEST(ScenarioSpec, JsonRoundTripIsStable) {
   EXPECT_EQ(reparsed->to_json().dump(), spec->to_json().dump());
 }
 
+TEST(ScenarioSpec, TopologySectionParsesResolvesAndRoundTrips) {
+  auto spec = parse(R"({
+    "name": "line-world",
+    "horizon_s": 40,
+    "testbed": {"control_period_ms": 500, "evidence_threshold": 6},
+    "topology": {"generator": "line", "nodes": 8},
+    "events": [
+      {"at_s": 10, "do": "node_crash", "node": "relay_2"},
+      {"at_s": 14, "do": "node_restart", "node": "relay_2"},
+      {"at_s": 20, "do": "link_outage", "a": "ctrl_a", "b": "ctrl_b", "duration_s": 2}
+    ]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  const testbed::TopologySpec topo = spec->topology();
+  EXPECT_EQ(topo.nodes.size(), 8u);
+  EXPECT_TRUE(topo.multi_hop());
+  // Event node refs resolved against the custom role table.
+  EXPECT_EQ(spec->events[0].node, topo.find_name("relay_2")->id);
+
+  // Round trip: the report's spec echo rebuilds the identical world.
+  auto reparsed = ScenarioSpec::from_json(spec->to_json());
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string();
+  EXPECT_EQ(reparsed->to_json().dump(), spec->to_json().dump());
+  EXPECT_EQ(reparsed->topology().to_json().dump(), topo.to_json().dump());
+}
+
+TEST(ScenarioSpec, TopologyRejectsConflictsAndMissingLinks) {
+  // Fig. 5-only knobs cannot be combined with an explicit world.
+  auto third = parse(R"({
+    "name": "x", "testbed": {"third_controller": true},
+    "topology": {"generator": "line", "nodes": 8}
+  })");
+  EXPECT_FALSE(third.ok());
+  auto loss = parse(R"({
+    "name": "x", "testbed": {"link_loss": 0.1},
+    "topology": {"generator": "line", "nodes": 8}
+  })");
+  EXPECT_FALSE(loss.ok());
+
+  // Link events must reference links that exist (gateway-actuator is 7 hops
+  // apart on the chain).
+  auto no_link = parse(R"({
+    "name": "x", "horizon_s": 30,
+    "testbed": {"control_period_ms": 500},
+    "topology": {"generator": "line", "nodes": 8},
+    "events": [{"at_s": 5, "do": "link_down", "a": "gateway", "b": "actuator"}]
+  })");
+  ASSERT_FALSE(no_link.ok());
+  EXPECT_NE(no_link.status().message().find("no link"), std::string::npos);
+
+  // Unknown role names fail with the world's own vocabulary.
+  auto unknown = parse(R"({
+    "name": "x", "horizon_s": 30,
+    "testbed": {"control_period_ms": 500},
+    "topology": {"generator": "line", "nodes": 8},
+    "events": [{"at_s": 5, "do": "node_crash", "node": "ctrl_c"}]
+  })");
+  EXPECT_FALSE(unknown.ok());
+
+  // Schedule feasibility: a 20-node frame cannot fit a 100 ms period.
+  auto infeasible = parse(R"({
+    "name": "x", "horizon_s": 30,
+    "testbed": {"control_period_ms": 100},
+    "topology": {"generator": "grid", "width": 5, "height": 4}
+  })");
+  ASSERT_FALSE(infeasible.ok());
+  EXPECT_NE(infeasible.status().message().find("infeasible"), std::string::npos);
+}
+
+TEST(ScenarioRunner, MultiHopLineFailoverCrossesRelays) {
+  // A world the fixed six-node testbed could never express: the failover
+  // evidence, the fault report and the promotion all cross a relay chain.
+  auto spec = parse(R"({
+    "name": "test-line-failover",
+    "horizon_s": 40,
+    "testbed": {"control_period_ms": 250, "evidence_threshold": 6,
+                "dormant_delay_s": 5},
+    "topology": {"generator": "line", "nodes": 6},
+    "events": [{"at_s": 10, "do": "primary_fault", "value": 75.0}]
+  })");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  ScenarioRunner runner(*spec, 3);
+  const RunMetrics m = runner.run();
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_GE(m.failover_count, 1u);
+  EXPECT_TRUE(m.backup_active);
+  EXPECT_EQ(m.ctrl_b_mode, "Active");
+  EXPECT_LT(m.level_rmse_pct, 5.0);
+}
+
+TEST(ScenarioSpec, ShippedScenariosStillParseAndRoundTrip) {
+  // Backward compatibility: every spec shipped before the topology redesign
+  // (no "topology" key) must parse, resolve to the Fig. 5 world, and
+  // round-trip byte-stably; the new multi-hop specs must parse too.
+  const std::string dir = EVM_REPO_SCENARIOS_DIR;
+  const struct {
+    const char* file;
+    bool fig5;
+  } shipped[] = {
+      {"baseline.json", true},          {"fig6_failover.json", true},
+      {"burst_loss_churn.json", true},  {"cascade.json", true},
+      {"grid_20_node.json", false},     {"line_multihop.json", false},
+  };
+  for (const auto& entry : shipped) {
+    auto spec = ScenarioSpec::load_file(dir + "/" + entry.file);
+    ASSERT_TRUE(spec.ok()) << entry.file << ": " << spec.status().to_string();
+    const testbed::TopologySpec topo = spec->topology();
+    EXPECT_TRUE(topo.validate()) << entry.file;
+    if (entry.fig5) {
+      EXPECT_TRUE(spec->testbed.topology.empty()) << entry.file;
+      EXPECT_EQ(topo.nodes.size(), 6u) << entry.file;
+      EXPECT_EQ(topo.diameter(), 1) << entry.file;
+    } else {
+      EXPECT_TRUE(topo.multi_hop()) << entry.file;
+    }
+    auto reparsed = ScenarioSpec::from_json(spec->to_json());
+    ASSERT_TRUE(reparsed.ok()) << entry.file;
+    EXPECT_EQ(reparsed->to_json().dump(), spec->to_json().dump()) << entry.file;
+  }
+}
+
+TEST(ScenarioRunner, ShippedFig6ScenarioReproducesItsAggregates) {
+  // The canonical pre-redesign experiment still runs on the (now data-built)
+  // Fig. 5 world and produces the same shape of result: one failover, the
+  // backup in charge, the plant held near setpoint — deterministically.
+  const std::string dir = EVM_REPO_SCENARIOS_DIR;
+  auto spec = ScenarioSpec::load_file(dir + "/fig6_failover.json");
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  ScenarioRunner runner(*spec, 1);
+  const RunMetrics m = runner.run();
+  ASSERT_TRUE(m.ok) << m.error;
+  EXPECT_EQ(m.failover_count, 1u);
+  EXPECT_TRUE(m.backup_active);
+  EXPECT_EQ(m.ctrl_a_mode, "Dormant");
+  EXPECT_EQ(m.ctrl_b_mode, "Active");
+  EXPECT_GT(m.failover_latency_s, 0.0);
+  EXPECT_LT(m.failover_latency_s, 10.0);
+  EXPECT_LT(m.level_rmse_pct, 2.0);
+  ScenarioRunner again(*spec, 1);
+  EXPECT_EQ(again.run().to_json().dump(), m.to_json().dump());
+}
+
 TEST(ScenarioRunner, BaselineHoldsLevelWithoutFailover) {
   auto spec = parse(R"({
     "name": "test-baseline",
@@ -350,17 +492,16 @@ TEST(Campaign, AggregatesFailoverLatencyPercentiles) {
 }
 
 TEST(Campaign, WorkerFailuresAreReportedNotThrown) {
-  // ctrl_c events require the third controller; force a runtime failure by
-  // crafting a spec that parses but cannot run. Easiest deterministic
-  // failure: a horizon so short nothing breaks — instead verify the
-  // error-capture path with an impossible control period that makes task
-  // admission fail inside GasPlantTestbed::start().
+  // Force a deterministic per-run failure: an impossible control period.
+  // The parser rejects it up front (schedule feasibility), so re-time the
+  // spec programmatically after parsing — the runner re-validates and every
+  // worker must capture the error in its RunMetrics instead of throwing.
   auto spec = parse(R"({
     "name": "test-inadmissible",
-    "horizon_s": 10,
-    "testbed": {"control_period_ms": 1}
+    "horizon_s": 10
   })");
   ASSERT_TRUE(spec.ok());
+  spec->testbed.control_period = util::Duration::millis(1);
   CampaignConfig config;
   config.seeds = 2;
   config.jobs = 2;

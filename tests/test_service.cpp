@@ -193,7 +193,7 @@ TEST_F(ServiceFixture, StaleEpochCommandIgnored) {
   fresh.target = 3;
   fresh.mode = ControllerMode::kIndicator;
   fresh.epoch = 5;
-  net::Datagram d{1, 3, static_cast<std::uint8_t>(MsgType::kModeCommand), 8,
+  net::Datagram d{1, 3, static_cast<std::uint8_t>(MsgType::kModeCommand), 8, 0,
                   fresh.encode()};
   // Deliver directly through the handler path via the router callback —
   // simulate by sending from the head router.
@@ -257,6 +257,83 @@ TEST_F(ServiceFixture, FunctionMigrationMovesStateAndMode) {
   // The migrated replica resumes control.
   run_for(util::Duration::seconds(1));
   EXPECT_GT(services[4]->cycles_run(kLoop), 0u);
+}
+
+TEST_F(ServiceFixture, ExhaustedEscalationRetriesWhenReplicaRejoins) {
+  // Fuzzer-found bug #1: the head promoted a node that was down when the
+  // ModeCommand was sent, escalation burned through the replica list and
+  // then gave up for good. The supervised retry must promote a replica the
+  // moment it rejoins and heartbeats.
+  start();
+  run_for(util::Duration::seconds(1));
+  nodes[3]->fail();  // backup gone (and down when any promotion arrives)
+  nodes[2]->fail();  // active gone: nobody left to observe anything
+  run_for(util::Duration::seconds(12));
+  // Every promotion target was dead (service modes stay sticky on crashed
+  // nodes, so only the live/failed flags are meaningful here).
+  ASSERT_TRUE(nodes[2]->failed());
+  ASSERT_TRUE(nodes[3]->failed());
+
+  nodes[3]->recover();  // rejoins in its sticky Backup mode and heartbeats
+  run_for(util::Duration::seconds(6));
+  EXPECT_EQ(services[3]->mode(kLoop), ControllerMode::kActive)
+      << "head never retried the promotion after the replica rejoined";
+}
+
+TEST_F(ServiceFixture, RestartedPrimaryRejoiningActiveIsDemoted) {
+  // Fuzzer-found bug #2: a crashed-and-restarted controller resumed its
+  // stale pre-crash Active mode alongside the promoted backup. The head
+  // must re-supervise the rejoiner down to Backup.
+  start({1, util::Duration::seconds(60)});
+  run_for(util::Duration::seconds(1));
+  nodes[2]->fail();  // active crashes; backup 3 reports the silence
+  run_for(util::Duration::seconds(3));
+  ASSERT_EQ(services[3]->mode(kLoop), ControllerMode::kActive);
+
+  nodes[2]->recover();  // resumes with sticky pre-crash Active mode
+  run_for(util::Duration::seconds(3));
+  EXPECT_EQ(services[2]->mode(kLoop), ControllerMode::kBackup)
+      << "stale Active rejoin was not demoted";
+  EXPECT_EQ(services[3]->mode(kLoop), ControllerMode::kActive);
+}
+
+TEST_F(ServiceFixture, SuccessorHeadDemotesStaleActiveRejoiner) {
+  // The succession corner of the rejoin bug: the primary crashes while
+  // Active, the backup is promoted, then the ORIGINAL HEAD dies and node 2
+  // (not a replica) succeeds it. When the stale primary rejoins claiming
+  // Active, the successor head — which never issued any promotion itself —
+  // must still demote it rather than let two Actives flap in its table.
+  vc.replicas[kLoop] = {3, 4};
+  start();
+  run_for(util::Duration::seconds(1));
+  nodes[3]->fail();  // active crashes; backup 4 reports and is promoted
+  run_for(util::Duration::seconds(3));
+  ASSERT_EQ(services[4]->mode(kLoop), ControllerMode::kActive);
+
+  nodes[1]->fail();  // the head dies; node 2 succeeds after beacon silence
+  run_for(util::Duration::seconds(8));
+  ASSERT_TRUE(services[2]->is_head());
+
+  nodes[3]->recover();  // stale pre-crash Active rejoins under the new head
+  run_for(util::Duration::seconds(8));
+  EXPECT_EQ(services[3]->mode(kLoop), ControllerMode::kBackup)
+      << "successor head failed to demote the stale Active rejoiner";
+  EXPECT_EQ(services[4]->mode(kLoop), ControllerMode::kActive);
+}
+
+TEST_F(ServiceFixture, HeadDetectsSilentActiveWithNoObserverLeft) {
+  // With every Backup dead there is no passive observer; the head's
+  // backstop silence detector must still re-arbitrate once the Active has
+  // been quiet past the policy timeout.
+  start();
+  run_for(util::Duration::seconds(1));
+  nodes[3]->fail();  // the only backup dies first (stays dead)
+  run_for(util::Duration::seconds(1));
+  nodes[2]->fail();  // then the active dies
+  run_for(util::Duration::seconds(10));
+  // The head noticed on its own (silence timeout + escalations), even
+  // though no fault report could ever arrive.
+  EXPECT_GE(services[1]->failovers().size(), 1u);
 }
 
 TEST_F(ServiceFixture, ModeChangeHookFires) {

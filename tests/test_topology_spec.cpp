@@ -1,0 +1,237 @@
+// The declarative topology layer: generators produce the shapes they claim
+// (node/link counts, role placement, VC membership), the hop-aware schedule
+// plan covers every node and stays feasible, JSON round-trips are stable,
+// and validation rejects malformed worlds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "testbed/topology_spec.hpp"
+
+namespace evm::testbed {
+namespace {
+
+util::Json parse_json(const std::string& text) {
+  auto json = util::Json::parse(text);
+  EXPECT_TRUE(json.ok()) << json.status().to_string();
+  return *json;
+}
+
+TEST(TopologySpecFig5, MatchesThePaperTestbed) {
+  const TopologySpec spec = default_fig5_topology();
+  ASSERT_TRUE(spec.validate()) << spec.validate().to_string();
+  ASSERT_EQ(spec.nodes.size(), 6u);
+  EXPECT_EQ(spec.gateway(), 1);
+  EXPECT_EQ(spec.primary_sensor(), 2);
+  EXPECT_EQ(spec.primary_actuator(), 6);
+  EXPECT_EQ(spec.node_name(3), "ctrl_a");
+  EXPECT_EQ(spec.node_name(5), "ctrl_c");
+  // Full mesh over six nodes: 15 links, single-hop.
+  EXPECT_EQ(spec.links.size(), 15u);
+  EXPECT_EQ(spec.diameter(), 1);
+  EXPECT_FALSE(spec.multi_hop());
+  // Ctrl-C exists but is outside the VC until the third controller is on.
+  EXPECT_EQ(spec.controllers(), (std::vector<net::NodeId>{3, 4, 5}));
+  EXPECT_EQ(spec.replica_order(), (std::vector<net::NodeId>{3, 4}));
+  EXPECT_EQ(spec.members(), (std::vector<net::NodeId>{1, 2, 3, 4, 6}));
+
+  const TopologySpec third = default_fig5_topology(true);
+  EXPECT_EQ(third.replica_order(), (std::vector<net::NodeId>{3, 4, 5}));
+  EXPECT_EQ(third.members(), (std::vector<net::NodeId>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(TopologySpecGenerators, LineChainsRolesWithRelaysBetween) {
+  const TopologySpec spec = line_topology(8);
+  ASSERT_TRUE(spec.validate()) << spec.validate().to_string();
+  ASSERT_EQ(spec.nodes.size(), 8u);
+  EXPECT_EQ(spec.links.size(), 7u);
+  EXPECT_EQ(spec.diameter(), 7);
+  EXPECT_TRUE(spec.multi_hop());
+  EXPECT_EQ(spec.relays().size(), 3u);
+  // Chain order: gateway, sensor, relays, controllers, actuator — the
+  // relays sit between sensor and controllers by construction.
+  EXPECT_EQ(spec.nodes[0].role, NodeRole::kGateway);
+  EXPECT_EQ(spec.nodes[1].role, NodeRole::kSensor);
+  EXPECT_EQ(spec.nodes[2].name, "relay_1");
+  EXPECT_EQ(spec.nodes[5].name, "ctrl_a");
+  EXPECT_EQ(spec.nodes[7].role, NodeRole::kActuator);
+  // Interior chain nodes are cut vertices; the ends are not.
+  EXPECT_TRUE(spec.is_cut_vertex(spec.nodes[3].id));
+  EXPECT_TRUE(spec.is_cut_vertex(spec.nodes[5].id));
+  EXPECT_FALSE(spec.is_cut_vertex(spec.nodes[0].id));
+  EXPECT_FALSE(default_fig5_topology().is_cut_vertex(3));
+}
+
+TEST(TopologySpecGenerators, GridPlacesRolesAndStaysConnected) {
+  const TopologySpec spec = grid_topology(5, 4);
+  ASSERT_TRUE(spec.validate()) << spec.validate().to_string();
+  ASSERT_EQ(spec.nodes.size(), 20u);
+  // 4-neighbour lattice: 4*(5-1) horizontal rows... h*(w-1) + w*(h-1).
+  EXPECT_EQ(spec.links.size(), 4u * 4u + 5u * 3u);
+  EXPECT_EQ(spec.replica_order().size(), 2u);
+  EXPECT_EQ(spec.relays().size(), 20u - 5u);
+  EXPECT_TRUE(spec.multi_hop());
+  EXPECT_EQ(spec.nodes.front().role, NodeRole::kGateway);
+  EXPECT_EQ(spec.nodes[4].role, NodeRole::kSensor);       // top-right
+  EXPECT_EQ(spec.nodes.back().role, NodeRole::kActuator); // bottom-right
+}
+
+TEST(TopologySpecGenerators, StarHangsLeavesOffTheGateway) {
+  const TopologySpec spec = star_topology(7);
+  ASSERT_TRUE(spec.validate()) << spec.validate().to_string();
+  ASSERT_EQ(spec.nodes.size(), 7u);
+  EXPECT_EQ(spec.links.size(), 6u);
+  EXPECT_EQ(spec.diameter(), 2);
+  for (const auto& link : spec.links) {
+    EXPECT_TRUE(link.a == spec.gateway() || link.b == spec.gateway());
+  }
+}
+
+TEST(TopologySpecSchedule, PlanIsHopOrderedCoversAllAndReproducesFig5) {
+  // Fig. 5: the historic 10-slot frame — one slot per node in id order,
+  // then extra slots for sensor, ctrl_a, ctrl_b and the gateway.
+  const SchedulePlan fig5 = plan_schedule(default_fig5_topology());
+  EXPECT_EQ(fig5.slots,
+            (std::vector<net::NodeId>{1, 2, 3, 4, 5, 6, 2, 3, 4, 1}));
+  EXPECT_EQ(fig5.frame_length(), util::Duration::millis(50));
+
+  // Line: base slots follow the chain (hop order from the gateway), so a
+  // flooded broadcast travelling away from the gateway crosses every hop
+  // inside one frame.
+  const TopologySpec line = line_topology(8);
+  const SchedulePlan plan = plan_schedule(line);
+  ASSERT_EQ(plan.slots.size(), 8u + 4u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(plan.slots[i], line.nodes[i].id) << "slot " << i;
+  }
+  // Every node owns at least one slot (schedule feasibility).
+  std::set<net::NodeId> owners(plan.slots.begin(), plan.slots.end());
+  for (const auto& node : line.nodes) EXPECT_TRUE(owners.count(node.id));
+}
+
+TEST(TopologySpecJson, ExplicitFormRoundTripsByteExactly) {
+  for (const TopologySpec& spec :
+       {default_fig5_topology(true, 0.05), line_topology(9, 3, 0.01),
+        grid_topology(4, 3), star_topology(6)}) {
+    auto reparsed = TopologySpec::from_json(spec.to_json());
+    ASSERT_TRUE(reparsed.ok()) << reparsed.status().to_string();
+    EXPECT_EQ(reparsed->to_json().dump(), spec.to_json().dump());
+  }
+}
+
+TEST(TopologySpecJson, GeneratorShorthandExpands) {
+  auto grid = TopologySpec::from_json(parse_json(
+      R"({"generator": "grid", "width": 5, "height": 4, "link_loss": 0.02})"));
+  ASSERT_TRUE(grid.ok()) << grid.status().to_string();
+  EXPECT_EQ(grid->nodes.size(), 20u);
+  EXPECT_DOUBLE_EQ(grid->links.front().loss, 0.02);
+
+  auto line = TopologySpec::from_json(
+      parse_json(R"({"generator": "line", "nodes": 7, "controllers": 3})"));
+  ASSERT_TRUE(line.ok());
+  EXPECT_EQ(line->replica_order().size(), 3u);
+
+  auto fig5 = TopologySpec::from_json(
+      parse_json(R"({"generator": "fig5", "third_controller": true})"));
+  ASSERT_TRUE(fig5.ok());
+  EXPECT_EQ(fig5->replica_order().size(), 3u);
+
+  // The expansion itself re-parses identically (provenance in reports).
+  auto reparsed = TopologySpec::from_json(grid->to_json());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->to_json().dump(), grid->to_json().dump());
+}
+
+TEST(TopologySpecJson, ExplicitNodesAndLinksParse) {
+  auto spec = TopologySpec::from_json(parse_json(R"({
+    "nodes": [
+      {"id": 1, "name": "gw", "role": "gateway"},
+      {"id": 2, "name": "s", "role": "sensor"},
+      {"id": 3, "name": "c1", "role": "controller"},
+      {"id": 4, "name": "c2", "role": "controller", "vc_member": false},
+      {"id": 5, "name": "a", "role": "actuator"}
+    ],
+    "links": [
+      {"a": "gw", "b": "s"},
+      {"a": "s", "b": "c1", "loss": 0.1},
+      {"a": "c1", "b": 4},
+      {"a": 4, "b": "a"}
+    ]
+  })"));
+  ASSERT_TRUE(spec.ok()) << spec.status().to_string();
+  EXPECT_EQ(spec->replica_order(), (std::vector<net::NodeId>{3}));
+  EXPECT_TRUE(spec->has_link(2, 3));
+  EXPECT_FALSE(spec->has_link(1, 5));
+  EXPECT_DOUBLE_EQ(spec->links[1].loss, 0.1);
+  EXPECT_EQ(spec->diameter(), 4);
+}
+
+TEST(TopologySpecValidation, RejectsMalformedWorlds) {
+  const char* bad[] = {
+      // no gateway
+      R"({"nodes": [{"id": 1, "role": "sensor"}, {"id": 2, "role": "controller"},
+          {"id": 3, "role": "actuator"}], "links": [{"a": 1, "b": 2}, {"a": 2, "b": 3}]})",
+      // two gateways
+      R"({"nodes": [{"id": 1, "role": "gateway"}, {"id": 2, "role": "gateway"},
+          {"id": 3, "role": "sensor"}, {"id": 4, "role": "controller"},
+          {"id": 5, "role": "actuator"}],
+          "links": [{"a": 1, "b": 2}, {"a": 2, "b": 3}, {"a": 3, "b": 4}, {"a": 4, "b": 5}]})",
+      // duplicate id
+      R"({"nodes": [{"id": 1, "role": "gateway"}, {"id": 1, "role": "sensor"}],
+          "links": []})",
+      // duplicate name
+      R"({"nodes": [{"id": 1, "name": "x", "role": "gateway"},
+          {"id": 2, "name": "x", "role": "sensor"}], "links": [{"a": 1, "b": 2}]})",
+      // unknown role
+      R"({"nodes": [{"id": 1, "role": "router"}], "links": []})",
+      // disconnected
+      R"({"nodes": [{"id": 1, "role": "gateway"}, {"id": 2, "role": "sensor"},
+          {"id": 3, "role": "controller"}, {"id": 4, "role": "actuator"}],
+          "links": [{"a": 1, "b": 2}]})",
+      // self-link
+      R"({"nodes": [{"id": 1, "role": "gateway"}, {"id": 2, "role": "sensor"},
+          {"id": 3, "role": "controller"}, {"id": 4, "role": "actuator"}],
+          "links": [{"a": 1, "b": 1}]})",
+      // duplicate link
+      R"({"nodes": [{"id": 1, "role": "gateway"}, {"id": 2, "role": "sensor"},
+          {"id": 3, "role": "controller"}, {"id": 4, "role": "actuator"}],
+          "links": [{"a": 1, "b": 2}, {"a": 2, "b": 1}, {"a": 2, "b": 3}, {"a": 3, "b": 4}]})",
+      // loss out of range
+      R"({"nodes": [{"id": 1, "role": "gateway"}, {"id": 2, "role": "sensor"},
+          {"id": 3, "role": "controller"}, {"id": 4, "role": "actuator"}],
+          "links": [{"a": 1, "b": 2, "loss": 1.5}, {"a": 2, "b": 3}, {"a": 3, "b": 4}]})",
+      // no vc-member controller
+      R"({"nodes": [{"id": 1, "role": "gateway"}, {"id": 2, "role": "sensor"},
+          {"id": 3, "role": "controller", "vc_member": false},
+          {"id": 4, "role": "actuator"}],
+          "links": [{"a": 1, "b": 2}, {"a": 2, "b": 3}, {"a": 3, "b": 4}]})",
+      // non-member sensor (essential roles must be in the VC)
+      R"({"nodes": [{"id": 1, "role": "gateway"}, {"id": 2, "role": "sensor", "vc_member": false},
+          {"id": 3, "role": "controller"}, {"id": 4, "role": "actuator"}],
+          "links": [{"a": 1, "b": 2}, {"a": 2, "b": 3}, {"a": 3, "b": 4}]})",
+      // grid too small for its roles
+      R"({"generator": "grid", "width": 2, "height": 2, "controllers": 2})",
+      // unknown generator
+      R"({"generator": "torus", "nodes": 9})",
+  };
+  for (const char* text : bad) {
+    auto spec = TopologySpec::from_json(parse_json(text));
+    EXPECT_FALSE(spec.ok()) << "accepted: " << text;
+  }
+}
+
+TEST(TopologySpecValidation, ParseNodeResolvesNamesAndIds) {
+  const TopologySpec spec = line_topology(8);
+  auto by_name = spec.parse_node(util::Json("relay_2"));
+  ASSERT_TRUE(by_name.ok());
+  EXPECT_EQ(*by_name, spec.nodes[3].id);
+  auto by_id = spec.parse_node(util::Json(static_cast<std::int64_t>(1)));
+  ASSERT_TRUE(by_id.ok());
+  EXPECT_EQ(*by_id, spec.gateway());
+  EXPECT_FALSE(spec.parse_node(util::Json("ctrl_c")).ok());  // only 2 ctrls
+  EXPECT_FALSE(spec.parse_node(util::Json(static_cast<std::int64_t>(99))).ok());
+}
+
+}  // namespace
+}  // namespace evm::testbed
