@@ -16,6 +16,7 @@
 #include <string>
 
 #include "cli_util.hpp"
+#include "scenario/baseline.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
@@ -37,6 +38,12 @@ int usage(const char* argv0) {
       << "                   --merge folds their reports back together\n"
       << "  --horizon-s H    override the spec's horizon\n"
       << "  --out DIR        report directory (default $EVM_BENCH_OUT or bench/out)\n"
+      << "  --check-baseline FILE   compare the campaign aggregates against the\n"
+      << "                   checked-in baseline; exit 3 and print a delta table\n"
+      << "                   on regression\n"
+      << "  --update-baselines FILE rewrite this scenario's baseline entry from\n"
+      << "                   the campaign just run (the documented path for\n"
+      << "                   intentional perf changes)\n"
       << "  --csv FILE       dump the base seed's plant trace as CSV\n"
       << "  --trace-json FILE  dump the base seed's plant trace as JSON\n"
       << "  --print-trace    print the base seed's trace table (20 s grid)\n";
@@ -58,7 +65,62 @@ bool parse_shard(const char* text, scenario::CampaignConfig& config) {
   return true;
 }
 
-int merge_reports(const std::vector<std::string>& paths, const std::string& out_dir) {
+/// Shared tail of both the single-machine and --merge paths: optionally
+/// re-capture the scenario's baseline entry from `report`, then optionally
+/// gate `report` against a baselines file. Returns the process exit code
+/// (0 = pass / nothing to do, 1 = I/O failure, 2 = unreadable baselines,
+/// 3 = regression).
+int apply_baseline_flags(const util::Json& report, const std::string& name,
+                         const std::string& check_baseline_path,
+                         const std::string& update_baselines_path) {
+  if (!update_baselines_path.empty()) {
+    // Never capture a broken campaign as the expectation: a baseline with
+    // runs_failed > 0 would make CI *pass* on failing runs and *fail* the
+    // moment they are fixed — the gate inverted.
+    double runs_failed = 0.0;
+    if (!scenario::aggregate_metric(report, "runs_failed", runs_failed) ||
+        runs_failed > 0.0) {
+      std::cerr << "error: refusing to update baselines from a campaign with "
+                << runs_failed << " failed run(s)\n";
+      return 1;
+    }
+    util::Json baselines = util::Json::object();
+    if (auto existing = util::load_json_file(update_baselines_path)) {
+      baselines = std::move(*existing);
+    }
+    if (util::Status s = scenario::upsert_baseline(baselines, report); !s) {
+      std::cerr << "error: " << s.to_string() << "\n";
+      return 1;
+    }
+    std::ofstream out(update_baselines_path);
+    out << baselines.dump(2) << "\n";
+    out.close();
+    if (!out) {
+      std::cerr << "error: cannot write " << update_baselines_path << "\n";
+      return 1;
+    }
+    std::cout << "[baselines updated] " << update_baselines_path << " ('"
+              << name << "')\n";
+  }
+  if (!check_baseline_path.empty()) {
+    auto baselines = util::load_json_file(check_baseline_path);
+    if (!baselines) {
+      std::cerr << "error: " << baselines.status().to_string() << "\n";
+      return 2;
+    }
+    const scenario::BaselineCheck check =
+        scenario::check_against_baseline(*baselines, report);
+    std::cout << "\n" << scenario::format_baseline_table(check, name);
+    // Distinct exit code so CI can tell "the experiment broke" (1) apart
+    // from "the experiment ran but regressed against its baseline" (3).
+    if (!check.ok) return 3;
+  }
+  return 0;
+}
+
+int merge_reports(const std::vector<std::string>& paths, const std::string& out_dir,
+                  const std::string& check_baseline_path,
+                  const std::string& update_baselines_path) {
   std::vector<util::Json> reports;
   for (const std::string& path : paths) {
     auto json = util::load_json_file(path);
@@ -82,7 +144,11 @@ int merge_reports(const std::vector<std::string>& paths, const std::string& out_
     return 1;
   }
   std::cout << "[campaign json] " << *written << "\n";
-  return 0;
+
+  // Sharded pipelines gate on the *merged* campaign, so the baseline flags
+  // apply here exactly as in single-machine mode.
+  return apply_baseline_flags(*merged, name, check_baseline_path,
+                              update_baselines_path);
 }
 
 }  // namespace
@@ -94,6 +160,7 @@ int main(int argc, char** argv) {
   config.seeds = 1;
   double horizon_override = -1.0;
   std::string out_dir = scenario::report_dir();
+  std::string check_baseline_path, update_baselines_path;
   std::string csv_path, trace_json_path;
   bool print_trace = false;
   bool merge_mode = false;
@@ -130,6 +197,14 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       out_dir = v;
+    } else if (arg == "--check-baseline") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      check_baseline_path = v;
+    } else if (arg == "--update-baselines") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      update_baselines_path = v;
     } else if (arg == "--csv") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -147,7 +222,8 @@ int main(int argc, char** argv) {
   }
   if (merge_mode) {
     if (merge_paths.empty()) return usage(argv[0]);
-    return merge_reports(merge_paths, out_dir);
+    return merge_reports(merge_paths, out_dir, check_baseline_path,
+                         update_baselines_path);
   }
   if (spec_path.empty() || config.seeds == 0) return usage(argv[0]);
 
@@ -226,6 +302,10 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n[campaign json] " << *written << "\n";
 
+  const int baseline_exit = apply_baseline_flags(
+      report, spec->name, check_baseline_path, update_baselines_path);
+  if (baseline_exit != 0 && baseline_exit != 3) return baseline_exit;
+
   if (!csv_path.empty() || !trace_json_path.empty() || print_trace) {
     // Re-run the base seed alone to capture its trace (campaign workers
     // discard their testbeds as they go).
@@ -259,5 +339,6 @@ int main(int argc, char** argv) {
     }
   }
 
-  return result.all_ok() ? 0 : 1;
+  if (!result.all_ok()) return 1;
+  return baseline_exit;
 }

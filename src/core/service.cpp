@@ -8,6 +8,12 @@ namespace evm::core {
 
 namespace {
 constexpr const char* kTag = "evm";
+
+/// Wrap-around-safe beacon sequence comparison (u16, one bump per second:
+/// half the space is ~9 hours of lead, far beyond any liveness window).
+bool seq_advanced(std::uint16_t seq, std::uint16_t last) {
+  return static_cast<std::int16_t>(seq - last) > 0;
+}
 }  // namespace
 
 EvmService::EvmService(Node& node, VcDescriptor descriptor, FailoverPolicy policy)
@@ -20,6 +26,8 @@ EvmService::EvmService(Node& node, VcDescriptor descriptor, FailoverPolicy polic
       head_id_(descriptor_.head) {
   node_.router().set_receive_handler(
       [this](const net::Datagram& d) { on_datagram(d); });
+  node_.router().set_beacon_observer(
+      [this](const net::BeaconTag& tag) { on_beacon_tag(tag); });
 
   migration_.set_capability_checker([this](const MigrationOfferMsg& offer) {
     const double headroom = 1.0 - node_.kernel().utilization();
@@ -51,12 +59,29 @@ util::Status EvmService::start() {
       check_head_liveness();
       return;
     }
-    HeadBeaconMsg msg;
-    msg.vc = descriptor_.id;
-    msg.head = node_.id();
-    (void)node_.router().send(net::kBroadcast,
-                              static_cast<std::uint8_t>(MsgType::kHeadBeacon),
-                              msg.encode());
+    // Beat: bump the sequence and stamp it into every frame this node sends
+    // from now on (originations and relays alike). The explicit beacon
+    // broadcast is only spent when the data plane carried no tagged frame
+    // since the previous beat — piggy-backing reclaims the slot otherwise.
+    ++beacon_seq_sent_;
+    node_.router().set_beacon_tag({node_.id(), beacon_seq_sent_});
+    last_beacon_ = node_.simulator().now();
+    if (node_.router().tagged_broadcast_sends() == tagged_sends_at_last_tick_ ||
+        rival_head_seen_) {
+      // Explicit beacon: the data plane was silent — or somebody else is
+      // claiming headship, and only the explicit path carries the
+      // lower-id-reclaims arbitration (a suppressing rival would otherwise
+      // split-brain forever).
+      rival_head_seen_ = false;
+      HeadBeaconMsg msg;
+      msg.vc = descriptor_.id;
+      msg.head = node_.id();
+      (void)node_.router().send_beacon(
+          static_cast<std::uint8_t>(MsgType::kHeadBeacon), msg.encode());
+    } else {
+      ++beacons_suppressed_;
+    }
+    tagged_sends_at_last_tick_ = node_.router().tagged_broadcast_sends();
     supervise_functions();
   });
   if (beacon) {
@@ -358,7 +383,7 @@ void EvmService::run_health_checks(FunctionId function, FunctionRuntime& rt) {
     // Local shortcut: the head observed the fault itself.
     handle_fault_report(net::Datagram{
         node_.id(), node_.id(), static_cast<std::uint8_t>(MsgType::kFaultReport), 0,
-        0, report.encode()});
+        0, false, {}, report.encode()});
   } else {
     (void)node_.router().send(head_id_,
                               static_cast<std::uint8_t>(MsgType::kFaultReport),
@@ -558,6 +583,7 @@ void EvmService::handle_head_beacon(const net::Datagram& d) {
       EVM_INFO(kTag, "node " << node_.id() << " adopts node " << msg.head
                              << " as VC head");
       head_id_ = msg.head;
+      beacon_seq_synced_ = false;  // re-sync to the new head's tag stream
     } else {
       return;
     }
@@ -565,11 +591,55 @@ void EvmService::handle_head_beacon(const net::Datagram& d) {
   last_beacon_ = node_.simulator().now();
 }
 
+void EvmService::on_beacon_tag(const net::BeaconTag& tag) {
+  if (!tag.valid() || tag.head == node_.id()) return;
+  if (is_head()) rival_head_seen_ = true;  // force the next explicit beacon
+  const util::TimePoint now = node_.simulator().now();
+  if (tag.head == head_id_) {
+    if (!beacon_seq_synced_ || seq_advanced(tag.seq, beacon_seq_seen_)) {
+      beacon_seq_seen_ = tag.seq;
+      beacon_seq_synced_ = true;
+      last_beacon_ = now;
+      // Re-gossip the freshest proof on everything we send from here on.
+      node_.router().set_beacon_tag(tag);
+    }
+    return;
+  }
+  // Foreign head claim riding the data plane. Unlike an explicit beacon —
+  // which only the claimant itself originates — a tag is re-gossiped by
+  // third parties, so a circulating tag is NOT proof its head is alive
+  // (members would re-adopt a corpse off their own stale heartbeat tags).
+  // Tags therefore only sway the election once our own head has gone
+  // silent; the lower-id-reclaims rule stays on the explicit-beacon path.
+  const bool our_head_silent =
+      now - last_beacon_ > policy_.head_beacon_period * policy_.beacon_loss_threshold;
+  if (our_head_silent) {
+    EVM_INFO(kTag, "node " << node_.id() << " adopts node " << tag.head
+                           << " as VC head (piggy-backed beacon)");
+    head_id_ = tag.head;
+    beacon_seq_seen_ = tag.seq;
+    beacon_seq_synced_ = true;
+    last_beacon_ = now;
+    node_.router().set_beacon_tag(tag);
+  }
+}
+
 void EvmService::check_head_liveness() {
+  // Out-of-tree pure relays are not on the scoped dissemination structure:
+  // the beacon plane does not reliably reach them, they hold no replicas,
+  // and a spurious succession from one of them would only add noise — they
+  // sit the election out.
   const util::Duration silence = node_.simulator().now() - last_beacon_;
   if (silence <= policy_.head_beacon_period * policy_.beacon_loss_threshold) {
     return;
   }
+  // The head timed out: stop re-gossiping its (now stale) tag. Leaving it
+  // stamped on our own frames would keep the corpse's liveness proof
+  // circulating forever. This applies to out-of-tree relays too — they
+  // still stamp the frames they forward — even though they sit the
+  // election below out.
+  node_.router().set_beacon_tag({});
+  if (!node_.router().participates_in_dissemination()) return;
   // Deterministic succession: lowest-id member other than the dead head.
   net::NodeId successor = net::kInvalidNode;
   for (net::NodeId member : members_) {
@@ -579,8 +649,13 @@ void EvmService::check_head_liveness() {
   if (successor == node_.id()) {
     become_head();
   } else if (successor != net::kInvalidNode) {
-    // Provisionally adopt; the successor's first beacon confirms it.
+    // Provisionally adopt; the successor's first beacon (explicit or
+    // piggy-backed tag) confirms it. The liveness clock restarts so the
+    // successor gets a full silence window to prove itself before this
+    // node escalates again.
     head_id_ = successor;
+    beacon_seq_synced_ = false;
+    last_beacon_ = node_.simulator().now();
   }
 }
 
@@ -588,6 +663,11 @@ void EvmService::become_head() {
   ++head_successions_;
   head_id_ = node_.id();
   last_beacon_ = node_.simulator().now();
+  // Claim the beacon plane immediately: every frame this node sends from
+  // here on carries its head tag, so the claim gossips on heartbeats
+  // without waiting for the next explicit beacon tick.
+  ++beacon_seq_sent_;
+  node_.router().set_beacon_tag({node_.id(), beacon_seq_sent_});
   EVM_INFO(kTag, "node " << node_.id() << " assumes VC head role (succession #"
                          << head_successions_ << ")");
   // Resume arbitration above every epoch any replica has acknowledged, so
@@ -831,7 +911,8 @@ util::Status EvmService::send_parametric(net::NodeId target,
   if (target == node_.id()) {
     handle_parametric(net::Datagram{
         node_.id(), node_.id(),
-        static_cast<std::uint8_t>(MsgType::kParametricCommand), 0, 0, msg.encode()});
+        static_cast<std::uint8_t>(MsgType::kParametricCommand), 0, 0, false, {},
+        msg.encode()});
     return util::Status::ok();
   }
   return node_.router().send(
@@ -889,7 +970,7 @@ util::Status EvmService::disseminate_algorithm(FunctionId function,
   // Apply locally first (the sender is a replica too, possibly).
   handle_algorithm_update(net::Datagram{
       node_.id(), node_.id(), static_cast<std::uint8_t>(MsgType::kAlgorithmUpdate),
-      0, 0, encoded});
+      0, 0, false, {}, encoded});
 
   // Capsules exceed one 802.15.4 frame, so they ship per-member through the
   // chunked, acknowledged migration engine (payload kind 2).
@@ -1010,7 +1091,7 @@ bool EvmService::accept_migrated_function(const MigrationOfferMsg& meta,
     if (!r.ok()) return false;
     handle_algorithm_update(net::Datagram{
         descriptor_.head, node_.id(),
-        static_cast<std::uint8_t>(MsgType::kAlgorithmUpdate), 0, 0,
+        static_cast<std::uint8_t>(MsgType::kAlgorithmUpdate), 0, 0, false, {},
         std::move(remaining)});
     return true;
   }

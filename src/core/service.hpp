@@ -78,6 +78,11 @@ class EvmService {
   bool has_stream(std::uint8_t stream) const;
   const std::vector<FailoverEvent>& failovers() const { return failovers_; }
   std::size_t fault_reports_sent() const { return fault_reports_sent_; }
+  /// Head-side: beacon periods where the explicit beacon broadcast was
+  /// withheld because data-plane frames already carried the beacon tag
+  /// (each one is an RT-Link transmission — N slots under flooding —
+  /// reclaimed by piggy-backing).
+  std::size_t beacons_suppressed() const { return beacons_suppressed_; }
 
   // --- Gateway-side plumbing ----------------------------------------------
   /// Publish a sensor sample onto the VC data plane (gateway does this each
@@ -194,6 +199,12 @@ class EvmService {
   void handle_fault_report(const net::Datagram& d);
   void handle_membership_hello(const net::Datagram& d);
   void handle_head_beacon(const net::Datagram& d);
+  /// Piggy-backed beacon gossip: every received frame carrying a beacon tag
+  /// counts as head-liveness evidence iff its sequence advanced (the head is
+  /// the only sequence source, so stale tags re-circulated by laggards
+  /// cannot keep a dead head alive). Also runs the adoption rule explicit
+  /// beacons use (lower id wins; higher id only once ours went silent).
+  void on_beacon_tag(const net::BeaconTag& tag);
   void check_head_liveness();
   void become_head();
   /// Head, on every heartbeat: re-supervise the sender. A restarted replica
@@ -253,6 +264,27 @@ class EvmService {
   util::TimePoint last_beacon_;
   rtos::TaskId beacon_task_ = rtos::kInvalidTask;
   std::size_t head_successions_ = 0;
+  /// Head: own beacon sequence (bumped once per beacon period, stamped into
+  /// every outgoing frame via the router's tag).
+  std::uint16_t beacon_seq_sent_ = 0;
+  /// Member: freshest beacon sequence observed for the current head.
+  std::uint16_t beacon_seq_seen_ = 0;
+  /// False until a tag from the *current* head has been seen; whenever
+  /// head_id_ moves without a tag in hand (explicit beacon, provisional
+  /// succession) this resets, so the first tag of the new head's stream is
+  /// accepted instead of being compared against the old head's sequence.
+  bool beacon_seq_synced_ = false;
+  /// Head: the router's tagged-broadcast counter at the last beacon tick;
+  /// unchanged after a period means the data plane was silent and an
+  /// explicit beacon is due (the piggy-back fallback).
+  std::size_t tagged_sends_at_last_tick_ = 0;
+  std::size_t beacons_suppressed_ = 0;
+  /// Head: a tag claiming a different head was observed since the last
+  /// beacon tick. Suppression is only safe while headship is undisputed —
+  /// the explicit beacon is the channel the lower-id-reclaims rule lives
+  /// on, so a dispute forces one out regardless of data-plane traffic
+  /// (both rivals do; the lower id wins within a beacon period).
+  bool rival_head_seen_ = false;
   bool started_ = false;
 
  public:

@@ -1,0 +1,88 @@
+#include "net/dissemination.hpp"
+
+#include <algorithm>
+#include <deque>
+
+namespace evm::net {
+
+DisseminationTree DisseminationTree::compute(const Topology& topo, NodeId root,
+                                             const std::vector<NodeId>& targets) {
+  DisseminationTree tree;
+
+  // Liveness-aware root selection: a crashed or isolated root cannot anchor
+  // the tree (its links all read down through the link-estimator view), so
+  // re-root at the lowest-id live target — the same deterministic rule head
+  // succession uses, keeping data and control planes aligned.
+  auto usable = [&](NodeId id) {
+    return topo.has_node(id) && !topo.node_down(id) &&
+           !topo.neighbors(id).empty();
+  };
+  NodeId effective_root = kInvalidNode;
+  if (usable(root)) {
+    effective_root = root;
+  } else {
+    std::vector<NodeId> sorted = targets;
+    std::sort(sorted.begin(), sorted.end());
+    for (NodeId candidate : sorted) {
+      if (usable(candidate)) {
+        effective_root = candidate;
+        break;
+      }
+    }
+  }
+  if (effective_root == kInvalidNode) return tree;
+  tree.root_ = effective_root;
+
+  // BFS over live neighbours only; first discovery fixes the parent, and
+  // neighbors() iterates the sorted link set, so ties are deterministic.
+  std::map<NodeId, NodeId> bfs_parent;
+  bfs_parent[effective_root] = kInvalidNode;
+  std::deque<NodeId> frontier{effective_root};
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (NodeId next : topo.neighbors(cur)) {
+      if (bfs_parent.count(next) > 0) continue;
+      bfs_parent[next] = cur;
+      frontier.push_back(next);
+    }
+  }
+
+  // Prune to the union of root-to-target paths: walking each reachable
+  // target's parent chain marks exactly the relays the replica set needs.
+  tree.parent_[effective_root] = kInvalidNode;
+  for (NodeId target : targets) {
+    auto it = bfs_parent.find(target);
+    if (it == bfs_parent.end()) continue;  // partitioned off: prune
+    NodeId walk = target;
+    while (walk != kInvalidNode && tree.parent_.count(walk) == 0) {
+      tree.parent_[walk] = bfs_parent.at(walk);
+      walk = bfs_parent.at(walk);
+    }
+  }
+
+  for (const auto& [node, parent] : tree.parent_) {
+    tree.members_.push_back(node);
+    if (parent != kInvalidNode) {
+      ++tree.degree_[node];
+      ++tree.degree_[parent];
+    }
+  }
+  for (const auto& [node, degree] : tree.degree_) {
+    (void)node;
+    if (degree >= 2) ++tree.forwarders_;
+  }
+  return tree;
+}
+
+NodeId DisseminationTree::parent(NodeId id) const {
+  auto it = parent_.find(id);
+  return it == parent_.end() ? kInvalidNode : it->second;
+}
+
+int DisseminationTree::degree(NodeId id) const {
+  auto it = degree_.find(id);
+  return it == degree_.end() ? 0 : it->second;
+}
+
+}  // namespace evm::net

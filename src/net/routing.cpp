@@ -24,6 +24,9 @@ std::vector<std::uint8_t> Router::encode(const Datagram& d) {
   w.u8(d.type);
   w.u8(d.ttl);
   w.u16(d.seq);
+  w.u8(d.beacon_probe ? 1 : 0);
+  w.u16(d.beacon.head);
+  w.u16(d.beacon.seq);
   w.blob(d.payload);
   return w.take();
 }
@@ -35,6 +38,9 @@ bool Router::decode(std::span<const std::uint8_t> bytes, Datagram& out) {
   out.type = r.u8();
   out.ttl = r.u8();
   out.seq = r.u16();
+  out.beacon_probe = r.u8() != 0;
+  out.beacon.head = r.u16();
+  out.beacon.seq = r.u16();
   out.payload = r.blob();
   return r.ok();
 }
@@ -48,7 +54,22 @@ util::Status Router::send(NodeId destination, std::uint8_t type,
   d.ttl = default_ttl_;
   d.seq = ++next_seq_;
   d.payload = std::move(payload);
-  return forward(d);
+  if (destination == kBroadcast) ++broadcasts_originated_;
+  return forward(std::move(d));
+}
+
+util::Status Router::send_beacon(std::uint8_t type,
+                                 std::vector<std::uint8_t> payload) {
+  Datagram d;
+  d.source = id();
+  d.destination = kBroadcast;
+  d.type = type;
+  d.ttl = default_ttl_;
+  d.seq = ++next_seq_;
+  d.beacon_probe = true;
+  d.payload = std::move(payload);
+  ++broadcasts_originated_;
+  return forward(std::move(d));
 }
 
 bool Router::remember(NodeId source, std::uint16_t seq) {
@@ -59,13 +80,40 @@ bool Router::remember(NodeId source, std::uint16_t seq) {
   return true;
 }
 
-util::Status Router::forward(const Datagram& d) {
+bool Router::participates_in_dissemination() const {
+  if (mode_ != BroadcastMode::kTree || tree_cache_ == nullptr) return true;
+  return tree_cache_->tree().contains(id());
+}
+
+bool Router::should_relay_broadcast() const {
+  switch (mode_) {
+    case BroadcastMode::kSingleHop:
+      return false;
+    case BroadcastMode::kFlood:
+      return true;
+    case BroadcastMode::kTree:
+      // Interior tree nodes relay; leaves and out-of-tree nodes stay quiet.
+      // The tree itself is liveness-aware (recomputed from the topology's
+      // link-estimator view), so a relay next to a corpse re-routes instead
+      // of feeding it.
+      return tree_cache_ != nullptr && tree_cache_->tree().forwards(id());
+  }
+  return false;
+}
+
+util::Status Router::forward(Datagram d) {
+  // Piggy-back the freshest head-beacon tag this node knows. Fresher gossip
+  // observed on the way in has already updated beacon_tag_ (the observer
+  // fires before forwarding), so overwriting is always monotone.
+  if (beacon_tag_.valid()) d.beacon = beacon_tag_;
+
   Packet packet;
   packet.type = kRoutedPacketType;
   packet.payload = encode(d);
 
   if (d.destination == kBroadcast) {
     packet.dst = kBroadcast;
+    if (d.beacon.valid()) ++tagged_broadcast_sends_;
     return mac_.send(std::move(packet));
   }
   auto hop = topology_.next_hop(id(), d.destination);
@@ -84,15 +132,32 @@ void Router::on_packet(const Packet& packet) {
     EVM_WARN("router", "undecodable datagram from " << packet.src);
     return;
   }
+  // Beacon gossip is observed on every frame — before dedup, because the
+  // copy that lost the dedup race may be the one that crossed the head.
+  if (d.beacon.valid() && beacon_observer_) beacon_observer_(d.beacon);
   if (d.destination == kBroadcast) {
     if (d.source == id()) return;  // flooded copy of our own broadcast
     if (!remember(d.source, d.seq)) return;  // duplicate over another path
     if (receive_handler_) receive_handler_(d);
-    if (flood_ && d.ttl > 0) {
+    if (d.ttl > 0 && should_relay_broadcast()) {
+      if (d.beacon_probe &&
+          tagged_broadcast_sends_ != tagged_sends_at_last_probe_) {
+        // Per-link lazy beacon: this relay's own tagged data frames were
+        // not silent since the previous probe, so every neighbour already
+        // holds the tag (tags are observed pre-dedup) — re-broadcasting
+        // the probe would spend a slot to say nothing new.
+        ++beacon_relays_suppressed_;
+        tagged_sends_at_last_probe_ = tagged_broadcast_sends_;
+        return;
+      }
       Datagram next = d;
       next.ttl = static_cast<std::uint8_t>(d.ttl - 1);
       ++forwarded_;
-      (void)forward(next);
+      ++broadcast_relays_;
+      (void)forward(std::move(next));
+      if (d.beacon_probe) {
+        tagged_sends_at_last_probe_ = tagged_broadcast_sends_;
+      }
     }
     return;
   }
@@ -104,7 +169,7 @@ void Router::on_packet(const Packet& packet) {
   Datagram next = d;
   next.ttl = static_cast<std::uint8_t>(d.ttl - 1);
   ++forwarded_;
-  (void)forward(next);
+  (void)forward(std::move(next));
 }
 
 }  // namespace evm::net

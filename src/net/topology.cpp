@@ -4,7 +4,9 @@
 
 namespace evm::net {
 
-void Topology::add_node(NodeId id) { nodes_.insert(id); }
+void Topology::add_node(NodeId id) {
+  if (nodes_.insert(id).second) ++version_;
+}
 
 bool Topology::has_node(NodeId id) const { return nodes_.count(id) > 0; }
 
@@ -13,19 +15,32 @@ std::vector<NodeId> Topology::nodes() const {
 }
 
 void Topology::set_link(NodeId a, NodeId b, LinkState state) {
-  add_node(a);
-  add_node(b);
-  links_[key(a, b)] = state;
+  nodes_.insert(a);
+  nodes_.insert(b);
+  auto [it, inserted] = links_.try_emplace(key(a, b), state);
+  if (inserted) {
+    ++version_;
+  } else {
+    if (it->second.up != state.up) ++version_;  // connectivity changed
+    it->second = state;
+  }
 }
 
-void Topology::remove_link(NodeId a, NodeId b) { links_.erase(key(a, b)); }
+void Topology::remove_link(NodeId a, NodeId b) {
+  if (links_.erase(key(a, b)) > 0) ++version_;
+}
 
 void Topology::set_link_up(NodeId a, NodeId b, bool up) {
   auto it = links_.find(key(a, b));
-  if (it != links_.end()) it->second.up = up;
+  if (it != links_.end() && it->second.up != up) {
+    it->second.up = up;
+    ++version_;
+  }
 }
 
 void Topology::set_loss(NodeId a, NodeId b, double loss_probability) {
+  // Loss is not structure: routing and the dissemination tree are
+  // loss-blind, so this never bumps the version.
   auto it = links_.find(key(a, b));
   if (it != links_.end()) it->second.loss_probability = loss_probability;
 }
@@ -37,8 +52,9 @@ std::optional<LinkState> Topology::link(NodeId a, NodeId b) const {
 }
 
 void Topology::set_node_down(NodeId id, bool down) {
-  if (down) down_nodes_.insert(id);
-  else down_nodes_.erase(id);
+  const bool changed =
+      down ? down_nodes_.insert(id).second : down_nodes_.erase(id) > 0;
+  if (changed) ++version_;
 }
 
 bool Topology::connected(NodeId a, NodeId b) const {

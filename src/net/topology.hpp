@@ -55,6 +55,14 @@ class Topology {
   /// Next hop on a shortest path from `source` toward `dest`, if reachable.
   std::optional<NodeId> next_hop(NodeId source, NodeId dest) const;
 
+  /// Monotonic *structural* mutation counter: bumped when connectivity can
+  /// change (links added/removed/flipped up or down, node liveness) and NOT
+  /// by loss-probability updates or no-op writes. Consumers that derive
+  /// structures from the topology (the dissemination tree cache) re-read
+  /// lazily when the version moves instead of recomputing per send — and a
+  /// loss-only churn scenario never invalidates them.
+  std::uint64_t version() const { return version_; }
+
   /// Fully connected mesh over the given nodes (convenience for tests).
   static Topology full_mesh(const std::vector<NodeId>& ids, double loss = 0.0);
   /// Star centred on `hub` (the paper's Fig. 5 gateway layout).
@@ -70,6 +78,7 @@ class Topology {
   std::set<NodeId> nodes_;
   std::set<NodeId> down_nodes_;
   std::map<std::pair<NodeId, NodeId>, LinkState> links_;
+  std::uint64_t version_ = 0;
 };
 
 }  // namespace evm::net

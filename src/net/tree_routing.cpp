@@ -30,14 +30,25 @@ void TreeRouter::emit_beacon() {
   sim_.schedule_after(beacon_period_, [this] { emit_beacon(); });
 }
 
+bool TreeRouter::parent_alive() {
+  if (parent_ == kInvalidNode) return false;
+  if (topology_ == nullptr) return true;  // no estimator attached: trust it
+  if (topology_->connected(id(), parent_)) return true;
+  // The estimator sees a corpse (or a dead link): abandon the cached parent
+  // so the next live beacon re-joins us, instead of black-holing traffic.
+  parent_ = kInvalidNode;
+  hops_ = -1;
+  return false;
+}
+
 util::Status TreeRouter::send_up(std::uint8_t type,
                                  std::vector<std::uint8_t> payload) {
   if (is_sink_) {
     if (receive_handler_) receive_handler_(id(), type, payload);
     return util::Status::ok();
   }
-  if (parent_ == kInvalidNode) {
-    return util::Status::unavailable("not joined to the tree yet");
+  if (!parent_alive()) {
+    return util::Status::unavailable("no live parent toward the sink");
   }
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Kind::kUp));
@@ -63,6 +74,21 @@ util::Status TreeRouter::send_down(NodeId destination, std::uint8_t type,
   }
   // Recorded path is origin-first; downward traversal walks it back-to-front.
   const std::vector<NodeId>& path = it->second;
+  if (topology_ != nullptr) {
+    // Route-liveness: the recorded path was learned from an earlier upward
+    // packet; any hop that has since died (or lost its link) invalidates it.
+    NodeId prev = id();
+    for (auto hop = path.rbegin(); hop != path.rend(); ++hop) {
+      if (!topology_->connected(prev, *hop)) {
+        const NodeId dead = *hop;  // copy before erase frees the path
+        routes_.erase(it);
+        return util::Status::unavailable(
+            "recorded route to node " + std::to_string(destination) +
+            " crosses a dead hop (node " + std::to_string(dead) + ")");
+      }
+      prev = *hop;
+    }
+  }
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Kind::kDown));
   w.u8(type);
@@ -120,7 +146,7 @@ void TreeRouter::handle_up(util::ByteReader& r) {
     if (receive_handler_) receive_handler_(origin, type, payload);
     return;
   }
-  if (parent_ == kInvalidNode) return;  // stranded; drop
+  if (!parent_alive()) return;  // stranded (or parent died); drop
   ++forwarded_;
   util::ByteWriter w;
   w.u8(static_cast<std::uint8_t>(Kind::kUp));

@@ -27,6 +27,15 @@ class TreeRouter {
   NodeId id() const { return mac_.id(); }
   bool is_sink() const { return is_sink_; }
 
+  /// Route-liveness: with a topology attached, route selection consults the
+  /// link-estimator view — a cached parent whose node crashed (or whose link
+  /// dropped) is abandoned instead of black-holing upward traffic, and the
+  /// sink refuses to source-route downward through a recorded path with a
+  /// dead hop. Scripted link_up events firing during a crash therefore
+  /// cannot resurrect a route through the corpse: liveness is consulted in
+  /// addition to link state on every selection.
+  void attach_topology(const Topology* topology) { topology_ = topology; }
+
   /// Start beaconing (sink) / listening for beacons (everyone).
   void start();
   void stop();
@@ -59,9 +68,13 @@ class TreeRouter {
   void handle_beacon(const Packet& packet, util::ByteReader& r);
   void handle_up(util::ByteReader& r);
   void handle_down(util::ByteReader& r);
+  /// Link-estimator check of the cached parent; a dead parent resets the
+  /// join state (re-join happens on the next live beacon).
+  bool parent_alive();
 
   sim::Simulator& sim_;
   Mac& mac_;
+  const Topology* topology_ = nullptr;
   bool is_sink_;
   util::Duration beacon_period_;
   NodeId parent_ = kInvalidNode;

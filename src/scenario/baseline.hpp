@@ -1,0 +1,66 @@
+// CI scenario-regression gating. A baselines document (checked in at
+// bench/baselines/scenario_aggregates.json) records, per scenario, the
+// campaign shape it was captured under and the expected aggregate metrics
+// with per-metric tolerances. `run_scenario --check-baseline FILE` compares
+// a freshly computed campaign report against it and fails (exit 3) on any
+// out-of-tolerance metric, printing a readable delta table; `run_scenario
+// --update-baselines FILE` re-captures the entry — the documented path for
+// intentional performance changes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace evm::scenario {
+
+/// One metric comparison. `metric` is a dotted path into the report's
+/// aggregate block ("failover_latency_s.p99", "missed_deadlines.mean",
+/// plain counters like "runs_failed"). A metric passes when
+/// |actual - expected| <= max(abs_tol, rel_tol * |expected|).
+struct BaselineRow {
+  std::string metric;
+  double expected = 0.0;
+  double actual = 0.0;
+  double abs_tol = 0.0;
+  double rel_tol = 0.0;
+  bool missing = false;  // metric absent from the report's aggregate
+  bool ok = false;
+};
+
+struct BaselineCheck {
+  bool ok = false;
+  /// Set when the check could not even run (scenario missing from the
+  /// baselines, campaign shape mismatch, malformed document).
+  std::string error;
+  std::vector<BaselineRow> rows;
+};
+
+/// Resolve a dotted metric path inside the report's "aggregate" block.
+/// Returns false when the path does not lead to a number.
+bool aggregate_metric(const util::Json& report, const std::string& path,
+                      double& out);
+
+/// Compare `report` (a campaign report as written by write_campaign_report)
+/// against `baselines`. The report's scenario name selects the entry; the
+/// campaign shape (seeds, base_seed, horizon_s) must match what the
+/// baseline was captured under, or the comparison would be meaningless.
+BaselineCheck check_against_baseline(const util::Json& baselines,
+                                     const util::Json& report);
+
+/// Build the baseline entry for `report` with the default metric set and
+/// tolerances (latency/plant metrics get relative headroom for cross-
+/// machine drift; determinism-backed counters are exact).
+util::Json make_baseline_entry(const util::Json& report);
+
+/// Insert or replace the report's entry inside `baselines` (creating the
+/// document structure when starting from an empty object).
+util::Status upsert_baseline(util::Json& baselines, const util::Json& report);
+
+/// Human-readable delta table (one row per metric, PASS/FAIL flags).
+std::string format_baseline_table(const BaselineCheck& check,
+                                  const std::string& scenario);
+
+}  // namespace evm::scenario

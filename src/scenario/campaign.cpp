@@ -38,6 +38,8 @@ struct RunView {
   double packet_loss_rate = 0.0;
   double level_rmse_pct = 0.0;
   double level_max_dev_pct = 0.0;
+  double slots_per_broadcast = 0.0;
+  double beacons_suppressed = 0.0;
 };
 
 RunView view_of(const RunMetrics& run) {
@@ -49,6 +51,8 @@ RunView view_of(const RunMetrics& run) {
   v.packet_loss_rate = run.packet_loss_rate;
   v.level_rmse_pct = run.level_rmse_pct;
   v.level_max_dev_pct = run.level_max_dev_pct;
+  v.slots_per_broadcast = run.slots_per_broadcast;
+  v.beacons_suppressed = static_cast<double>(run.beacons_suppressed);
   return v;
 }
 
@@ -61,11 +65,14 @@ RunView view_of(const Json& run) {
   if (const Json* p = run.find("packet_loss_rate")) v.packet_loss_rate = p->as_double();
   if (const Json* r = run.find("level_rmse_pct")) v.level_rmse_pct = r->as_double();
   if (const Json* d = run.find("level_max_dev_pct")) v.level_max_dev_pct = d->as_double();
+  if (const Json* s = run.find("slots_per_broadcast")) v.slots_per_broadcast = s->as_double();
+  if (const Json* bs = run.find("beacons_suppressed")) v.beacons_suppressed = bs->as_double();
   return v;
 }
 
 Json aggregate_views(const std::vector<RunView>& views) {
   util::Samples failover_latency, missed_deadlines, loss_rate, rmse, max_dev;
+  util::Samples slots_per_bcast, beacons_suppressed;
   std::size_t ok_count = 0, failovers_detected = 0, backups_active = 0;
   for (const RunView& v : views) {
     if (!v.ok) continue;
@@ -79,6 +86,8 @@ Json aggregate_views(const std::vector<RunView>& views) {
     loss_rate.add(v.packet_loss_rate);
     rmse.add(v.level_rmse_pct);
     max_dev.add(v.level_max_dev_pct);
+    slots_per_bcast.add(v.slots_per_broadcast);
+    beacons_suppressed.add(v.beacons_suppressed);
   }
 
   Json aggregate = Json::object();
@@ -93,6 +102,8 @@ Json aggregate_views(const std::vector<RunView>& views) {
   aggregate.set("packet_loss_rate", summarize(loss_rate, "fraction"));
   aggregate.set("level_rmse_pct", summarize(rmse, "%"));
   aggregate.set("level_max_dev_pct", summarize(max_dev, "%"));
+  aggregate.set("slots_per_broadcast", summarize(slots_per_bcast, "slots"));
+  aggregate.set("beacons_suppressed", summarize(beacons_suppressed, "count"));
   return aggregate;
 }
 

@@ -76,6 +76,11 @@ struct FuzzFailure {
   std::size_t shrink_runs = 0;
   /// Violations of the shrunk spec (what the written repro reproduces).
   std::vector<InvariantViolation> violations;
+  /// Metrics of the shrunk spec's failing run — including the topology /
+  /// dissemination block (mode, slots per broadcast, beacons suppressed) —
+  /// so a replayed repro can be diffed field-for-field against what the
+  /// campaign saw when it failed.
+  RunMetrics metrics;
   /// The bounds the violation was found under; embedded in the repro so a
   /// replay checks the same properties, not the defaults.
   InvariantConfig invariants;

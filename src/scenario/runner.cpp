@@ -46,6 +46,11 @@ Json RunMetrics::to_json() const {
   j.set("packets_lost", packets_lost);
   j.set("packets_collided", packets_collided);
   j.set("packet_loss_rate", packet_loss_rate);
+  j.set("dissemination", dissemination);
+  j.set("bcast_datagrams", bcast_datagrams);
+  j.set("bcast_transmissions", bcast_transmissions);
+  j.set("slots_per_broadcast", slots_per_broadcast);
+  j.set("beacons_suppressed", beacons_suppressed);
   j.set("level_rmse_pct", level_rmse_pct);
   j.set("level_max_dev_pct", level_max_dev_pct);
   j.set("final_level_pct", final_level_pct);
@@ -272,6 +277,24 @@ RunMetrics ScenarioRunner::collect() {
       m.missed_deadlines += tcb->stats.deadline_misses;
       m.task_releases += tcb->stats.releases;
     }
+  }
+
+  m.dissemination = topo_.multi_hop()
+                        ? testbed::to_string(tb.dissemination_mode())
+                        : "single_hop";
+  for (net::NodeId id : topo_.node_ids()) {
+    const net::Router& router = tb.node(id).router();
+    m.bcast_datagrams += router.broadcasts_originated();
+    m.bcast_transmissions +=
+        router.broadcasts_originated() + router.broadcast_relays();
+    // Reclaimed beacon slots: explicit beacons the head withheld plus probe
+    // relays the interior skipped because data frames already carried the tag.
+    m.beacons_suppressed +=
+        tb.service(id).beacons_suppressed() + router.beacon_relays_suppressed();
+  }
+  if (m.bcast_datagrams > 0) {
+    m.slots_per_broadcast = static_cast<double>(m.bcast_transmissions) /
+                            static_cast<double>(m.bcast_datagrams);
   }
 
   m.packets_delivered = tb.medium().delivered_count();

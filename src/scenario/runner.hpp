@@ -38,6 +38,21 @@ struct RunMetrics {
   std::size_t packets_collided = 0;
   double packet_loss_rate = 0.0;  // (lost + collided) / offered
 
+  // Dissemination cost of the broadcast plane (sensor stream, heartbeats,
+  // actuation, head beacons). "tree" scopes relaying to the dissemination
+  // tree's interior; "flood" is the PR 4 every-node re-broadcast;
+  // "single_hop" is the Fig. 5 mesh (no relaying at all).
+  std::string dissemination;
+  std::size_t bcast_datagrams = 0;      // unique broadcasts originated
+  std::size_t bcast_transmissions = 0;  // originations + relay re-sends
+  /// RT-Link slots consumed per unique broadcast datagram (the tentpole
+  /// metric: ~N under flooding, ~tree interior size under scoping).
+  double slots_per_broadcast = 0.0;
+  /// Beacon slots reclaimed by piggy-backing: explicit head beacons the
+  /// head withheld (its own frames carried the tag) plus beacon-probe
+  /// relays interior nodes skipped (their data frames covered the link).
+  std::size_t beacons_suppressed = 0;
+
   double level_rmse_pct = 0.0;     // RMS |level - setpoint| over the run
   double level_max_dev_pct = 0.0;  // worst excursion from setpoint
   double final_level_pct = 0.0;

@@ -141,7 +141,8 @@ util::Status ScenarioSpec::validate() const {
   }
   // Schedule feasibility: one TDMA frame (the worst-case link access) must
   // fit inside the control period, or the loop can never close on time.
-  const testbed::SchedulePlan plan = testbed::plan_schedule(topo);
+  const testbed::SchedulePlan plan =
+      testbed::plan_schedule(topo, testbed.dissemination);
   if (plan.frame_length() > testbed.control_period) {
     return Status::invalid_argument(
         "infeasible schedule: the " + std::to_string(plan.slots.size()) +
@@ -228,6 +229,16 @@ Result<ScenarioSpec> ScenarioSpec::from_json(const Json& json) {
     cfg.promotion_timeout = util::Duration::from_seconds(promotion_timeout_s);
     if (!cfg.promotion_timeout.is_positive()) {
       return Status::invalid_argument("'promotion_timeout_s' must be positive");
+    }
+    if (const Json* mode = tb->find("dissemination")) {
+      const std::string value = mode->is_string() ? mode->as_string() : "";
+      if (value == "auto") cfg.dissemination = testbed::DisseminationMode::kAuto;
+      else if (value == "flood") cfg.dissemination = testbed::DisseminationMode::kFlood;
+      else if (value == "tree") cfg.dissemination = testbed::DisseminationMode::kTree;
+      else {
+        return Status::invalid_argument(
+            "'dissemination' must be \"auto\", \"flood\" or \"tree\"");
+      }
     }
   }
 
@@ -485,6 +496,7 @@ Json ScenarioSpec::to_json() const {
   tb.set("level_setpoint", testbed.level_setpoint);
   tb.set("third_controller", testbed.third_controller);
   tb.set("link_loss", testbed.link_loss);
+  tb.set("dissemination", testbed::to_string(testbed.dissemination));
   root.set("testbed", std::move(tb));
 
   // Campaign provenance: the explicit node/link list round-trips, so a

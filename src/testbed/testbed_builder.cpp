@@ -31,7 +31,7 @@ TestbedBuilder::TestbedBuilder(GasPlantTestbedConfig config)
   // plus a second slot for the chatty nodes. On the Fig. 5 mesh this is the
   // paper's 10-slot x 5 ms frame, keeping worst-case link access at
   // 50 ms << the 250 ms control cycle.
-  const SchedulePlan plan = plan_schedule(topo_);
+  const SchedulePlan plan = plan_schedule(topo_, config_.dissemination);
   schedule_ = std::make_unique<net::RtLinkSchedule>(
       static_cast<int>(plan.slots.size()), plan.slot_length);
   for (std::size_t slot = 0; slot < plan.slots.size(); ++slot) {
@@ -134,10 +134,24 @@ void TestbedBuilder::build_nodes() {
       std::max(util::Duration::seconds(5), config_.promotion_timeout * 3);
 
   // Broadcast data/heartbeat planes only reach one hop; worlds with relays
-  // need the routers to flood them (deduplicated, TTL-bounded).
+  // need the routers to carry them across. The default (kAuto) is scoped
+  // dissemination over the gateway-rooted spanning tree pruned to the
+  // role nodes — multicast cost follows the tree size; kFlood keeps the
+  // PR 4 every-node re-broadcast as the comparison baseline.
   const int diameter = topo_.diameter();
-  const bool flood = diameter > 1;
+  const bool multi_hop = diameter > 1;
   const std::uint8_t ttl = static_cast<std::uint8_t>(std::max(8, diameter + 1));
+  dissemination_ = config_.dissemination;
+  if (dissemination_ == DisseminationMode::kAuto) {
+    dissemination_ = multi_hop ? DisseminationMode::kTree
+                               : DisseminationMode::kFlood;
+  }
+  // Single-hop worlds never relay broadcasts regardless of the mode; the
+  // tree cache is only built (and consulted) where relaying happens.
+  if (multi_hop && dissemination_ == DisseminationMode::kTree) {
+    tree_cache_ = std::make_unique<net::DisseminationTreeCache>(
+        topology_, topo_.gateway(), topo_.dissemination_targets());
+  }
 
   std::size_t index = 0;
   for (const TopologyNode& entry : topo_.nodes) {
@@ -149,8 +163,12 @@ void TestbedBuilder::build_nodes() {
     ++index;
     nodes_[entry.id] = std::make_unique<core::Node>(sim_, *medium_, *schedule_,
                                                     *timesync_, config);
-    if (flood) {
-      nodes_[entry.id]->router().enable_flooding();
+    if (multi_hop) {
+      if (tree_cache_ != nullptr) {
+        nodes_[entry.id]->router().enable_tree_dissemination(tree_cache_.get());
+      } else {
+        nodes_[entry.id]->router().enable_flooding();
+      }
       nodes_[entry.id]->router().set_default_ttl(ttl);
     }
     services_[entry.id] =

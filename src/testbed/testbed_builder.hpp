@@ -36,6 +36,8 @@ struct GasPlantTestbedConfig {
   util::Duration promotion_timeout = util::Duration::seconds(2);
   /// Level setpoint (percent).
   double level_setpoint = 50.0;
+  /// Broadcast dissemination scheme (see DisseminationMode).
+  DisseminationMode dissemination = DisseminationMode::kAuto;
   /// Fig. 5 only: include the third controller replica (Ctrl-C) in the VC.
   bool third_controller = false;
   /// Fig. 5 only: per-link packet loss probability.
@@ -91,6 +93,14 @@ class TestbedBuilder {
   core::EvmService& service(net::NodeId id) { return *services_.at(id); }
   core::EvmService& head() { return service(topo_.gateway()); }
   const core::VcDescriptor& descriptor() const { return descriptor_; }
+  /// The resolved dissemination mode (kAuto collapsed to what was built);
+  /// never kAuto after construction.
+  DisseminationMode dissemination_mode() const { return dissemination_; }
+  /// The shared liveness-aware dissemination tree, or nullptr outside
+  /// tree mode (single-hop / flood worlds).
+  const net::DisseminationTreeCache* dissemination_cache() const {
+    return tree_cache_.get();
+  }
 
   /// The steady-state valve opening computed at initialization (the paper's
   /// 11.48 % figure for their operating point).
@@ -111,6 +121,8 @@ class TestbedBuilder {
   plant::GasPlant plant_;
   std::unique_ptr<plant::HilHarness> hil_;
   core::VcDescriptor descriptor_;
+  std::unique_ptr<net::DisseminationTreeCache> tree_cache_;
+  DisseminationMode dissemination_ = DisseminationMode::kAuto;
   std::map<net::NodeId, std::unique_ptr<core::Node>> nodes_;
   std::map<net::NodeId, std::unique_ptr<core::EvmService>> services_;
   double steady_opening_ = 0.0;

@@ -4,6 +4,8 @@
 #include <map>
 #include <set>
 
+#include "net/dissemination.hpp"
+
 namespace evm::testbed {
 
 using util::Json;
@@ -70,6 +72,15 @@ class SpecBuilder {
 };
 
 }  // namespace
+
+const char* to_string(DisseminationMode mode) {
+  switch (mode) {
+    case DisseminationMode::kAuto: return "auto";
+    case DisseminationMode::kFlood: return "flood";
+    case DisseminationMode::kTree: return "tree";
+  }
+  return "unknown";
+}
 
 const char* to_string(NodeRole role) {
   for (const auto& [r, name] : kRoleNames) {
@@ -155,6 +166,14 @@ std::vector<net::NodeId> TopologySpec::relays() const {
   std::vector<net::NodeId> out;
   for (const auto& node : nodes) {
     if (node.role == NodeRole::kRelay) out.push_back(node.id);
+  }
+  return out;
+}
+
+std::vector<net::NodeId> TopologySpec::dissemination_targets() const {
+  std::vector<net::NodeId> out;
+  for (const auto& node : nodes) {
+    if (node.role != NodeRole::kRelay) out.push_back(node.id);
   }
   return out;
 }
@@ -301,7 +320,7 @@ util::Status TopologySpec::validate() const {
   return Status::ok();
 }
 
-SchedulePlan plan_schedule(const TopologySpec& topo) {
+SchedulePlan plan_schedule(const TopologySpec& topo, DisseminationMode mode) {
   SchedulePlan plan;
   // Base slots in hop order from the gateway, ties by spec order: a packet
   // flooding away from the gateway end of the network can cross several
@@ -318,6 +337,23 @@ SchedulePlan plan_schedule(const TopologySpec& topo) {
                      return da < db;
                    });
   plan.slots = order;
+
+  // Mirror pass (tree-scoped multi-hop worlds only): the dissemination
+  // tree's interior nodes in descending hop order. A frame then carries
+  // inward-bound chains too — a fault report at hop 4 is relayed by hop 3,
+  // then hop 2, then hop 1 later in the same frame, instead of one frame
+  // per hop. Single-hop worlds skip this (keeping the paper's 10-slot
+  // Fig. 5 frame intact), and so do flood-forced worlds (restoring the
+  // exact PR 4 frame, so the flood knob really is the PR 4 baseline).
+  if (topo.multi_hop() && mode != DisseminationMode::kFlood) {
+    const net::DisseminationTree tree = net::DisseminationTree::compute(
+        graph, topo.gateway(), topo.dissemination_targets());
+    std::vector<net::NodeId> interior;
+    for (net::NodeId id : order) {
+      if (tree.forwards(id)) interior.push_back(id);
+    }
+    plan.slots.insert(plan.slots.end(), interior.rbegin(), interior.rend());
+  }
 
   // A second slot per frame for the chatty nodes: every sensor, the primary
   // and first backup replica, and the gateway (mode commands + beacons).

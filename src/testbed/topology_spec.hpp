@@ -19,6 +19,16 @@
 
 namespace evm::testbed {
 
+/// How broadcast-plane traffic (sensor stream, heartbeats, head beacons)
+/// crosses multi-hop worlds. kAuto picks tree-scoped dissemination on
+/// multi-hop topologies and plain single-hop broadcast on the Fig. 5 mesh;
+/// kFlood forces the PR 4 deduplicated flood (the comparison baseline for
+/// density sweeps); kTree forces the scoped tree. The slot plan follows the
+/// mode: the tree's mirror pass only exists where the tree does.
+enum class DisseminationMode : std::uint8_t { kAuto = 0, kFlood, kTree };
+
+const char* to_string(DisseminationMode mode);
+
 /// What a node contributes to the control loop. Relays only forward traffic
 /// (they sit between sensor and controllers in multi-hop worlds).
 enum class NodeRole : std::uint8_t {
@@ -50,9 +60,14 @@ struct TopologyLink {
 
 /// The hop-aware RT-Link schedule TestbedBuilder installs: slots[i] is the
 /// licensed transmitter of slot i. Base slots are ordered by BFS hop count
-/// from the gateway (ties by spec order), so a flooded broadcast crosses as
-/// many downstream hops as possible within one frame; chatty nodes (sensors,
-/// the first two replicas, the gateway) then get a second slot per frame.
+/// from the gateway (ties by spec order), so a broadcast travelling away
+/// from the gateway crosses as many downstream hops as possible within one
+/// frame. On multi-hop worlds the dissemination tree's interior nodes then
+/// get a second slot in *descending* hop order — the mirror pass — so
+/// inward traffic (heartbeats, fault reports racing toward the head) also
+/// chains across several hops inside one frame instead of paying a frame
+/// per hop. Chatty nodes (sensors, the first two replicas, the gateway)
+/// close the frame with one more slot each.
 struct SchedulePlan {
   std::vector<net::NodeId> slots;
   util::Duration slot_length = util::Duration::millis(5);
@@ -83,6 +98,10 @@ struct TopologySpec {
   std::vector<net::NodeId> controllers() const;       // all, spec order
   std::vector<net::NodeId> replica_order() const;     // vc_member controllers
   std::vector<net::NodeId> relays() const;
+  /// Nodes the broadcast plane must reach: every non-relay role (gateway,
+  /// sensors, controllers, actuators). The dissemination tree is pruned to
+  /// these; pure relays only join it when they sit on a shortest path.
+  std::vector<net::NodeId> dissemination_targets() const;
 
   /// Role-table name of `id`; "node<id>" for unknown ids (diagnostics only).
   std::string node_name(net::NodeId id) const;
@@ -113,7 +132,13 @@ struct TopologySpec {
   util::Json to_json() const;
 };
 
-SchedulePlan plan_schedule(const TopologySpec& topo);
+/// Build the RT-Link slot plan for `topo` under `mode`. The mirror pass of
+/// second slots for the dissemination tree's interior only exists when the
+/// tree does (multi-hop worlds not forced back to flooding), so a
+/// flood-forced world keeps the exact PR 4 frame and its schedule
+/// feasibility.
+SchedulePlan plan_schedule(const TopologySpec& topo,
+                           DisseminationMode mode = DisseminationMode::kAuto);
 
 /// The paper's Fig. 5 six-node testbed: gateway, sensor, three controllers
 /// (Ctrl-C built but outside the VC unless `third_controller`), actuator,

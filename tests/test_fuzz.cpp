@@ -130,7 +130,8 @@ TEST(FuzzGenerator, GeneratesRandomizedMultiHopTopologies) {
     if (topo.multi_hop()) {
       ++multi_hop;
       // Frame must fit the scaled control period (schedule feasibility).
-      EXPECT_LE(testbed::plan_schedule(topo).frame_length(),
+      EXPECT_LE(testbed::plan_schedule(topo, spec.testbed.dissemination)
+                    .frame_length(),
                 spec.testbed.control_period)
           << "seed " << seed;
     }

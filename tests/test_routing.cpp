@@ -51,14 +51,19 @@ TEST(Datagram, EncodeDecodeRoundTrip) {
   d.type = 0x42;
   d.ttl = 5;
   d.seq = 777;
+  d.beacon_probe = true;
+  d.beacon = {4, 1234};
   d.payload = {1, 2, 3, 4, 5};
   Datagram out;
   ASSERT_TRUE(Router::decode(Router::encode(d), out));
+  EXPECT_TRUE(out.beacon_probe);
   EXPECT_EQ(out.source, 3);
   EXPECT_EQ(out.destination, 9);
   EXPECT_EQ(out.type, 0x42);
   EXPECT_EQ(out.ttl, 5);
   EXPECT_EQ(out.seq, 777);
+  EXPECT_EQ(out.beacon.head, 4);
+  EXPECT_EQ(out.beacon.seq, 1234);
   EXPECT_EQ(out.payload, d.payload);
 }
 

@@ -194,7 +194,7 @@ TEST_F(ServiceFixture, StaleEpochCommandIgnored) {
   fresh.mode = ControllerMode::kIndicator;
   fresh.epoch = 5;
   net::Datagram d{1, 3, static_cast<std::uint8_t>(MsgType::kModeCommand), 8, 0,
-                  fresh.encode()};
+                  false, {}, fresh.encode()};
   // Deliver directly through the handler path via the router callback —
   // simulate by sending from the head router.
   ASSERT_TRUE(nodes[1]->router().send(
@@ -588,6 +588,80 @@ TEST_F(ServiceFixture, CausalTransferDropsDuplicates) {
   EXPECT_EQ(services[3]->transfer_stats().rejected_disorder, 0u);
   EXPECT_GT(services[3]->transfer_stats().accepted, 5u);
   EXPECT_TRUE(services[3]->has_stream(0));
+}
+
+TEST_F(ServiceFixture, BusyHeadPiggyBacksBeaconsInsteadOfBroadcasting) {
+  // The head publishes the sensor stream every 100 ms, so every beacon
+  // period carries plenty of tagged data-plane frames: the explicit beacon
+  // broadcast is withheld (slots reclaimed) while members' head-liveness
+  // clocks keep refreshing off the piggy-backed tags — long silence windows
+  // notwithstanding, nobody starts a succession.
+  start();
+  run_for(util::Duration::seconds(30));
+  EXPECT_GT(services[1]->beacons_suppressed(), 20u);
+  for (net::NodeId id : {2, 3, 4}) {
+    EXPECT_EQ(services[id]->head_id(), 1) << "node " << id;
+    EXPECT_EQ(services[id]->head_successions(), 0u) << "node " << id;
+  }
+}
+
+TEST_F(ServiceFixture, QuietHeadFallsBackToExplicitBeacons) {
+  // No data traffic at all (the sensor publisher is not started): the
+  // fallback path must keep emitting the explicit beacon every period, and
+  // members must stay aligned off it alone.
+  for (net::NodeId id : {1, 2, 3, 4}) {
+    services[id] = std::make_unique<EvmService>(*nodes[id], vc,
+                                                FailoverPolicy{1, util::Duration::seconds(2)});
+    ASSERT_TRUE(services[id]->start());
+  }
+  sync.start();
+  // Stop the replica control tasks so even heartbeats go quiet; only the
+  // beacon task keeps running.
+  for (net::NodeId id : {2, 3}) {
+    ASSERT_TRUE(services[id]->set_mode(kLoop, ControllerMode::kDormant));
+  }
+  run_for(util::Duration::seconds(15));
+  EXPECT_EQ(services[1]->beacons_suppressed(), 0u);
+  for (net::NodeId id : {2, 3, 4}) {
+    EXPECT_EQ(services[id]->head_id(), 1) << "node " << id;
+    EXPECT_EQ(services[id]->head_successions(), 0u) << "node " << id;
+  }
+}
+
+TEST_F(ServiceFixture, RecoveredBusyHeadReclaimsHeadshipDespiteSuppression) {
+  // The split-brain corner of piggy-backing: the original head recovers
+  // with plenty of data traffic, so suppression would withhold exactly the
+  // explicit beacons the lower-id-reclaims rule rides on. Seeing the
+  // usurper's rival tag must force explicit beacons out of both heads until
+  // the lower id wins.
+  start();
+  run_for(util::Duration::seconds(2));
+  nodes[1]->fail();
+  run_for(util::Duration::seconds(10));
+  ASSERT_TRUE(services[2]->is_head());
+  nodes[1]->recover();  // resumes its beacon task AND its publisher (busy)
+  run_for(util::Duration::seconds(8));
+  EXPECT_TRUE(services[1]->is_head());
+  EXPECT_FALSE(services[2]->is_head());
+  for (net::NodeId id : {2, 3, 4}) {
+    EXPECT_EQ(services[id]->head_id(), 1) << "node " << id;
+  }
+}
+
+TEST_F(ServiceFixture, StaleTagsDoNotKeepADeadHeadAlive) {
+  // After the head dies its beacon sequence stops advancing. The tags still
+  // circulating on member heartbeats must not count as liveness — the
+  // members detect the silence and elect node 2 exactly as with explicit
+  // beacons.
+  start();
+  run_for(util::Duration::seconds(10));
+  EXPECT_GT(services[1]->beacons_suppressed(), 0u);  // piggy-backing active
+  nodes[1]->fail();
+  run_for(util::Duration::seconds(10));
+  EXPECT_EQ(services[2]->head_id(), 2);
+  EXPECT_EQ(services[2]->head_successions(), 1u);
+  EXPECT_EQ(services[3]->head_id(), 2);
+  EXPECT_EQ(services[4]->head_id(), 2);
 }
 
 }  // namespace

@@ -141,5 +141,39 @@ TEST_P(NextHopProperty, ConvergesWithoutLoops) {
 
 INSTANTIATE_TEST_SUITE_P(RingSizes, NextHopProperty, ::testing::Values(4, 7, 10));
 
+TEST(Topology, VersionMovesOnEveryMutationOnly) {
+  Topology topo = Topology::line({1, 2, 3});
+  const std::uint64_t built = topo.version();
+
+  // Queries never bump the version.
+  (void)topo.neighbors(2);
+  (void)topo.hop_counts(1);
+  (void)topo.next_hop(1, 3);
+  EXPECT_EQ(topo.version(), built);
+
+  topo.set_link_up(1, 2, false);
+  EXPECT_GT(topo.version(), built);
+  const std::uint64_t after_down = topo.version();
+  topo.set_link_up(1, 2, false);  // no-op: already down
+  EXPECT_EQ(topo.version(), after_down);
+
+  topo.set_node_down(2, true);
+  EXPECT_GT(topo.version(), after_down);
+  const std::uint64_t after_crash = topo.version();
+  topo.set_node_down(2, true);  // no-op: already down
+  EXPECT_EQ(topo.version(), after_crash);
+
+  // Loss updates are not structural: routing and the dissemination tree
+  // are loss-blind, so loss churn must not invalidate derived caches.
+  topo.set_loss(2, 3, 0.25);
+  EXPECT_EQ(topo.version(), after_crash);
+  // Rewriting a link with identical up-state is a no-op too; flipping the
+  // up-state through set_link bumps once.
+  topo.set_link(2, 3, {true, 0.5});
+  EXPECT_EQ(topo.version(), after_crash);
+  topo.set_link(2, 3, {false, 0.5});
+  EXPECT_EQ(topo.version(), after_crash + 1);
+}
+
 }  // namespace
 }  // namespace evm::net

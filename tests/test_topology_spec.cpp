@@ -97,17 +97,33 @@ TEST(TopologySpecSchedule, PlanIsHopOrderedCoversAllAndReproducesFig5) {
   EXPECT_EQ(fig5.frame_length(), util::Duration::millis(50));
 
   // Line: base slots follow the chain (hop order from the gateway), so a
-  // flooded broadcast travelling away from the gateway crosses every hop
-  // inside one frame.
+  // broadcast travelling away from the gateway crosses every hop inside one
+  // frame; then the dissemination tree's interior nodes mirror back in
+  // descending hop order, so inward traffic (fault reports racing to the
+  // head) chains across hops inside the same frame too.
   const TopologySpec line = line_topology(8);
   const SchedulePlan plan = plan_schedule(line);
-  ASSERT_EQ(plan.slots.size(), 8u + 4u);
+  // 8 base + 6 interior mirror slots + sensor + two replicas + gateway.
+  ASSERT_EQ(plan.slots.size(), 8u + 6u + 4u);
   for (std::size_t i = 0; i < 8; ++i) {
     EXPECT_EQ(plan.slots[i], line.nodes[i].id) << "slot " << i;
   }
+  // Mirror pass: interior chain nodes (everyone but the two ends), deepest
+  // first.
+  const std::vector<net::NodeId> mirror(plan.slots.begin() + 8,
+                                        plan.slots.begin() + 14);
+  EXPECT_EQ(mirror, (std::vector<net::NodeId>{7, 6, 5, 4, 3, 2}));
   // Every node owns at least one slot (schedule feasibility).
   std::set<net::NodeId> owners(plan.slots.begin(), plan.slots.end());
   for (const auto& node : line.nodes) EXPECT_TRUE(owners.count(node.id));
+
+  // Forcing the flood back on restores the exact PR 4 frame: no mirror
+  // pass, 8 base + 4 chatty slots.
+  const SchedulePlan flood = plan_schedule(line, DisseminationMode::kFlood);
+  ASSERT_EQ(flood.slots.size(), 8u + 4u);
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(flood.slots[i], line.nodes[i].id) << "slot " << i;
+  }
 }
 
 TEST(TopologySpecJson, ExplicitFormRoundTripsByteExactly) {
