@@ -119,7 +119,9 @@ void parallel_for(std::size_t count, std::size_t jobs,
                   const std::function<void(std::size_t)>& fn) {
   if (count == 0) return;
   if (jobs == 0) {
-    const unsigned hw = std::thread::hardware_concurrency();
+    // This function IS the sanctioned thread pool evm_lint rule C1 funnels
+    // everything else through, so its own primitives carry the suppressions.
+    const unsigned hw = std::thread::hardware_concurrency();  // evm-lint: allow(C1)
     jobs = hw == 0 ? 1 : hw;
   }
   jobs = std::min(jobs, count);
@@ -140,7 +142,7 @@ void parallel_for(std::size_t count, std::size_t jobs,
     worker();
     return;
   }
-  std::vector<std::thread> pool;
+  std::vector<std::thread> pool;  // evm-lint: allow(C1)
   pool.reserve(jobs);
   for (std::size_t j = 0; j < jobs; ++j) pool.emplace_back(worker);
   for (auto& t : pool) t.join();

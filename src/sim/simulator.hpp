@@ -84,6 +84,11 @@ class Simulator {
   /// and the per-pop membership test O(1); heavy-churn scenarios cancel
   /// thousands of retry timers, which made the previous linear scan of a
   /// vector quadratic overall.
+  ///
+  /// Determinism audit (evm_lint D1): this set is membership-only — every
+  /// access is insert/erase/count keyed by event id; nothing ever iterates
+  /// it, so its hash order cannot reach dispatch order or traces. If you
+  /// add iteration (e.g. draining it on reset), iterate a sorted copy.
   std::unordered_set<std::uint64_t> cancelled_;
   std::uint64_t next_sequence_ = 1;
   std::uint64_t next_id_ = 1;

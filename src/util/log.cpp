@@ -20,6 +20,7 @@ void Logger::write(LogLevel level, const std::string& tag,
     case LogLevel::kError: name = "ERROR"; break;
     case LogLevel::kOff: return;
   }
+  const std::lock_guard<std::mutex> lock(mutex_);
   std::string line;
   if (time_source_) {
     char buf[32];

@@ -1,8 +1,17 @@
 // Minimal leveled logger. The simulator installs a time source so log lines
 // carry virtual time, which is what matters when debugging protocol traces.
+//
+// Thread-safety: the logger is a process-wide singleton and campaign/fuzz
+// workers log through it concurrently (every worker runs a full protocol
+// stack), so write() and the setters synchronize on one mutex. That also
+// serializes sink invocation: a test capturing lines into a vector needs no
+// locking of its own. enabled() stays lock-free (relaxed atomic) because it
+// guards every EVM_LOG expansion in hot paths.
 #pragma once
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -16,26 +25,34 @@ class Logger {
  public:
   static Logger& instance();
 
-  void set_level(LogLevel level) { level_ = level; }
-  LogLevel level() const { return level_; }
+  void set_level(LogLevel level) { level_.store(level, std::memory_order_relaxed); }
+  LogLevel level() const { return level_.load(std::memory_order_relaxed); }
 
   /// Install a virtual-clock source (the simulator does this); nullptr to
   /// fall back to untimestamped lines.
   void set_time_source(std::function<TimePoint()> source) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     time_source_ = std::move(source);
   }
 
   /// Redirect output (tests capture lines this way). nullptr restores stderr.
   void set_sink(std::function<void(const std::string&)> sink) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     sink_ = std::move(sink);
   }
 
-  bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::kOff; }
+  bool enabled(LogLevel level) const {
+    const LogLevel current = this->level();
+    return level >= current && current != LogLevel::kOff;
+  }
   void write(LogLevel level, const std::string& tag, const std::string& message);
 
  private:
   Logger() = default;
-  LogLevel level_ = LogLevel::kWarn;
+  std::atomic<LogLevel> level_{LogLevel::kWarn};
+  // Serializes write() against the setters (and sink calls against each
+  // other) for the process-wide singleton; campaign workers share it.
+  std::mutex mutex_;  // evm-lint: allow(C1)
   std::function<TimePoint()> time_source_;
   std::function<void(const std::string&)> sink_;
 };

@@ -1,6 +1,11 @@
 // Deterministic pseudo-random number generation. Every stochastic element in
 // the repository (link loss, clock drift, workload arrivals) draws from an
 // Rng seeded from the experiment configuration, making runs reproducible.
+//
+// This file is the one sanctioned randomness funnel: evm_lint rule D3 bans
+// rand(), std::random_device, the std engines and the std distributions
+// everywhere else in the tree (the std distributions are implementation-
+// defined, so identical seeds produce different streams across stdlibs).
 #pragma once
 
 #include <cmath>

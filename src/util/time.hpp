@@ -2,6 +2,11 @@
 // the RTOS model. All times are signed 64-bit nanosecond counts so that
 // sub-microsecond radio timing and multi-hour plant transients coexist in one
 // clock domain without precision loss.
+//
+// This file is the one sanctioned time funnel: evm_lint rule D2 bans
+// wall-clock sources (std::chrono clocks, time(), clock_gettime, ...)
+// everywhere outside it except the bench harness, whose job is wall-clock
+// measurement. Sim code asks the Simulator for `now()`; nothing else.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,235 @@
+// evm_lint test suite: every rule gets a positive fixture, a suppressed
+// fixture and a clean fixture, plus exact file:line assertions on the JSON
+// report. The fixtures live in tests/fixtures/lint/*.snippet — the .snippet
+// extension keeps them out of both the build glob and evm_lint's own tree
+// scan, so a deliberately-dirty fixture can never dirty the repository.
+#include "evm_lint/lint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace {
+
+using evm::lint::Finding;
+using evm::lint::lint_source;
+
+std::string read_fixture(const std::string& name) {
+  const std::filesystem::path path =
+      std::filesystem::path(EVM_LINT_FIXTURES_DIR) / name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+std::vector<std::size_t> active_lines(const std::vector<Finding>& findings,
+                                      const std::string& rule) {
+  std::vector<std::size_t> lines;
+  for (const Finding& f : findings) {
+    if (!f.suppressed && f.rule == rule) lines.push_back(f.line);
+  }
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+TEST(LintRules, TableHasUniqueIdsAndNames) {
+  std::vector<std::string> ids, names;
+  for (const evm::lint::RuleInfo& rule : evm::lint::rules()) {
+    ids.emplace_back(rule.id);
+    names.emplace_back(rule.name);
+  }
+  auto check_unique = [](std::vector<std::string> v) {
+    std::sort(v.begin(), v.end());
+    return std::adjacent_find(v.begin(), v.end()) == v.end();
+  };
+  EXPECT_TRUE(check_unique(ids));
+  EXPECT_TRUE(check_unique(names));
+  EXPECT_GE(ids.size(), 7u);
+}
+
+TEST(LintD1, FlagsUnorderedIterationInSrcScope) {
+  const std::string src = read_fixture("d1_unordered_iteration.snippet");
+  const auto findings = lint_source("src/sim/fixture.cpp", src);
+  EXPECT_EQ(active_lines(findings, "D1"), (std::vector<std::size_t>{10, 13}));
+  // Membership-only access (line 14) must not fire.
+  for (const Finding& f : findings) EXPECT_NE(f.line, 14u);
+}
+
+TEST(LintD1, OutOfScopePathsAreExempt) {
+  const std::string src = read_fixture("d1_unordered_iteration.snippet");
+  // Tests may iterate unordered containers; so may the util funnels.
+  EXPECT_TRUE(active_lines(lint_source("tests/fixture.cpp", src), "D1").empty());
+  EXPECT_TRUE(
+      active_lines(lint_source("src/util/fixture.hpp", src), "D1").empty());
+}
+
+TEST(LintD2, FlagsWallClockReads) {
+  const std::string src = read_fixture("d2_banned_time.snippet");
+  const auto findings = lint_source("src/net/fixture.cpp", src);
+  EXPECT_EQ(active_lines(findings, "D2"),
+            (std::vector<std::size_t>{6, 7, 8, 9}));
+}
+
+TEST(LintD2, BenchHarnessIsExempt) {
+  const std::string src = read_fixture("d2_banned_time.snippet");
+  EXPECT_TRUE(
+      active_lines(lint_source("bench/harness.cpp", src), "D2").empty());
+  EXPECT_TRUE(
+      active_lines(lint_source("src/util/time.hpp", src), "D2").empty());
+  // Only the funnel files are exempt — any other bench file is in scope.
+  EXPECT_FALSE(
+      active_lines(lint_source("bench/bench_churn.cpp", src), "D2").empty());
+}
+
+TEST(LintD3, FlagsRngEntryPoints) {
+  const std::string src = read_fixture("d3_banned_rng.snippet");
+  const auto findings = lint_source("src/core/fixture.cpp", src);
+  EXPECT_EQ(active_lines(findings, "D3"),
+            (std::vector<std::size_t>{6, 7, 8, 9, 10}));
+}
+
+TEST(LintD3, RngFunnelIsExempt) {
+  const std::string src = read_fixture("d3_banned_rng.snippet");
+  EXPECT_TRUE(
+      active_lines(lint_source("src/util/rng.hpp", src), "D3").empty());
+}
+
+TEST(LintD4, FlagsPointerKeyedContainers) {
+  const std::string src = read_fixture("d4_pointer_keyed.snippet");
+  const auto findings = lint_source("src/net/fixture.cpp", src);
+  EXPECT_EQ(active_lines(findings, "D4"),
+            (std::vector<std::size_t>{8, 9, 10}));
+  // Pointer VALUES (line 11) are fine; only pointer keys order a container.
+  for (const Finding& f : findings) EXPECT_NE(f.line, 11u);
+}
+
+TEST(LintC1, FlagsNakedThreadingButNotGuards) {
+  const std::string src = read_fixture("c1_naked_thread.snippet");
+  const auto findings = lint_source("examples/fixture.cpp", src);
+  EXPECT_EQ(active_lines(findings, "C1"), (std::vector<std::size_t>{6, 7}));
+  // std::lock_guard<std::mutex> (line 8) uses an already-declared mutex.
+  for (const Finding& f : findings) EXPECT_NE(f.line, 8u);
+}
+
+TEST(LintSuppression, AllowSilencesButStaysInReport) {
+  const std::string src = read_fixture("suppressed.snippet");
+  const auto findings = lint_source("src/sim/fixture.cpp", src);
+  std::vector<std::size_t> suppressed_lines;
+  for (const Finding& f : findings) {
+    EXPECT_TRUE(f.suppressed) << f.file << ":" << f.line << " " << f.rule;
+    suppressed_lines.push_back(f.line);
+  }
+  std::sort(suppressed_lines.begin(), suppressed_lines.end());
+  EXPECT_EQ(suppressed_lines, (std::vector<std::size_t>{8, 9, 10}));
+}
+
+TEST(LintSuppression, UnknownRuleIsL0) {
+  const auto findings =
+      lint_source("src/core/x.cpp", "int x = 0;  // evm-lint: allow(bogus)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "L0");
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(LintSuppression, UnusedAllowIsL1) {
+  const auto findings =
+      lint_source("src/core/x.cpp", "int x = 0;  // evm-lint: allow(D1)\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "L1");
+  EXPECT_EQ(findings[0].line, 1u);
+}
+
+TEST(LintSuppression, QuotedSyntaxInDocsIsIgnored) {
+  const auto findings = lint_source(
+      "src/core/x.cpp", "// usage: // evm-lint: allow(D1) on the line\n");
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintScrubber, CleanFixtureHasNoFindings) {
+  const std::string src = read_fixture("clean.snippet");
+  // Even under the strictest scope, comments/strings never fire.
+  EXPECT_TRUE(lint_source("src/sim/fixture.cpp", src).empty());
+}
+
+TEST(LintScrubber, RawStringsAndBlockCommentsAreData) {
+  const std::string src =
+      "const char* a = R\"(std::thread in a raw string)\";\n"
+      "/* block comment: rand() and steady_clock\n"
+      "   spanning lines with time(nullptr) */\n"
+      "int b = 0;\n";
+  EXPECT_TRUE(lint_source("src/core/x.cpp", src).empty());
+}
+
+TEST(LintReport, JsonCarriesExactFileAndLine) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "evm_lint_tree";
+  fs::create_directories(root / "src" / "net");
+  {
+    std::ofstream bad(root / "src" / "net" / "bad.cpp");
+    bad << "// injected violation\n"
+        << "#include <random>\n"
+        << "std::mt19937 gen(42);\n";
+    std::ofstream good(root / "src" / "net" / "good.cpp");
+    good << "int ok = 1;\n";
+  }
+
+  const evm::lint::Report report =
+      evm::lint::lint_paths(root.string(), {"src"});
+  EXPECT_EQ(report.files_scanned, 2u);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].file, "src/net/bad.cpp");
+  EXPECT_EQ(report.findings[0].line, 3u);
+  EXPECT_EQ(report.findings[0].rule, "D3");
+
+  // Round-trip the JSON report and assert the machine-readable location.
+  const std::string dumped =
+      evm::lint::to_json(report, root.string()).dump(2);
+  const auto parsed = evm::util::Json::parse(dumped);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+  const evm::util::Json& doc = *parsed;
+  EXPECT_EQ(doc.find("schema")->as_int(), 1);
+  EXPECT_EQ(doc.find("files_scanned")->as_int(), 2);
+  const evm::util::Json* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->size(), 1u);
+  EXPECT_EQ(findings->at(0).find("file")->as_string(), "src/net/bad.cpp");
+  EXPECT_EQ(findings->at(0).find("line")->as_int(), 3);
+  EXPECT_EQ(findings->at(0).find("rule")->as_string(), "D3");
+  EXPECT_EQ(doc.find("counts")->find("D3")->as_int(), 1);
+
+  // Scanning twice must produce byte-identical reports (sorted file walk).
+  const evm::lint::Report again =
+      evm::lint::lint_paths(root.string(), {"src"});
+  EXPECT_EQ(evm::lint::to_json(again, root.string()).dump(2), dumped);
+
+  fs::remove_all(root);
+}
+
+TEST(LintReport, SuppressedFindingsAreAudited) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::path(::testing::TempDir()) / "evm_lint_sup";
+  fs::create_directories(root / "src");
+  {
+    std::ofstream f(root / "src" / "a.cpp");
+    f << "#include <thread>\n"
+      << "std::thread t;  // evm-lint: allow(C1)\n";
+  }
+  const evm::lint::Report report =
+      evm::lint::lint_paths(root.string(), {"src"});
+  EXPECT_TRUE(report.findings.empty());
+  ASSERT_EQ(report.suppressed.size(), 1u);
+  EXPECT_EQ(report.suppressed[0].file, "src/a.cpp");
+  EXPECT_EQ(report.suppressed[0].line, 2u);
+  fs::remove_all(root);
+}
+
+}  // namespace

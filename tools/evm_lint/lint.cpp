@@ -1,0 +1,539 @@
+#include "evm_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+
+namespace evm::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source scrubbing. Every rule is textual, so the first job is separating
+// code from comments and string literals: "std::thread" inside a docstring
+// or a log message must never fire, and the suppression syntax lives in
+// comments only. A small state machine keeps per-line code text (string
+// contents blanked, quotes kept), per-line comment text, and the raw line.
+// ---------------------------------------------------------------------------
+
+struct ScrubbedLine {
+  std::string code;     // comments stripped, string/char contents blanked
+  std::string comment;  // concatenated comment text on this line
+  std::string raw;      // the original line, for snippets
+};
+
+std::vector<ScrubbedLine> scrub(const std::string& text) {
+  enum class State { kCode, kLine, kBlock, kString, kChar, kRaw };
+  std::vector<ScrubbedLine> lines;
+  ScrubbedLine cur;
+  State state = State::kCode;
+  std::string raw_delim;  // the )delim" terminator of an active raw string
+  const std::size_t n = text.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    if (c == '\n') {
+      if (state == State::kLine) state = State::kCode;
+      lines.push_back(std::move(cur));
+      cur = {};
+      continue;
+    }
+    if (c != '\r') cur.raw += c;
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+          state = State::kLine;
+          cur.raw += text[i + 1];
+          ++i;
+        } else if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+          state = State::kBlock;
+          cur.raw += text[i + 1];
+          cur.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          cur.code += c;
+          if (i > 0 && text[i - 1] == 'R') {
+            // Raw string literal: scan the delimiter up to '('.
+            raw_delim = ")";
+            std::size_t j = i + 1;
+            while (j < n && text[j] != '(') raw_delim += text[j++];
+            raw_delim += '"';
+            state = State::kRaw;
+          } else {
+            state = State::kString;
+          }
+        } else if (c == '\'') {
+          cur.code += c;
+          state = State::kChar;
+        } else {
+          cur.code += c;
+        }
+        break;
+      case State::kLine:
+        cur.comment += c;
+        break;
+      case State::kBlock:
+        if (c == '*' && i + 1 < n && text[i + 1] == '/') {
+          cur.raw += text[i + 1];
+          ++i;
+          state = State::kCode;
+        } else {
+          cur.comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < n) {
+          if (text[i + 1] != '\n') cur.raw += text[i + 1];
+          cur.code += "  ";
+          ++i;
+        } else if (c == '"') {
+          cur.code += c;
+          state = State::kCode;
+        } else {
+          cur.code += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < n) {
+          if (text[i + 1] != '\n') cur.raw += text[i + 1];
+          cur.code += "  ";
+          ++i;
+        } else if (c == '\'') {
+          cur.code += c;
+          state = State::kCode;
+        } else {
+          cur.code += ' ';
+        }
+        break;
+      case State::kRaw: {
+        // Look for the )delim" terminator starting at this character.
+        if (c == ')' && text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          for (std::size_t k = 1; k < raw_delim.size(); ++k) {
+            if (i + k < n) cur.raw += text[i + k];
+          }
+          cur.code += '"';
+          i += raw_delim.size() - 1;
+          state = State::kCode;
+        } else {
+          cur.code += ' ';
+        }
+        break;
+      }
+    }
+  }
+  if (!cur.raw.empty() || !cur.code.empty() || !cur.comment.empty()) {
+    lines.push_back(std::move(cur));
+  }
+  return lines;
+}
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b])) != 0) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1])) != 0) --e;
+  return s.substr(b, e - b);
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+// ---------------------------------------------------------------------------
+// Rule scopes. Each funnel module is exempt from its own rule; everything
+// else is in scope. The sanctioned thread pool (scenario/campaign) is NOT
+// path-exempt from C1 on purpose: it carries explicit allow(C1) annotations
+// instead, so every thread primitive in the tree is visible in the report.
+// ---------------------------------------------------------------------------
+
+bool d1_in_scope(const std::string& path) {
+  // Determinism-critical library code: everything under src/ except the
+  // util funnels themselves. Tests/benches/examples may iterate unordered
+  // containers freely — their output never feeds traces or baselines.
+  return starts_with(path, "src/") && !starts_with(path, "src/util/");
+}
+
+bool d2_exempt(const std::string& path) {
+  // util::time defines the virtual clock; the bench harness is the one
+  // module whose whole job is wall-clock measurement.
+  return path == "src/util/time.hpp" || starts_with(path, "bench/harness.");
+}
+
+bool d3_exempt(const std::string& path) {
+  return path == "src/util/rng.hpp";
+}
+
+// ---------------------------------------------------------------------------
+// Pattern rules: (rule id, regex over scrubbed code, message).
+// ---------------------------------------------------------------------------
+
+struct Pattern {
+  const char* rule;
+  std::regex re;
+  const char* message;
+};
+
+const std::vector<Pattern>& patterns() {
+  static const std::vector<Pattern> kPatterns = [] {
+    std::vector<Pattern> p;
+    const auto add = [&p](const char* rule, const char* re, const char* msg) {
+      p.push_back({rule, std::regex(re), msg});
+    };
+    // D2: wall-clock sources. Sim code must read time from the Simulator /
+    // util::TimePoint only — a wall-clock read makes replay diverge.
+    add("D2", R"(\bchrono\s*::\s*(system_clock|steady_clock|high_resolution_clock|file_clock|utc_clock|tai_clock|gps_clock)\b)",
+        "wall-clock read; sim code takes time from util::TimePoint / the Simulator");
+    add("D2", R"((\bstd\s*::\s*|::\s*)(time|clock)\s*\()",
+        "C wall-clock call; sim code takes time from util::TimePoint / the Simulator");
+    add("D2", R"((^|[^\w.:>])time\s*\(\s*(NULL|nullptr|0)\s*\))",
+        "time(NULL)-style wall-clock read; use the simulator's virtual clock");
+    add("D2", R"(\b(gettimeofday|clock_gettime|localtime|localtime_r|gmtime|gmtime_r|strftime|timespec_get)\b)",
+        "OS time API; sim code takes time from util::TimePoint / the Simulator");
+    // D3: RNG entry points. All randomness funnels through util::Rng so a
+    // run is reproducible from its seed; std::random_device is entropy by
+    // definition and the std distributions are implementation-defined
+    // (identical seeds produce different streams across stdlibs).
+    add("D3", R"(\brandom_device\b)",
+        "nondeterministic entropy source; derive streams from util::Rng (fork/mix)");
+    add("D3", R"(\b(mt19937(_64)?|minstd_rand0?|ranlux\w*|knuth_b|default_random_engine)\b)",
+        "std random engine; seed/derive util::Rng instead so streams are portable");
+    add("D3", R"((^|[^\w])(srand|rand)\s*\()",
+        "C rand(); draw from util::Rng so the run replays from its seed");
+    add("D3", R"(\b(uniform_int_distribution|uniform_real_distribution|normal_distribution|bernoulli_distribution|poisson_distribution|exponential_distribution|geometric_distribution|discrete_distribution)\b)",
+        "std distribution (implementation-defined stream); use util::Rng's generators");
+    // D4: pointer-keyed ordered containers compare addresses, so ASLR
+    // decides iteration order and any trace built from it.
+    add("D4", R"(\b(std\s*::\s*)?(unordered_)?(multi)?(map|set)\s*<\s*(const\s+)?[\w:]+(\s+const)?\s*\*)",
+        "pointer-keyed container; key by a stable id (node id, handle) instead of an address");
+    add("D4", R"(\bstd\s*::\s*(less|greater|hash)\s*<\s*(const\s+)?[\w:]+(\s+const)?\s*\*\s*>)",
+        "address-ordered comparator/hash; order by a stable id instead");
+    // C1: thread primitives. parallel_for (scenario/campaign.cpp) is the
+    // one sanctioned pool; it carries explicit allow(C1) annotations.
+    // std::atomic is deliberately NOT banned — it is the sanctioned
+    // primitive for metric accumulation under parallel_for.
+    add("C1", R"(\bstd\s*::\s*(thread|jthread|async|timed_mutex|recursive_mutex|shared_mutex|condition_variable(_any)?|barrier|latch|counting_semaphore|binary_semaphore)\b)",
+        "naked thread/lock primitive; run work through scenario::parallel_for, "
+        "or annotate why this shared state is safe");
+    // std::mutex fires on its declaration but not when it is merely the
+    // template argument of a guard (std::lock_guard<std::mutex>): the
+    // declaration is where the shared state lives and gets justified.
+    add("C1", R"((^|[^<\w:])std\s*::\s*mutex\b)",
+        "mutex declaration (shared mutable state); run work through "
+        "scenario::parallel_for, or annotate why this shared state is safe");
+    add("C1", R"(\bpthread_(create|mutex|cond|rwlock)\w*\b)",
+        "raw pthread primitive; run work through scenario::parallel_for");
+    return p;
+  }();
+  return kPatterns;
+}
+
+// ---------------------------------------------------------------------------
+// D1: iteration over unordered containers. Two passes: collect in-file
+// declarations (and aliases) of unordered map/set variables, then flag
+// ranged-for loops and .begin() iteration over those names.
+// ---------------------------------------------------------------------------
+
+struct UnorderedVars {
+  std::vector<std::string> names;
+};
+
+UnorderedVars collect_unordered_vars(const std::vector<ScrubbedLine>& lines) {
+  static const std::regex kAlias(
+      R"(using\s+(\w+)\s*=\s*std\s*::\s*unordered_(map|set|multimap|multiset)\b)");
+  static const std::regex kDecl(
+      R"(\bunordered_(?:map|set|multimap|multiset)\s*<[^;{]*?>\s+(\w+)\s*[;{=(])");
+  UnorderedVars vars;
+  std::vector<std::string> aliases;
+  for (const ScrubbedLine& line : lines) {
+    std::smatch m;
+    std::string rest = line.code;
+    while (std::regex_search(rest, m, kAlias)) {
+      aliases.push_back(m[1].str());
+      rest = m.suffix().str();
+    }
+    rest = line.code;
+    while (std::regex_search(rest, m, kDecl)) {
+      vars.names.push_back(m[1].str());
+      rest = m.suffix().str();
+    }
+  }
+  for (const std::string& alias : aliases) {
+    const std::regex decl(R"(\b)" + alias + R"(\s+(\w+)\s*[;{=(])");
+    for (const ScrubbedLine& line : lines) {
+      std::smatch m;
+      std::string rest = line.code;
+      while (std::regex_search(rest, m, decl)) {
+        vars.names.push_back(m[1].str());
+        rest = m.suffix().str();
+      }
+    }
+  }
+  std::sort(vars.names.begin(), vars.names.end());
+  vars.names.erase(std::unique(vars.names.begin(), vars.names.end()),
+                   vars.names.end());
+  return vars;
+}
+
+// ---------------------------------------------------------------------------
+// Suppressions: `// evm-lint: allow(D1)` / `allow(banned-rng, C1)`.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> parse_allows(const std::string& comment) {
+  static const std::regex kAllow(R"(evm-lint:\s*allow\(([^)]*)\))");
+  std::vector<std::string> out;
+  std::smatch m;
+  std::string rest = comment;
+  // A `//` inside the comment text means the marker is a *quoted* comment
+  // (documentation showing the syntax), not a suppression of this line.
+  if (comment.find("//") != std::string::npos) return out;
+  while (std::regex_search(rest, m, kAllow)) {
+    std::stringstream ss(m[1].str());
+    std::string token;
+    while (std::getline(ss, token, ',')) {
+      token = trim(token);
+      if (!token.empty()) out.push_back(token);
+    }
+    rest = m.suffix().str();
+  }
+  return out;
+}
+
+/// Resolve an allow() token (id or name, case-insensitive) to a rule id;
+/// empty string when unknown.
+std::string resolve_rule(const std::string& token) {
+  std::string lower;
+  for (char c : token) {
+    lower += static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  for (const RuleInfo& rule : rules()) {
+    std::string id_lower;
+    for (const char* p = rule.id; *p != '\0'; ++p) {
+      id_lower += static_cast<char>(std::tolower(static_cast<unsigned char>(*p)));
+    }
+    if (lower == id_lower || lower == rule.name) return rule.id;
+  }
+  return {};
+}
+
+const RuleInfo& rule_info(const std::string& id) {
+  for (const RuleInfo& rule : rules()) {
+    if (id == rule.id) return rule;
+  }
+  return rules().front();  // unreachable for ids produced by this file
+}
+
+}  // namespace
+
+const std::vector<RuleInfo>& rules() {
+  static const std::vector<RuleInfo> kRules = {
+      {"D1", "unordered-iteration",
+       "iterating std::unordered_{map,set} gives hash-order traversal; order "
+       "reaches traces/baselines nondeterministically"},
+      {"D2", "banned-time",
+       "wall-clock reads outside src/util/time.hpp and the bench harness "
+       "break replay; use the simulator's virtual clock"},
+      {"D3", "banned-rng",
+       "RNG entry points outside util::Rng (src/util/rng.hpp) break "
+       "seed-reproducibility and cross-platform stream identity"},
+      {"D4", "pointer-keyed",
+       "pointer-keyed/ordered-by-address containers let ASLR pick iteration "
+       "order; key by stable ids"},
+      {"C1", "naked-thread",
+       "thread/lock primitives outside scenario::parallel_for; shared "
+       "mutable state must go through the sanctioned pool or be annotated"},
+      {"L0", "unknown-suppression",
+       "evm-lint: allow(...) names a rule that does not exist"},
+      {"L1", "unused-suppression",
+       "evm-lint: allow(...) on a line with no matching finding"},
+  };
+  return kRules;
+}
+
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content) {
+  const std::vector<ScrubbedLine> lines = scrub(content);
+  std::vector<Finding> findings;
+
+  const auto emit = [&](std::size_t line_no, const char* rule,
+                        const std::string& message, const std::string& raw) {
+    Finding f;
+    f.file = path;
+    f.line = line_no;
+    f.rule = rule;
+    f.name = rule_info(rule).name;
+    f.message = message;
+    f.snippet = trim(raw);
+    findings.push_back(std::move(f));
+  };
+
+  // Pattern rules.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& code = lines[i].code;
+    if (code.empty()) continue;
+    for (const Pattern& p : patterns()) {
+      if (p.rule[0] == 'D' && p.rule[1] == '2' && d2_exempt(path)) continue;
+      if (p.rule[0] == 'D' && p.rule[1] == '3' && d3_exempt(path)) continue;
+      if (std::regex_search(code, p.re)) {
+        emit(i + 1, p.rule, p.message, lines[i].raw);
+      }
+    }
+  }
+
+  // D1: iteration over in-file unordered containers.
+  if (d1_in_scope(path)) {
+    const UnorderedVars vars = collect_unordered_vars(lines);
+    for (const std::string& var : vars.names) {
+      const std::regex ranged(R"(for\s*\([^)]*:\s*)" + var + R"(\s*\))");
+      const std::regex begins(R"(\b)" + var +
+                              R"(\s*\.\s*(begin|cbegin|rbegin)\s*\()");
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (std::regex_search(lines[i].code, ranged) ||
+            std::regex_search(lines[i].code, begins)) {
+          emit(i + 1, "D1",
+               "iteration over std::unordered_* '" + var +
+                   "' is hash-order (nondeterministic); iterate a sorted "
+                   "copy, switch to an ordered/flat container, or suppress "
+                   "with justification",
+               lines[i].raw);
+        }
+      }
+    }
+  }
+
+  // Suppressions: resolve allow() tokens per line, mark matching findings,
+  // and report unknown/unused tokens as L0/L1.
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::vector<std::string> tokens = parse_allows(lines[i].comment);
+    if (tokens.empty()) continue;
+    for (const std::string& token : tokens) {
+      const std::string rule_id = resolve_rule(token);
+      if (rule_id.empty()) {
+        emit(i + 1, "L0", "allow(" + token + ") names no known rule",
+             lines[i].raw);
+        continue;
+      }
+      bool used = false;
+      for (Finding& f : findings) {
+        if (f.line == i + 1 && f.rule == rule_id) {
+          f.suppressed = true;
+          used = true;
+        }
+      }
+      if (!used) {
+        emit(i + 1, "L1",
+             "allow(" + token + ") suppresses nothing on this line; remove "
+             "it or move it onto the offending line",
+             lines[i].raw);
+      }
+    }
+  }
+
+  std::stable_sort(findings.begin(), findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.line != b.line) return a.line < b.line;
+                     return a.rule < b.rule;
+                   });
+  return findings;
+}
+
+Report lint_paths(const std::string& root,
+                  const std::vector<std::string>& paths) {
+  namespace fs = std::filesystem;
+  Report report;
+
+  const auto is_source = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+  };
+
+  std::vector<std::string> files;
+  for (const std::string& rel : paths) {
+    const fs::path base = fs::path(root) / rel;
+    std::error_code ec;
+    if (fs::is_regular_file(base, ec)) {
+      files.push_back(rel);
+      continue;
+    }
+    if (!fs::is_directory(base, ec)) {
+      report.errors.push_back("no such file or directory: " + base.string());
+      continue;
+    }
+    for (fs::recursive_directory_iterator it(base, ec), end; it != end;
+         it.increment(ec)) {
+      if (ec) break;
+      const fs::path& p = it->path();
+      const std::string name = p.filename().string();
+      if (it->is_directory() && (name == "build" || name.front() == '.')) {
+        it.disable_recursion_pending();
+        continue;
+      }
+      if (it->is_regular_file() && is_source(p)) {
+        files.push_back(fs::relative(p, root).generic_string());
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  for (const std::string& rel : files) {
+    std::ifstream in(fs::path(root) / rel, std::ios::binary);
+    if (!in) {
+      report.errors.push_back("cannot read " + rel);
+      continue;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    ++report.files_scanned;
+    for (Finding& f : lint_source(rel, ss.str())) {
+      (f.suppressed ? report.suppressed : report.findings)
+          .push_back(std::move(f));
+    }
+  }
+  return report;
+}
+
+util::Json to_json(const Report& report, const std::string& root) {
+  using util::Json;
+  const auto finding_json = [](const Finding& f) {
+    Json j = Json::object();
+    j.set("file", f.file);
+    j.set("line", f.line);
+    j.set("rule", f.rule);
+    j.set("name", f.name);
+    j.set("message", f.message);
+    j.set("snippet", f.snippet);
+    return j;
+  };
+
+  Json doc = Json::object();
+  doc.set("schema", 1);
+  doc.set("tool", "evm_lint");
+  doc.set("root", root);
+  doc.set("files_scanned", report.files_scanned);
+
+  Json counts = Json::object();
+  std::map<std::string, std::size_t> by_rule;
+  for (const Finding& f : report.findings) ++by_rule[f.rule];
+  for (const auto& [rule, count] : by_rule) counts.set(rule, count);
+  doc.set("counts", std::move(counts));
+
+  Json findings = Json::array();
+  for (const Finding& f : report.findings) findings.push(finding_json(f));
+  doc.set("findings", std::move(findings));
+
+  Json suppressed = Json::array();
+  for (const Finding& f : report.suppressed) suppressed.push(finding_json(f));
+  doc.set("suppressed", std::move(suppressed));
+
+  if (!report.errors.empty()) {
+    Json errors = Json::array();
+    for (const std::string& e : report.errors) errors.push(e);
+    doc.set("errors", std::move(errors));
+  }
+  return doc;
+}
+
+}  // namespace evm::lint

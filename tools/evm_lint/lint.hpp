@@ -1,0 +1,80 @@
+// evm_lint: determinism & concurrency static analysis for this repository.
+//
+// The whole reproduction is built on the claim that a run is a pure function
+// of (configuration, seed): shard merges are byte-identical, replay is exact,
+// and the scenario baseline gate compares floating-point aggregates across
+// machines. That claim dies silently the moment somebody iterates an
+// unordered container in a hot path, reads the wall clock, or seeds an RNG
+// outside util::Rng. The compiler cannot catch any of that, so this little
+// analyzer does: it scans translation units with a comment/string-aware
+// lexer and a curated set of textual rules, each of which names the funnel
+// the offending code should go through instead.
+//
+// Rules (see rules() for the authoritative table):
+//   D1 unordered-iteration   iterating std::unordered_{map,set} in sim code
+//   D2 banned-time           wall-clock reads outside util::time / bench harness
+//   D3 banned-rng            RNG entry points outside util::Rng
+//   D4 pointer-keyed         pointer-keyed containers (ASLR leaks into order)
+//   C1 naked-thread          threads/locks outside the sanctioned pool
+//   L0 unknown-suppression   allow() naming a rule that does not exist
+//   L1 unused-suppression    allow() on a line with no matching finding
+//
+// A finding on a line is silenced with a same-line comment:
+//   // evm-lint: allow(D1)            one rule
+//   // evm-lint: allow(D2, C1)        several
+//   // evm-lint: allow(banned-rng)    rule names work too
+// Suppressed findings still appear in the JSON report (flagged), so a
+// reviewer can audit every exemption in one place. The marker must be the
+// comment itself: a comment that *quotes* another comment (contains `//`)
+// is treated as documentation and never suppresses anything.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+
+namespace evm::lint {
+
+struct RuleInfo {
+  const char* id;       // "D1"
+  const char* name;     // "unordered-iteration"
+  const char* summary;  // one-line rationale for --list-rules and docs
+};
+
+/// The curated rule table, in report order.
+const std::vector<RuleInfo>& rules();
+
+struct Finding {
+  std::string file;     // repo-relative path, forward slashes
+  std::size_t line = 0; // 1-based
+  std::string rule;     // rule id, e.g. "D1"
+  std::string name;     // rule name, e.g. "unordered-iteration"
+  std::string message;  // what is wrong and which funnel to use instead
+  std::string snippet;  // the offending source line, trimmed
+  bool suppressed = false;
+};
+
+/// Lint one translation unit. `path` must be the repo-relative path (it
+/// drives the per-rule scope exemptions), `content` the raw file text.
+/// Returns every finding, including suppressed ones (check `suppressed`).
+std::vector<Finding> lint_source(const std::string& path,
+                                 const std::string& content);
+
+struct Report {
+  std::vector<Finding> findings;    // active violations: these fail the run
+  std::vector<Finding> suppressed;  // allow()-annotated, for auditability
+  std::size_t files_scanned = 0;
+  std::vector<std::string> errors;  // unreadable paths etc.
+};
+
+/// Walk `paths` (files or directories, relative to `root`), lint every
+/// C++ source file (.cpp/.cc/.hpp/.h), and aggregate. File order is
+/// lexicographic so the report itself is deterministic.
+Report lint_paths(const std::string& root, const std::vector<std::string>& paths);
+
+/// Machine-readable report (schema 1) for CI artifacts and the test suite.
+util::Json to_json(const Report& report, const std::string& root);
+
+}  // namespace evm::lint

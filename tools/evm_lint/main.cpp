@@ -1,0 +1,97 @@
+// evm_lint CLI. Scans the repository's C++ sources for determinism and
+// concurrency hazards and reports them human- and machine-readably.
+//
+//   evm_lint --root <repo>                  # scan src tools tests bench examples
+//   evm_lint --root <repo> src/net          # scan a subset
+//   evm_lint --root <repo> --json out.json  # also write the JSON report
+//   evm_lint --list-rules
+//
+// Exit codes: 0 clean, 1 active findings, 2 usage/IO error.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "evm_lint/lint.hpp"
+
+namespace {
+
+void print_usage() {
+  std::fprintf(stderr,
+               "usage: evm_lint [--root <dir>] [--json <path>] [--quiet] "
+               "[--list-rules] [paths...]\n"
+               "paths are relative to --root; default: src tools tests bench "
+               "examples\n");
+}
+
+void print_rules() {
+  for (const evm::lint::RuleInfo& rule : evm::lint::rules()) {
+    std::printf("%-3s %-22s %s\n", rule.id, rule.name, rule.summary);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::string json_path;
+  bool quiet = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--list-rules") {
+      print_rules();
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage();
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "evm_lint: unknown option '%s'\n", arg.c_str());
+      print_usage();
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    paths = {"src", "tools", "tests", "bench", "examples"};
+  }
+
+  const evm::lint::Report report = evm::lint::lint_paths(root, paths);
+
+  for (const std::string& error : report.errors) {
+    std::fprintf(stderr, "evm_lint: %s\n", error.c_str());
+  }
+  if (!report.errors.empty()) return 2;
+
+  if (!quiet) {
+    for (const evm::lint::Finding& f : report.findings) {
+      std::printf("%s:%zu: [%s %s] %s\n    %s\n", f.file.c_str(), f.line,
+                  f.rule.c_str(), f.name.c_str(), f.message.c_str(),
+                  f.snippet.c_str());
+    }
+  }
+
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    out << evm::lint::to_json(report, root).dump(2) << "\n";
+    if (!out) {
+      std::fprintf(stderr, "evm_lint: cannot write %s\n", json_path.c_str());
+      return 2;
+    }
+  }
+
+  std::printf(
+      "evm_lint: %zu file%s scanned, %zu finding%s, %zu suppressed\n",
+      report.files_scanned, report.files_scanned == 1 ? "" : "s",
+      report.findings.size(), report.findings.size() == 1 ? "" : "s",
+      report.suppressed.size());
+  return report.findings.empty() ? 0 : 1;
+}
