@@ -1,6 +1,5 @@
 #include "harness.hpp"
 
-#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -8,17 +7,9 @@
 #include <fstream>
 #include <iostream>
 
+#include "util/time.hpp"
+
 namespace evm::bench {
-
-namespace {
-
-std::int64_t now_ns() {
-  return std::chrono::duration_cast<std::chrono::nanoseconds>(
-             std::chrono::steady_clock::now().time_since_epoch())
-      .count();
-}
-
-}  // namespace
 
 Json summarize(const util::Samples& samples, const std::string& unit) {
   return util::to_json(samples.summarize(), unit);
@@ -26,10 +17,10 @@ Json summarize(const util::Samples& samples, const std::string& unit) {
 
 // --- timing ------------------------------------------------------------------
 
-void Stopwatch::reset() { start_ns_ = now_ns(); }
+void Stopwatch::reset() { start_ns_ = util::TimeSource::wall_ns(); }
 
 double Stopwatch::elapsed_ns() const {
-  return static_cast<double>(now_ns() - start_ns_);
+  return static_cast<double>(util::TimeSource::wall_ns() - start_ns_);
 }
 
 util::Samples measure_ns(const std::function<void()>& fn, int samples,

@@ -30,7 +30,9 @@ Json summarize(const util::Samples& samples, const std::string& unit);
 
 // --- timing ------------------------------------------------------------------
 
-/// Monotonic wall-clock stopwatch.
+/// Monotonic wall-clock stopwatch. Reads the clock through
+/// util::TimeSource — the one sanctioned wall-clock funnel (lint rule D2) —
+/// shared with the scenario engine's phase timers (obs::Stopwatch).
 class Stopwatch {
  public:
   Stopwatch() { reset(); }

@@ -13,9 +13,11 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <sstream>
 #include <string>
 
 #include "cli_util.hpp"
+#include "obs/trace_recorder.hpp"
 #include "scenario/baseline.hpp"
 #include "scenario/campaign.hpp"
 #include "scenario/runner.hpp"
@@ -46,7 +48,15 @@ int usage(const char* argv0) {
       << "                   intentional perf changes)\n"
       << "  --csv FILE       dump the base seed's plant trace as CSV\n"
       << "  --trace-json FILE  dump the base seed's plant trace as JSON\n"
-      << "  --print-trace    print the base seed's trace table (20 s grid)\n";
+      << "  --print-trace    print the base seed's trace table (20 s grid)\n"
+      << "  --trace FILE     re-run the base seed with event tracing on and\n"
+      << "                   write Chrome trace-event JSON (open in Perfetto\n"
+      << "                   or chrome://tracing; one track per node)\n"
+      << "  --trace-jsonl FILE  the same events as compact JSONL, one per line\n"
+      << "  --metrics        print the base seed's deterministic metrics\n"
+      << "                   snapshot (counters/gauges/histograms) as JSON\n"
+      << "  --progress       per-run heartbeat on stderr (seed, done/total,\n"
+      << "                   wall-clock) while the campaign runs\n";
   return 2;
 }
 
@@ -162,7 +172,10 @@ int main(int argc, char** argv) {
   std::string out_dir = scenario::report_dir();
   std::string check_baseline_path, update_baselines_path;
   std::string csv_path, trace_json_path;
+  std::string chrome_trace_path, trace_jsonl_path;
   bool print_trace = false;
+  bool show_metrics = false;
+  bool progress = false;
   bool merge_mode = false;
   std::vector<std::string> merge_paths;
   std::string spec_path;
@@ -213,6 +226,18 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       trace_json_path = v;
+    } else if (arg == "--trace") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      chrome_trace_path = v;
+    } else if (arg == "--trace-jsonl") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      trace_jsonl_path = v;
+    } else if (arg == "--metrics") {
+      show_metrics = true;
+    } else if (arg == "--progress") {
+      progress = true;
     } else if (arg == "--print-trace") {
       print_trace = true;
     } else {
@@ -264,6 +289,19 @@ int main(int argc, char** argv) {
   }
   std::cout << "\n\n";
 
+  if (progress) {
+    // One composed stderr write per completed run; the callback fires on
+    // worker threads, so the single write keeps lines intact.
+    config.on_run_done = [](std::size_t done, std::size_t total,
+                            const scenario::RunMetrics& run) {
+      std::ostringstream line;
+      line << "[progress] seed " << run.seed << (run.ok ? " ok" : " FAILED")
+           << "  (" << done << "/" << total << " runs, " << std::fixed
+           << std::setprecision(0) << run.wall_ms << " ms)\n";
+      std::cerr << line.str();
+    };
+  }
+
   const scenario::CampaignResult result = scenario::run_campaign(*spec, config);
 
   std::cout << "  seed   failover_s   missed_dl   loss_rate   level_rmse_%  modes(A/B)\n";
@@ -294,6 +332,14 @@ int main(int argc, char** argv) {
               << aggregate->find("failovers_detected")->as_int() << ", backups active: "
               << aggregate->find("backups_active")->as_int() << "\n";
   }
+  if (const util::Json* timing = report.find("timing")) {
+    std::cout << "  wall " << std::fixed << std::setprecision(0)
+              << timing->find("wall_ms")->as_double() << " ms, "
+              << timing->find("events_dispatched")->as_int() << " events, "
+              << std::setprecision(0)
+              << timing->find("sim_slots_per_sec")->as_double()
+              << " sim slots/s\n";
+  }
 
   auto written = scenario::write_campaign_report(report, spec->name, out_dir);
   if (!written) {
@@ -306,10 +352,15 @@ int main(int argc, char** argv) {
       report, spec->name, check_baseline_path, update_baselines_path);
   if (baseline_exit != 0 && baseline_exit != 3) return baseline_exit;
 
-  if (!csv_path.empty() || !trace_json_path.empty() || print_trace) {
+  const bool want_event_trace =
+      !chrome_trace_path.empty() || !trace_jsonl_path.empty();
+  if (!csv_path.empty() || !trace_json_path.empty() || print_trace ||
+      want_event_trace || show_metrics) {
     // Re-run the base seed alone to capture its trace (campaign workers
     // discard their testbeds as they go).
     scenario::ScenarioRunner runner(*spec, config.base_seed);
+    obs::TraceRecorder recorder;
+    if (want_event_trace) runner.set_trace_recorder(&recorder);
     const scenario::RunMetrics run = runner.run();
     if (!run.ok) {
       std::cerr << "error: trace run failed: " << run.error << "\n";
@@ -332,6 +383,29 @@ int main(int argc, char** argv) {
         return 1;
       }
       std::cout << "[trace json] " << trace_json_path << "\n";
+    }
+    if (!chrome_trace_path.empty()) {
+      std::ofstream ct(chrome_trace_path);
+      ct << recorder.to_chrome_json().dump() << "\n";
+      if (!ct) {
+        std::cerr << "error: cannot write " << chrome_trace_path << "\n";
+        return 1;
+      }
+      std::cout << "[event trace] " << chrome_trace_path << " ("
+                << recorder.size() << " events; open in Perfetto)\n";
+    }
+    if (!trace_jsonl_path.empty()) {
+      std::ofstream tl(trace_jsonl_path);
+      tl << recorder.to_jsonl();
+      if (!tl) {
+        std::cerr << "error: cannot write " << trace_jsonl_path << "\n";
+        return 1;
+      }
+      std::cout << "[event trace jsonl] " << trace_jsonl_path << "\n";
+    }
+    if (show_metrics) {
+      std::cout << "\nmetrics (seed " << config.base_seed << "):\n"
+                << runner.metrics().to_json().dump() << "\n";
     }
     if (print_trace) {
       std::cout << "\n";

@@ -44,9 +44,18 @@ bool Node::has_sensor(std::uint8_t channel) const {
 
 void Node::start() { mac_->start(); }
 
+void Node::set_trace(obs::TraceRecorder* trace) {
+  trace_ = trace;
+  mac_->set_trace(trace);
+  router_->set_trace(trace, &sim_);
+}
+
 void Node::fail() {
   if (failed_) return;
   failed_ = true;
+  if (trace_ != nullptr) {
+    trace_->instant(config_.id, "core.node", "crash", sim_.now());
+  }
   mac_->stop();
   stopped_by_failure_.clear();
   for (rtos::TaskId id : kernel_->scheduler().task_ids()) {
@@ -67,6 +76,9 @@ void Node::fail() {
 void Node::recover() {
   if (!failed_) return;
   failed_ = false;
+  if (trace_ != nullptr) {
+    trace_->instant(config_.id, "core.node", "restart", sim_.now());
+  }
   mac_->start();
   // Resume exactly what the crash interrupted; tasks that were dormant
   // before the crash (e.g. a Dormant replica) stay dormant.

@@ -60,6 +60,11 @@ class Node {
   void recover();
   bool failed() const { return failed_; }
 
+  /// Opt-in event tracing (nullptr disables). Fans the recorder out to the
+  /// MAC and router, and emits "crash" / "restart" instants from fail() /
+  /// recover(). Recording never perturbs behaviour.
+  void set_trace(obs::TraceRecorder* trace);
+
   /// Remaining battery fraction given consumption so far.
   double battery_fraction() const;
   /// Projected lifetime at the average current drawn so far.
@@ -77,6 +82,7 @@ class Node {
   std::map<std::uint8_t, std::function<double()>> sensors_;
   std::map<std::uint8_t, std::function<void(double)>> actuators_;
   std::vector<rtos::TaskId> stopped_by_failure_;
+  obs::TraceRecorder* trace_ = nullptr;
   bool failed_ = false;
 };
 

@@ -555,6 +555,13 @@ void EvmService::supervise_functions() {
 
 void EvmService::promote_replica(FunctionId function, net::NodeId node,
                                  bool record_event) {
+  if (trace_ != nullptr) {
+    util::Json args = util::Json::object();
+    args.set("function", static_cast<std::int64_t>(function));
+    args.set("promoted", static_cast<std::int64_t>(node));
+    trace_->instant(node_.id(), "core.service", "promote",
+                    node_.simulator().now(), std::move(args));
+  }
   if (record_event) {
     FailoverEvent event;
     event.when = node_.simulator().now();
@@ -661,6 +668,12 @@ void EvmService::check_head_liveness() {
 
 void EvmService::become_head() {
   ++head_successions_;
+  if (trace_ != nullptr) {
+    util::Json args = util::Json::object();
+    args.set("succession", static_cast<std::int64_t>(head_successions_));
+    trace_->instant(node_.id(), "core.service", "head.elect",
+                    node_.simulator().now(), std::move(args));
+  }
   head_id_ = node_.id();
   last_beacon_ = node_.simulator().now();
   // Claim the beacon plane immediately: every frame this node sends from
@@ -724,6 +737,14 @@ void EvmService::handle_fault_report(const net::Datagram& d) {
 
 void EvmService::head_failover(FunctionId function, net::NodeId suspect,
                                FaultReason reason) {
+  if (trace_ != nullptr) {
+    util::Json args = util::Json::object();
+    args.set("function", static_cast<std::int64_t>(function));
+    args.set("suspect", static_cast<std::int64_t>(suspect));
+    args.set("reason", static_cast<std::int64_t>(reason));
+    trace_->instant(node_.id(), "core.service", "failover",
+                    node_.simulator().now(), std::move(args));
+  }
   const auto promoted = roles_.best_backup(function, suspect);
   FailoverEvent event;
   event.when = node_.simulator().now();

@@ -19,6 +19,7 @@
 #include "core/optimizer.hpp"
 #include "core/transfers.hpp"
 #include "core/virtual_component.hpp"
+#include "obs/trace_recorder.hpp"
 #include "vm/attestation.hpp"
 
 namespace evm::core {
@@ -83,6 +84,11 @@ class EvmService {
   /// (each one is an RT-Link transmission — N slots under flooding —
   /// reclaimed by piggy-backing).
   std::size_t beacons_suppressed() const { return beacons_suppressed_; }
+
+  /// Opt-in event tracing (nullptr disables): "head.elect", "promote" and
+  /// "failover" instants on this node's track. Recording never perturbs
+  /// arbitration decisions.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
   // --- Gateway-side plumbing ----------------------------------------------
   /// Publish a sensor sample onto the VC data plane (gateway does this each
@@ -237,6 +243,7 @@ class EvmService {
   Node& node_;
   VcDescriptor descriptor_;
   FailoverPolicy policy_;
+  obs::TraceRecorder* trace_ = nullptr;
   MigrationEngine migration_;
   TransferGuard guard_;
   RoleTable roles_;

@@ -7,6 +7,17 @@
 
 namespace evm::net {
 
+namespace {
+
+util::Json rx_args(NodeId src, std::uint8_t type) {
+  util::Json args = util::Json::object();
+  args.set("src", static_cast<std::int64_t>(src));
+  args.set("type", static_cast<std::int64_t>(type));
+  return args;
+}
+
+}  // namespace
+
 Medium::Medium(sim::Simulator& sim, Topology& topology)
     : sim_(sim), topology_(topology) {}
 
@@ -59,13 +70,25 @@ void Medium::begin_energy(Radio& sender, const Packet* packet,
       }
       if (interferers(neighbor, sender_id, start, end) > 0) {
         ++collisions_;
+        if (trace_ != nullptr) {
+          trace_->instant(neighbor, "net.medium", "rx.collision", end,
+                          rx_args(sender_id, copy.type));
+        }
         continue;
       }
       if (link_drops(sender_id, neighbor)) {
         ++losses_;
+        if (trace_ != nullptr) {
+          trace_->instant(neighbor, "net.medium", "rx.drop", end,
+                          rx_args(sender_id, copy.type));
+        }
         continue;
       }
       ++delivered_;
+      if (trace_ != nullptr) {
+        trace_->instant(neighbor, "net.medium", "rx", end,
+                        rx_args(sender_id, copy.type));
+      }
       rx->deliver(copy);
     }
   });

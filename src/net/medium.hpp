@@ -12,6 +12,7 @@
 #include "net/link_dynamics.hpp"
 #include "net/packet.hpp"
 #include "net/topology.hpp"
+#include "obs/trace_recorder.hpp"
 #include "sim/simulator.hpp"
 
 namespace evm::net {
@@ -38,6 +39,11 @@ class Medium {
   std::size_t delivered_count() const { return delivered_; }
   std::size_t collision_count() const { return collisions_; }
   std::size_t loss_count() const { return losses_; }
+
+  /// Opt-in event tracing (nullptr disables): per-receiver delivery /
+  /// collision / drop instants on the receiver's track. Recording never
+  /// perturbs delivery decisions.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
   /// True if any neighbor of `listener` is currently transmitting (CCA).
   bool channel_busy(NodeId listener) const;
@@ -66,6 +72,7 @@ class Medium {
 
   sim::Simulator& sim_;
   Topology& topology_;
+  obs::TraceRecorder* trace_ = nullptr;
   std::map<NodeId, Radio*> radios_;
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<GilbertElliott>> burst_;
   std::vector<Transmission> active_;

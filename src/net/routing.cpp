@@ -11,6 +11,15 @@ namespace {
 /// flooded copy still in flight cannot out-live its entry at any realistic
 /// fan-out (a 20-node grid re-broadcasts each seq at most once per node).
 constexpr std::size_t kSeenWindow = 64;
+
+util::Json bcast_args(NodeId source, std::uint16_t seq, std::uint8_t type) {
+  util::Json args = util::Json::object();
+  args.set("src", static_cast<std::int64_t>(source));
+  args.set("seq", static_cast<std::int64_t>(seq));
+  args.set("type", static_cast<std::int64_t>(type));
+  return args;
+}
+
 }  // namespace
 
 Router::Router(Mac& mac, Topology& topology) : mac_(mac), topology_(topology) {
@@ -54,7 +63,13 @@ util::Status Router::send(NodeId destination, std::uint8_t type,
   d.ttl = default_ttl_;
   d.seq = ++next_seq_;
   d.payload = std::move(payload);
-  if (destination == kBroadcast) ++broadcasts_originated_;
+  if (destination == kBroadcast) {
+    ++broadcasts_originated_;
+    if (trace_ != nullptr && trace_sim_ != nullptr) {
+      trace_->instant(id(), "net.route", "bcast.origin", trace_sim_->now(),
+                      bcast_args(d.source, d.seq, type));
+    }
+  }
   return forward(std::move(d));
 }
 
@@ -69,6 +84,10 @@ util::Status Router::send_beacon(std::uint8_t type,
   d.beacon_probe = true;
   d.payload = std::move(payload);
   ++broadcasts_originated_;
+  if (trace_ != nullptr && trace_sim_ != nullptr) {
+    trace_->instant(id(), "net.route", "beacon.origin", trace_sim_->now(),
+                    bcast_args(d.source, d.seq, type));
+  }
   return forward(std::move(d));
 }
 
@@ -154,6 +173,10 @@ void Router::on_packet(const Packet& packet) {
       next.ttl = static_cast<std::uint8_t>(d.ttl - 1);
       ++forwarded_;
       ++broadcast_relays_;
+      if (trace_ != nullptr && trace_sim_ != nullptr) {
+        trace_->instant(id(), "net.route", "bcast.relay", trace_sim_->now(),
+                        bcast_args(d.source, d.seq, d.type));
+      }
       (void)forward(std::move(next));
       if (d.beacon_probe) {
         tagged_sends_at_last_probe_ = tagged_broadcast_sends_;

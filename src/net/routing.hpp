@@ -22,6 +22,7 @@
 #include "net/dissemination.hpp"
 #include "net/mac.hpp"
 #include "net/topology.hpp"
+#include "obs/trace_recorder.hpp"
 #include "util/bytes.hpp"
 
 namespace evm::net {
@@ -130,6 +131,15 @@ class Router {
   /// RT-Link slots.
   std::size_t beacon_relays_suppressed() const { return beacon_relays_suppressed_; }
 
+  /// Opt-in event tracing (nullptr disables): "bcast.origin" and
+  /// "bcast.relay" instants on this node's track. `sim` supplies the
+  /// timestamps (the router holds no simulator reference of its own).
+  /// Recording never perturbs routing decisions.
+  void set_trace(obs::TraceRecorder* trace, sim::Simulator* sim) {
+    trace_ = trace;
+    trace_sim_ = sim;
+  }
+
   static std::vector<std::uint8_t> encode(const Datagram& d);
   static bool decode(std::span<const std::uint8_t> bytes, Datagram& out);
 
@@ -142,6 +152,8 @@ class Router {
 
   Mac& mac_;
   Topology& topology_;
+  obs::TraceRecorder* trace_ = nullptr;
+  sim::Simulator* trace_sim_ = nullptr;
   std::function<void(const Datagram&)> receive_handler_;
   std::function<void(const BeaconTag&)> beacon_observer_;
   std::size_t forwarded_ = 0;

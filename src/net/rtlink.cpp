@@ -74,6 +74,11 @@ util::Duration RtLink::worst_case_access_delay() const {
 void RtLink::begin_frame() {
   if (!running_) return;
   ++frames_;
+  if (trace_ != nullptr) {
+    util::Json args = util::Json::object();
+    args.set("frame", static_cast<std::int64_t>(frames_));
+    trace_->instant(id(), "net.rtlink", "frame", sim_.now(), std::move(args));
+  }
 
   // Find the next frame boundary in *local* time, then schedule slot events
   // at local boundaries mapped back through the drifting clock. Clock error
@@ -117,6 +122,14 @@ void RtLink::run_slot(int slot) {
       }
       radio_.set_state(RadioState::kIdleListen);
       ++stats_.sent;
+      ++slots_used_;
+      if (trace_ != nullptr) {
+        util::Json args = util::Json::object();
+        args.set("slot", static_cast<std::int64_t>(slot));
+        trace_->complete(id(), "net.rtlink", "tx", sim_.now(),
+                         schedule_.slot_length() - schedule_.guard(),
+                         std::move(args));
+      }
       radio_.transmit(*packet, [this] { radio_.set_state(RadioState::kOff); });
     });
     return;

@@ -14,6 +14,7 @@
 #include "net/clock.hpp"
 #include "net/mac.hpp"
 #include "net/timesync.hpp"
+#include "obs/trace_recorder.hpp"
 
 namespace evm::net {
 
@@ -74,13 +75,26 @@ class RtLink final : public Mac {
 
   std::size_t frames_run() const { return frames_; }
 
+  /// TX slots in which this node actually keyed its transmitter (a packet
+  /// was popped and sent). Idle licensed slots — slept through — don't
+  /// count, so slots_used() / (frames_run() * owned slots) is the node's
+  /// real slot utilisation.
+  std::size_t slots_used() const { return slots_used_; }
+
+  /// Opt-in event tracing (nullptr disables): a "frame" instant at each
+  /// frame boundary and a "tx" span covering each used TX slot. Recording
+  /// never perturbs slot decisions.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+
  private:
   void begin_frame();
   void run_slot(int slot);
 
   NodeClock& clock_;
   RtLinkSchedule& schedule_;
+  obs::TraceRecorder* trace_ = nullptr;
   std::size_t frames_ = 0;
+  std::size_t slots_used_ = 0;
   std::uint64_t slot_generation_ = 0;  // invalidates stale end-of-slot sleeps
   sim::EventHandle frame_event_;
 };

@@ -8,6 +8,7 @@
 #include <fstream>
 #include <thread>
 
+#include "obs/phase_timer.hpp"
 #include "util/stats.hpp"
 
 namespace evm::scenario {
@@ -162,10 +163,16 @@ CampaignResult run_campaign(const ScenarioSpec& spec, const CampaignConfig& conf
     seeds.push_back(config.base_seed + i);
   }
   result.runs.resize(seeds.size());
+  const obs::Stopwatch wall;
+  std::atomic<std::size_t> done{0};
   parallel_for(seeds.size(), config.jobs, [&](std::size_t i) {
     ScenarioRunner runner(spec, seeds[i]);
     result.runs[i] = runner.run();
+    if (config.on_run_done) {
+      config.on_run_done(done.fetch_add(1) + 1, seeds.size(), result.runs[i]);
+    }
   });
+  result.wall_ms = wall.elapsed_ms();
   return result;
 }
 
@@ -193,6 +200,26 @@ Json campaign_report(const ScenarioSpec& spec, const CampaignConfig& config,
   views.reserve(result.runs.size());
   for (const auto& run : result.runs) views.push_back(view_of(run));
   root.set("aggregate", aggregate_views(views));
+
+  // Wall-clock throughput of this invocation. Machine-dependent by nature —
+  // per-run JSON stays byte-identical per (spec, seed), so timing lives only
+  // here; byte-comparing reports across invocations must strip this block
+  // (CI's shard-merge check does). Hand-built results (wall_ms == 0, the
+  // test fixtures) get no block at all.
+  if (result.wall_ms > 0.0) {
+    std::uint64_t events = 0, slots = 0;
+    for (const auto& run : result.runs) {
+      events += run.sim_events;
+      slots += run.sim_slots;
+    }
+    Json timing = Json::object();
+    timing.set("wall_ms", result.wall_ms);
+    timing.set("events_dispatched", static_cast<std::int64_t>(events));
+    timing.set("sim_slots", static_cast<std::int64_t>(slots));
+    timing.set("sim_slots_per_sec",
+               static_cast<double>(slots) / (result.wall_ms / 1000.0));
+    root.set("timing", std::move(timing));
+  }
   return root;
 }
 
@@ -209,6 +236,10 @@ util::Result<Json> merge_campaign_reports(const std::vector<Json>& reports) {
   std::vector<Json> runs;
   std::uint64_t base_seed = 0;
   std::size_t seeds = 0;
+  double wall_ms = 0.0;
+  std::int64_t events_dispatched = 0;
+  std::int64_t sim_slots = 0;
+  bool any_timing = false;
   bool first = true;
   for (const Json& report : reports) {
     const Json* name = report.find("scenario");
@@ -227,6 +258,16 @@ util::Result<Json> merge_campaign_reports(const std::vector<Json>& reports) {
       if (const Json* s = campaign->find("seeds")) {
         seeds = std::max(seeds, static_cast<std::size_t>(s->as_int()));
       }
+    }
+    if (const Json* timing = report.find("timing")) {
+      // Shard wall times sum: the merged figure is total CPU-wall spent
+      // across the shard invocations, not the elapsed time of any one job.
+      any_timing = true;
+      if (const Json* w = timing->find("wall_ms")) wall_ms += w->as_double();
+      if (const Json* e = timing->find("events_dispatched")) {
+        events_dispatched += e->as_int();
+      }
+      if (const Json* s = timing->find("sim_slots")) sim_slots += s->as_int();
     }
     first = false;
     const Json* shard_runs = report.find("runs");
@@ -274,6 +315,15 @@ util::Result<Json> merge_campaign_reports(const std::vector<Json>& reports) {
   for (Json& run : runs) runs_json.push(std::move(run));
   root.set("runs", std::move(runs_json));
   root.set("aggregate", aggregate_views(views));
+  if (any_timing && wall_ms > 0.0) {
+    Json timing = Json::object();
+    timing.set("wall_ms", wall_ms);
+    timing.set("events_dispatched", events_dispatched);
+    timing.set("sim_slots", sim_slots);
+    timing.set("sim_slots_per_sec",
+               static_cast<double>(sim_slots) / (wall_ms / 1000.0));
+    root.set("timing", std::move(timing));
+  }
   return root;
 }
 

@@ -39,12 +39,25 @@ struct CampaignConfig {
   /// [0, shard_count) owns no seeds and yields an empty result.
   std::size_t shard_index = 0;
   std::size_t shard_count = 1;
+  /// Progress heartbeat, invoked once per completed run with (runs done so
+  /// far, total runs this invocation owns, that run's metrics). Runs execute
+  /// on worker threads, so the callback may fire concurrently for different
+  /// runs — it must be thread-safe and cheap. Purely observational: results
+  /// are identical with or without it.
+  std::function<void(std::size_t done, std::size_t total, const RunMetrics& run)>
+      on_run_done;
 };
 
 struct CampaignResult {
   /// One entry per seed this invocation ran, in ascending seed order
   /// (base_seed + i without sharding; every shard_count-th seed with).
   std::vector<RunMetrics> runs;
+
+  /// Wall-clock time of the whole run_campaign() invocation (all workers).
+  /// Machine-dependent: campaign_report() folds it into a "timing" block
+  /// only when it is non-zero, so hand-built results (tests) stay
+  /// byte-stable. Never serialized per run.
+  double wall_ms = 0.0;
 
   std::size_t ok_count() const;
   bool all_ok() const { return ok_count() == runs.size(); }

@@ -71,6 +71,7 @@ bool InvariantMonitor::fault_free() const {
 }
 
 void InvariantMonitor::on_probe(double t_s, const ProbeSample& sample) {
+  ++checks_performed_;
   // Liveness is derived from the VC membership when the probe carries
   // per-replica states: only nodes in the spec topology's replica set may
   // satisfy it, and a node outside that set claiming Active is a role-table
@@ -131,6 +132,7 @@ void InvariantMonitor::on_probe(double t_s, const ProbeSample& sample) {
 }
 
 void InvariantMonitor::on_level(double t_s, double level_pct) {
+  ++checks_performed_;
   const double dev = std::fabs(level_pct - spec_.testbed.level_setpoint);
   if (dev > config_.max_level_dev_pct) {
     add("safety.level_deviation", t_s,
@@ -141,6 +143,7 @@ void InvariantMonitor::on_level(double t_s, double level_pct) {
 }
 
 void InvariantMonitor::on_finish(const RunMetrics& metrics) {
+  ++checks_performed_;
   if (!metrics.ok) {
     add("run.error", -1.0, metrics.error.empty() ? "run failed" : metrics.error);
     return;  // the other properties are meaningless for an aborted run

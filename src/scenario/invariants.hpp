@@ -85,6 +85,9 @@ class InvariantMonitor {
   const std::vector<InvariantViolation>& violations() const { return violations_; }
   /// Longest no-live-Active span observed (diagnostics even when passing).
   double max_active_gap_s() const { return max_gap_s_; }
+  /// Total probe / level / end-of-run checks applied so far (the
+  /// "scenario.invariant_checks" metric — proof the monitor actually ran).
+  std::uint64_t checks_performed() const { return checks_performed_; }
 
   util::Json to_json() const;
 
@@ -103,6 +106,7 @@ class InvariantMonitor {
   std::vector<InvariantViolation> violations_;
 
   bool probed_ = false;
+  std::uint64_t checks_performed_ = 0;
   double last_active_s_ = 0.0;  // last probe time with a live Active replica
   double max_gap_s_ = 0.0;
   ProbeSample last_sample_;

@@ -58,6 +58,9 @@ Json RunMetrics::to_json() const {
   j.set("ctrl_b_mode", ctrl_b_mode);
   j.set("sim_events", sim_events);
   j.set("topology_mutations", topology_mutations);
+  j.set("sim_slots", static_cast<std::int64_t>(sim_slots));
+  // wall_* fields are deliberately absent: machine-dependent wall time
+  // would break the byte-identical (spec, seed) -> JSON contract.
   return j;
 }
 
@@ -67,13 +70,20 @@ ScenarioRunner::ScenarioRunner(const ScenarioSpec& spec, std::uint64_t seed)
 ScenarioRunner::~ScenarioRunner() = default;
 
 RunMetrics ScenarioRunner::run() {
+  const obs::Stopwatch total;
   RunMetrics metrics;
   metrics.seed = seed_;
   try {
+    obs::Stopwatch phase;
     if (util::Status valid = spec_.validate(); !valid) {
       metrics.ok = false;
       metrics.error = valid.message();
       if (monitor_ != nullptr) monitor_->on_finish(metrics);
+      metrics_.counter("scenario.invariant_checks")
+          .add(monitor_ != nullptr ? monitor_->checks_performed() : 0);
+      phases_.add("setup", phase.elapsed_ms());
+      metrics.wall_setup_ms = phases_.ms("setup");
+      metrics.wall_ms = total.elapsed_ms();
       return metrics;
     }
     testbed::GasPlantTestbedConfig config = spec_.testbed;
@@ -101,9 +111,18 @@ RunMetrics ScenarioRunner::run() {
       testbed_->sim().schedule_at(at(first), [this] { probe_once(); });
     }
 
+    if (recorder_ != nullptr) testbed_->set_trace_recorder(recorder_);
+
     testbed_->start();
+    phases_.add("setup", phase.elapsed_ms());
+    phase.reset();
+
     testbed_->run_until(util::Duration::from_seconds(spec_.horizon_s));
+    phases_.add("run", phase.elapsed_ms());
+    phase.reset();
+
     metrics = collect();
+    phases_.add("teardown", phase.elapsed_ms());
   } catch (const std::exception& e) {
     metrics = RunMetrics{};
     metrics.seed = seed_;
@@ -111,6 +130,15 @@ RunMetrics ScenarioRunner::run() {
     metrics.error = e.what();
   }
   if (monitor_ != nullptr) monitor_->on_finish(metrics);
+  // The monitor's count lands after on_finish so the end-of-run checks are
+  // included; the counter exists (at 0) even for unmonitored runs so the
+  // snapshot shape is stable.
+  metrics_.counter("scenario.invariant_checks")
+      .add(monitor_ != nullptr ? monitor_->checks_performed() : 0);
+  metrics.wall_setup_ms = phases_.ms("setup");
+  metrics.wall_run_ms = phases_.ms("run");
+  metrics.wall_teardown_ms = phases_.ms("teardown");
+  metrics.wall_ms = total.elapsed_ms();
   return metrics;
 }
 
@@ -339,6 +367,14 @@ RunMetrics ScenarioRunner::collect() {
 
   m.sim_events = tb.sim().dispatched_events();
   m.topology_mutations = script_->events_applied();
+  const std::int64_t slot_ns = tb.schedule().slot_length().ns();
+  if (slot_ns > 0) {
+    m.sim_slots = static_cast<std::uint64_t>(
+        util::Duration::from_seconds(spec_.horizon_s).ns() / slot_ns);
+  }
+
+  // Deterministic observability snapshot (see ScenarioRunner::metrics()).
+  tb.collect_metrics(metrics_);
   return m;
 }
 

@@ -8,6 +8,9 @@
 #include <memory>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
+#include "obs/trace_recorder.hpp"
 #include "scenario/spec.hpp"
 #include "sim/trace.hpp"
 #include "util/json.hpp"
@@ -61,6 +64,19 @@ struct RunMetrics {
 
   std::size_t sim_events = 0;
   std::size_t topology_mutations = 0;
+  /// TDMA slots the horizon covers (horizon / slot length). Derived from
+  /// the spec alone, so it serializes; wall-clock throughput is reported as
+  /// sim_slots / wall seconds in the campaign's "timing" block.
+  std::uint64_t sim_slots = 0;
+
+  // --- Wall-clock profile (observability; NOT serialized) ------------------
+  // to_json() is contractually a pure function of (spec, seed), and wall
+  // time is machine-dependent — campaign_report() aggregates these fields
+  // into its own "timing" block instead of serializing them per run.
+  double wall_setup_ms = 0.0;
+  double wall_run_ms = 0.0;
+  double wall_teardown_ms = 0.0;
+  double wall_ms = 0.0;
 
   util::Json to_json() const;
 };
@@ -80,12 +96,25 @@ class ScenarioRunner {
   /// (spec, seed); everything else is identical.
   void attach_monitor(InvariantMonitor* monitor) { monitor_ = monitor; }
 
+  /// Opt-in event tracing: typed spans/instants from the built world land in
+  /// `recorder` (must outlive run(); nullptr disables). Tracing never changes
+  /// the run's metrics — test_obs proves the byte-identity.
+  void set_trace_recorder(obs::TraceRecorder* recorder) { recorder_ = recorder; }
+
   /// Build the testbed, apply the schedule, run to the horizon, collect.
   /// Call once. Never throws: failures land in RunMetrics::error.
   RunMetrics run();
 
   /// Plant time-series of the completed run (valid after run()).
   const sim::Trace& trace() const;
+
+  /// Deterministic metrics snapshot of the completed run (valid after
+  /// run(); see the README's "Observability" metric table).
+  const obs::Metrics& metrics() const { return metrics_; }
+
+  /// Wall-clock profile of run(): setup / run / teardown phases (valid
+  /// after run(); machine-dependent, never serialized into RunMetrics).
+  const obs::PhaseProfile& phases() const { return phases_; }
 
  private:
   void schedule_events();
@@ -101,6 +130,9 @@ class ScenarioRunner {
   std::unique_ptr<testbed::GasPlantTestbed> testbed_;
   std::unique_ptr<net::TopologyScript> script_;
   InvariantMonitor* monitor_ = nullptr;
+  obs::TraceRecorder* recorder_ = nullptr;
+  obs::Metrics metrics_;
+  obs::PhaseProfile phases_;
   double fault_injected_s_ = -1.0;
 };
 

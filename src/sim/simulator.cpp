@@ -15,6 +15,9 @@ EventHandle Simulator::schedule_at(TimePoint when, std::function<void()> fn) {
   assert(when >= now_ && "cannot schedule events in the past");
   const std::uint64_t id = next_id_++;
   queue_.push(Event{when, next_sequence_++, id, std::move(fn)});
+  // Live-depth high-water mark; cancelled-but-unpopped events don't count.
+  const std::size_t depth = queue_.size() - cancelled_pending_;
+  if (depth > max_queue_depth_) max_queue_depth_ = depth;
   return EventHandle(id);
 }
 

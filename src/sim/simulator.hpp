@@ -60,6 +60,10 @@ class Simulator {
 
   std::size_t pending_events() const;
   std::size_t dispatched_events() const { return dispatched_; }
+  /// High-water mark of live (non-cancelled) pending events over the run so
+  /// far — the obs plane's "sim.queue_depth_max" gauge, and the number that
+  /// sizes the hot-path heap for ROADMAP item 1.
+  std::size_t max_queue_depth() const { return max_queue_depth_; }
 
  private:
   struct Event {
@@ -94,6 +98,7 @@ class Simulator {
   std::uint64_t next_id_ = 1;
   std::size_t dispatched_ = 0;
   std::size_t cancelled_pending_ = 0;
+  std::size_t max_queue_depth_ = 0;
 };
 
 /// RAII installer that points the global logger's timestamps at a simulator.

@@ -87,6 +87,20 @@ void Trace::print_table(std::ostream& os, util::Duration step) const {
   }
 }
 
+namespace {
+
+/// CSV field for a series name. Names carrying CSV metacharacters (or JSON
+/// string specials) are emitted as their JSON string literal through the one
+/// shared escaping path — util::Json::escape, the exact writer to_json and
+/// the obs trace exporters use — so a hostile name ("a,b" or one with
+/// quotes/newlines) cannot add columns or rows to the artifact.
+std::string csv_field(const std::string& name) {
+  const bool hostile = name.find_first_of(",\"\n\r\\") != std::string::npos;
+  return hostile ? util::Json::escape(name) : name;
+}
+
+}  // namespace
+
 void Trace::to_csv(std::ostream& os) const {
   os << "series,time_s,value\n";
   const auto flags = os.flags();
@@ -94,8 +108,9 @@ void Trace::to_csv(std::ostream& os) const {
   os << std::setprecision(9);
   os.unsetf(std::ios::floatfield);
   for (const auto& [name, s] : series_) {
+    const std::string field = csv_field(name);
     for (const auto& [t, v] : s.samples) {
-      os << name << ',' << t.to_seconds() << ',' << v << '\n';
+      os << field << ',' << t.to_seconds() << ',' << v << '\n';
     }
   }
   os.flags(flags);

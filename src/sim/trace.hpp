@@ -47,7 +47,9 @@ class Trace {
 
   /// Long-format CSV of the raw samples: `series,time_s,value`, one row per
   /// sample, series in name order. No resampling, so offline plotting sees
-  /// exactly what was recorded.
+  /// exactly what was recorded. Series names containing CSV metacharacters
+  /// are emitted as JSON string literals (util::Json::escape — the shared
+  /// escaping path) so they cannot corrupt the column structure.
   void to_csv(std::ostream& os) const;
 
   /// JSON export: {"series": [{"name", "times_s": [...], "values": [...]}]}.

@@ -243,6 +243,77 @@ void TestbedBuilder::start() {
   }
 }
 
+void TestbedBuilder::set_trace_recorder(obs::TraceRecorder* trace) {
+  if (trace != nullptr) {
+    for (const TopologyNode& entry : topo_.nodes) {
+      trace->set_track(entry.id, topo_.node_name(entry.id));
+    }
+  }
+  medium_->set_trace(trace);
+  for (auto& [id, node] : nodes_) {
+    (void)id;
+    node->set_trace(trace);
+  }
+  for (auto& [id, service] : services_) {
+    (void)id;
+    service->set_trace(trace);
+  }
+}
+
+void TestbedBuilder::collect_metrics(obs::Metrics& metrics) {
+  metrics.counter("sim.events_dispatched").add(sim_.dispatched_events());
+  metrics.gauge("sim.queue_depth_max")
+      .set(static_cast<double>(sim_.max_queue_depth()));
+
+  metrics.counter("net.medium.deliveries").add(medium_->delivered_count());
+  metrics.counter("net.medium.collisions").add(medium_->collision_count());
+  metrics.counter("net.medium.losses").add(medium_->loss_count());
+
+  auto& frames = metrics.counter("net.rtlink.frames_run");
+  auto& slots = metrics.counter("net.rtlink.slots_used");
+  auto& slots_hist = metrics.histogram("net.rtlink.slots_used_per_node");
+  for (auto& [id, node] : nodes_) {
+    (void)id;
+    frames.add(node->mac().frames_run());
+    slots.add(node->mac().slots_used());
+    slots_hist.record(static_cast<double>(node->mac().slots_used()));
+  }
+
+  auto& originated = metrics.counter("net.route.broadcasts_originated");
+  auto& relays = metrics.counter("net.route.broadcast_relays");
+  auto& forwarded = metrics.counter("net.route.forwarded");
+  auto& probe_suppressed = metrics.counter("net.route.beacon_relays_suppressed");
+  for (auto& [id, node] : nodes_) {
+    (void)id;
+    originated.add(node->router().broadcasts_originated());
+    relays.add(node->router().broadcast_relays());
+    forwarded.add(node->router().forwarded_count());
+    probe_suppressed.add(node->router().beacon_relays_suppressed());
+  }
+
+  auto& failovers = metrics.counter("core.service.failovers");
+  auto& successions = metrics.counter("core.service.head_successions");
+  auto& beacons_suppressed = metrics.counter("core.service.beacons_suppressed");
+  for (auto& [id, service] : services_) {
+    (void)id;
+    failovers.add(service->failovers().size());
+    successions.add(service->head_successions());
+    beacons_suppressed.add(service->beacons_suppressed());
+  }
+
+  auto& releases = metrics.counter("rtos.task_releases");
+  auto& misses = metrics.counter("rtos.deadline_misses");
+  for (auto& [id, node] : nodes_) {
+    (void)id;
+    for (rtos::TaskId task : node->kernel().scheduler().task_ids()) {
+      const rtos::Tcb* tcb = node->kernel().scheduler().task(task);
+      if (tcb == nullptr) continue;
+      releases.add(tcb->stats.releases);
+      misses.add(tcb->stats.deadline_misses);
+    }
+  }
+}
+
 void TestbedBuilder::inject_primary_fault(double wrong_value) {
   services_[initial_primary()]->inject_output_fault(kLtsLevelLoop, wrong_value);
 }

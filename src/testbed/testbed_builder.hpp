@@ -14,6 +14,7 @@
 
 #include "core/control_programs.hpp"
 #include "core/service.hpp"
+#include "obs/metrics.hpp"
 #include "plant/hil.hpp"
 #include "testbed/topology_spec.hpp"
 
@@ -105,6 +106,17 @@ class TestbedBuilder {
   /// The steady-state valve opening computed at initialization (the paper's
   /// 11.48 % figure for their operating point).
   double steady_opening() const { return steady_opening_; }
+
+  /// Opt-in event tracing (nullptr disables). Fans the recorder out to the
+  /// medium, every node (MAC + router) and every EVM service, and names each
+  /// node's track after its role-table name so Perfetto shows "gw", "ctrl_a"
+  /// instead of bare ids. Recording never perturbs the run.
+  void set_trace_recorder(obs::TraceRecorder* trace);
+
+  /// Snapshot the built world's counters into `metrics` (the README's
+  /// "Observability" table documents every name). Purely reads existing
+  /// counters, so calling it never perturbs the run; same run, same numbers.
+  void collect_metrics(obs::Metrics& metrics);
 
  private:
   void build_descriptor();

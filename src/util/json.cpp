@@ -367,6 +367,48 @@ std::string Json::dump(int indent) const {
   return out;
 }
 
+std::string Json::dump_compact() const {
+  std::string out;
+  dump_compact_to(out);
+  return out;
+}
+
+std::string Json::escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  append_escaped(out, s);
+  return out;
+}
+
+void Json::dump_compact_to(std::string& out) const {
+  switch (kind_) {
+    case Kind::kNull: out += "null"; break;
+    case Kind::kBool: out += bool_ ? "true" : "false"; break;
+    case Kind::kNumber: append_number(out, number_); break;
+    case Kind::kString: append_escaped(out, string_); break;
+    case Kind::kObject: {
+      out += '{';
+      for (std::size_t i = 0; i < members_.size(); ++i) {
+        if (i > 0) out += ',';
+        append_escaped(out, members_[i].first);
+        out += ':';
+        members_[i].second.dump_compact_to(out);
+      }
+      out += '}';
+      break;
+    }
+    case Kind::kArray: {
+      out += '[';
+      for (std::size_t i = 0; i < elements_.size(); ++i) {
+        if (i > 0) out += ',';
+        elements_[i].dump_compact_to(out);
+      }
+      out += ']';
+      break;
+    }
+  }
+}
+
 void Json::dump_to(std::string& out, int indent) const {
   const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
   const std::string inner_pad(static_cast<std::size_t>(indent + 1) * 2, ' ');

@@ -64,12 +64,24 @@ class Json {
   /// Serialize with two-space indentation. NaN/Inf become null.
   std::string dump(int indent = 0) const;
 
+  /// Serialize on a single line with no whitespace: the JSONL form used by
+  /// trace exports, where one document per line is the whole point.
+  std::string dump_compact() const;
+
+  /// Escape `s` as a quoted JSON string literal (the exact writer dump()
+  /// uses). This is the one escaping path for every exporter that emits
+  /// strings outside a full Json tree — e.g. sim::Trace::to_csv quoting a
+  /// hostile series name — so quotes and control characters can never
+  /// corrupt an artifact.
+  static std::string escape(const std::string& s);
+
   /// Strict parse of a complete JSON document (trailing garbage is an
   /// error). Errors carry a byte offset and a short description.
   static Result<Json> parse(const std::string& text);
 
  private:
   void dump_to(std::string& out, int indent) const;
+  void dump_compact_to(std::string& out) const;
 
   Kind kind_;
   bool bool_ = false;

@@ -7,8 +7,11 @@
 // wall-clock sources (std::chrono clocks, time(), clock_gettime, ...)
 // everywhere outside it except the bench harness, whose job is wall-clock
 // measurement. Sim code asks the Simulator for `now()`; nothing else.
+// Profiling code (the obs phase timers, the bench harness) reads the wall
+// clock through TimeSource below, so the banned calls stay confined here.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -85,6 +88,24 @@ class TimePoint {
 
  private:
   std::int64_t ns_ = 0;
+};
+
+/// The single sanctioned wall-clock reader (evm_lint rule D2). Virtual-time
+/// code never calls this; it exists for the observability layer's phase
+/// timers and the bench harness — code whose *job* is measuring how long the
+/// simulation takes in real time. Wall-clock readings must never feed back
+/// into simulation behaviour: they are reporting-only, which is why the
+/// funnel lives here (the one D2-exempt file) instead of each call site
+/// carrying its own suppression.
+class TimeSource {
+ public:
+  /// Monotonic wall-clock reading in nanoseconds (epoch unspecified; only
+  /// differences are meaningful).
+  static std::int64_t wall_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
 };
 
 /// Render as "12.345s" for logs and bench output.

@@ -5,6 +5,7 @@
 // full simulator runs).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <string>
@@ -279,9 +280,21 @@ TEST(ParallelFor, ConcurrentMetricAccumulationIsRaceFree) {
   }
 }
 
+/// The report minus its "timing" block — the one machine-dependent section
+/// (wall-clock throughput). Byte-comparisons across invocations strip it,
+/// exactly as the CI shard-merge check does.
+util::Json strip_timing(const util::Json& report) {
+  util::Json out = util::Json::object();
+  for (const auto& [key, value] : report.members()) {
+    if (key != "timing") out.set(key, value);
+  }
+  return out;
+}
+
 // The campaign path itself (runner construction, slot writes, report
 // aggregation) hammered with more workers than seeds, repeatedly; byte-
 // identical reports prove the parallel schedule cannot leak into results.
+// Only the wall-clock timing block may differ between rounds.
 TEST(ParallelFor, CampaignUnderOversubscribedPoolIsDeterministic) {
   const ScenarioSpec spec = minimal_spec();
   CampaignConfig config;
@@ -293,13 +306,83 @@ TEST(ParallelFor, CampaignUnderOversubscribedPoolIsDeterministic) {
     const CampaignResult result = run_campaign(spec, config);
     ASSERT_EQ(result.runs.size(), 6u);
     const std::string dumped =
-        campaign_report(spec, config, result).dump();
+        strip_timing(campaign_report(spec, config, result)).dump();
     if (round == 0) {
       first = dumped;
     } else {
       EXPECT_EQ(dumped, first)
           << "oversubscribed pool changed the campaign report";
     }
+  }
+}
+
+TEST(CampaignTiming, RealRunsCarryAWallClockTimingBlock) {
+  // An inadmissible control period makes every run fail during validation,
+  // so the campaign finishes fast — the timing block must appear anyway:
+  // wall time is a property of the invocation, not of run success.
+  ScenarioSpec spec = minimal_spec();
+  spec.testbed.control_period = util::Duration::micros(10);
+  CampaignConfig config;
+  config.base_seed = 5;
+  config.seeds = 2;
+  const CampaignResult result = run_campaign(spec, config);
+  EXPECT_GT(result.wall_ms, 0.0);
+
+  const util::Json report = campaign_report(spec, config, result);
+  const util::Json* timing = report.find("timing");
+  ASSERT_NE(timing, nullptr);
+  EXPECT_GT(timing->find("wall_ms")->as_double(), 0.0);
+  ASSERT_NE(timing->find("events_dispatched"), nullptr);
+  ASSERT_NE(timing->find("sim_slots"), nullptr);
+  ASSERT_NE(timing->find("sim_slots_per_sec"), nullptr);
+}
+
+TEST(CampaignTiming, HandBuiltResultsStayByteStableWithNoTimingBlock) {
+  // Fixture results never ran, so wall_ms == 0 and the machine-dependent
+  // block is omitted — this is what keeps every hand-built byte-comparison
+  // in this suite (and the shard-merge test above) stable.
+  CampaignConfig config;
+  config.seeds = 1;
+  CampaignResult result;
+  result.runs.push_back(ok_run(1, 2.0));
+  const util::Json report = campaign_report(minimal_spec(), config, result);
+  EXPECT_EQ(report.find("timing"), nullptr);
+  EXPECT_EQ(report.dump(), strip_timing(report).dump());
+}
+
+TEST(CampaignTiming, ProgressCallbackSeesEveryRunExactlyOnce) {
+  ScenarioSpec spec = minimal_spec();
+  spec.testbed.control_period = util::Duration::micros(10);  // fail fast
+  CampaignConfig config;
+  config.base_seed = 30;
+  config.seeds = 5;
+  config.jobs = 4;  // callback fires on worker threads
+
+  // Atomic tallies, not a mutex: the callback fires on worker threads, and
+  // atomics are the sanctioned accumulation primitive under parallel_for.
+  std::vector<std::atomic<int>> seed_hits(5);
+  std::vector<std::atomic<int>> done_hits(6);  // index by `done` (1..5)
+  std::atomic<std::size_t> seen_total{0};
+  config.on_run_done = [&](std::size_t done, std::size_t total,
+                           const RunMetrics& run) {
+    ASSERT_GE(run.seed, 30u);
+    ASSERT_LT(run.seed, 35u);
+    ASSERT_GE(done, 1u);
+    ASSERT_LE(done, 5u);
+    seed_hits[run.seed - 30].fetch_add(1);
+    done_hits[done].fetch_add(1);
+    seen_total.store(total);
+  };
+
+  const CampaignResult result = run_campaign(spec, config);
+  ASSERT_EQ(result.runs.size(), 5u);
+  EXPECT_EQ(seen_total.load(), 5u);
+
+  // Every seed reported exactly once, and the done counter ticked 1..total
+  // exactly once each (arrival order is scheduling-dependent, counts never).
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(seed_hits[i].load(), 1) << "seed " << (30 + i);
+    EXPECT_EQ(done_hits[i + 1].load(), 1) << "done " << (i + 1);
   }
 }
 

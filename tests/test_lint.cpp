@@ -214,6 +214,21 @@ TEST(LintReport, JsonCarriesExactFileAndLine) {
   fs::remove_all(root);
 }
 
+// The linter's real job: the checked-in tree itself must be clean. Scans the
+// same paths the CLI defaults to, so a wall-clock read (D2), unordered
+// iteration (D1) or naked thread (C1) sneaking into the repo fails the suite
+// — not just the separate CI lint step. Suppressed findings are tolerated
+// (they are the audited escape hatch) but active ones are listed verbatim.
+TEST(LintTree, CheckedInTreeHasNoActiveFindings) {
+  const evm::lint::Report report = evm::lint::lint_paths(
+      EVM_REPO_ROOT_DIR, {"src", "tools", "tests", "bench", "examples"});
+  for (const Finding& f : report.findings) {
+    ADD_FAILURE() << f.file << ":" << f.line << " [" << f.rule << "] "
+                  << f.message;
+  }
+  EXPECT_TRUE(report.findings.empty());
+}
+
 TEST(LintReport, SuppressedFindingsAreAudited) {
   namespace fs = std::filesystem;
   const fs::path root = fs::path(::testing::TempDir()) / "evm_lint_sup";
