@@ -21,12 +21,33 @@ util::Json rx_args(NodeId src, std::uint8_t type) {
 Medium::Medium(sim::Simulator& sim, Topology& topology)
     : sim_(sim), topology_(topology) {}
 
+void Medium::ensure_node_capacity(NodeId id) {
+  const std::size_t width = static_cast<std::size_t>(id) + 1;
+  if (radios_.size() < width) radios_.resize(width, nullptr);
+  if (heard_.size() < width) heard_.resize(width);
+}
+
 void Medium::attach(Radio& radio) {
+  ensure_node_capacity(radio.id());
   radios_[radio.id()] = &radio;
   topology_.add_node(radio.id());
 }
 
-void Medium::detach(NodeId id) { radios_.erase(id); }
+void Medium::detach(NodeId id) {
+  if (static_cast<std::size_t>(id) < radios_.size()) radios_[id] = nullptr;
+  topology_.remove_node(id);
+  // Forget its energy everywhere: it no longer jams or busies anyone.
+  if (static_cast<std::size_t>(id) < heard_.size()) heard_[id].clear();
+  for (auto& at_listener : heard_) {
+    std::erase_if(at_listener, [id](const Heard& h) { return h.sender == id; });
+  }
+  // And abort its in-flight payloads: the pending end-of-airtime events
+  // still fire (cancelling a heap entry is dearer than letting it no-op)
+  // but deliver nothing.
+  for (const auto& d : pool_) {
+    if (d->in_flight && d->sender == id) d->cancelled = true;
+  }
+}
 
 void Medium::begin_transmission(Radio& sender, const Packet& packet,
                                 util::Duration air) {
@@ -41,77 +62,115 @@ void Medium::begin_energy(Radio& sender, const Packet* packet,
                           util::Duration air) {
   const util::TimePoint start = sim_.now();
   const util::TimePoint end = start + air;
-  prune(start);
-  active_.push_back(Transmission{sender.id(), start, end});
+  const NodeId sender_id = sender.id();
 
-  // Wake LPL listeners immediately: energy is detectable at carrier onset.
-  for (NodeId neighbor : topology_.neighbors(sender.id())) {
-    auto it = radios_.find(neighbor);
-    if (it == radios_.end()) continue;
-    Radio* rx = it->second;
-    if (rx->listening()) rx->notify_carrier();
+  // Audibility is fixed here, at carrier onset: whoever is in range *now*
+  // hears this energy for its whole airtime. Record it per listener (CCA and
+  // the collision check scan only their own location) and wake LPL
+  // listeners — energy is detectable from the first preamble byte.
+  const std::vector<NodeId>& in_range = topology_.neighbors_view(sender_id);
+  for (NodeId neighbor : in_range) {
+    note_energy(neighbor, sender_id, start, end);
+    Radio* rx = radio_at(neighbor);
+    if (rx != nullptr && rx->listening()) rx->notify_carrier();
   }
 
   if (packet == nullptr) return;  // pure carrier burst: nothing to deliver
 
-  // Snapshot the packet; schedule the delivery decision at end of airtime.
-  const Packet copy = *packet;
-  const NodeId sender_id = sender.id();
-  sim_.schedule_at(end, [this, copy, sender_id, start, end] {
-    for (NodeId neighbor : topology_.neighbors(sender_id)) {
-      auto it = radios_.find(neighbor);
-      if (it == radios_.end()) continue;
-      Radio* rx = it->second;
-      if (!rx->listening()) continue;            // asleep or transmitting
-      if (copy.dst != kBroadcast && copy.dst != neighbor) {
-        // Address filtering happens in hardware; the radio still spent the
-        // time in RX, which the listening state already accounts for.
-        continue;
-      }
-      if (interferers(neighbor, sender_id, start, end) > 0) {
+  // Snapshot the delivery decision's inputs at onset: a receiver must be
+  // listening when the preamble airs (waking later misses the packet), and
+  // a link that flips up mid-flight cannot conjure a reception. Loss is the
+  // channel's fate for this airtime, drawn now in adjacency (deterministic)
+  // order. Only collisions — and a sender aborting mid-air — are resolved
+  // at end of airtime.
+  Delivery* d = acquire();
+  d->packet = *packet;  // reuses the pooled payload buffer
+  d->sender = sender_id;
+  d->start = start;
+  d->end = end;
+  d->cancelled = false;
+  d->in_flight = true;
+  d->recipients.clear();
+  d->dropped.clear();
+  for (NodeId neighbor : in_range) {
+    Radio* rx = radio_at(neighbor);
+    if (rx == nullptr || !rx->listening()) continue;  // missed the preamble
+    if (d->packet.dst != kBroadcast && d->packet.dst != neighbor) {
+      // Address filtering happens in hardware; the radio still spent the
+      // time in RX, which the listening state already accounts for.
+      continue;
+    }
+    d->recipients.push_back(neighbor);
+    d->dropped.push_back(link_drops(sender_id, neighbor) ? 1 : 0);
+  }
+  sim_.schedule_at(end, [this, d] { finish(d); });
+}
+
+void Medium::finish(Delivery* d) {
+  d->in_flight = false;
+  // A detached (cancelled) or crash-stopped sender cut the transmission
+  // short: the tail never aired, nobody decodes it.
+  if (!d->cancelled && !topology_.node_down(d->sender)) {
+    for (std::size_t i = 0; i < d->recipients.size(); ++i) {
+      const NodeId neighbor = d->recipients[i];
+      Radio* rx = radio_at(neighbor);
+      // Detached, crashed or slept mid-packet: the tail went unheard.
+      if (rx == nullptr || !rx->listening()) continue;
+      if (interferers(neighbor, d->sender, d->start, d->end) > 0) {
         ++collisions_;
         if (trace_ != nullptr) {
-          trace_->instant(neighbor, "net.medium", "rx.collision", end,
-                          rx_args(sender_id, copy.type));
+          trace_->instant(neighbor, "net.medium", "rx.collision", d->end,
+                          rx_args(d->sender, d->packet.type));
         }
         continue;
       }
-      if (link_drops(sender_id, neighbor)) {
+      if (d->dropped[i] != 0) {
         ++losses_;
         if (trace_ != nullptr) {
-          trace_->instant(neighbor, "net.medium", "rx.drop", end,
-                          rx_args(sender_id, copy.type));
+          trace_->instant(neighbor, "net.medium", "rx.drop", d->end,
+                          rx_args(d->sender, d->packet.type));
         }
         continue;
       }
       ++delivered_;
       if (trace_ != nullptr) {
-        trace_->instant(neighbor, "net.medium", "rx", end,
-                        rx_args(sender_id, copy.type));
+        trace_->instant(neighbor, "net.medium", "rx", d->end,
+                        rx_args(d->sender, d->packet.type));
       }
-      rx->deliver(copy);
+      rx->deliver(d->packet);
     }
-  });
+  }
+  release(d);
 }
 
 int Medium::interferers(NodeId listener, NodeId sender, util::TimePoint start,
                         util::TimePoint end) const {
+  if (static_cast<std::size_t>(listener) >= heard_.size()) return 0;
   int count = 0;
-  for (const Transmission& t : active_) {
-    if (t.sender == sender) continue;
-    if (t.end <= start || t.start >= end) continue;  // no overlap
-    if (!topology_.connected(t.sender, listener)) continue;
+  for (const Heard& h : heard_[listener]) {
+    if (h.sender == sender) continue;
+    if (h.end <= start || h.start >= end) continue;  // no overlap
     ++count;
   }
   return count;
 }
 
+void Medium::note_energy(NodeId listener, NodeId sender, util::TimePoint start,
+                         util::TimePoint end) {
+  ensure_node_capacity(listener);
+  std::vector<Heard>& at_listener = heard_[listener];
+  // Lazy prune on append: a grace window keeps entries that queued
+  // end-of-airtime decisions may still consult.
+  const util::TimePoint horizon = start - util::Duration::seconds(1);
+  std::erase_if(at_listener, [horizon](const Heard& h) { return h.end < horizon; });
+  at_listener.push_back(Heard{sender, start, end});
+}
+
 bool Medium::channel_busy(NodeId listener) const {
+  if (static_cast<std::size_t>(listener) >= heard_.size()) return false;
   const util::TimePoint now = sim_.now();
-  for (const Transmission& t : active_) {
-    if (t.start <= now && now < t.end && topology_.connected(t.sender, listener)) {
-      return true;
-    }
+  for (const Heard& h : heard_[listener]) {
+    if (h.start <= now && now < h.end) return true;
   }
   return false;
 }
@@ -134,11 +193,16 @@ bool Medium::link_drops(NodeId a, NodeId b) {
   return sim_.rng().bernoulli(topology_.loss(a, b));
 }
 
-void Medium::prune(util::TimePoint now) {
-  // Keep transmissions that might still overlap future decisions. A small
-  // grace window avoids erasing entries still needed by queued deliveries.
-  const util::TimePoint horizon = now - util::Duration::seconds(1);
-  std::erase_if(active_, [horizon](const Transmission& t) { return t.end < horizon; });
+Medium::Delivery* Medium::acquire() {
+  if (free_.empty()) {
+    pool_.push_back(std::make_unique<Delivery>());
+    free_.push_back(pool_.back().get());
+  }
+  Delivery* d = free_.back();
+  free_.pop_back();
+  return d;
 }
+
+void Medium::release(Delivery* d) { free_.push_back(d); }
 
 }  // namespace evm::net

@@ -1,6 +1,22 @@
 // The shared wireless medium. Connects radios according to the Topology,
 // applies per-link loss, and detects collisions: two transmissions that
 // overlap in time at a listening receiver corrupt each other.
+//
+// Reception semantics: who can hear a transmission — and whether they are
+// listening for it — is decided at *carrier onset*, when the preamble hits
+// the air. A link that flips up mid-flight cannot conjure a reception the
+// receiver never synchronised to, and a radio that wakes after the preamble
+// has passed misses the packet. Per-link loss is likewise drawn at onset
+// (fate of the channel for this airtime). Collisions are the one decision
+// that stays at end of airtime, because a later-starting overlap corrupts
+// the tail of an earlier packet. A sender that crash-stops mid-air aborts
+// its transmission (the tail never airs), so nothing is delivered.
+//
+// Hot-path note (ROADMAP item 1): radios live in a dense flat array indexed
+// by raw NodeId; audible energy is indexed *per listener* (`heard_`), so
+// `interferers`/`channel_busy` scan only the energy at that location instead
+// of the global in-flight list; payload deliveries come from a free-list
+// pool so steady-state traffic allocates nothing per packet.
 #pragma once
 
 #include <cstdint>
@@ -24,13 +40,17 @@ class Medium {
   Medium(sim::Simulator& sim, Topology& topology);
 
   void attach(Radio& radio);
+  /// Mirror of attach: drops the radio, removes the node (and its links)
+  /// from the topology, cancels its in-flight transmissions and forgets its
+  /// energy at every listener — a detached radio is gone, not a ghost.
   void detach(NodeId id);
 
   Topology& topology() { return topology_; }
   const Topology& topology() const { return topology_; }
 
-  /// Called by Radio when it starts transmitting. The medium schedules
-  /// delivery (or corruption) at each in-range listener at end of airtime.
+  /// Called by Radio when it starts transmitting. The medium snapshots the
+  /// audible listener set now and schedules the delivery decision at end of
+  /// airtime.
   void begin_transmission(Radio& sender, const Packet& packet, util::Duration airtime);
   /// Carrier-only burst (no payload to deliver, but wakes LPL receivers and
   /// collides like any other energy on the channel).
@@ -45,7 +65,8 @@ class Medium {
   /// perturbs delivery decisions.
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
-  /// True if any neighbor of `listener` is currently transmitting (CCA).
+  /// True if any energy audible at `listener` is on the air right now (CCA).
+  /// Audibility was fixed at each transmission's onset.
   bool channel_busy(NodeId listener) const;
 
   /// Replace the link's i.i.d. loss with a Gilbert-Elliott burst process
@@ -55,27 +76,60 @@ class Medium {
   void clear_burst_loss(NodeId a, NodeId b);
 
  private:
-  struct Transmission {
+  /// Energy audible at one listener: recorded at the transmission's onset,
+  /// consulted by CCA and the end-of-airtime collision check.
+  struct Heard {
     NodeId sender;
     util::TimePoint start;
     util::TimePoint end;
   };
 
+  /// A payload in flight: everything decided at onset (recipients, loss
+  /// draws, the packet bytes) rides here until the airtime ends. Pooled —
+  /// `packet.payload` and the vectors keep their capacity across reuse.
+  struct Delivery {
+    Packet packet;
+    NodeId sender = 0;
+    util::TimePoint start;
+    util::TimePoint end;
+    bool cancelled = false;
+    bool in_flight = false;
+    std::vector<NodeId> recipients;      // listening + addressed at onset
+    std::vector<std::uint8_t> dropped;   // parallel: onset loss draw said drop
+  };
+
   void begin_energy(Radio& sender, const Packet* packet, util::Duration airtime);
-  /// Number of transmissions overlapping [start, end) audible at `listener`,
-  /// other than `sender`.
+  /// Run the delivery decision for a transmission whose airtime just ended,
+  /// then return it to the pool.
+  void finish(Delivery* d);
+  /// Number of *other* transmissions audible at `listener` overlapping
+  /// [start, end).
   int interferers(NodeId listener, NodeId sender, util::TimePoint start,
                   util::TimePoint end) const;
-  void prune(util::TimePoint now);
+  /// Record energy from `sender` at `listener` for [start, end), pruning
+  /// that listener's expired entries in passing.
+  void note_energy(NodeId listener, NodeId sender, util::TimePoint start,
+                   util::TimePoint end);
+  Radio* radio_at(NodeId id) const {
+    return static_cast<std::size_t>(id) < radios_.size() ? radios_[id] : nullptr;
+  }
+  /// Grow the flat per-node tables to cover `id`.
+  void ensure_node_capacity(NodeId id);
+  Delivery* acquire();
+  void release(Delivery* d);
 
   bool link_drops(NodeId a, NodeId b);
 
   sim::Simulator& sim_;
   Topology& topology_;
   obs::TraceRecorder* trace_ = nullptr;
-  std::map<NodeId, Radio*> radios_;
+  // Dense per-node tables indexed by raw NodeId (evm_lint D1 note: vectors
+  // only — iteration is index-ordered, no unordered containers here).
+  std::vector<Radio*> radios_;
+  std::vector<std::vector<Heard>> heard_;  // energy audible per listener
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<GilbertElliott>> burst_;
-  std::vector<Transmission> active_;
+  std::vector<std::unique_ptr<Delivery>> pool_;  // every Delivery ever made
+  std::vector<Delivery*> free_;                  // the idle subset of pool_
   std::size_t delivered_ = 0;
   std::size_t collisions_ = 0;
   std::size_t losses_ = 0;

@@ -6,28 +6,28 @@ namespace evm::net {
 
 RtLinkSchedule::RtLinkSchedule(int slots_per_frame, util::Duration slot_length,
                                util::Duration guard)
-    : slots_per_frame_(slots_per_frame), slot_length_(slot_length), guard_(guard) {}
+    : slots_per_frame_(slots_per_frame),
+      slot_length_(slot_length),
+      guard_(guard),
+      tx_(static_cast<std::size_t>(slots_per_frame), kInvalidNode) {}
 
 void RtLinkSchedule::assign_tx(int slot, NodeId node) {
+  if (slot < 0 || slot >= slots_per_frame_) return;
   tx_[slot] = node;
   ++version_;
 }
 
 void RtLinkSchedule::clear_slot(int slot) {
-  tx_.erase(slot);
+  if (slot < 0 || slot >= slots_per_frame_) return;
+  tx_[slot] = kInvalidNode;
   listeners_.erase(slot);
   ++version_;
 }
 
-NodeId RtLinkSchedule::tx_of(int slot) const {
-  auto it = tx_.find(slot);
-  return it == tx_.end() ? kInvalidNode : it->second;
-}
-
 std::vector<int> RtLinkSchedule::slots_of(NodeId node) const {
   std::vector<int> out;
-  for (const auto& [slot, owner] : tx_) {
-    if (owner == node) out.push_back(slot);
+  for (int slot = 0; slot < slots_per_frame_; ++slot) {
+    if (tx_[slot] == node) out.push_back(slot);
   }
   return out;
 }
@@ -71,6 +71,41 @@ util::Duration RtLink::worst_case_access_delay() const {
   return schedule_.frame_length();
 }
 
+void RtLink::refresh_timeline() {
+  if (timeline_version_ == schedule_.version()) return;
+  timeline_.clear();
+  const int slots = schedule_.slots_per_frame();
+  // Merge the per-slot classification (own TX / listen / sleep) into state
+  // transitions. Sleep needs no event of its own: a listen run's trailing
+  // kSleep turns the radio off, a TX slot turns itself off when the packet
+  // (or the empty queue) is done, and the previous frame's tail is covered
+  // by that frame's own trailing action. One exception: a listen run flowing
+  // straight into our own TX slot emits no kSleep — the radio stays up
+  // through the guard interval exactly as the per-slot dispatch did, and the
+  // pop decides whether it transmits or goes idle.
+  bool listening = false;
+  for (int slot = 0; slot < slots; ++slot) {
+    if (schedule_.tx_of(slot) == id()) {
+      if (listening) listening = false;  // no kSleep: stay up through guard
+      timeline_.push_back(SlotAction{slot, SlotAction::kTx});
+    } else if (schedule_.should_listen(slot, id())) {
+      if (!listening) {
+        timeline_.push_back(SlotAction{slot, SlotAction::kListenStart});
+        listening = true;
+      }
+    } else {
+      if (listening) {
+        timeline_.push_back(SlotAction{slot, SlotAction::kSleep});
+        listening = false;
+      }
+    }
+  }
+  if (listening) {
+    timeline_.push_back(SlotAction{slots, SlotAction::kSleep});  // frame edge
+  }
+  timeline_version_ = schedule_.version();
+}
+
 void RtLink::begin_frame() {
   if (!running_) return;
   ++frames_;
@@ -80,22 +115,40 @@ void RtLink::begin_frame() {
     trace_->instant(id(), "net.rtlink", "frame", sim_.now(), std::move(args));
   }
 
-  // Find the next frame boundary in *local* time, then schedule slot events
-  // at local boundaries mapped back through the drifting clock. Clock error
-  // relative to other nodes is therefore physically reflected in when this
-  // node keys its transmitter.
+  refresh_timeline();
+
+  // Find the next frame boundary in *local* time, then schedule the merged
+  // timeline's actions at local boundaries mapped back through the drifting
+  // clock. Clock error relative to other nodes is therefore physically
+  // reflected in when this node keys its transmitter.
   const util::TimePoint local_now = clock_.local_time(sim_.now());
   const util::Duration frame_len = schedule_.frame_length();
   const std::int64_t frame_index = local_now.ns() / frame_len.ns() + 1;
   const util::TimePoint local_frame_start =
       util::TimePoint(frame_index * frame_len.ns());
 
-  for (int slot = 0; slot < schedule_.slots_per_frame(); ++slot) {
-    const util::TimePoint local_slot_start =
-        local_frame_start + schedule_.slot_length() * slot;
-    const util::TimePoint global_slot_start = clock_.global_for(local_slot_start);
-    if (global_slot_start <= sim_.now()) continue;
-    sim_.schedule_at(global_slot_start, [this, slot] { run_slot(slot); });
+  for (const SlotAction& action : timeline_) {
+    const util::TimePoint local_at =
+        local_frame_start + schedule_.slot_length() * action.slot;
+    const util::TimePoint global_at = clock_.global_for(local_at);
+    if (global_at <= sim_.now()) continue;
+    switch (action.kind) {
+      case SlotAction::kTx:
+        sim_.schedule_at(global_at, [this, slot = action.slot] { run_tx_slot(slot); });
+        break;
+      case SlotAction::kListenStart:
+        sim_.schedule_at(global_at, [this] {
+          if (running_) radio_.set_state(RadioState::kIdleListen);
+        });
+        break;
+      case SlotAction::kSleep:
+        sim_.schedule_at(global_at, [this] {
+          if (running_ && !radio_.transmitting()) {
+            radio_.set_state(RadioState::kOff);
+          }
+        });
+        break;
+    }
   }
 
   const util::TimePoint local_next = local_frame_start + frame_len;
@@ -104,50 +157,30 @@ void RtLink::begin_frame() {
       [this] { begin_frame(); });
 }
 
-void RtLink::run_slot(int slot) {
+void RtLink::run_tx_slot(int slot) {
   if (!running_) return;
-  ++slot_generation_;
-  const NodeId tx = schedule_.tx_of(slot);
-
-  if (tx == id()) {
-    // Guard interval absorbs clock error between us and our listeners:
-    // transmit `guard` into the slot so receivers that woke slightly late
-    // still catch the preamble.
-    sim_.schedule_after(schedule_.guard(), [this, slot] {
-      if (!running_) return;
-      auto packet = queue_.pop();
-      if (!packet.has_value()) {
-        radio_.set_state(RadioState::kOff);  // nothing to send: sleep through
-        return;
-      }
-      radio_.set_state(RadioState::kIdleListen);
-      ++stats_.sent;
-      ++slots_used_;
-      if (trace_ != nullptr) {
-        util::Json args = util::Json::object();
-        args.set("slot", static_cast<std::int64_t>(slot));
-        trace_->complete(id(), "net.rtlink", "tx", sim_.now(),
-                         schedule_.slot_length() - schedule_.guard(),
-                         std::move(args));
-      }
-      radio_.transmit(*packet, [this] { radio_.set_state(RadioState::kOff); });
-    });
-    return;
-  }
-
-  if (schedule_.should_listen(slot, id())) {
+  // Guard interval absorbs clock error between us and our listeners:
+  // transmit `guard` into the slot so receivers that woke slightly late
+  // still catch the preamble.
+  sim_.schedule_after(schedule_.guard(), [this, slot] {
+    if (!running_) return;
+    auto packet = queue_.pop();
+    if (!packet.has_value()) {
+      radio_.set_state(RadioState::kOff);  // nothing to send: sleep through
+      return;
+    }
     radio_.set_state(RadioState::kIdleListen);
-    // Sleep at end of slot — but only if no later slot decision has run by
-    // then (back-to-back active slots dispatch their start first).
-    const std::uint64_t gen = slot_generation_;
-    sim_.schedule_after(schedule_.slot_length(), [this, gen] {
-      if (running_ && gen == slot_generation_ && !radio_.transmitting()) {
-        radio_.set_state(RadioState::kOff);
-      }
-    });
-  } else {
-    radio_.set_state(RadioState::kOff);
-  }
+    ++stats_.sent;
+    ++slots_used_;
+    if (trace_ != nullptr) {
+      util::Json args = util::Json::object();
+      args.set("slot", static_cast<std::int64_t>(slot));
+      trace_->complete(id(), "net.rtlink", "tx", sim_.now(),
+                       schedule_.slot_length() - schedule_.guard(),
+                       std::move(args));
+    }
+    radio_.transmit(*packet, [this] { radio_.set_state(RadioState::kOff); });
+  });
 }
 
 }  // namespace evm::net

@@ -5,11 +5,21 @@
 // inside the guard interval. Nodes sleep in every slot they neither transmit
 // in nor need to listen to — that is where the lifetime advantage over
 // B-MAC / S-MAC comes from.
+//
+// Hot-path note (ROADMAP item 1): the slot table is a flat vector indexed by
+// slot, and each node caches a *merged timeline* of its frame — one entry
+// per TX slot plus one per listen/sleep transition instead of two events per
+// slot per frame. A 300-node world with a mostly-listening schedule costs
+// each node a handful of events per frame, not O(slots). The timeline is
+// rebuilt when `RtLinkSchedule::version()` moves, which pins down the
+// documented contract: schedule mutations take effect at the next frame
+// boundary.
 #pragma once
 
 #include <map>
 #include <memory>
 #include <set>
+#include <vector>
 
 #include "net/clock.hpp"
 #include "net/mac.hpp"
@@ -32,11 +42,14 @@ class RtLinkSchedule {
   util::Duration frame_length() const { return slot_length_ * slots_per_frame_; }
 
   /// License `node` to transmit in `slot` (replacing any previous owner).
+  /// Slots outside [0, slots_per_frame) are ignored — they never run.
   void assign_tx(int slot, NodeId node);
   void clear_slot(int slot);
   /// Transmitter of `slot`, or kInvalidNode.
-  NodeId tx_of(int slot) const;
-  /// All slots licensed to `node`.
+  NodeId tx_of(int slot) const {
+    return slot >= 0 && slot < slots_per_frame_ ? tx_[slot] : kInvalidNode;
+  }
+  /// All slots licensed to `node`, ascending.
   std::vector<int> slots_of(NodeId node) const;
 
   /// Restrict who listens in `slot`. Without an entry, every node listens
@@ -45,14 +58,14 @@ class RtLinkSchedule {
   bool should_listen(int slot, NodeId node) const;
 
   /// Monotonic version, bumped on every mutation; nodes re-read the
-  /// schedule when the version changes.
+  /// schedule (rebuild their cached timelines) when the version changes.
   std::uint64_t version() const { return version_; }
 
  private:
   int slots_per_frame_;
   util::Duration slot_length_;
   util::Duration guard_;
-  std::map<int, NodeId> tx_;
+  std::vector<NodeId> tx_;  // indexed by slot; kInvalidNode = unassigned
   std::map<int, std::set<NodeId>> listeners_;
   std::uint64_t version_ = 0;
 };
@@ -87,15 +100,31 @@ class RtLink final : public Mac {
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
 
  private:
+  /// One scheduled state change inside a frame, at `slot` slot-lengths past
+  /// the frame boundary (kSleep entries may sit at slots_per_frame: the
+  /// trailing frame edge).
+  struct SlotAction {
+    enum Kind : std::uint8_t {
+      kTx,           // guard-delayed pop-and-transmit
+      kListenStart,  // first slot of a listen run: radio on
+      kSleep,        // listen run ended: radio off (unless mid-transmit)
+    };
+    int slot;
+    Kind kind;
+  };
+
   void begin_frame();
-  void run_slot(int slot);
+  /// Recompute the merged timeline from the schedule if its version moved.
+  void refresh_timeline();
+  void run_tx_slot(int slot);
 
   NodeClock& clock_;
   RtLinkSchedule& schedule_;
   obs::TraceRecorder* trace_ = nullptr;
   std::size_t frames_ = 0;
   std::size_t slots_used_ = 0;
-  std::uint64_t slot_generation_ = 0;  // invalidates stale end-of-slot sleeps
+  std::vector<SlotAction> timeline_;      // per-frame actions, ascending slot
+  std::uint64_t timeline_version_ = ~0ull;
   sim::EventHandle frame_event_;
 };
 

@@ -4,8 +4,26 @@
 
 namespace evm::net {
 
+namespace {
+const std::vector<NodeId> kNoNeighbors;
+}  // namespace
+
 void Topology::add_node(NodeId id) {
   if (nodes_.insert(id).second) ++version_;
+}
+
+void Topology::remove_node(NodeId id) {
+  bool changed = nodes_.erase(id) > 0;
+  changed |= down_nodes_.erase(id) > 0;
+  for (auto it = links_.begin(); it != links_.end();) {
+    if (it->first.first == id || it->first.second == id) {
+      it = links_.erase(it);
+      changed = true;
+    } else {
+      ++it;
+    }
+  }
+  if (changed) ++version_;
 }
 
 bool Topology::has_node(NodeId id) const { return nodes_.count(id) > 0; }
@@ -68,52 +86,84 @@ double Topology::loss(NodeId a, NodeId b) const {
   return l.has_value() ? l->loss_probability : 1.0;
 }
 
-std::vector<NodeId> Topology::neighbors(NodeId id) const {
-  std::vector<NodeId> out;
-  if (node_down(id)) return out;
+void Topology::refresh_adjacency() const {
+  if (adj_version_ == version_) return;
+  const std::size_t width = static_cast<std::size_t>(max_node_id()) + 1;
+  if (adj_.size() < width) adj_.resize(width);
+  // clear() keeps each slot's capacity, so steady-state rebuilds (link
+  // flaps, crash/restart cycles) allocate nothing.
+  for (auto& list : adj_) list.clear();
   for (const auto& [k, state] : links_) {
     if (!state.up) continue;
-    if (k.first == id && !node_down(k.second)) out.push_back(k.second);
-    if (k.second == id && !node_down(k.first)) out.push_back(k.first);
+    if (node_down(k.first) || node_down(k.second)) continue;
+    adj_[k.first].push_back(k.second);
+    adj_[k.second].push_back(k.first);
   }
-  return out;
+  adj_version_ = version_;
+}
+
+const std::vector<NodeId>& Topology::neighbors_view(NodeId id) const {
+  if (node_down(id)) return kNoNeighbors;
+  refresh_adjacency();
+  if (static_cast<std::size_t>(id) >= adj_.size()) return kNoNeighbors;
+  return adj_[id];
+}
+
+std::vector<NodeId> Topology::neighbors(NodeId id) const {
+  return neighbors_view(id);
+}
+
+const std::vector<std::int32_t>& Topology::distances_from(NodeId dest) const {
+  RouteCache& cache = routes_[dest];
+  if (cache.version == version_ && !cache.dist.empty()) return cache.dist;
+  refresh_adjacency();
+  const std::size_t width = static_cast<std::size_t>(max_node_id()) + 1;
+  cache.version = version_;
+  cache.dist.assign(width, -1);
+  if (!has_node(dest) || node_down(dest)) return cache.dist;
+  cache.dist[dest] = 0;
+  std::deque<NodeId> frontier{dest};
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (NodeId n : adj_[cur]) {
+      if (cache.dist[n] < 0) {
+        cache.dist[n] = cache.dist[cur] + 1;
+        frontier.push_back(n);
+      }
+    }
+  }
+  return cache.dist;
 }
 
 std::map<NodeId, int> Topology::hop_counts(NodeId source) const {
   std::map<NodeId, int> dist;
   if (!has_node(source)) return dist;
-  dist[source] = 0;
-  std::deque<NodeId> frontier{source};
-  while (!frontier.empty()) {
-    NodeId cur = frontier.front();
-    frontier.pop_front();
-    for (NodeId n : neighbors(cur)) {
-      if (dist.count(n) == 0) {
-        dist[n] = dist[cur] + 1;
-        frontier.push_back(n);
-      }
-    }
+  const std::vector<std::int32_t>& flat = distances_from(source);
+  if (node_down(source)) {
+    dist[source] = 0;  // BFS from a corpse reaches only itself
+    return dist;
+  }
+  for (std::size_t id = 0; id < flat.size(); ++id) {
+    if (flat[id] >= 0) dist[static_cast<NodeId>(id)] = flat[id];
   }
   return dist;
 }
 
 std::optional<NodeId> Topology::next_hop(NodeId source, NodeId dest) const {
   if (source == dest) return dest;
-  // BFS from dest; the neighbor of `source` with the smallest distance to
-  // dest (ties broken by id for determinism) is the next hop.
-  const auto dist = hop_counts(dest);
-  if (dist.count(source) == 0) return std::nullopt;
+  // Cached BFS from dest; the neighbor of `source` with the smallest
+  // distance to dest (ties broken by adjacency order, which matches the
+  // historical links_-scan order) is the next hop.
+  const std::vector<std::int32_t>& dist = distances_from(dest);
+  if (static_cast<std::size_t>(source) >= dist.size() || dist[source] < 0) {
+    return std::nullopt;
+  }
   std::optional<NodeId> best;
-  int best_dist = dist.at(source);
-  for (NodeId n : neighbors(source)) {
-    auto it = dist.find(n);
-    if (it == dist.end()) continue;
-    if (it->second < best_dist || (it->second == best_dist && !best)) {
-      if (it->second < dist.at(source)) {
-        best = n;
-        best_dist = it->second;
-      }
-    }
+  const std::int32_t source_dist = dist[source];
+  for (NodeId n : neighbors_view(source)) {
+    if (dist[n] < 0) continue;
+    if (dist[n] < source_dist && !best) best = n;
   }
   return best;
 }

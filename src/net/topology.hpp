@@ -1,6 +1,14 @@
 // Wireless topology: which nodes can hear which, and how lossy each link is.
 // Links can be reconfigured while the simulation runs — the paper's central
 // premise is that topology changes are routine, not exceptional.
+//
+// Hot-path note (ROADMAP item 1): the structural state of record stays in
+// ordered containers (deterministic iteration), but per-query work is served
+// from dense flat arrays indexed by raw NodeId — a cached adjacency and a
+// cached BFS distance field per destination — rebuilt lazily whenever
+// `version()` moves. A 300-node broadcast therefore costs O(degree) per
+// transmission instead of O(links) per neighbor query, and a unicast forward
+// costs O(degree) instead of a fresh O(V+E) BFS.
 #pragma once
 
 #include <cstdint>
@@ -24,6 +32,10 @@ class Topology {
  public:
   /// Register a node; idempotent.
   void add_node(NodeId id);
+  /// Forget a node entirely: its links, liveness flag and cache slots go
+  /// with it (Medium::detach mirrors radio removal through this). No-op for
+  /// unknown ids.
+  void remove_node(NodeId id);
   bool has_node(NodeId id) const;
   std::vector<NodeId> nodes() const;
 
@@ -46,22 +58,33 @@ class Topology {
   bool connected(NodeId a, NodeId b) const;
   double loss(NodeId a, NodeId b) const;
 
-  /// All nodes with an *up* link from `id`.
+  /// All nodes with an *up* link from `id` (copy; prefer neighbors_view on
+  /// hot paths).
   std::vector<NodeId> neighbors(NodeId id) const;
+  /// Same neighbor set, served by reference from the cached adjacency. The
+  /// reference is invalidated by the next structural mutation — don't hold
+  /// it across anything that can touch the topology.
+  const std::vector<NodeId>& neighbors_view(NodeId id) const;
 
   /// Breadth-first hop counts from `source` over up links; unreachable nodes
   /// are absent from the map.
   std::map<NodeId, int> hop_counts(NodeId source) const;
   /// Next hop on a shortest path from `source` toward `dest`, if reachable.
+  /// Served from a per-destination cached BFS distance field.
   std::optional<NodeId> next_hop(NodeId source, NodeId dest) const;
 
   /// Monotonic *structural* mutation counter: bumped when connectivity can
   /// change (links added/removed/flipped up or down, node liveness) and NOT
   /// by loss-probability updates or no-op writes. Consumers that derive
-  /// structures from the topology (the dissemination tree cache) re-read
-  /// lazily when the version moves instead of recomputing per send — and a
-  /// loss-only churn scenario never invalidates them.
+  /// structures from the topology (the dissemination tree cache, the
+  /// adjacency and route caches below) re-read lazily when the version
+  /// moves instead of recomputing per send — and a loss-only churn scenario
+  /// never invalidates them.
   std::uint64_t version() const { return version_; }
+
+  /// Largest registered NodeId (0 when empty): consumers sizing dense
+  /// flat arrays by raw NodeId (Medium's radio table) use this.
+  NodeId max_node_id() const { return nodes_.empty() ? 0 : *nodes_.rbegin(); }
 
   /// Fully connected mesh over the given nodes (convenience for tests).
   static Topology full_mesh(const std::vector<NodeId>& ids, double loss = 0.0);
@@ -75,10 +98,30 @@ class Topology {
     return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   }
 
+  /// Rebuild adj_ from links_/down_nodes_ when adj_version_ lags version_.
+  /// Appends in links_ iteration order, so each cached list is byte-for-byte
+  /// the vector the uncached neighbors() scan used to produce.
+  void refresh_adjacency() const;
+  /// BFS distance field from `dest` (indexed by raw NodeId; -1 unreachable),
+  /// cached per destination and rebuilt when the version moves.
+  const std::vector<std::int32_t>& distances_from(NodeId dest) const;
+
   std::set<NodeId> nodes_;
   std::set<NodeId> down_nodes_;
   std::map<std::pair<NodeId, NodeId>, LinkState> links_;
   std::uint64_t version_ = 0;
+
+  // --- Lazily rebuilt flat caches (logically const: pure functions of the
+  // structural state above, hence mutable). Vectors only — iteration order
+  // is index order, so the caches cannot leak nondeterminism (evm_lint D1
+  // note: no unordered containers here).
+  struct RouteCache {
+    std::uint64_t version = 0;
+    std::vector<std::int32_t> dist;
+  };
+  mutable std::uint64_t adj_version_ = ~0ull;
+  mutable std::vector<std::vector<NodeId>> adj_;  // indexed by raw NodeId
+  mutable std::map<NodeId, RouteCache> routes_;   // keyed by destination
 };
 
 }  // namespace evm::net

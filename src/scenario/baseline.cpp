@@ -66,9 +66,13 @@ bool campaign_shape(const Json& report, double& seeds, double& base_seed,
 }  // namespace
 
 bool aggregate_metric(const Json& report, const std::string& path, double& out) {
-  const Json* aggregate = report.find("aggregate");
-  if (aggregate == nullptr) return false;
-  const Json* value = descend(*aggregate, path);
+  // "timing.*" paths read the wall-clock block at the report root; plain
+  // paths read behavioural metrics under "aggregate".
+  const Json* value = path.rfind("timing.", 0) == 0
+                          ? descend(report, path)
+                          : (report.find("aggregate") != nullptr
+                                 ? descend(*report.find("aggregate"), path)
+                                 : nullptr);
   if (value == nullptr || !value->is_number()) return false;
   out = value->as_double();
   return true;
@@ -134,6 +138,10 @@ BaselineCheck check_against_baseline(const Json& baselines, const Json& report) 
   for (const auto& [path, expectation] : metrics->members()) {
     BaselineRow row;
     row.metric = path;
+    if (const Json* m = expectation.find("min")) {
+      row.is_min = true;
+      row.expected = m->as_double();
+    }
     if (const Json* e = expectation.find("expected")) row.expected = e->as_double();
     if (const Json* a = expectation.find("abs_tol")) row.abs_tol = a->as_double();
     if (const Json* r = expectation.find("rel_tol")) row.rel_tol = r->as_double();
@@ -149,9 +157,13 @@ BaselineCheck check_against_baseline(const Json& baselines, const Json& report) 
       continue;
     }
     row.actual = actual;
-    const double tolerance =
-        std::max(row.abs_tol, row.rel_tol * std::fabs(row.expected));
-    row.ok = std::fabs(row.actual - row.expected) <= tolerance;
+    if (row.is_min) {
+      row.ok = row.actual >= row.expected;
+    } else {
+      const double tolerance =
+          std::max(row.abs_tol, row.rel_tol * std::fabs(row.expected));
+      row.ok = std::fabs(row.actual - row.expected) <= tolerance;
+    }
     if (!row.ok) check.ok = false;
     check.rows.push_back(row);
   }
@@ -191,7 +203,21 @@ util::Status upsert_baseline(Json& baselines, const Json& report) {
   if (baselines.find("schema") == nullptr) baselines.set("schema", 1);
   Json scenarios = Json::object();
   if (const Json* existing = baselines.find("scenarios")) scenarios = *existing;
-  scenarios.set(name->as_string(), make_baseline_entry(report));
+  Json entry = make_baseline_entry(report);
+  // Hand-set floor rows ("min") survive recapture: they encode a promise
+  // about the order of magnitude a metric must keep (throughput floors),
+  // not a captured value, so --update-baselines must not clobber them.
+  if (const Json* prior = scenarios.find(name->as_string())) {
+    if (const Json* prior_metrics = prior->find("metrics")) {
+      const Json* fresh = entry.find("metrics");
+      Json merged = fresh != nullptr ? *fresh : Json::object();
+      for (const auto& [path, expectation] : prior_metrics->members()) {
+        if (expectation.find("min") != nullptr) merged.set(path, expectation);
+      }
+      entry.set("metrics", std::move(merged));
+    }
+  }
+  scenarios.set(name->as_string(), std::move(entry));
   baselines.set("scenarios", std::move(scenarios));
   return util::Status::ok();
 }
@@ -214,6 +240,12 @@ std::string format_baseline_table(const BaselineCheck& check,
     if (row.missing) {
       out << std::setw(12) << "-" << std::setw(12) << "-" << std::setw(12)
           << "-" << "  FAIL (metric missing from report)\n";
+      continue;
+    }
+    if (row.is_min) {
+      out << std::setw(12) << row.actual << std::setw(12)
+          << row.actual - row.expected << std::setw(12) << "(floor)" << "  "
+          << (row.ok ? "pass" : "FAIL") << "\n";
       continue;
     }
     const double tolerance =

@@ -18,14 +18,21 @@ namespace evm::scenario {
 
 /// One metric comparison. `metric` is a dotted path into the report's
 /// aggregate block ("failover_latency_s.p99", "missed_deadlines.mean",
-/// plain counters like "runs_failed"). A metric passes when
-/// |actual - expected| <= max(abs_tol, rel_tol * |expected|).
+/// plain counters like "runs_failed"); paths starting with "timing." read
+/// the report's wall-clock timing block instead. A metric passes when
+/// |actual - expected| <= max(abs_tol, rel_tol * |expected|) — or, for a
+/// floor row (baseline entry carries "min" instead of "expected"), when
+/// actual >= min. Floors are for machine-dependent throughput figures
+/// (timing.sim_slots_per_sec): set conservatively they catch order-of-
+/// magnitude regressions without flaking on a slow runner, and
+/// --update-baselines preserves them instead of recapturing.
 struct BaselineRow {
   std::string metric;
   double expected = 0.0;
   double actual = 0.0;
   double abs_tol = 0.0;
   double rel_tol = 0.0;
+  bool is_min = false;   // floor row: pass when actual >= expected
   bool missing = false;  // metric absent from the report's aggregate
   bool ok = false;
 };
@@ -38,7 +45,8 @@ struct BaselineCheck {
   std::vector<BaselineRow> rows;
 };
 
-/// Resolve a dotted metric path inside the report's "aggregate" block.
+/// Resolve a dotted metric path inside the report's "aggregate" block
+/// ("timing."-prefixed paths resolve against the report root instead).
 /// Returns false when the path does not lead to a number.
 bool aggregate_metric(const util::Json& report, const std::string& path,
                       double& out);

@@ -239,7 +239,7 @@ util::Result<Json> merge_campaign_reports(const std::vector<Json>& reports) {
   double wall_ms = 0.0;
   std::int64_t events_dispatched = 0;
   std::int64_t sim_slots = 0;
-  bool any_timing = false;
+  std::size_t timed_shards = 0;
   bool first = true;
   for (const Json& report : reports) {
     const Json* name = report.find("scenario");
@@ -262,7 +262,7 @@ util::Result<Json> merge_campaign_reports(const std::vector<Json>& reports) {
     if (const Json* timing = report.find("timing")) {
       // Shard wall times sum: the merged figure is total CPU-wall spent
       // across the shard invocations, not the elapsed time of any one job.
-      any_timing = true;
+      ++timed_shards;
       if (const Json* w = timing->find("wall_ms")) wall_ms += w->as_double();
       if (const Json* e = timing->find("events_dispatched")) {
         events_dispatched += e->as_int();
@@ -315,13 +315,20 @@ util::Result<Json> merge_campaign_reports(const std::vector<Json>& reports) {
   for (Json& run : runs) runs_json.push(std::move(run));
   root.set("runs", std::move(runs_json));
   root.set("aggregate", aggregate_views(views));
-  if (any_timing && wall_ms > 0.0) {
+  if (timed_shards > 0 && wall_ms > 0.0) {
     Json timing = Json::object();
-    timing.set("wall_ms", wall_ms);
+    // Shards typically run concurrently on different machines, so their
+    // summed wall time is CPU-wall, not elapsed time — publish it under an
+    // honest name and only derive a throughput rate when a single shard
+    // contributed (where sum == elapsed and the rate is meaningful).
+    timing.set("wall_ms_sum", wall_ms);
     timing.set("events_dispatched", events_dispatched);
     timing.set("sim_slots", sim_slots);
-    timing.set("sim_slots_per_sec",
-               static_cast<double>(sim_slots) / (wall_ms / 1000.0));
+    if (timed_shards == 1) {
+      timing.set("wall_ms", wall_ms);
+      timing.set("sim_slots_per_sec",
+                 static_cast<double>(sim_slots) / (wall_ms / 1000.0));
+    }
     root.set("timing", std::move(timing));
   }
   return root;

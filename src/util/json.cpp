@@ -1,6 +1,7 @@
 #include "util/json.hpp"
 
 #include <cctype>
+#include <charconv>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -45,9 +46,13 @@ void append_number(std::string& out, double n) {
     out += buf;
     return;
   }
+  // Shortest decimal that parses back to the same double. Exact round-trip
+  // matters: shard merges recompute campaign aggregates from re-parsed
+  // per-run values, and those must be bit-identical to the doubles the full
+  // campaign aggregated in memory or merged reports drift in the last ulp.
   char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.12g", n);
-  out += buf;
+  const auto res = std::to_chars(buf, buf + sizeof(buf), n);
+  out.append(buf, res.ptr);
 }
 
 /// Recursive-descent JSON parser over a byte string. Not a streaming

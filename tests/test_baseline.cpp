@@ -57,6 +57,75 @@ TEST(Baseline, DottedPathResolvesIntoTheAggregate) {
   EXPECT_FALSE(aggregate_metric(report, "no_such.metric", value));
 }
 
+TEST(Baseline, TimingPathResolvesAgainstTheReportRoot) {
+  Json report = make_report(8.0, 12.0, 0);
+  Json timing = Json::object();
+  timing.set("sim_slots_per_sec", 123456.0);
+  report.set("timing", std::move(timing));
+  double value = 0.0;
+  EXPECT_TRUE(aggregate_metric(report, "timing.sim_slots_per_sec", value));
+  EXPECT_DOUBLE_EQ(value, 123456.0);
+  // No timing block (hand-built fixtures): cleanly absent, not a crash.
+  EXPECT_FALSE(
+      aggregate_metric(make_report(8.0, 12.0, 0), "timing.sim_slots_per_sec", value));
+}
+
+TEST(Baseline, MinRowGatesAsFloorAndSurvivesRecapture) {
+  Json report = make_report(8.0, 12.0, 0);
+  Json timing = Json::object();
+  timing.set("sim_slots_per_sec", 50000.0);
+  report.set("timing", std::move(timing));
+
+  Json baselines = Json::object();
+  ASSERT_TRUE(upsert_baseline(baselines, report));
+  // Hand-install a throughput floor the way a human edits the checked-in
+  // file: {"min": ...} instead of expected/tolerances.
+  {
+    auto parsed = Json::parse(baselines.dump());
+    ASSERT_TRUE(parsed.ok());
+    baselines = std::move(*parsed);
+  }
+  Json floor = Json::object();
+  floor.set("min", 10000.0);
+  Json scenarios = *baselines.find("scenarios");
+  Json entry = *scenarios.find("unit-scenario");
+  Json metrics = *entry.find("metrics");
+  metrics.set("timing.sim_slots_per_sec", std::move(floor));
+  entry.set("metrics", std::move(metrics));
+  scenarios.set("unit-scenario", std::move(entry));
+  baselines.set("scenarios", std::move(scenarios));
+
+  // Above the floor: passes. Below: that row fails.
+  const BaselineCheck ok = check_against_baseline(baselines, report);
+  EXPECT_TRUE(ok.ok) << format_baseline_table(ok, "unit-scenario");
+  Json slow = make_report(8.0, 12.0, 0);
+  Json slow_timing = Json::object();
+  slow_timing.set("sim_slots_per_sec", 9000.0);
+  slow.set("timing", std::move(slow_timing));
+  const BaselineCheck tripped = check_against_baseline(baselines, slow);
+  EXPECT_FALSE(tripped.ok);
+  bool floor_row_failed = false;
+  for (const BaselineRow& row : tripped.rows) {
+    if (row.metric == "timing.sim_slots_per_sec") {
+      EXPECT_TRUE(row.is_min);
+      EXPECT_FALSE(row.ok);
+      floor_row_failed = true;
+    }
+  }
+  EXPECT_TRUE(floor_row_failed);
+
+  // --update-baselines recaptures expected-value rows but must keep the
+  // hand-set floor: it is a promise, not a measurement.
+  ASSERT_TRUE(upsert_baseline(baselines, report));
+  const Json* kept = baselines.find("scenarios")
+                         ->find("unit-scenario")
+                         ->find("metrics")
+                         ->find("timing.sim_slots_per_sec");
+  ASSERT_NE(kept, nullptr);
+  ASSERT_NE(kept->find("min"), nullptr);
+  EXPECT_DOUBLE_EQ(kept->find("min")->as_double(), 10000.0);
+}
+
 TEST(Baseline, UpdateThenCheckRoundTripsClean) {
   const Json report = make_report(8.0, 12.0, 0);
   Json baselines = Json::object();

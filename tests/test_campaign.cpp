@@ -178,6 +178,50 @@ TEST(CampaignShards, MergedShardReportsReproduceTheFullCampaign) {
   EXPECT_EQ(merged->dump(), full_report.dump());
 }
 
+TEST(CampaignShards, MergedTimingSumsWallHonestly) {
+  // Shards run concurrently on different machines, so summed shard wall time
+  // is CPU-wall, not elapsed: the merged report must publish it as
+  // wall_ms_sum and must NOT derive a sim_slots_per_sec from it (dividing by
+  // a sum understates throughput by the shard count).
+  const ScenarioSpec spec = minimal_spec();
+  std::vector<util::Json> shard_reports;
+  for (std::size_t shard = 0; shard < 2; ++shard) {
+    CampaignConfig config;
+    config.base_seed = 1;
+    config.seeds = 4;
+    config.shard_index = shard;
+    config.shard_count = 2;
+    CampaignResult result;
+    for (std::uint64_t i = shard; i < 4; i += 2) {
+      RunMetrics run = ok_run(1 + i, 2.0);
+      run.sim_slots = 100;
+      result.runs.push_back(run);
+    }
+    result.wall_ms = 50.0;  // each shard: 50 ms of its own wall clock
+    shard_reports.push_back(campaign_report(spec, config, result));
+  }
+  auto merged = merge_campaign_reports(shard_reports);
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  const util::Json* timing = merged->find("timing");
+  ASSERT_NE(timing, nullptr);
+  ASSERT_NE(timing->find("wall_ms_sum"), nullptr);
+  EXPECT_DOUBLE_EQ(timing->find("wall_ms_sum")->as_double(), 100.0);
+  EXPECT_EQ(timing->find("wall_ms"), nullptr);
+  EXPECT_EQ(timing->find("sim_slots_per_sec"), nullptr);
+  EXPECT_EQ(timing->find("sim_slots")->as_int(), 400);
+
+  // A single-report merge is just that one invocation: sum == elapsed, so
+  // the derived rate is meaningful and kept.
+  auto single = merge_campaign_reports({shard_reports[0]});
+  ASSERT_TRUE(single.ok());
+  const util::Json* single_timing = single->find("timing");
+  ASSERT_NE(single_timing, nullptr);
+  EXPECT_DOUBLE_EQ(single_timing->find("wall_ms")->as_double(), 50.0);
+  ASSERT_NE(single_timing->find("sim_slots_per_sec"), nullptr);
+  EXPECT_DOUBLE_EQ(single_timing->find("sim_slots_per_sec")->as_double(),
+                   200.0 / 0.05);
+}
+
 TEST(CampaignShards, ShardedRunCampaignCoversDisjointSeeds) {
   // The striding itself: 0/2 owns seeds {1,3,5}, 1/2 owns {2,4} of a
   // 5-seed campaign starting at 1 (verified through real runner failures,

@@ -1,0 +1,217 @@
+// Onset-snapshot reception semantics and detach cleanup. The medium decides
+// who can hear a transmission — and whether they are listening for it — at
+// carrier onset; these tests pin the contract the end-of-airtime bugs used
+// to violate (a mid-flight link_up conjuring a reception, a receiver waking
+// for the last instant of airtime and "catching" the whole packet), plus
+// the flat-index rewrite's determinism over a full grid-20 campaign.
+#include <gtest/gtest.h>
+
+#include "net/medium.hpp"
+#include "net/radio.hpp"
+#include "scenario/runner.hpp"
+
+namespace evm::net {
+namespace {
+
+struct MediumFixture : ::testing::Test {
+  sim::Simulator sim{1};
+  Topology topo = Topology::full_mesh({1, 2, 3});
+  Medium medium{sim, topo};
+
+  static util::Duration air_of(const Packet& p) {
+    return airtime(p.on_air_bytes(), RadioParams{}.bits_per_second);
+  }
+};
+
+TEST_F(MediumFixture, LinkUpMidFlightDoesNotConjureReception) {
+  // The receiver's link is down when the preamble airs: it never
+  // synchronises to the packet, so a link that comes back mid-flight must
+  // not retroactively deliver it.
+  topo.set_link_up(1, 2, false);
+  Radio tx(sim, medium, 1), rx(sim, medium, 2);
+  tx.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = kBroadcast;
+  const util::Duration air = air_of(p);
+  tx.transmit(p);
+  sim.schedule_after(air / 2, [&] { topo.set_link_up(1, 2, true); });
+  sim.run_all();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(medium.delivered_count(), 0u);
+}
+
+TEST_F(MediumFixture, LinkDownMidFlightKeepsOnsetReception) {
+  // The converse: audibility was established at onset; a link flap shorter
+  // than one packet is below the model's resolution and does not corrupt
+  // the reception.
+  Radio tx(sim, medium, 1), rx(sim, medium, 2);
+  tx.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = 2;
+  const util::Duration air = air_of(p);
+  tx.transmit(p);
+  sim.schedule_after(air / 2, [&] { topo.set_link_up(1, 2, false); });
+  sim.run_all();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(MediumFixture, WakingAtLastInstantMissesThePacket) {
+  // Asleep at carrier onset, awake for the final microsecond: the
+  // end-of-airtime bug delivered this packet; the onset snapshot must not.
+  Radio tx(sim, medium, 1), rx(sim, medium, 2);
+  tx.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kOff);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = 2;
+  const util::Duration air = air_of(p);
+  tx.transmit(p);
+  sim.schedule_after(air - util::Duration::micros(1),
+                     [&] { rx.set_state(RadioState::kIdleListen); });
+  sim.run_all();
+  EXPECT_TRUE(rx.listening());
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(medium.delivered_count(), 0u);
+}
+
+TEST_F(MediumFixture, SleepingMidPacketLosesTheTail) {
+  // Listening at onset but gone before the airtime ends: the tail went
+  // unheard, so nothing is delivered (no loss/collision counted either —
+  // the receiver simply left).
+  Radio tx(sim, medium, 1), rx(sim, medium, 2);
+  tx.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = 2;
+  const util::Duration air = air_of(p);
+  tx.transmit(p);
+  sim.schedule_after(air / 2, [&] { rx.set_state(RadioState::kOff); });
+  sim.run_all();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(medium.delivered_count(), 0u);
+  EXPECT_EQ(medium.collision_count(), 0u);
+}
+
+TEST_F(MediumFixture, DetachRemovesNodeFromTopology) {
+  Radio a(sim, medium, 1), b(sim, medium, 2), c(sim, medium, 3);
+  ASSERT_TRUE(topo.has_node(3));
+  medium.detach(3);
+  EXPECT_FALSE(topo.has_node(3));
+  EXPECT_EQ(topo.neighbors(1), (std::vector<NodeId>{2}));
+  // Remaining radios still talk.
+  a.set_state(RadioState::kIdleListen);
+  b.set_state(RadioState::kIdleListen);
+  int count = 0;
+  b.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = 2;
+  a.transmit(p);
+  sim.run_all();
+  EXPECT_EQ(count, 1);
+}
+
+TEST_F(MediumFixture, DetachMidFlightDropsPendingTransmission) {
+  Radio tx(sim, medium, 1), rx(sim, medium, 2);
+  tx.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = 2;
+  const util::Duration air = air_of(p);
+  tx.transmit(p);
+  EXPECT_TRUE(medium.channel_busy(2));
+  sim.schedule_after(air / 2, [&] {
+    medium.detach(1);
+    EXPECT_FALSE(medium.channel_busy(2));  // its energy is forgotten too
+  });
+  sim.run_all();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(medium.delivered_count(), 0u);
+}
+
+TEST_F(MediumFixture, DetachMidFlightStopsInterfering) {
+  // 1 and 3 overlap at listener 2 — normally a collision. Detaching 3
+  // mid-air withdraws its energy from 2's interference index, so 1's
+  // packet gets through instead of colliding with a ghost.
+  Radio tx1(sim, medium, 1), rx(sim, medium, 2), tx3(sim, medium, 3);
+  tx1.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  tx3.set_state(RadioState::kIdleListen);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = 2;
+  const util::Duration air = air_of(p);
+  tx1.transmit(p);
+  tx3.transmit(p);
+  sim.schedule_after(air / 2, [&] { medium.detach(3); });
+  sim.run_all();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(medium.collision_count(), 0u);
+}
+
+TEST_F(MediumFixture, OverlappingTransmissionsStillCollide) {
+  // The per-listener interference index must preserve the collision
+  // semantics the global scan implemented.
+  Radio tx1(sim, medium, 1), rx(sim, medium, 2), tx3(sim, medium, 3);
+  tx1.set_state(RadioState::kIdleListen);
+  rx.set_state(RadioState::kIdleListen);
+  tx3.set_state(RadioState::kIdleListen);
+  int count = 0;
+  rx.set_receive_handler([&](const Packet&) { ++count; });
+  Packet p;
+  p.dst = kBroadcast;
+  tx1.transmit(p);
+  tx3.transmit(p);
+  sim.run_all();
+  EXPECT_EQ(count, 0);
+  EXPECT_GE(medium.collision_count(), 1u);
+}
+
+// The flat-index/pooling rewrite must not cost determinism: a grid-20
+// campaign run's serialized RunMetrics is contractually a pure function of
+// (spec, seed), so re-running the same seed must reproduce it byte for
+// byte — caches, pools and per-listener indexes included.
+TEST(MediumDeterminism, Grid20RunMetricsAreByteStableAcrossRuns) {
+  const char* kSpecText = R"json({
+    "name": "medium-determinism-grid20",
+    "horizon_s": 70,
+    "testbed": {
+      "control_period_ms": 1000,
+      "evidence_threshold": 6,
+      "dormant_delay_s": 8,
+      "promotion_timeout_s": 4
+    },
+    "topology": { "generator": "grid", "width": 5, "height": 4, "controllers": 2 },
+    "record": ["LTS.LiquidPercentLevel"],
+    "events": [
+      { "at_s": 20, "do": "node_crash", "node": "relay_3" },
+      { "at_s": 28, "do": "node_restart", "node": "relay_3" },
+      { "at_s": 35, "do": "primary_fault", "value": 75.0 }
+    ]
+  })json";
+  auto doc = util::Json::parse(kSpecText);
+  ASSERT_TRUE(doc.ok());
+  auto spec = scenario::ScenarioSpec::from_json(*doc);
+  ASSERT_TRUE(spec.ok());
+  for (std::uint64_t seed : {1ull, 7ull}) {
+    scenario::ScenarioRunner first(*spec, seed);
+    scenario::ScenarioRunner second(*spec, seed);
+    const std::string a = first.run().to_json().dump();
+    const std::string b = second.run().to_json().dump();
+    EXPECT_EQ(a, b) << "seed " << seed << " diverged";
+  }
+}
+
+}  // namespace
+}  // namespace evm::net
