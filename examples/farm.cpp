@@ -1,0 +1,317 @@
+// Campaign farm CLI: spool a scenario campaign into a durable work queue,
+// fan it across run_scenario worker subprocesses, and merge/query the
+// result store.
+//
+//   farm enqueue     runs/demo scenarios/fig6_failover.json --seeds 64 --unit-seeds 8
+//   farm run-workers runs/demo --workers 4
+//   farm status      runs/demo
+//   farm merge       runs/demo --scenario fig6-failover --out bench/out
+//   farm query       runs/demo failover_latency_s --group-by scenario
+//
+// Everything is resumable: kill the coordinator or any worker and re-run
+// `farm run-workers` — stale leases requeue and completed units are never
+// re-run. `farm merge` output is byte-identical to a single-process
+// `run_scenario --seeds N` report modulo the "timing" block.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli_util.hpp"
+#include "farm/coordinator.hpp"
+#include "farm/merge.hpp"
+#include "farm/work_queue.hpp"
+#include "farm/worker.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/spec.hpp"
+#include "store/query.hpp"
+#include "store/result_store.hpp"
+
+using namespace evm;
+using evm::examples::parse_u64;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: farm <command> <farm-dir> [options]\n"
+      << "  enqueue <farm-dir> <spec.json> [--seeds N] [--base-seed S]\n"
+      << "                   [--unit-seeds U]   split a campaign into work\n"
+      << "                   units of U seeds (default 8); idempotent\n"
+      << "  run-workers <farm-dir> [--workers N] [--jobs J] [--worker-bin P]\n"
+      << "                   [--max-attempts A] [--max-respawns R] [--quiet]\n"
+      << "                   [--metrics]        drive the campaign with N\n"
+      << "                   worker processes; resumes a crashed farm\n"
+      << "  worker <farm-dir> --name NAME [--jobs J] [--max-units M]\n"
+      << "                   run one worker loop in-process (debugging)\n"
+      << "  status <farm-dir>                  queue + store occupancy\n"
+      << "  merge <farm-dir> [--scenario NAME] [--spec-hash H] [--out DIR]\n"
+      << "                   fold stored shard reports into one campaign\n"
+      << "                   report (byte-identical to a direct run modulo\n"
+      << "                   timing)\n"
+      << "  query <farm-dir> <metric> [--group-by none|scenario|spec_hash|\n"
+      << "                   topology_nodes] [--scenario NAME] [--spec-hash H]\n"
+      << "                   [--last N] [--json]  grouped percentiles over\n"
+      << "                   stored runs\n";
+  return 2;
+}
+
+int fail(const util::Status& status) {
+  std::cerr << "error: " << status.to_string() << "\n";
+  return 1;
+}
+
+int cmd_enqueue(const std::string& dir, int argc, char** argv) {
+  std::string spec_path;
+  std::uint64_t seeds = 8, base_seed = 1, unit_seeds = 8;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    std::uint64_t value = 0;
+    if (!arg.empty() && arg[0] != '-') {
+      if (!spec_path.empty()) return usage();
+      spec_path = arg;
+    } else if (arg == "--seeds" || arg == "--base-seed" || arg == "--unit-seeds") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, value)) return usage();
+      if (arg == "--seeds") seeds = value;
+      else if (arg == "--base-seed") base_seed = value;
+      else unit_seeds = value;
+    } else {
+      return usage();
+    }
+  }
+  if (spec_path.empty() || seeds == 0) return usage();
+
+  auto spec = scenario::ScenarioSpec::load_file(spec_path);
+  if (!spec) return fail(spec.status());
+  auto queue = farm::WorkQueue::open(dir);
+  if (!queue) return fail(queue.status());
+  // Spool the canonical serialization, not the file bytes: the stored doc
+  // then hashes to exactly spec.content_hash(), and every re-enqueue of the
+  // same experiment — whatever its file was named or formatted like —
+  // dedups onto the same units.
+  auto added = queue->enqueue_campaign(spec->to_json(), spec->content_hash(),
+                                       spec->name, base_seed, seeds, unit_seeds);
+  if (!added) return fail(added.status());
+  auto counts = queue->counts();
+  if (!counts) return fail(counts.status());
+  std::cout << "enqueued " << *added << " new unit(s) of '" << spec->name
+            << "' (spec " << spec->content_hash() << ", seeds " << base_seed
+            << ".." << (base_seed + seeds - 1) << ")\n"
+            << "queue: " << counts->queued << " queued, " << counts->leased
+            << " leased, " << counts->done << " done, " << counts->failed
+            << " failed\n";
+  return 0;
+}
+
+int cmd_run_workers(const std::string& dir, int argc, char** argv) {
+  farm::CoordinatorOptions options;
+  options.farm_dir = dir;
+  bool show_metrics = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    std::uint64_t value = 0;
+    if (arg == "--workers" || arg == "--jobs" || arg == "--max-attempts" ||
+        arg == "--max-respawns") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, value)) return usage();
+      if (arg == "--workers") options.workers = static_cast<std::size_t>(value);
+      else if (arg == "--jobs") options.worker_jobs = static_cast<std::size_t>(value);
+      else if (arg == "--max-attempts") options.max_attempts = value;
+      else options.max_respawns = static_cast<std::size_t>(value);
+    } else if (arg == "--worker-bin") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.worker_bin = v;
+    } else if (arg == "--quiet") {
+      options.verbose = false;
+    } else if (arg == "--metrics") {
+      show_metrics = true;
+    } else {
+      return usage();
+    }
+  }
+  if (options.workers == 0) return usage();
+
+  obs::Metrics metrics;
+  auto stats = farm::run_farm(options, &metrics);
+  if (!stats) return fail(stats.status());
+  if (show_metrics) {
+    std::cout << "metrics:\n" << metrics.to_json().dump() << "\n";
+  }
+  // Failed units are data the operator must look at, not a silent tail.
+  return stats->units_failed == 0 ? 0 : 1;
+}
+
+int cmd_worker(const std::string& dir, int argc, char** argv) {
+  farm::WorkerOptions options;
+  options.farm_dir = dir;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    std::uint64_t value = 0;
+    if (arg == "--name") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      options.name = v;
+    } else if (arg == "--jobs" || arg == "--max-units") {
+      const char* v = next();
+      if (v == nullptr || !parse_u64(v, value)) return usage();
+      if (arg == "--jobs") options.jobs = static_cast<std::size_t>(value);
+      else options.max_units = static_cast<std::size_t>(value);
+    } else {
+      return usage();
+    }
+  }
+  if (options.name.empty()) return usage();
+  auto stats = farm::run_worker(options);
+  if (!stats) return fail(stats.status());
+  std::cout << "worker " << options.name << ": " << stats->units_done
+            << " unit(s) done, " << stats->units_failed << " failed, "
+            << stats->runs_done << " run(s)\n";
+  return 0;
+}
+
+int cmd_status(const std::string& dir) {
+  auto queue = farm::WorkQueue::open(dir);
+  if (!queue) return fail(queue.status());
+  auto counts = queue->counts();
+  if (!counts) return fail(counts.status());
+  std::cout << "queue: " << counts->queued << " queued, " << counts->leased
+            << " leased, " << counts->done << " done, " << counts->failed
+            << " failed\n";
+  auto store = store::ResultStore::open(queue->store_dir());
+  if (!store) return fail(store.status());
+  auto refs = store->refresh_index();
+  if (!refs) return fail(refs.status());
+  std::cout << "store: " << refs->size() << " record(s), "
+            << store::ResultStore::distinct_runs(*refs) << " distinct run(s)\n";
+  return 0;
+}
+
+int cmd_merge(const std::string& dir, int argc, char** argv) {
+  farm::MergeSelection selection;
+  std::string out_dir = scenario::report_dir();
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (arg == "--scenario") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      selection.scenario = v;
+    } else if (arg == "--spec-hash") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      selection.spec_hash = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      out_dir = v;
+    } else {
+      return usage();
+    }
+  }
+  auto queue = farm::WorkQueue::open(dir);
+  if (!queue) return fail(queue.status());
+  auto store = store::ResultStore::open(queue->store_dir());
+  if (!store) return fail(store.status());
+  auto merged = farm::merge_farm_results(*store, selection);
+  if (!merged) return fail(merged.status());
+  std::cout << "merged " << merged->records_used << " record(s) ("
+            << merged->records_duplicate << " replay(s) deduped): "
+            << merged->report.find("runs")->size() << " runs of '"
+            << merged->scenario << "' (spec " << merged->spec_hash << ")\n";
+  auto written = scenario::write_campaign_report(merged->report,
+                                                 merged->scenario, out_dir);
+  if (!written) return fail(written.status());
+  std::cout << "[campaign json] " << *written << "\n";
+  return 0;
+}
+
+int cmd_query(const std::string& dir, int argc, char** argv) {
+  store::QuerySpec query;
+  bool as_json = false;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* { return i + 1 < argc ? argv[++i] : nullptr; };
+    if (!arg.empty() && arg[0] != '-') {
+      if (!query.metric.empty()) return usage();
+      query.metric = arg;
+    } else if (arg == "--group-by") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      auto group = store::parse_group_by(v);
+      if (!group) return fail(group.status());
+      query.group_by = *group;
+    } else if (arg == "--scenario") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      query.scenario = v;
+    } else if (arg == "--spec-hash") {
+      const char* v = next();
+      if (v == nullptr) return usage();
+      query.spec_hash = v;
+    } else if (arg == "--last") {
+      const char* v = next();
+      std::uint64_t value = 0;
+      if (v == nullptr || !parse_u64(v, value)) return usage();
+      query.last_runs = static_cast<std::size_t>(value);
+    } else if (arg == "--json") {
+      as_json = true;
+    } else {
+      return usage();
+    }
+  }
+  if (query.metric.empty()) return usage();
+
+  auto queue = farm::WorkQueue::open(dir);
+  if (!queue) return fail(queue.status());
+  auto store = store::ResultStore::open(queue->store_dir());
+  if (!store) return fail(store.status());
+  const obs::Stopwatch wall;
+  auto result = store::run_query(*store, query);
+  if (!result) return fail(result.status());
+  if (as_json) {
+    std::cout << store::to_json(*result, query).dump() << "\n";
+  } else {
+    std::cout << store::format_table(*result, query);
+    std::cout << "(" << result->records_scanned << " record(s), "
+              << result->runs_sampled << "/" << result->runs_seen
+              << " run(s) sampled, " << result->runs_deduped
+              << " deduped, " << static_cast<std::uint64_t>(wall.elapsed_ms())
+              << " ms)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Bare `farm` (the build's smoke test) and `farm help` print usage; only
+  // an unknown or malformed command is an error.
+  if (argc < 2) {
+    usage();
+    return 0;
+  }
+  const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    usage();
+    return 0;
+  }
+  if (argc < 3) return usage();
+  const std::string dir = argv[2];
+  char** rest = argv + 3;
+  const int nrest = argc - 3;
+  if (command == "enqueue") return cmd_enqueue(dir, nrest, rest);
+  if (command == "run-workers") return cmd_run_workers(dir, nrest, rest);
+  if (command == "worker") return cmd_worker(dir, nrest, rest);
+  if (command == "status") return cmd_status(dir);
+  if (command == "merge") return cmd_merge(dir, nrest, rest);
+  if (command == "query") return cmd_query(dir, nrest, rest);
+  std::cerr << "unknown command: " << command << "\n";
+  return usage();
+}

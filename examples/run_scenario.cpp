@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iomanip>
 #include <iostream>
@@ -17,6 +18,7 @@
 #include <string>
 
 #include "cli_util.hpp"
+#include "farm/worker.hpp"
 #include "obs/trace_recorder.hpp"
 #include "scenario/baseline.hpp"
 #include "scenario/campaign.hpp"
@@ -31,7 +33,8 @@ namespace {
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0 << " <spec.json> [options]\n"
-      << "       " << argv0 << " --merge <report.json>... [--out DIR]\n"
+      << "       " << argv0 << " --merge <report.json|dir|manifest.json>... [--out DIR]\n"
+      << "       " << argv0 << " --farm-worker <farm-dir> --worker-name NAME [--jobs J]\n"
       << "  --seeds N        seeds to run (default 1)\n"
       << "  --jobs J         worker threads (default min(seeds, cores))\n"
       << "  --base-seed S    first seed (default 1)\n"
@@ -56,7 +59,12 @@ int usage(const char* argv0) {
       << "  --metrics        print the base seed's deterministic metrics\n"
       << "                   snapshot (counters/gauges/histograms) as JSON\n"
       << "  --progress       per-run heartbeat on stderr (seed, done/total,\n"
-      << "                   wall-clock) while the campaign runs\n";
+      << "                   wall-clock) while the campaign runs\n"
+      << "  --merge inputs may be shard report files, directories (every\n"
+      << "                   *.json inside, sorted), or a manifest: a JSON\n"
+      << "                   array of report paths, relative to the manifest\n"
+      << "  --farm-worker    drain the campaign-farm spool at <farm-dir> as\n"
+      << "                   worker NAME (spawned by the `farm` coordinator)\n";
   return 2;
 }
 
@@ -128,9 +136,61 @@ int apply_baseline_flags(const util::Json& report, const std::string& name,
   return 0;
 }
 
-int merge_reports(const std::vector<std::string>& paths, const std::string& out_dir,
+/// Expand one --merge input into report file paths: a directory yields every
+/// *.json inside it (sorted), a JSON-array file is a manifest of report
+/// paths (relative paths resolve against the manifest's directory), and
+/// anything else is a report file itself.
+util::Result<std::vector<std::string>> expand_merge_input(const std::string& input) {
+  namespace fs = std::filesystem;
+  std::vector<std::string> out;
+  std::error_code ec;
+  if (fs::is_directory(input, ec)) {
+    for (fs::directory_iterator it(input, ec), end; !ec && it != end;
+         it.increment(ec)) {
+      if (it->is_regular_file() && it->path().extension() == ".json") {
+        out.push_back(it->path().string());
+      }
+    }
+    if (ec) return util::Status::internal("cannot list " + input + ": " + ec.message());
+    if (out.empty()) {
+      return util::Status::not_found("no .json reports in directory " + input);
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  auto doc = util::load_json_file(input);
+  if (!doc) return doc.status();
+  if (doc->is_array()) {
+    for (const util::Json& entry : doc->elements()) {
+      fs::path p(entry.as_string());
+      if (p.empty()) {
+        return util::Status::invalid_argument("manifest " + input +
+                                              " has a non-path entry");
+      }
+      if (p.is_relative()) p = fs::path(input).parent_path() / p;
+      out.push_back(p.string());
+    }
+    if (out.empty()) {
+      return util::Status::not_found("manifest " + input + " lists no reports");
+    }
+    return out;
+  }
+  out.push_back(input);  // a report document itself
+  return out;
+}
+
+int merge_reports(const std::vector<std::string>& inputs, const std::string& out_dir,
                   const std::string& check_baseline_path,
                   const std::string& update_baselines_path) {
+  std::vector<std::string> paths;
+  for (const std::string& input : inputs) {
+    auto expanded = expand_merge_input(input);
+    if (!expanded) {
+      std::cerr << "error: " << expanded.status().to_string() << "\n";
+      return 2;
+    }
+    paths.insert(paths.end(), expanded->begin(), expanded->end());
+  }
   std::vector<util::Json> reports;
   for (const std::string& path : paths) {
     auto json = util::load_json_file(path);
@@ -179,6 +239,7 @@ int main(int argc, char** argv) {
   bool merge_mode = false;
   std::vector<std::string> merge_paths;
   std::string spec_path;
+  std::string farm_dir, worker_name;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -192,6 +253,14 @@ int main(int argc, char** argv) {
       else return usage(argv[0]);
     } else if (arg == "--merge") {
       merge_mode = true;
+    } else if (arg == "--farm-worker") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      farm_dir = v;
+    } else if (arg == "--worker-name") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      worker_name = v;
     } else if (arg == "--seeds" || arg == "--jobs" || arg == "--base-seed") {
       const char* v = next();
       if (v == nullptr || !parse_u64(v, value)) return usage(argv[0]);
@@ -249,6 +318,22 @@ int main(int argc, char** argv) {
     if (merge_paths.empty()) return usage(argv[0]);
     return merge_reports(merge_paths, out_dir, check_baseline_path,
                          update_baselines_path);
+  }
+  if (!farm_dir.empty()) {
+    if (worker_name.empty()) return usage(argv[0]);
+    farm::WorkerOptions worker;
+    worker.farm_dir = farm_dir;
+    worker.name = worker_name;
+    worker.jobs = config.jobs == 0 ? 1 : config.jobs;
+    auto stats = farm::run_worker(worker);
+    if (!stats) {
+      std::cerr << "error: " << stats.status().to_string() << "\n";
+      return 1;
+    }
+    std::cout << "worker " << worker_name << ": " << stats->units_done
+              << " unit(s) done, " << stats->units_failed << " failed, "
+              << stats->runs_done << " run(s)\n";
+    return 0;
   }
   if (spec_path.empty() || config.seeds == 0) return usage(argv[0]);
 

@@ -1,0 +1,206 @@
+#include "farm/coordinator.hpp"
+
+#include <sys/prctl.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "farm/work_queue.hpp"
+#include "obs/metrics.hpp"
+#include "obs/phase_timer.hpp"
+
+namespace evm::farm {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Child {
+  pid_t pid = -1;
+  std::string name;
+};
+
+std::string default_worker_bin() {
+  char buf[4096];
+  const ssize_t n = readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return "run_scenario";
+  buf[n] = '\0';
+  return (fs::path(buf).parent_path() / "run_scenario").string();
+}
+
+util::Result<Child> spawn_worker(const std::string& bin,
+                                 const CoordinatorOptions& options,
+                                 const std::string& name) {
+  std::vector<std::string> args = {
+      bin,          "--farm-worker", options.farm_dir,
+      "--worker-name", name,         "--jobs",
+      std::to_string(options.worker_jobs == 0 ? 1 : options.worker_jobs)};
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& a : args) argv.push_back(a.data());
+  argv.push_back(nullptr);
+
+  const pid_t pid = fork();
+  if (pid < 0) return util::Status::internal("fork failed for worker " + name);
+  if (pid == 0) {
+    // Die with the coordinator: if it is SIGKILLed, every worker follows,
+    // all leases go stale, and the next coordinator run resumes the spool.
+    prctl(PR_SET_PDEATHSIG, SIGKILL);
+    if (getppid() == 1) _exit(127);  // parent already gone before prctl stuck
+    execv(argv[0], argv.data());
+    _exit(127);  // exec failed; parent sees a nonzero-status death
+  }
+  Child child;
+  child.pid = pid;
+  child.name = name;
+  return child;
+}
+
+}  // namespace
+
+util::Result<CoordinatorStats> run_farm(const CoordinatorOptions& options,
+                                        obs::Metrics* metrics) {
+  auto queue = WorkQueue::open(options.farm_dir);
+  if (!queue) return queue.status();
+  const std::string bin =
+      options.worker_bin.empty() ? default_worker_bin() : options.worker_bin;
+
+  CoordinatorStats stats;
+  const obs::Stopwatch wall;
+  const auto count = [&](const char* name, std::uint64_t n = 1) {
+    if (metrics != nullptr) metrics->counter(name).add(n);
+  };
+
+  // Cold-start resume: every lease on disk belongs to a previous (dead)
+  // farm run — nobody is live yet.
+  auto requeued = queue->requeue_stale({}, options.max_attempts);
+  if (!requeued) return requeued.status();
+  stats.units_requeued += *requeued;
+  count("farm.units_requeued", *requeued);
+  if (options.verbose && *requeued > 0) {
+    std::printf("farm: resumed %zu stale unit(s) from a previous run\n",
+                *requeued);
+  }
+
+  auto initial = queue->counts();
+  if (!initial) return initial.status();
+  std::size_t next_worker = 0;
+  std::size_t respawns_left = options.max_respawns;
+  std::vector<Child> children;
+
+  const auto spawn_one = [&]() -> util::Status {
+    std::string name = "w";
+    name += std::to_string(next_worker++);
+    auto child = spawn_worker(bin, options, name);
+    if (!child) return child.status();
+    children.push_back(*child);
+    ++stats.workers_spawned;
+    count("farm.workers_spawned");
+    if (options.verbose) {
+      std::printf("farm: spawned worker %s (pid %d)\n", name.c_str(),
+                  static_cast<int>(child->pid));
+    }
+    return util::Status::ok();
+  };
+
+  const std::size_t target =
+      std::min<std::size_t>(std::max<std::size_t>(1, options.workers),
+                            std::max<std::size_t>(1, initial->queued));
+  for (std::size_t i = 0; i < target && initial->queued > 0; ++i) {
+    if (util::Status s = spawn_one(); !s) return s;
+  }
+
+  for (;;) {
+    // Reap. A worker that exited cleanly drained the queue (its view of it);
+    // one that died on a signal or nonzero status left a stale lease behind.
+    for (std::size_t i = 0; i < children.size();) {
+      int status = 0;
+      const pid_t r = waitpid(children[i].pid, &status, WNOHANG);
+      if (r == 0) {
+        ++i;
+        continue;
+      }
+      const bool clean = r > 0 && WIFEXITED(status) && WEXITSTATUS(status) == 0;
+      if (clean) {
+        ++stats.workers_exited;
+        count("farm.workers_exited");
+        if (options.verbose) {
+          std::printf("farm: worker %s finished\n", children[i].name.c_str());
+        }
+      } else {
+        ++stats.workers_killed;
+        count("farm.workers_killed");
+        if (options.verbose) {
+          std::printf("farm: worker %s died (status 0x%x)\n",
+                      children[i].name.c_str(), status);
+        }
+      }
+      children.erase(children.begin() + static_cast<std::ptrdiff_t>(i));
+    }
+
+    // Requeue leases owned by nobody live (dead workers' units).
+    std::vector<std::string> live;
+    live.reserve(children.size());
+    for (const Child& c : children) live.push_back(c.name);
+    requeued = queue->requeue_stale(live, options.max_attempts);
+    if (!requeued) return requeued.status();
+    if (*requeued > 0) {
+      stats.units_requeued += *requeued;
+      count("farm.units_requeued", *requeued);
+      if (options.verbose) {
+        std::printf("farm: requeued %zu unit(s) from dead worker(s)\n",
+                    *requeued);
+      }
+    }
+
+    auto counts = queue->counts();
+    if (!counts) return counts.status();
+    if (counts->queued == 0 && counts->leased == 0 && children.empty()) {
+      stats.units_done = counts->done;
+      stats.units_failed = counts->failed;
+      break;
+    }
+
+    // Keep the pool at strength while work remains. Replacements beyond the
+    // initial pool get FRESH names — a crash-drill selfkill target dies
+    // exactly once — and draw down the respawn budget.
+    while (counts->queued > 0 && children.size() < options.workers) {
+      const bool replacement = stats.workers_spawned >= target;
+      if (replacement) {
+        if (respawns_left == 0) break;
+        --respawns_left;
+      }
+      if (util::Status s = spawn_one(); !s) return s;
+    }
+    if (children.empty() && counts->queued > 0 && respawns_left == 0) {
+      return util::Status::internal(
+          "farm: respawn budget exhausted with " +
+          std::to_string(counts->queued) + " unit(s) still queued");
+    }
+
+    usleep(static_cast<useconds_t>(
+        (options.poll_ms == 0 ? 1 : options.poll_ms) * 1000));
+  }
+
+  stats.wall_ms = wall.elapsed_ms();
+  if (metrics != nullptr) {
+    metrics->gauge("farm.units_done").set(static_cast<double>(stats.units_done));
+    metrics->gauge("farm.units_failed")
+        .set(static_cast<double>(stats.units_failed));
+  }
+  if (options.verbose) {
+    std::printf("farm: campaign complete: %zu done, %zu failed, %zu requeued, "
+                "%zu worker(s) spawned\n",
+                stats.units_done, stats.units_failed, stats.units_requeued,
+                stats.workers_spawned);
+  }
+  return stats;
+}
+
+}  // namespace evm::farm

@@ -1,0 +1,70 @@
+// Farm coordinator: fans a spooled campaign across N worker *processes*
+// (`run_scenario --farm-worker` subprocesses) and keeps the spool honest.
+// Its loop is deliberately dumb — all correctness lives in the queue's
+// rename discipline and the store's dedup:
+//
+//   requeue leases owned by nobody   (crash resume, incl. its own restart)
+//   reap dead children               (waitpid WNOHANG)
+//   requeue the dead worker's lease  (attempts+1; poison units → failed/)
+//   respawn under a FRESH name       (so a crash-drill target dies once)
+//   done when queue, leases and children are all empty
+//
+// Workers get PR_SET_PDEATHSIG(SIGKILL): if the coordinator itself is
+// killed, its children die with it, every lease goes stale, and the next
+// coordinator run resumes the campaign from the spool.
+//
+// One coordinator per spool at a time: requeue_stale treats "not one of MY
+// children" as dead, so two live coordinators would steal each other's
+// leases. That only costs duplicate (deduped) work, not correctness, but
+// run them sequentially.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace evm::obs {
+class Metrics;
+}
+
+namespace evm::farm {
+
+struct CoordinatorOptions {
+  std::string farm_dir;
+  /// Concurrent worker processes.
+  std::size_t workers = 2;
+  /// Worker executable; empty picks the `run_scenario` binary sitting next
+  /// to the current executable (/proc/self/exe's directory).
+  std::string worker_bin;
+  /// run_campaign threads inside each worker.
+  std::size_t worker_jobs = 1;
+  /// Requeues before a unit is declared poison and parked in failed/.
+  std::uint64_t max_attempts = 5;
+  /// Replacement workers spawned over the whole campaign before giving up
+  /// (guards against a unit that kills every worker that touches it faster
+  /// than the attempts counter can park it).
+  std::size_t max_respawns = 16;
+  /// Reap/requeue poll period.
+  std::uint64_t poll_ms = 25;
+  /// Print status lines (spawns, deaths, requeues, completion) to stdout.
+  bool verbose = true;
+};
+
+struct CoordinatorStats {
+  std::size_t units_done = 0;
+  std::size_t units_failed = 0;
+  std::size_t units_requeued = 0;
+  std::size_t workers_spawned = 0;
+  std::size_t workers_exited = 0;   // clean exits
+  std::size_t workers_killed = 0;   // exited on a signal or nonzero status
+  double wall_ms = 0.0;
+};
+
+/// Drive the campaign at `farm_dir` to completion. Safe to call on a spool
+/// another coordinator died on: stale leases are requeued up front.
+/// `metrics` (optional) receives farm.* counters.
+util::Result<CoordinatorStats> run_farm(const CoordinatorOptions& options,
+                                        obs::Metrics* metrics = nullptr);
+
+}  // namespace evm::farm

@@ -1,0 +1,87 @@
+#include "farm/merge.hpp"
+
+#include <set>
+#include <vector>
+
+#include "scenario/campaign.hpp"
+
+namespace evm::farm {
+
+using store::RecordRef;
+using util::Json;
+
+util::Result<MergeOutcome> merge_farm_results(store::ResultStore& store,
+                                              const MergeSelection& selection) {
+  auto refs = store.refresh_index();
+  if (!refs) return refs.status();
+
+  std::vector<RecordRef> selected;
+  std::set<std::string> hashes;
+  for (const RecordRef& ref : *refs) {
+    if (!selection.scenario.empty() && ref.scenario != selection.scenario) {
+      continue;
+    }
+    if (!selection.spec_hash.empty() && ref.spec_hash != selection.spec_hash) {
+      continue;
+    }
+    selected.push_back(ref);
+    hashes.insert(ref.spec_hash);
+  }
+  if (selected.empty()) {
+    return util::Status::not_found("no stored records match the selection");
+  }
+  if (hashes.size() > 1) {
+    std::string list;
+    for (const std::string& h : hashes) {
+      list += (list.empty() ? "" : ", ") + h;
+    }
+    return util::Status::invalid_argument(
+        "selection spans " + std::to_string(hashes.size()) +
+        " campaigns (spec hashes " + list + "); narrow with --spec-hash");
+  }
+
+  MergeOutcome outcome;
+  outcome.spec_hash = *hashes.begin();
+  outcome.scenario = selected.front().scenario;
+
+  // At-least-once dedup: records arrive in the store's canonical
+  // (log, offset) order; keep the first record covering each seed range and
+  // drop replays wholesale. Ranges are fixed at enqueue time, so a replay
+  // covers exactly the seeds of the original — never a partial overlap —
+  // but guard against one anyway rather than double-weight a seed.
+  std::set<std::uint64_t> covered;
+  std::vector<Json> reports;
+  for (const RecordRef& ref : selected) {
+    bool duplicate = false;
+    for (std::uint64_t s = 0; s < ref.seeds; ++s) {
+      if (covered.count(ref.base_seed + s) != 0) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (duplicate) {
+      ++outcome.records_duplicate;
+      continue;
+    }
+    auto doc = store.read_record(ref);
+    if (!doc) return doc.status();
+    const Json* report = doc->find("report");
+    if (report == nullptr) {
+      return util::Status::data_loss("record " + ref.log + "@" +
+                                     std::to_string(ref.offset) +
+                                     " has no 'report'");
+    }
+    for (std::uint64_t s = 0; s < ref.seeds; ++s) {
+      covered.insert(ref.base_seed + s);
+    }
+    reports.push_back(*report);
+    ++outcome.records_used;
+  }
+
+  auto merged = scenario::merge_campaign_reports(reports);
+  if (!merged) return merged.status();
+  outcome.report = std::move(*merged);
+  return outcome;
+}
+
+}  // namespace evm::farm

@@ -1,0 +1,38 @@
+// Incremental farm merge: fold the shard reports stored for one campaign
+// back into the single-process report. Selection → dedup → the same
+// scenario::merge_campaign_reports used by `run_scenario --merge`, so a
+// farm-run campaign's merged report is byte-identical to the direct run
+// modulo the machine-dependent "timing" block (wall_ms vs wall_ms_sum).
+#pragma once
+
+#include <string>
+
+#include "store/result_store.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace evm::farm {
+
+/// Which campaign to merge. Both filters optional; the records left after
+/// filtering must agree on one spec_hash (one campaign), otherwise the
+/// merge refuses and lists the candidates.
+struct MergeSelection {
+  std::string scenario;
+  std::string spec_hash;
+};
+
+struct MergeOutcome {
+  util::Json report;             // merged campaign report
+  std::string scenario;
+  std::string spec_hash;
+  std::size_t records_used = 0;
+  /// Records skipped because their seed range was already covered — the
+  /// at-least-once replays. Replays are byte-identical per (spec, seed), so
+  /// dropping them loses nothing.
+  std::size_t records_duplicate = 0;
+};
+
+util::Result<MergeOutcome> merge_farm_results(store::ResultStore& store,
+                                              const MergeSelection& selection);
+
+}  // namespace evm::farm

@@ -1,0 +1,338 @@
+#include "farm/work_queue.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace evm::farm {
+
+namespace fs = std::filesystem;
+using util::Json;
+
+namespace {
+
+constexpr const char* kQueue = "queue";
+constexpr const char* kLeases = "leases";
+constexpr const char* kDone = "done";
+constexpr const char* kFailed = "failed";
+constexpr const char* kSpecs = "specs";
+constexpr const char* kTmp = "tmp";
+
+std::string pad8(std::uint64_t v) {
+  std::string s = std::to_string(v);
+  return s.size() >= 8 ? s : std::string(8 - s.size(), '0') + s;
+}
+
+/// Write `text` to `path` atomically: temp file in `tmp_dir`, then rename.
+util::Status write_file_atomic(const std::string& tmp_dir,
+                               const std::string& path,
+                               const std::string& text) {
+  const std::string tmp =
+      (fs::path(tmp_dir) / fs::path(path).filename()).string();
+  {
+    std::ofstream out(tmp, std::ios::binary);
+    out << text;
+    out.close();
+    if (!out) return util::Status::internal("cannot write " + tmp);
+  }
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    return util::Status::internal("cannot rename " + tmp + " -> " + path +
+                                  ": " + ec.message());
+  }
+  return util::Status::ok();
+}
+
+util::Result<Json> load_unit_file(const std::string& path) {
+  auto doc = util::load_json_file(path);
+  if (!doc) return doc.status();
+  return *doc;
+}
+
+}  // namespace
+
+Json WorkUnit::to_json() const {
+  Json j = Json::object();
+  j.set("schema", 1);
+  j.set("id", id);
+  j.set("spec_hash", spec_hash);
+  j.set("scenario", scenario);
+  Json campaign = Json::object();
+  campaign.set("base_seed", static_cast<std::int64_t>(campaign_base));
+  campaign.set("seeds", static_cast<std::int64_t>(campaign_seeds));
+  j.set("campaign", std::move(campaign));
+  Json range = Json::object();
+  range.set("base_seed", static_cast<std::int64_t>(range_base));
+  range.set("seeds", static_cast<std::int64_t>(range_seeds));
+  j.set("range", std::move(range));
+  j.set("attempts", static_cast<std::int64_t>(attempts));
+  return j;
+}
+
+util::Result<WorkUnit> WorkUnit::from_json(const Json& json) {
+  WorkUnit unit;
+  const Json* id = json.find("id");
+  const Json* hash = json.find("spec_hash");
+  const Json* campaign = json.find("campaign");
+  const Json* range = json.find("range");
+  if (id == nullptr || hash == nullptr || campaign == nullptr ||
+      range == nullptr) {
+    return util::Status::invalid_argument(
+        "work unit lacks id/spec_hash/campaign/range");
+  }
+  unit.id = id->as_string();
+  unit.spec_hash = hash->as_string();
+  if (const Json* s = json.find("scenario")) unit.scenario = s->as_string();
+  if (const Json* v = campaign->find("base_seed")) {
+    unit.campaign_base = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (const Json* v = campaign->find("seeds")) {
+    unit.campaign_seeds = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (const Json* v = range->find("base_seed")) {
+    unit.range_base = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (const Json* v = range->find("seeds")) {
+    unit.range_seeds = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (const Json* v = json.find("attempts")) {
+    unit.attempts = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (unit.range_seeds == 0) {
+    return util::Status::invalid_argument("work unit covers no seeds");
+  }
+  return unit;
+}
+
+util::Result<WorkQueue> WorkQueue::open(const std::string& dir) {
+  for (const char* sub : {kQueue, kLeases, kDone, kFailed, kSpecs, kTmp}) {
+    std::error_code ec;
+    fs::create_directories(fs::path(dir) / sub, ec);
+    if (ec) {
+      return util::Status::internal("cannot create " + dir + "/" + sub + ": " +
+                                    ec.message());
+    }
+  }
+  return WorkQueue(dir);
+}
+
+std::string WorkQueue::subdir(const char* name) const {
+  return (fs::path(dir_) / name).string();
+}
+
+std::string WorkQueue::store_dir() const {
+  return (fs::path(dir_) / "store").string();
+}
+
+std::string WorkQueue::spec_path(const std::string& spec_hash) const {
+  return (fs::path(subdir(kSpecs)) / (spec_hash + ".json")).string();
+}
+
+util::Result<std::vector<std::string>> WorkQueue::list(const char* name) const {
+  std::vector<std::string> names;
+  std::error_code ec;
+  for (fs::directory_iterator it(subdir(name), ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string file = it->path().filename().string();
+    if (!file.empty() && file[0] != '.') names.push_back(file);
+  }
+  if (ec) {
+    return util::Status::internal("cannot list " + subdir(name) + ": " +
+                                  ec.message());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+util::Result<std::size_t> WorkQueue::enqueue_campaign(
+    const Json& spec_doc, const std::string& spec_hash,
+    const std::string& scenario, std::uint64_t base_seed, std::uint64_t seeds,
+    std::uint64_t unit_seeds) {
+  if (seeds == 0) return util::Status::invalid_argument("campaign has no seeds");
+  if (unit_seeds == 0) unit_seeds = 1;
+
+  // Persist the spec once per content hash; workers load it from here.
+  if (!fs::exists(spec_path(spec_hash))) {
+    if (util::Status s = write_file_atomic(subdir(kTmp), spec_path(spec_hash),
+                                           spec_doc.dump(2) + "\n");
+        !s) {
+      return s;
+    }
+  }
+
+  std::size_t added = 0;
+  for (std::uint64_t start = 0; start < seeds; start += unit_seeds) {
+    WorkUnit unit;
+    unit.spec_hash = spec_hash;
+    unit.scenario = scenario;
+    unit.campaign_base = base_seed;
+    unit.campaign_seeds = seeds;
+    unit.range_base = base_seed + start;
+    unit.range_seeds = std::min<std::uint64_t>(unit_seeds, seeds - start);
+    unit.id = "u_" + spec_hash.substr(0, 8) + "_s" + pad8(unit.range_base);
+
+    // Idempotence: skip a unit that exists in any lifecycle state.
+    const std::string file = unit.id + ".json";
+    bool exists = fs::exists(fs::path(subdir(kQueue)) / file) ||
+                  fs::exists(fs::path(subdir(kDone)) / file) ||
+                  fs::exists(fs::path(subdir(kFailed)) / file);
+    if (!exists) {
+      auto leases = list(kLeases);
+      if (!leases) return leases.status();
+      for (const std::string& lease : *leases) {
+        if (lease.rfind(file + ".", 0) == 0) {
+          exists = true;
+          break;
+        }
+      }
+    }
+    if (exists) continue;
+    if (util::Status s = write_file_atomic(
+            subdir(kTmp), (fs::path(subdir(kQueue)) / file).string(),
+            unit.to_json().dump(2) + "\n");
+        !s) {
+      return s;
+    }
+    ++added;
+  }
+  return added;
+}
+
+util::Result<std::optional<Claim>> WorkQueue::claim(const std::string& worker) {
+  auto pending = list(kQueue);
+  if (!pending) return pending.status();
+  for (const std::string& file : *pending) {
+    const std::string from = (fs::path(subdir(kQueue)) / file).string();
+    const std::string to =
+        (fs::path(subdir(kLeases)) / (file + "." + worker)).string();
+    std::error_code ec;
+    fs::rename(from, to, ec);
+    if (ec) continue;  // lost the race to another worker; try the next unit
+    auto doc = load_unit_file(to);
+    if (!doc) {
+      // Unreadable unit: park it in failed/ so the queue keeps draining.
+      fs::rename(to, (fs::path(subdir(kFailed)) / file).string(), ec);
+      continue;
+    }
+    auto unit = WorkUnit::from_json(*doc);
+    if (!unit) {
+      fs::rename(to, (fs::path(subdir(kFailed)) / file).string(), ec);
+      continue;
+    }
+    Claim claim;
+    claim.unit = std::move(*unit);
+    claim.lease_path = to;
+    return std::optional<Claim>(std::move(claim));
+  }
+  return std::optional<Claim>();
+}
+
+util::Status WorkQueue::complete(const Claim& claim) {
+  const std::string to =
+      (fs::path(subdir(kDone)) / (claim.unit.id + ".json")).string();
+  std::error_code ec;
+  fs::rename(claim.lease_path, to, ec);
+  if (ec == std::errc::no_such_file_or_directory) {
+    // Lease gone: a coordinator decided this worker was dead and requeued
+    // the unit. The results are already in the store, the rerun's duplicate
+    // record dedups away — losing the race is harmless, aborting the worker
+    // over it would not be.
+    return util::Status::ok();
+  }
+  if (ec) {
+    return util::Status::internal("cannot retire " + claim.lease_path + ": " +
+                                  ec.message());
+  }
+  return util::Status::ok();
+}
+
+util::Status WorkQueue::fail(const Claim& claim, const std::string& error) {
+  Json doc = claim.unit.to_json();
+  doc.set("error", error);
+  // Failed file first, lease removal second: a crash in between leaves the
+  // lease for requeue_stale, which converges on the same failed/ entry.
+  if (util::Status s = write_file_atomic(
+          subdir(kTmp),
+          (fs::path(subdir(kFailed)) / (claim.unit.id + ".json")).string(),
+          doc.dump(2) + "\n");
+      !s) {
+    return s;
+  }
+  std::error_code ec;
+  fs::remove(claim.lease_path, ec);
+  return util::Status::ok();
+}
+
+util::Result<std::size_t> WorkQueue::requeue_stale(
+    const std::vector<std::string>& live_workers, std::uint64_t max_attempts) {
+  auto leases = list(kLeases);
+  if (!leases) return leases.status();
+  std::size_t requeued = 0;
+  for (const std::string& lease : *leases) {
+    // Lease names are "<unit>.json.<worker>".
+    const std::size_t marker = lease.rfind(".json.");
+    if (marker == std::string::npos) continue;
+    const std::string file = lease.substr(0, marker + 5);  // "<unit>.json"
+    const std::string owner = lease.substr(marker + 6);
+    if (std::find(live_workers.begin(), live_workers.end(), owner) !=
+        live_workers.end()) {
+      continue;
+    }
+    const std::string lease_path = (fs::path(subdir(kLeases)) / lease).string();
+    auto doc = load_unit_file(lease_path);
+    auto unit = doc ? WorkUnit::from_json(*doc)
+                    : util::Result<WorkUnit>(doc.status());
+    std::error_code ec;
+    if (!unit) {
+      fs::rename(lease_path, (fs::path(subdir(kFailed)) / file).string(), ec);
+      continue;
+    }
+    unit->attempts += 1;
+    if (unit->attempts > max_attempts) {
+      // Poison unit: it keeps taking workers down (or the farm keeps dying
+      // around it). Park it instead of churning forever.
+      Json failed = unit->to_json();
+      failed.set("error", "gave up after " + std::to_string(unit->attempts) +
+                              " attempts");
+      if (util::Status s = write_file_atomic(
+              subdir(kTmp), (fs::path(subdir(kFailed)) / file).string(),
+              failed.dump(2) + "\n");
+          !s) {
+        return s;
+      }
+      fs::remove(lease_path, ec);
+      continue;
+    }
+    // Queue file first, lease removal second (same crash-ordering argument
+    // as fail()): rename over an existing queue entry is an atomic replace.
+    if (util::Status s = write_file_atomic(
+            subdir(kTmp), (fs::path(subdir(kQueue)) / file).string(),
+            unit->to_json().dump(2) + "\n");
+        !s) {
+      return s;
+    }
+    fs::remove(lease_path, ec);
+    ++requeued;
+  }
+  return requeued;
+}
+
+util::Result<QueueCounts> WorkQueue::counts() const {
+  QueueCounts c;
+  auto queued = list(kQueue);
+  if (!queued) return queued.status();
+  auto leased = list(kLeases);
+  if (!leased) return leased.status();
+  auto done = list(kDone);
+  if (!done) return done.status();
+  auto failed = list(kFailed);
+  if (!failed) return failed.status();
+  c.queued = queued->size();
+  c.leased = leased->size();
+  c.done = done->size();
+  c.failed = failed->size();
+  return c;
+}
+
+}  // namespace evm::farm

@@ -1,0 +1,114 @@
+// Filesystem-spooled durable work queue for the campaign farm. A work unit
+// is "(spec, contiguous seed sub-range) of one campaign", stored as one JSON
+// file whose directory *is* its state:
+//
+//   <farm>/specs/<spec_hash>.json        canonical spec documents
+//   <farm>/queue/<unit>.json             pending
+//   <farm>/leases/<unit>.json.<worker>   claimed by <worker>
+//   <farm>/done/<unit>.json              completed (results in the store)
+//   <farm>/failed/<unit>.json            gave up after too many attempts
+//   <farm>/store/                        result store (store/result_store.hpp)
+//
+// Every transition is a single rename(2) — atomic on POSIX — so any number
+// of worker processes can pull from the queue with no locks: the one that
+// wins the rename owns the unit (claim-by-rename is the work-stealing
+// mechanism). Delivery is at-least-once: a unit whose worker died is
+// renamed back into queue/ by the coordinator, and the run-level dedup by
+// (spec_hash, seed) in the store's readers makes replays harmless.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace evm::farm {
+
+/// One work unit: run seeds [range_base, range_base + range_seeds) of the
+/// campaign (spec_hash, campaign_base, campaign_seeds). The campaign shape
+/// rides along so the unit's stored report echoes the *full* campaign —
+/// which is exactly what lets merged farm aggregates come out byte-identical
+/// to a single-process run.
+struct WorkUnit {
+  std::string id;          // "u_<hash8>_s<start>", unique per (spec, range)
+  std::string spec_hash;
+  std::string scenario;
+  std::uint64_t campaign_base = 1;
+  std::uint64_t campaign_seeds = 0;
+  std::uint64_t range_base = 1;
+  std::uint64_t range_seeds = 0;
+  std::uint64_t attempts = 0;  // requeues so far (poison-unit guard)
+
+  util::Json to_json() const;
+  static util::Result<WorkUnit> from_json(const util::Json& json);
+};
+
+struct QueueCounts {
+  std::size_t queued = 0;
+  std::size_t leased = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+};
+
+/// A claimed unit: the parsed work plus the lease file holding it.
+struct Claim {
+  WorkUnit unit;
+  std::string lease_path;
+};
+
+class WorkQueue {
+ public:
+  /// Open (creating subdirectories as needed) the farm spool at `dir`.
+  static util::Result<WorkQueue> open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+  /// The farm's result store directory.
+  std::string store_dir() const;
+  /// Path of the canonical spec document for `spec_hash`.
+  std::string spec_path(const std::string& spec_hash) const;
+
+  /// Split a campaign into units of at most `unit_seeds` seeds, persist the
+  /// spec document under specs/, and spool the units. Enqueueing is
+  /// idempotent: a unit that already exists anywhere (queue, lease, done,
+  /// failed) is skipped, so re-running enqueue after a crash never
+  /// duplicates work. Returns the number of units actually added.
+  util::Result<std::size_t> enqueue_campaign(const util::Json& spec_doc,
+                                             const std::string& spec_hash,
+                                             const std::string& scenario,
+                                             std::uint64_t base_seed,
+                                             std::uint64_t seeds,
+                                             std::uint64_t unit_seeds);
+
+  /// Claim the lexicographically first pending unit for `worker` (atomic
+  /// rename into leases/). nullopt when the queue is empty.
+  util::Result<std::optional<Claim>> claim(const std::string& worker);
+
+  /// Results are in the store: retire the lease into done/.
+  util::Status complete(const Claim& claim);
+
+  /// Move the lease to failed/ with the error recorded in the unit file.
+  util::Status fail(const Claim& claim, const std::string& error);
+
+  /// Requeue every lease whose owner is not in `live_workers` (attempts+1;
+  /// a unit past `max_attempts` goes to failed/ instead). An empty
+  /// live_workers set requeues everything — coordinator cold start.
+  util::Result<std::size_t> requeue_stale(
+      const std::vector<std::string>& live_workers,
+      std::uint64_t max_attempts = 5);
+
+  util::Result<QueueCounts> counts() const;
+
+ private:
+  explicit WorkQueue(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string subdir(const char* name) const;
+  /// Sorted file names of one spool subdirectory.
+  util::Result<std::vector<std::string>> list(const char* name) const;
+
+  std::string dir_;
+};
+
+}  // namespace evm::farm

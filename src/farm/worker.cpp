@@ -1,0 +1,117 @@
+#include "farm/worker.hpp"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <map>
+
+#include "farm/work_queue.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/spec.hpp"
+#include "store/result_store.hpp"
+
+namespace evm::farm {
+
+namespace {
+
+/// Parsed EVM_FARM_SELFKILL_* crash-drill hooks.
+struct SelfKill {
+  bool armed = false;
+  std::uint64_t after_runs = 1;
+};
+
+SelfKill self_kill_for(const std::string& worker) {
+  SelfKill sk;
+  const char* target = std::getenv("EVM_FARM_SELFKILL_WORKER");
+  if (target == nullptr || worker != target) return sk;
+  sk.armed = true;
+  if (const char* n = std::getenv("EVM_FARM_SELFKILL_AFTER_RUNS")) {
+    const unsigned long long v = std::strtoull(n, nullptr, 10);
+    if (v > 0) sk.after_runs = v;
+  }
+  return sk;
+}
+
+}  // namespace
+
+util::Result<WorkerStats> run_worker(const WorkerOptions& options) {
+  auto queue = WorkQueue::open(options.farm_dir);
+  if (!queue) return queue.status();
+  auto store = store::ResultStore::open(queue->store_dir());
+  if (!store) return store.status();
+  auto writer = store->writer(options.name);
+  if (!writer) return writer.status();
+
+  const SelfKill self_kill = self_kill_for(options.name);
+  // Lifetime run counter for the crash drill; atomic because run_campaign
+  // invokes on_run_done from its worker threads when jobs > 1.
+  std::atomic<std::uint64_t> runs_ever{0};
+
+  WorkerStats stats;
+  std::map<std::string, scenario::ScenarioSpec> spec_cache;
+  while (options.max_units == 0 || stats.units_done + stats.units_failed <
+                                       options.max_units) {
+    auto claimed = queue->claim(options.name);
+    if (!claimed) return claimed.status();
+    if (!claimed->has_value()) break;  // queue drained
+    const Claim& claim = **claimed;
+    const WorkUnit& unit = claim.unit;
+
+    auto cached = spec_cache.find(unit.spec_hash);
+    if (cached == spec_cache.end()) {
+      auto spec = scenario::ScenarioSpec::load_file(queue->spec_path(unit.spec_hash));
+      if (!spec) {
+        // Spec document missing/corrupt: no retry will fix it, fail the unit.
+        if (util::Status s = queue->fail(claim, spec.status().message()); !s) {
+          return s;
+        }
+        ++stats.units_failed;
+        continue;
+      }
+      cached = spec_cache.emplace(unit.spec_hash, std::move(*spec)).first;
+    }
+    const scenario::ScenarioSpec& spec = cached->second;
+
+    scenario::CampaignConfig run_config;
+    run_config.base_seed = unit.range_base;
+    run_config.seeds = unit.range_seeds;
+    run_config.jobs = options.jobs == 0 ? 1 : options.jobs;
+    run_config.on_run_done = [&](std::size_t, std::size_t,
+                                 const scenario::RunMetrics&) {
+      const std::uint64_t n = runs_ever.fetch_add(1) + 1;
+      if (self_kill.armed && n >= self_kill.after_runs) {
+        // Crash drill: die the hard way, mid-unit, leaving the lease and a
+        // possibly-unflushed record behind — exactly what the requeue and
+        // log-recovery paths must absorb.
+        raise(SIGKILL);
+      }
+    };
+    scenario::CampaignResult result = scenario::run_campaign(spec, run_config);
+    stats.runs_done += result.runs.size();
+
+    // The stored shard report echoes the FULL campaign shape, not the range
+    // actually run: merge_campaign_reports then reassembles base_seed/seeds
+    // byte-identically to a single-process campaign of the whole range.
+    scenario::CampaignConfig report_config;
+    report_config.base_seed = unit.campaign_base;
+    report_config.seeds = unit.campaign_seeds;
+    const util::Json report = scenario::campaign_report(spec, report_config, result);
+
+    const std::string record = store::make_record(
+        unit.id, options.name, unit.spec_hash, spec.name,
+        static_cast<std::int64_t>(spec.topology().nodes.size()),
+        unit.range_base, unit.range_seeds, report);
+    if (util::Status s = writer->append(record); !s) {
+      if (util::Status f = queue->fail(claim, s.message()); !f) return f;
+      ++stats.units_failed;
+      continue;
+    }
+    // Record durable first, lease retired second: a crash in between means
+    // a replay and a duplicate record, which the store dedups.
+    if (util::Status s = queue->complete(claim); !s) return s;
+    ++stats.units_done;
+  }
+  return stats;
+}
+
+}  // namespace evm::farm

@@ -1,0 +1,46 @@
+// Farm worker: the claim→run→store loop one `run_scenario --farm-worker`
+// subprocess executes. A worker drains the spool one unit at a time:
+//
+//   claim (rename into leases/)  →  run_campaign over the unit's seed range
+//   →  append the campaign shard report to logs/<worker>.runlog
+//   →  complete (rename into done/)
+//
+// The record is appended *before* the lease retires, so a crash between the
+// two replays the unit — at-least-once — and the store's (spec_hash, seed)
+// dedup drops the byte-identical duplicate. The worker exits 0 once the
+// queue is empty; the coordinator owns respawn/requeue policy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.hpp"
+
+namespace evm::farm {
+
+struct WorkerOptions {
+  std::string farm_dir;
+  /// Writer identity: lease suffix and runlog name. Must be unique among
+  /// concurrently live workers (the coordinator hands out fresh names).
+  std::string name;
+  /// Threads per unit (run_campaign jobs). Farm parallelism normally comes
+  /// from worker *processes*, so 1 is the right default.
+  std::size_t jobs = 1;
+  /// Stop after this many units even if the queue has more; 0 = drain.
+  /// Lets tests interleave two in-process workers deterministically.
+  std::size_t max_units = 0;
+};
+
+struct WorkerStats {
+  std::size_t units_done = 0;
+  std::size_t units_failed = 0;
+  std::size_t runs_done = 0;
+};
+
+/// Run the worker loop to completion. Honors the crash-drill hooks
+/// EVM_FARM_SELFKILL_WORKER / EVM_FARM_SELFKILL_AFTER_RUNS: when this
+/// worker's name matches, it raises SIGKILL on itself after that many runs —
+/// the deterministic "kill a worker mid-campaign" used by tests and CI.
+util::Result<WorkerStats> run_worker(const WorkerOptions& options);
+
+}  // namespace evm::farm

@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "obs/phase_timer.hpp"
+#include "util/hash.hpp"
 #include "util/stats.hpp"
 
 namespace evm::scenario {
@@ -181,6 +182,10 @@ Json campaign_report(const ScenarioSpec& spec, const CampaignConfig& config,
   Json root = Json::object();
   root.set("schema", 1);
   root.set("scenario", spec.name);
+  // Deterministic content hash of the spec echo below: reports of the same
+  // exact spec are groupable by it even across renamed scenario files, and
+  // the result store dedups runs by (spec_hash, seed).
+  root.set("spec_hash", spec.content_hash());
   root.set("spec", spec.to_json());
 
   Json campaign = Json::object();
@@ -232,6 +237,10 @@ util::Result<Json> merge_campaign_reports(const std::vector<Json>& reports) {
   if (first_spec == nullptr || first_name == nullptr) {
     return util::Status::invalid_argument("report lacks 'scenario'/'spec'");
   }
+  // Recomputing from the spec echo (rather than trusting the reports)
+  // keeps the merged hash correct even for reports written before the
+  // field existed; a report that *does* carry one must agree.
+  const std::string spec_hash = util::content_hash(first_spec->dump_compact());
 
   std::vector<Json> runs;
   std::uint64_t base_seed = 0;
@@ -249,6 +258,11 @@ util::Result<Json> merge_campaign_reports(const std::vector<Json>& reports) {
         spec->dump() != first_spec->dump()) {
       return util::Status::invalid_argument(
           "cannot merge: shard reports describe different campaigns");
+    }
+    if (const Json* h = report.find("spec_hash");
+        h != nullptr && h->as_string() != spec_hash) {
+      return util::Status::invalid_argument(
+          "cannot merge: report's spec_hash does not match its spec echo");
     }
     if (const Json* campaign = report.find("campaign")) {
       if (const Json* b = campaign->find("base_seed")) {
@@ -297,6 +311,7 @@ util::Result<Json> merge_campaign_reports(const std::vector<Json>& reports) {
   Json root = Json::object();
   root.set("schema", 1);
   root.set("scenario", *first_name);
+  root.set("spec_hash", spec_hash);
   root.set("spec", *first_spec);
   Json campaign = Json::object();
   campaign.set("base_seed", static_cast<std::int64_t>(base_seed));

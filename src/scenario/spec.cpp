@@ -4,6 +4,8 @@
 #include <cmath>
 #include <utility>
 
+#include "util/hash.hpp"
+
 namespace evm::scenario {
 
 using util::Json;
@@ -566,6 +568,13 @@ Json ScenarioSpec::to_json() const {
   }
   root.set("events", std::move(list));
   return root;
+}
+
+std::string ScenarioSpec::content_hash() const {
+  // Hash the canonical compact dump. Doubles serialize shortest-round-trip
+  // (PR 8), so a spec echo parsed back out of a report hashes identically
+  // to the spec it came from — the merge path relies on that.
+  return util::content_hash(to_json().dump_compact());
 }
 
 }  // namespace evm::scenario

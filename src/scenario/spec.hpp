@@ -99,6 +99,13 @@ struct ScenarioSpec {
   static util::Result<ScenarioSpec> load_file(const std::string& path);
   /// Re-serialize (echoed into campaign reports for provenance).
   util::Json to_json() const;
+
+  /// Deterministic content hash of the canonical serialization (16 hex
+  /// chars): two specs hash equal iff their to_json() documents are
+  /// byte-identical, independent of file name or formatting. Campaign
+  /// reports surface it as "spec_hash" and the result store dedups and
+  /// groups runs by (spec_hash, seed).
+  std::string content_hash() const;
 };
 
 /// Resolve a node reference — a role-table name (for the default Fig. 5

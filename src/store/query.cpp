@@ -1,0 +1,188 @@
+#include "store/query.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <iomanip>
+#include <map>
+#include <set>
+#include <sstream>
+#include <utility>
+
+namespace evm::store {
+
+using util::Json;
+
+namespace {
+
+const char* to_string(GroupBy g) {
+  switch (g) {
+    case GroupBy::kNone: return "none";
+    case GroupBy::kScenario: return "scenario";
+    case GroupBy::kSpecHash: return "spec_hash";
+    case GroupBy::kTopologyNodes: return "topology_nodes";
+  }
+  return "none";
+}
+
+std::string group_key(const RecordRef& ref, GroupBy g) {
+  switch (g) {
+    case GroupBy::kNone: return {};
+    case GroupBy::kScenario: return ref.scenario;
+    case GroupBy::kSpecHash: return ref.spec_hash;
+    case GroupBy::kTopologyNodes: return std::to_string(ref.topology_nodes);
+  }
+  return {};
+}
+
+}  // namespace
+
+util::Result<GroupBy> parse_group_by(const std::string& token) {
+  if (token.empty() || token == "none") return GroupBy::kNone;
+  if (token == "scenario") return GroupBy::kScenario;
+  if (token == "spec_hash") return GroupBy::kSpecHash;
+  if (token == "topology_nodes") return GroupBy::kTopologyNodes;
+  return util::Status::invalid_argument(
+      "unknown group key '" + token +
+      "' (expected none, scenario, spec_hash or topology_nodes)");
+}
+
+util::Result<QueryResult> run_query(ResultStore& store, const QuerySpec& query) {
+  if (query.metric.empty()) {
+    return util::Status::invalid_argument("query names no metric");
+  }
+  auto refs = store.refresh_index();
+  if (!refs) return refs.status();
+
+  QueryResult result;
+  // One deduped run per (spec_hash, seed), in canonical store order, with
+  // its group key and (optional) metric sample. Kept as a flat list so a
+  // "last N runs" window can be applied before grouping.
+  struct RunSample {
+    std::string key;
+    bool has_value = false;
+    double value = 0.0;
+  };
+  std::vector<RunSample> runs;
+  std::set<std::pair<std::string, std::uint64_t>> seen;
+  for (const RecordRef& ref : *refs) {
+    if (!query.scenario.empty() && ref.scenario != query.scenario) continue;
+    if (!query.spec_hash.empty() && ref.spec_hash != query.spec_hash) continue;
+    auto record = store.read_record(ref);
+    if (!record) return record.status();
+    ++result.records_scanned;
+    const Json* report = record->find("report");
+    const Json* report_runs = report != nullptr ? report->find("runs") : nullptr;
+    if (report_runs == nullptr || !report_runs->is_array()) {
+      return util::Status::data_loss(ref.log + " record at offset " +
+                                     std::to_string(ref.offset) +
+                                     " embeds no runs array");
+    }
+    const std::string key = group_key(ref, query.group_by);
+    for (const Json& run : report_runs->elements()) {
+      ++result.runs_seen;
+      const Json* seed = run.find("seed");
+      const std::uint64_t seed_value =
+          seed != nullptr ? static_cast<std::uint64_t>(seed->as_int()) : 0;
+      if (!seen.emplace(ref.spec_hash, seed_value).second) {
+        // At-least-once delivery replayed this run; the replay is
+        // byte-identical (a run is a pure function of spec and seed), so
+        // dropping it is lossless.
+        ++result.runs_deduped;
+        continue;
+      }
+      RunSample sample;
+      sample.key = key;
+      const Json* ok = run.find("ok");
+      const Json* value = run.find(query.metric);
+      if (ok != nullptr && ok->as_bool() && value != nullptr &&
+          value->is_number()) {
+        const double v = value->as_double();
+        // Aggregate parity: a run that detected no failover has no latency
+        // sample (campaign aggregates skip it the same way).
+        if (query.metric != "failover_latency_s" || v >= 0.0) {
+          sample.has_value = true;
+          sample.value = v;
+        }
+      }
+      runs.push_back(std::move(sample));
+    }
+  }
+
+  if (query.last_runs > 0 && runs.size() > query.last_runs) {
+    runs.erase(runs.begin(),
+               runs.end() - static_cast<std::ptrdiff_t>(query.last_runs));
+  }
+
+  std::map<std::string, util::Samples> groups;
+  for (const RunSample& run : runs) {
+    if (!run.has_value) continue;
+    ++result.runs_sampled;
+    groups[run.key].add(run.value);
+  }
+  for (const auto& [key, samples] : groups) {
+    QueryGroup group;
+    group.key = key;
+    group.stats = samples.summarize();
+    result.groups.push_back(std::move(group));
+  }
+  if (query.group_by == GroupBy::kTopologyNodes) {
+    std::sort(result.groups.begin(), result.groups.end(),
+              [](const QueryGroup& a, const QueryGroup& b) {
+                return std::atoll(a.key.c_str()) < std::atoll(b.key.c_str());
+              });
+  }
+  return result;
+}
+
+Json to_json(const QueryResult& result, const QuerySpec& query) {
+  Json root = Json::object();
+  root.set("schema", 1);
+  root.set("metric", query.metric);
+  root.set("group_by", to_string(query.group_by));
+  if (!query.scenario.empty()) root.set("scenario", query.scenario);
+  if (!query.spec_hash.empty()) root.set("spec_hash", query.spec_hash);
+  if (query.last_runs > 0) root.set("last_runs", query.last_runs);
+  root.set("records_scanned", result.records_scanned);
+  root.set("runs_seen", result.runs_seen);
+  root.set("runs_deduped", result.runs_deduped);
+  root.set("runs_sampled", result.runs_sampled);
+  Json groups = Json::array();
+  for (const QueryGroup& group : result.groups) {
+    Json g = util::to_json(group.stats, "");
+    g.set("key", group.key);
+    groups.push(std::move(g));
+  }
+  root.set("groups", std::move(groups));
+  return root;
+}
+
+std::string format_table(const QueryResult& result, const QuerySpec& query) {
+  std::ostringstream out;
+  out << "metric " << query.metric << " grouped by "
+      << to_string(query.group_by) << ": " << result.runs_sampled
+      << " sampled of " << (result.runs_seen - result.runs_deduped)
+      << " stored runs";
+  if (result.runs_deduped > 0) {
+    out << " (" << result.runs_deduped << " duplicate run(s) dropped)";
+  }
+  out << "\n";
+  if (result.groups.empty()) {
+    out << "  (no samples)\n";
+    return out.str();
+  }
+  out << "  " << std::left << std::setw(24) << "key" << std::right
+      << std::setw(8) << "count" << std::setw(10) << "mean" << std::setw(10)
+      << "p50" << std::setw(10) << "p90" << std::setw(10) << "p99"
+      << std::setw(10) << "max" << "\n";
+  for (const QueryGroup& group : result.groups) {
+    const util::SummaryStats& s = group.stats;
+    out << "  " << std::left << std::setw(24)
+        << (group.key.empty() ? "(all)" : group.key) << std::right
+        << std::setw(8) << s.count << std::fixed << std::setprecision(3)
+        << std::setw(10) << s.mean << std::setw(10) << s.p50 << std::setw(10)
+        << s.p90 << std::setw(10) << s.p99 << std::setw(10) << s.max << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace evm::store

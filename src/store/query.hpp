@@ -1,0 +1,72 @@
+// Grouped-percentile queries over the result store: the "failover p99 by
+// topology size over the last 10k runs" engine. A query names one run-level
+// numeric metric, an optional group key, and filters; the engine selects
+// matching records through the index (so irrelevant campaigns cost nothing),
+// parses only those frames, dedups runs by (spec_hash, seed) — at-least-once
+// delivery may store a unit twice — and folds each group through
+// util::Samples for the same percentile summary campaign aggregates use.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/result_store.hpp"
+#include "util/json.hpp"
+#include "util/stats.hpp"
+#include "util/status.hpp"
+
+namespace evm::store {
+
+enum class GroupBy {
+  kNone,           // one group over every selected run
+  kScenario,       // by spec name
+  kSpecHash,       // by exact spec content
+  kTopologyNodes,  // by world size
+};
+
+struct QuerySpec {
+  /// Run-level numeric field of RunMetrics::to_json(), e.g.
+  /// "failover_latency_s", "missed_deadlines", "packet_loss_rate".
+  std::string metric;
+  GroupBy group_by = GroupBy::kNone;
+  /// Empty filters select everything.
+  std::string scenario;
+  std::string spec_hash;
+  /// Keep only the N most recently stored runs (canonical store order;
+  /// 0 = all).
+  std::size_t last_runs = 0;
+};
+
+/// Parse a --group-by token ("none", "scenario", "spec_hash",
+/// "topology_nodes").
+util::Result<GroupBy> parse_group_by(const std::string& token);
+
+struct QueryGroup {
+  std::string key;  // "" for GroupBy::kNone
+  util::SummaryStats stats;
+};
+
+struct QueryResult {
+  std::vector<QueryGroup> groups;  // key order (numeric for topology_nodes)
+  std::size_t records_scanned = 0;
+  std::size_t runs_seen = 0;     // run entries parsed (before dedup)
+  std::size_t runs_deduped = 0;  // duplicates dropped (at-least-once replays)
+  std::size_t runs_sampled = 0;  // runs contributing a sample to some group
+};
+
+/// Run `query` against `store` (refreshing the index first).
+///
+/// Sampling matches the campaign aggregate semantics: failed runs never
+/// contribute, and "failover_latency_s" skips runs that detected no failover
+/// (latency < 0) — so a grouped query over a campaign's stored runs
+/// reproduces the numbers in its report's aggregate block.
+util::Result<QueryResult> run_query(ResultStore& store, const QuerySpec& query);
+
+/// {"schema":1,"metric":...,"group_by":...,"groups":[{"key",...stats}],...}
+util::Json to_json(const QueryResult& result, const QuerySpec& query);
+
+/// Human-readable table for the CLI.
+std::string format_table(const QueryResult& result, const QuerySpec& query);
+
+}  // namespace evm::store

@@ -1,0 +1,245 @@
+#include "store/result_store.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <set>
+#include <utility>
+
+namespace evm::store {
+
+namespace fs = std::filesystem;
+using util::Json;
+
+namespace {
+
+constexpr const char* kLogSuffix = ".runlog";
+
+Json envelope_json(const RecordRef& ref) {
+  Json j = Json::object();
+  j.set("offset", static_cast<std::int64_t>(ref.offset));
+  j.set("unit", ref.unit);
+  j.set("worker", ref.worker);
+  j.set("spec_hash", ref.spec_hash);
+  j.set("scenario", ref.scenario);
+  j.set("topology_nodes", ref.topology_nodes);
+  j.set("base_seed", static_cast<std::int64_t>(ref.base_seed));
+  j.set("seeds", static_cast<std::int64_t>(ref.seeds));
+  return j;
+}
+
+RecordRef envelope_of(const std::string& log, std::uint64_t offset,
+                      const Json& doc) {
+  RecordRef ref;
+  ref.log = log;
+  ref.offset = offset;
+  if (const Json* v = doc.find("unit")) ref.unit = v->as_string();
+  if (const Json* v = doc.find("worker")) ref.worker = v->as_string();
+  if (const Json* v = doc.find("spec_hash")) ref.spec_hash = v->as_string();
+  if (const Json* v = doc.find("scenario")) ref.scenario = v->as_string();
+  if (const Json* v = doc.find("topology_nodes")) ref.topology_nodes = v->as_int();
+  if (const Json* v = doc.find("base_seed")) {
+    ref.base_seed = static_cast<std::uint64_t>(v->as_int());
+  }
+  if (const Json* v = doc.find("seeds")) {
+    ref.seeds = static_cast<std::uint64_t>(v->as_int());
+  }
+  return ref;
+}
+
+/// Cached per-log index state, reloaded from / persisted to index.json.
+struct LogIndex {
+  std::uint64_t valid_bytes = 0;
+  std::vector<RecordRef> records;  // offset order
+};
+
+}  // namespace
+
+std::string make_record(const std::string& unit, const std::string& worker,
+                        const std::string& spec_hash,
+                        const std::string& scenario,
+                        std::int64_t topology_nodes, std::uint64_t base_seed,
+                        std::uint64_t seeds, const Json& report) {
+  Json record = Json::object();
+  record.set("schema", 1);
+  record.set("unit", unit);
+  record.set("worker", worker);
+  record.set("spec_hash", spec_hash);
+  record.set("scenario", scenario);
+  record.set("topology_nodes", topology_nodes);
+  record.set("base_seed", static_cast<std::int64_t>(base_seed));
+  record.set("seeds", static_cast<std::int64_t>(seeds));
+  record.set("report", report);
+  return record.dump_compact();
+}
+
+util::Result<ResultStore> ResultStore::open(const std::string& dir) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir) / "logs", ec);
+  if (ec) {
+    return util::Status::internal("cannot create store at " + dir + ": " +
+                                  ec.message());
+  }
+  return ResultStore(dir);
+}
+
+std::string ResultStore::logs_dir() const {
+  return (fs::path(dir_) / "logs").string();
+}
+
+std::string ResultStore::index_path() const {
+  return (fs::path(dir_) / "index.json").string();
+}
+
+util::Result<RunLogWriter> ResultStore::writer(const std::string& name) const {
+  return RunLogWriter::open(
+      (fs::path(logs_dir()) / (name + kLogSuffix)).string());
+}
+
+util::Result<std::vector<RecordRef>> ResultStore::refresh_index() {
+  // Cached state from the previous refresh. A missing or unreadable index
+  // is not an error — everything just gets rescanned.
+  std::vector<std::pair<std::string, LogIndex>> cached;  // sorted by log name
+  if (auto doc = util::load_json_file(index_path())) {
+    if (const Json* logs = doc->find("logs")) {
+      for (const auto& [log_name, entry] : logs->members()) {
+        LogIndex idx;
+        if (const Json* v = entry.find("valid_bytes")) {
+          idx.valid_bytes = static_cast<std::uint64_t>(v->as_int());
+        }
+        if (const Json* records = entry.find("records")) {
+          for (const Json& r : records->elements()) {
+            const std::uint64_t offset =
+                r.find("offset") != nullptr
+                    ? static_cast<std::uint64_t>(r.find("offset")->as_int())
+                    : 0;
+            idx.records.push_back(envelope_of(log_name, offset, r));
+          }
+        }
+        cached.emplace_back(log_name, std::move(idx));
+      }
+    }
+  }
+  std::sort(cached.begin(), cached.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  // The logs on disk, in the canonical lexicographic order.
+  std::vector<std::string> log_names;
+  std::error_code ec;
+  for (fs::directory_iterator it(logs_dir(), ec), end; !ec && it != end;
+       it.increment(ec)) {
+    const std::string name = it->path().filename().string();
+    if (name.size() > std::string(kLogSuffix).size() &&
+        name.ends_with(kLogSuffix)) {
+      log_names.push_back(name);
+    }
+  }
+  if (ec) {
+    return util::Status::internal("cannot list " + logs_dir() + ": " +
+                                  ec.message());
+  }
+  std::sort(log_names.begin(), log_names.end());
+
+  bool index_dirty = false;
+  std::vector<std::pair<std::string, LogIndex>> fresh;
+  for (const std::string& name : log_names) {
+    const std::string path = (fs::path(logs_dir()) / name).string();
+    const std::uint64_t size = fs::file_size(path, ec);
+    if (ec) {
+      return util::Status::internal("cannot stat " + path + ": " + ec.message());
+    }
+    LogIndex idx;
+    const auto it = std::lower_bound(
+        cached.begin(), cached.end(), name,
+        [](const auto& entry, const std::string& key) { return entry.first < key; });
+    if (it != cached.end() && it->first == name) idx = std::move(it->second);
+    if (size < idx.valid_bytes) {
+      // Shrunk log (a writer truncated a crashed tail the cached refresh had
+      // not seen as final, or external tampering): the cache is unusable.
+      idx = LogIndex{};
+      index_dirty = true;
+    }
+    if (size != idx.valid_bytes) {
+      auto scan = scan_log(path, idx.valid_bytes);
+      if (!scan) return scan.status();
+      for (const ScannedFrame& frame : scan->frames) {
+        auto doc = Json::parse(frame.payload);
+        if (!doc) {
+          return util::Status::data_loss(name + " frame at offset " +
+                                         std::to_string(frame.offset) +
+                                         ": " + doc.status().message());
+        }
+        idx.records.push_back(envelope_of(name, frame.offset, *doc));
+      }
+      if (!scan->frames.empty()) index_dirty = true;
+      idx.valid_bytes = scan->valid_bytes;
+      // A truncated tail is not recorded as consumed: it is either a frame
+      // mid-append (complete next refresh) or a crash the writer will
+      // truncate away (shrinking the file below valid_bytes, caught above).
+    }
+    fresh.emplace_back(name, std::move(idx));
+  }
+  if (fresh.size() != cached.size()) index_dirty = true;
+
+  if (index_dirty) {
+    Json logs = Json::object();
+    for (const auto& [name, idx] : fresh) {
+      Json entry = Json::object();
+      entry.set("valid_bytes", static_cast<std::int64_t>(idx.valid_bytes));
+      Json records = Json::array();
+      for (const RecordRef& ref : idx.records) records.push(envelope_json(ref));
+      entry.set("records", std::move(records));
+      logs.set(name, std::move(entry));
+    }
+    Json root = Json::object();
+    root.set("schema", 1);
+    root.set("logs", std::move(logs));
+    const std::string tmp = index_path() + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::binary);
+      out << root.dump_compact() << "\n";
+      out.close();
+      if (!out) return util::Status::internal("cannot write " + tmp);
+    }
+    fs::rename(tmp, index_path(), ec);
+    if (ec) {
+      return util::Status::internal("cannot replace " + index_path() + ": " +
+                                    ec.message());
+    }
+  }
+
+  std::vector<RecordRef> refs;
+  for (auto& [name, idx] : fresh) {
+    for (RecordRef& ref : idx.records) refs.push_back(std::move(ref));
+  }
+  return refs;
+}
+
+util::Result<Json> ResultStore::read_record(const RecordRef& ref) const {
+  const std::string path = (fs::path(logs_dir()) / ref.log).string();
+  auto scan = scan_log(path, ref.offset, 1);
+  if (!scan) return scan.status();
+  if (scan->frames.empty() || scan->frames.front().offset != ref.offset) {
+    return util::Status::data_loss(ref.log + " has no intact frame at offset " +
+                                   std::to_string(ref.offset));
+  }
+  auto doc = Json::parse(scan->frames.front().payload);
+  if (!doc) {
+    return util::Status::data_loss(ref.log + " frame at offset " +
+                                   std::to_string(ref.offset) + ": " +
+                                   doc.status().message());
+  }
+  return *doc;
+}
+
+std::size_t ResultStore::distinct_runs(const std::vector<RecordRef>& refs) {
+  std::set<std::pair<std::string, std::uint64_t>> seen;
+  for (const RecordRef& ref : refs) {
+    for (std::uint64_t i = 0; i < ref.seeds; ++i) {
+      seen.emplace(ref.spec_hash, ref.base_seed + i);
+    }
+  }
+  return seen.size();
+}
+
+}  // namespace evm::store

@@ -1,0 +1,88 @@
+// Queryable campaign result store. Layout under one directory:
+//
+//   logs/<writer>.runlog   append-only frame logs (store/run_log.hpp); each
+//                          frame payload is one compact JSON *record*:
+//                          {"schema":1, "unit", "worker", "spec_hash",
+//                           "scenario", "topology_nodes", "base_seed",
+//                           "seeds", "report": <campaign shard report>}
+//   index.json             compact cache of every record's envelope keyed by
+//                          (log, offset) — spec hash, scenario, seed range —
+//                          plus per-log valid_bytes so a refresh rescans
+//                          only bytes appended since the last one.
+//
+// One writer per log file (the farm names logs after worker processes), so
+// concurrent shard writers never interleave frames. The index is maintained
+// by whoever reads the store (coordinator, `farm status/merge/query`) — a
+// single process at a time — while workers only ever append frames, so no
+// cross-process locking is needed anywhere.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "store/run_log.hpp"
+#include "util/json.hpp"
+#include "util/status.hpp"
+
+namespace evm::store {
+
+/// The indexed envelope of one stored record: everything a query needs to
+/// decide whether a frame is relevant without parsing its (much larger)
+/// embedded campaign report.
+struct RecordRef {
+  std::string log;           // log file name, e.g. "w0.runlog"
+  std::uint64_t offset = 0;  // frame offset within the log
+  std::string unit;          // work-unit id (farm) or caller-chosen tag
+  std::string worker;        // writer name
+  std::string spec_hash;     // util::content_hash of the canonical spec
+  std::string scenario;      // spec name
+  std::int64_t topology_nodes = 0;
+  std::uint64_t base_seed = 0;  // first seed the record's report covers
+  std::uint64_t seeds = 0;      // seed count of the record's report
+};
+
+/// Assemble a store record payload (compact JSON) around a campaign shard
+/// report. `topology_nodes` is the world size the spec builds — the group
+/// key for "by topology size" queries.
+std::string make_record(const std::string& unit, const std::string& worker,
+                        const std::string& spec_hash,
+                        const std::string& scenario,
+                        std::int64_t topology_nodes, std::uint64_t base_seed,
+                        std::uint64_t seeds, const util::Json& report);
+
+class ResultStore {
+ public:
+  /// Open (creating directories as needed) the store rooted at `dir`.
+  static util::Result<ResultStore> open(const std::string& dir);
+
+  const std::string& dir() const { return dir_; }
+
+  /// The appender for `logs/<name>.runlog` (recovered to a frame boundary).
+  /// `name` must be unique per concurrent writer.
+  util::Result<RunLogWriter> writer(const std::string& name) const;
+
+  /// Bring index.json up to date with the logs on disk — unchanged logs are
+  /// trusted, grown logs are scanned from their cached valid_bytes, shrunk
+  /// or tail-corrupted logs are rescanned — and return every record's
+  /// envelope ordered by (log name, offset). That order is the store's
+  /// canonical record order: dedup keeps the first occurrence in it.
+  util::Result<std::vector<RecordRef>> refresh_index();
+
+  /// Re-read and CRC-check one record's frame, returning the parsed record
+  /// document (envelope + "report").
+  util::Result<util::Json> read_record(const RecordRef& ref) const;
+
+  /// Total runs covered by `refs` after (spec_hash, seed) dedup.
+  static std::size_t distinct_runs(const std::vector<RecordRef>& refs);
+
+ private:
+  explicit ResultStore(std::string dir) : dir_(std::move(dir)) {}
+
+  std::string logs_dir() const;
+  std::string index_path() const;
+
+  std::string dir_;
+};
+
+}  // namespace evm::store

@@ -1,0 +1,134 @@
+#include "store/run_log.hpp"
+
+#include <filesystem>
+#include <span>
+
+#include "util/crc.hpp"
+
+namespace evm::store {
+
+namespace {
+
+void put_u32_le(std::string& out, std::uint32_t v) {
+  out += static_cast<char>(v & 0xFF);
+  out += static_cast<char>((v >> 8) & 0xFF);
+  out += static_cast<char>((v >> 16) & 0xFF);
+  out += static_cast<char>((v >> 24) & 0xFF);
+}
+
+std::uint32_t get_u32_le(const char* p) {
+  return static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[0])) |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[1])) << 8 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[2])) << 16 |
+         static_cast<std::uint32_t>(static_cast<std::uint8_t>(p[3])) << 24;
+}
+
+std::uint32_t payload_crc(std::string_view payload) {
+  return util::crc32(std::span<const std::uint8_t>(
+      reinterpret_cast<const std::uint8_t*>(payload.data()), payload.size()));
+}
+
+}  // namespace
+
+util::Result<LogScan> scan_log(const std::string& path,
+                               std::uint64_t start_offset,
+                               std::size_t max_frames) {
+  LogScan scan;
+  scan.valid_bytes = start_offset;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) return scan;  // empty valid log
+    return util::Status::internal("cannot open " + path);
+  }
+  in.seekg(static_cast<std::streamoff>(start_offset));
+  if (!in) {
+    // A start offset past EOF means the caller's cached index is stale
+    // (e.g. the file was truncated externally); report a full-rescan need
+    // the same way a corrupt tail is reported.
+    scan.valid_bytes = start_offset;
+    scan.truncated_tail = true;
+    return scan;
+  }
+  std::string header(kFrameHeaderBytes, '\0');
+  while (max_frames == 0 || scan.frames.size() < max_frames) {
+    in.read(header.data(), static_cast<std::streamsize>(kFrameHeaderBytes));
+    const auto got = static_cast<std::uint64_t>(in.gcount());
+    if (got == 0) break;  // clean end at a frame boundary
+    if (got < kFrameHeaderBytes) {
+      scan.truncated_tail = true;
+      break;
+    }
+    const std::uint32_t length = get_u32_le(header.data());
+    const std::uint32_t crc = get_u32_le(header.data() + 4);
+    if (length > kMaxFrameBytes) {
+      scan.truncated_tail = true;  // corrupt header; nothing past it is safe
+      break;
+    }
+    std::string payload(length, '\0');
+    in.read(payload.data(), static_cast<std::streamsize>(length));
+    if (static_cast<std::uint64_t>(in.gcount()) < length ||
+        payload_crc(payload) != crc) {
+      scan.truncated_tail = true;
+      break;
+    }
+    ScannedFrame frame;
+    frame.offset = scan.valid_bytes;
+    frame.payload = std::move(payload);
+    scan.frames.push_back(std::move(frame));
+    scan.valid_bytes += kFrameHeaderBytes + length;
+  }
+  return scan;
+}
+
+util::Result<RunLogWriter> RunLogWriter::open(const std::string& path) {
+  const std::filesystem::path p(path);
+  std::error_code ec;
+  if (p.has_parent_path()) {
+    std::filesystem::create_directories(p.parent_path(), ec);
+    if (ec) {
+      return util::Status::internal("cannot create " +
+                                    p.parent_path().string() + ": " +
+                                    ec.message());
+    }
+  }
+  auto scan = scan_log(path);
+  if (!scan) return scan.status();
+  if (scan->truncated_tail) {
+    // Drop the partial tail so the log ends at a frame boundary; appending
+    // after garbage would hide every later frame from readers forever.
+    std::filesystem::resize_file(p, scan->valid_bytes, ec);
+    if (ec) {
+      return util::Status::internal("cannot truncate " + path + ": " +
+                                    ec.message());
+    }
+  }
+  RunLogWriter writer;
+  writer.path_ = path;
+  writer.recovered_frames_ = scan->frames.size();
+  writer.out_.open(path, std::ios::binary | std::ios::app);
+  if (!writer.out_) {
+    return util::Status::internal("cannot open " + path + " for append");
+  }
+  return writer;
+}
+
+util::Status RunLogWriter::append(std::string_view payload) {
+  if (payload.size() > kMaxFrameBytes) {
+    return util::Status::invalid_argument("payload exceeds frame cap");
+  }
+  // One buffered write per frame: a crash mid-append leaves at most one
+  // partial tail frame for the next open() to truncate.
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  put_u32_le(frame, static_cast<std::uint32_t>(payload.size()));
+  put_u32_le(frame, payload_crc(payload));
+  frame.append(payload);
+  out_.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+  out_.flush();
+  if (!out_) return util::Status::internal("write failed on " + path_);
+  ++appended_frames_;
+  return util::Status::ok();
+}
+
+}  // namespace evm::store

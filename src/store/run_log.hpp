@@ -1,0 +1,87 @@
+// Append-only, crash-safe record log: the durable substrate of the campaign
+// result store. A log is a flat file of self-delimiting frames
+//
+//   [u32 payload length][u32 CRC-32 of payload][payload bytes]
+//
+// (both integers little-endian). Appends are single buffered writes followed
+// by a flush, so a crash can only ever leave a *partial tail frame*: the
+// scanner stops at the first incomplete or CRC-failing frame and reports the
+// byte offset of the last good one, and the writer truncates to that offset
+// on open before appending — a killed worker resumes cleanly and readers
+// concurrently tailing an active log simply retry the tail frame later.
+//
+// Concurrency model: one writer per file, ever. The result store gives each
+// worker its own `<name>.runlog`, so frames from different writers cannot
+// interleave by construction; readers may scan any log at any time.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.hpp"
+
+namespace evm::store {
+
+/// Frame header size: u32 length + u32 crc.
+inline constexpr std::uint64_t kFrameHeaderBytes = 8;
+/// Sanity cap on a single payload; a "length" beyond this is treated as a
+/// corrupt tail, not an allocation request.
+inline constexpr std::uint32_t kMaxFrameBytes = 64u * 1024 * 1024;
+
+struct ScannedFrame {
+  std::uint64_t offset = 0;  // file offset of the frame header
+  std::string payload;
+};
+
+struct LogScan {
+  std::vector<ScannedFrame> frames;
+  /// Offset one past the last intact frame — the resume point for both the
+  /// writer (truncate here, then append) and incremental index refreshes
+  /// (rescan from here).
+  std::uint64_t valid_bytes = 0;
+  /// Bytes past valid_bytes that did not form an intact frame (a crashed
+  /// append, or a frame still being written by a live writer).
+  bool truncated_tail = false;
+};
+
+/// Scan `path` from `start_offset` (which must be a frame boundary; 0 for
+/// the whole file), stopping after `max_frames` intact frames (0 = no
+/// limit). A missing file is an empty, valid log. Never throws; unreadable
+/// files surface as a Status.
+util::Result<LogScan> scan_log(const std::string& path,
+                               std::uint64_t start_offset = 0,
+                               std::size_t max_frames = 0);
+
+/// The single appender for one log file. Opening recovers the file first:
+/// anything past the last intact frame is truncated away, so appends always
+/// continue from a frame boundary.
+class RunLogWriter {
+ public:
+  /// Recover + open `path` for appending, creating it (and parent
+  /// directories) when absent. Returns the writer plus how many intact
+  /// frames the recovered file already held.
+  static util::Result<RunLogWriter> open(const std::string& path);
+
+  /// Append one frame and flush. Payloads are opaque bytes; the store puts
+  /// one compact JSON record per frame.
+  util::Status append(std::string_view payload);
+
+  const std::string& path() const { return path_; }
+  /// Intact frames found at open time (the crash-resume baseline).
+  std::uint64_t recovered_frames() const { return recovered_frames_; }
+  /// Frames appended through this writer since open.
+  std::uint64_t appended_frames() const { return appended_frames_; }
+
+ private:
+  RunLogWriter() = default;
+
+  std::string path_;
+  std::ofstream out_;
+  std::uint64_t recovered_frames_ = 0;
+  std::uint64_t appended_frames_ = 0;
+};
+
+}  // namespace evm::store

@@ -1,0 +1,431 @@
+// Farm subsystem coverage: work-queue lifecycle (enqueue split/idempotence,
+// claim-by-rename exclusivity, requeue of stale leases, poison-unit guard),
+// the in-process worker loop against a real scenario, at-least-once replay
+// dedup, and the headline guarantee — a farm-run campaign merges
+// byte-identically (modulo timing) to a single-process run.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "farm/merge.hpp"
+#include "farm/work_queue.hpp"
+#include "farm/worker.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/spec.hpp"
+#include "store/result_store.hpp"
+#include "util/json.hpp"
+
+namespace evm::farm {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string scratch_dir() {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  fs::path dir = fs::temp_directory_path() /
+                 (std::string("evm_farm_") + info->test_suite_name() + "_" +
+                  info->name());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// "prefix<n>" built by append, dodging a GCC 12 -Wrestrict false positive
+/// on operator+(const char*, std::string&&).
+std::string tag(const char* prefix, std::uint64_t n) {
+  std::string s = prefix;
+  s += std::to_string(n);
+  return s;
+}
+
+/// A fast real scenario: the checked-in baseline spec with a short horizon.
+scenario::ScenarioSpec fast_spec() {
+  auto spec = scenario::ScenarioSpec::load_file(
+      std::string(EVM_REPO_SCENARIOS_DIR) + "/baseline.json");
+  EXPECT_TRUE(spec.ok()) << spec.status().to_string();
+  spec->horizon_s = 15.0;
+  return *spec;
+}
+
+std::size_t enqueue_ok(WorkQueue& queue, const scenario::ScenarioSpec& spec,
+                       std::uint64_t base_seed, std::uint64_t seeds,
+                       std::uint64_t unit_seeds) {
+  auto added = queue.enqueue_campaign(spec.to_json(), spec.content_hash(),
+                                      spec.name, base_seed, seeds, unit_seeds);
+  EXPECT_TRUE(added.ok()) << added.status().to_string();
+  return added.ok() ? *added : 0;
+}
+
+TEST(WorkQueue, EnqueueSplitsIntoUnitsAndIsIdempotent) {
+  auto queue = WorkQueue::open(scratch_dir());
+  ASSERT_TRUE(queue.ok()) << queue.status().to_string();
+  const scenario::ScenarioSpec spec = fast_spec();
+
+  EXPECT_EQ(enqueue_ok(*queue, spec, 1, 10, 4), 3u);  // 4 + 4 + 2 seeds
+  auto counts = queue->counts();
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->queued, 3u);
+  EXPECT_TRUE(fs::exists(queue->spec_path(spec.content_hash())));
+
+  // Re-enqueueing the same campaign adds nothing, wherever units live.
+  EXPECT_EQ(enqueue_ok(*queue, spec, 1, 10, 4), 0u);
+  auto claim = queue->claim("w0");
+  ASSERT_TRUE(claim.ok());
+  ASSERT_TRUE(claim->has_value());
+  EXPECT_EQ(enqueue_ok(*queue, spec, 1, 10, 4), 0u);  // one unit now leased
+  ASSERT_TRUE(queue->complete(**claim).ok_value());
+  EXPECT_EQ(enqueue_ok(*queue, spec, 1, 10, 4), 0u);  // ... now done
+
+  // The claimed unit was the lexicographically first: the lowest seed range.
+  EXPECT_EQ((*claim)->unit.range_base, 1u);
+  EXPECT_EQ((*claim)->unit.range_seeds, 4u);
+  EXPECT_EQ((*claim)->unit.campaign_base, 1u);
+  EXPECT_EQ((*claim)->unit.campaign_seeds, 10u);
+}
+
+TEST(WorkQueue, ClaimCompleteFailLifecycle) {
+  auto queue = WorkQueue::open(scratch_dir());
+  ASSERT_TRUE(queue.ok());
+  const scenario::ScenarioSpec spec = fast_spec();
+  enqueue_ok(*queue, spec, 1, 4, 2);
+
+  auto first = queue->claim("w0");
+  ASSERT_TRUE(first.ok() && first->has_value());
+  auto second = queue->claim("w0");
+  ASSERT_TRUE(second.ok() && second->has_value());
+  EXPECT_NE((*first)->unit.id, (*second)->unit.id);
+  auto none = queue->claim("w0");
+  ASSERT_TRUE(none.ok());
+  EXPECT_FALSE(none->has_value());
+
+  ASSERT_TRUE(queue->complete(**first).ok_value());
+  ASSERT_TRUE(queue->fail(**second, "boom").ok_value());
+  auto counts = queue->counts();
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->queued, 0u);
+  EXPECT_EQ(counts->leased, 0u);
+  EXPECT_EQ(counts->done, 1u);
+  EXPECT_EQ(counts->failed, 1u);
+
+  // The failed unit file records why.
+  auto failed_doc = util::load_json_file(queue->dir() + "/failed/" +
+                                         (*second)->unit.id + ".json");
+  ASSERT_TRUE(failed_doc.ok());
+  EXPECT_EQ(failed_doc->find("error")->as_string(), "boom");
+}
+
+TEST(WorkQueue, RequeueStaleRespectsLiveWorkersAndParksPoisonUnits) {
+  auto queue = WorkQueue::open(scratch_dir());
+  ASSERT_TRUE(queue.ok());
+  const scenario::ScenarioSpec spec = fast_spec();
+  enqueue_ok(*queue, spec, 1, 2, 2);
+
+  auto claim = queue->claim("w0");
+  ASSERT_TRUE(claim.ok() && claim->has_value());
+
+  // w0 is live: nothing to requeue.
+  auto requeued = queue->requeue_stale({"w0"}, 5);
+  ASSERT_TRUE(requeued.ok());
+  EXPECT_EQ(*requeued, 0u);
+
+  // w0 died: its lease goes back to the queue with attempts bumped.
+  requeued = queue->requeue_stale({}, 5);
+  ASSERT_TRUE(requeued.ok());
+  EXPECT_EQ(*requeued, 1u);
+  claim = queue->claim("w1");
+  ASSERT_TRUE(claim.ok() && claim->has_value());
+  EXPECT_EQ((*claim)->unit.attempts, 1u);
+
+  // Two more deaths exhaust max_attempts=2: parked in failed/, not requeued.
+  ASSERT_TRUE(queue->requeue_stale({}, 2).ok());
+  claim = queue->claim("w2");
+  ASSERT_TRUE(claim.ok() && claim->has_value());
+  EXPECT_EQ((*claim)->unit.attempts, 2u);
+  requeued = queue->requeue_stale({}, 2);
+  ASSERT_TRUE(requeued.ok());
+  EXPECT_EQ(*requeued, 0u);
+  auto counts = queue->counts();
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->queued, 0u);
+  EXPECT_EQ(counts->leased, 0u);
+  EXPECT_EQ(counts->failed, 1u);
+}
+
+TEST(WorkQueue, ConcurrentClaimersNeverShareAUnit) {
+  auto queue = WorkQueue::open(scratch_dir());
+  ASSERT_TRUE(queue.ok());
+  const scenario::ScenarioSpec spec = fast_spec();
+  constexpr std::size_t kUnits = 32;
+  enqueue_ok(*queue, spec, 1, kUnits, 1);
+
+  // Four claimers race the queue dry through the sanctioned pool; each
+  // writes only its own slot, so no cross-thread state is shared.
+  constexpr std::size_t kClaimers = 4;
+  std::vector<std::vector<std::string>> claimed(kClaimers);
+  scenario::parallel_for(kClaimers, kClaimers, [&](std::size_t w) {
+    for (;;) {
+      auto claim = queue->claim(tag("w", w));
+      ASSERT_TRUE(claim.ok());
+      if (!claim->has_value()) return;
+      claimed[w].push_back((*claim)->unit.id);
+      ASSERT_TRUE(queue->complete(**claim).ok_value());
+    }
+  });
+
+  std::set<std::string> all;
+  std::size_t total = 0;
+  for (const auto& ids : claimed) {
+    total += ids.size();
+    all.insert(ids.begin(), ids.end());
+  }
+  EXPECT_EQ(total, kUnits);       // every unit claimed exactly once
+  EXPECT_EQ(all.size(), kUnits);  // no unit claimed twice
+  auto counts = queue->counts();
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->done, kUnits);
+}
+
+TEST(FarmWorker, DrainsTheQueueAndStoresOneRecordPerUnit) {
+  const std::string dir = scratch_dir();
+  auto queue = WorkQueue::open(dir);
+  ASSERT_TRUE(queue.ok());
+  const scenario::ScenarioSpec spec = fast_spec();
+  enqueue_ok(*queue, spec, 1, 4, 2);
+
+  WorkerOptions options;
+  options.farm_dir = dir;
+  options.name = "w0";
+  auto stats = run_worker(options);
+  ASSERT_TRUE(stats.ok()) << stats.status().to_string();
+  EXPECT_EQ(stats->units_done, 2u);
+  EXPECT_EQ(stats->units_failed, 0u);
+  EXPECT_EQ(stats->runs_done, 4u);
+
+  auto store = store::ResultStore::open(queue->store_dir());
+  ASSERT_TRUE(store.ok());
+  auto refs = store->refresh_index();
+  ASSERT_TRUE(refs.ok());
+  ASSERT_EQ(refs->size(), 2u);
+  EXPECT_EQ(store::ResultStore::distinct_runs(*refs), 4u);
+  EXPECT_EQ((*refs)[0].spec_hash, spec.content_hash());
+  EXPECT_EQ((*refs)[0].worker, "w0");
+  // Every stored report echoes the FULL campaign shape, not its range.
+  auto record = store->read_record((*refs)[1]);
+  ASSERT_TRUE(record.ok());
+  const util::Json* campaign = record->find("report")->find("campaign");
+  ASSERT_NE(campaign, nullptr);
+  EXPECT_EQ(campaign->find("base_seed")->as_int(), 1);
+  EXPECT_EQ(campaign->find("seeds")->as_int(), 4);
+}
+
+/// Rebuild `report` without its machine-dependent "timing" member.
+util::Json strip_timing(const util::Json& report) {
+  util::Json out = util::Json::object();
+  for (const auto& [key, value] : report.members()) {
+    if (key != "timing") out.set(key, value);
+  }
+  return out;
+}
+
+TEST(FarmMerge, FarmCampaignIsByteIdenticalToDirectRunModuloTiming) {
+  const std::string dir = scratch_dir();
+  auto queue = WorkQueue::open(dir);
+  ASSERT_TRUE(queue.ok());
+  const scenario::ScenarioSpec spec = fast_spec();
+  enqueue_ok(*queue, spec, 1, 6, 2);
+
+  // Two workers split the three units between them.
+  WorkerOptions w0;
+  w0.farm_dir = dir;
+  w0.name = "w0";
+  w0.max_units = 1;
+  ASSERT_TRUE(run_worker(w0).ok());
+  WorkerOptions w1;
+  w1.farm_dir = dir;
+  w1.name = "w1";
+  auto stats = run_worker(w1);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->units_done, 2u);
+
+  auto store = store::ResultStore::open(queue->store_dir());
+  ASSERT_TRUE(store.ok());
+  auto merged = merge_farm_results(*store, {});
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  EXPECT_EQ(merged->records_used, 3u);
+  EXPECT_EQ(merged->records_duplicate, 0u);
+  EXPECT_EQ(merged->scenario, spec.name);
+  EXPECT_EQ(merged->spec_hash, spec.content_hash());
+
+  scenario::CampaignConfig config;
+  config.base_seed = 1;
+  config.seeds = 6;
+  config.jobs = 2;
+  const scenario::CampaignResult direct = scenario::run_campaign(spec, config);
+  const util::Json direct_report = scenario::campaign_report(spec, config, direct);
+
+  EXPECT_EQ(strip_timing(merged->report).dump(),
+            strip_timing(direct_report).dump());
+}
+
+TEST(FarmMerge, ReplayedUnitsDedupWithoutChangingTheReport) {
+  const std::string dir = scratch_dir();
+  auto queue = WorkQueue::open(dir);
+  ASSERT_TRUE(queue.ok());
+  const scenario::ScenarioSpec spec = fast_spec();
+  enqueue_ok(*queue, spec, 1, 4, 2);
+
+  WorkerOptions options;
+  options.farm_dir = dir;
+  options.name = "w0";
+  ASSERT_TRUE(run_worker(options).ok());
+
+  // Simulate an at-least-once replay: a worker died after appending its
+  // record but before retiring the lease, and the rerun stored it again.
+  auto store = store::ResultStore::open(queue->store_dir());
+  ASSERT_TRUE(store.ok());
+  auto refs = store->refresh_index();
+  ASSERT_TRUE(refs.ok());
+  ASSERT_EQ(refs->size(), 2u);
+  auto original = store->read_record((*refs)[0]);
+  ASSERT_TRUE(original.ok());
+  auto writer = store->writer("w1");
+  ASSERT_TRUE(writer.ok());
+  ASSERT_TRUE(writer->append(original->dump()).ok_value());
+
+  auto merged = merge_farm_results(*store, {});
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  EXPECT_EQ(merged->records_used, 2u);
+  EXPECT_EQ(merged->records_duplicate, 1u);
+  EXPECT_EQ(merged->report.find("runs")->size(), 4u);
+
+  // The merged report is exactly what a replay-free merge would produce.
+  scenario::CampaignConfig config;
+  config.base_seed = 1;
+  config.seeds = 4;
+  const scenario::CampaignResult direct = scenario::run_campaign(spec, config);
+  const util::Json direct_report = scenario::campaign_report(spec, config, direct);
+  EXPECT_EQ(strip_timing(merged->report).dump(),
+            strip_timing(direct_report).dump());
+}
+
+TEST(FarmMerge, StaleLeaseRequeueResumesToTheSameBytes) {
+  const std::string dir = scratch_dir();
+  auto queue = WorkQueue::open(dir);
+  ASSERT_TRUE(queue.ok());
+  const scenario::ScenarioSpec spec = fast_spec();
+  enqueue_ok(*queue, spec, 1, 6, 2);
+
+  // A worker claims a unit and "dies" (lease left behind, nothing stored).
+  auto doomed = queue->claim("ghost");
+  ASSERT_TRUE(doomed.ok() && doomed->has_value());
+
+  // Another worker drains what it can see.
+  WorkerOptions options;
+  options.farm_dir = dir;
+  options.name = "w0";
+  auto stats = run_worker(options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->units_done, 2u);
+
+  // Coordinator-style resume: requeue the ghost's lease, run again.
+  auto requeued = queue->requeue_stale({"w0"}, 5);
+  ASSERT_TRUE(requeued.ok());
+  EXPECT_EQ(*requeued, 1u);
+  options.name = "w2";
+  stats = run_worker(options);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->units_done, 1u);
+
+  auto counts = queue->counts();
+  ASSERT_TRUE(counts.ok());
+  EXPECT_EQ(counts->done, 3u);
+  EXPECT_EQ(counts->queued + counts->leased + counts->failed, 0u);
+
+  auto store = store::ResultStore::open(queue->store_dir());
+  ASSERT_TRUE(store.ok());
+  auto merged = merge_farm_results(*store, {});
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  scenario::CampaignConfig config;
+  config.base_seed = 1;
+  config.seeds = 6;
+  const scenario::CampaignResult direct = scenario::run_campaign(spec, config);
+  const util::Json direct_report = scenario::campaign_report(spec, config, direct);
+  EXPECT_EQ(strip_timing(merged->report).dump(),
+            strip_timing(direct_report).dump());
+}
+
+TEST(FarmMerge, SelectionDisambiguatesMultipleCampaigns) {
+  const std::string dir = scratch_dir();
+  auto queue = WorkQueue::open(dir);
+  ASSERT_TRUE(queue.ok());
+  scenario::ScenarioSpec spec_a = fast_spec();
+  scenario::ScenarioSpec spec_b = fast_spec();
+  spec_b.name = "baseline-short";
+  spec_b.horizon_s = 12.0;
+  enqueue_ok(*queue, spec_a, 1, 2, 2);
+  enqueue_ok(*queue, spec_b, 1, 2, 2);
+
+  WorkerOptions options;
+  options.farm_dir = dir;
+  options.name = "w0";
+  ASSERT_TRUE(run_worker(options).ok());
+
+  auto store = store::ResultStore::open(queue->store_dir());
+  ASSERT_TRUE(store.ok());
+  // Unfiltered: two campaigns in the store, the merge must refuse.
+  auto ambiguous = merge_farm_results(*store, {});
+  EXPECT_FALSE(ambiguous.ok());
+  // Scenario filter singles one out.
+  MergeSelection by_name;
+  by_name.scenario = "baseline-short";
+  auto merged = merge_farm_results(*store, by_name);
+  ASSERT_TRUE(merged.ok()) << merged.status().to_string();
+  EXPECT_EQ(merged->spec_hash, spec_b.content_hash());
+  EXPECT_EQ(merged->report.find("runs")->size(), 2u);
+  // So does the spec hash.
+  MergeSelection by_hash;
+  by_hash.spec_hash = spec_a.content_hash();
+  merged = merge_farm_results(*store, by_hash);
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->scenario, "baseline");
+}
+
+TEST(SpecHash, StableAcrossRoundTripAndSurfacedInReports) {
+  const scenario::ScenarioSpec spec = fast_spec();
+  const std::string hash = spec.content_hash();
+  EXPECT_EQ(hash.size(), 16u);
+
+  // Round-tripping through JSON (as the farm spool does) preserves it.
+  auto reparsed = scenario::ScenarioSpec::from_json(spec.to_json());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->content_hash(), hash);
+
+  // A different spec hashes differently.
+  scenario::ScenarioSpec other = spec;
+  other.horizon_s += 1.0;
+  EXPECT_NE(other.content_hash(), hash);
+
+  // Reports surface it, and the merged report re-derives the same value.
+  scenario::CampaignConfig config;
+  config.base_seed = 1;
+  config.seeds = 1;
+  scenario::CampaignResult result;
+  scenario::RunMetrics run;
+  run.seed = 1;
+  run.ok = true;
+  result.runs.push_back(run);
+  const util::Json report = scenario::campaign_report(spec, config, result);
+  ASSERT_NE(report.find("spec_hash"), nullptr);
+  EXPECT_EQ(report.find("spec_hash")->as_string(), hash);
+  auto merged = scenario::merge_campaign_reports({report});
+  ASSERT_TRUE(merged.ok());
+  EXPECT_EQ(merged->find("spec_hash")->as_string(), hash);
+}
+
+}  // namespace
+}  // namespace evm::farm

@@ -1,0 +1,504 @@
+// Result-store coverage: run-log framing and crash recovery (truncated or
+// corrupt tails are ignored on reopen and appends continue), concurrent
+// shard writers on one store, incremental index refresh, and the grouped
+// percentile query engine — including the ≥10k-run latency budget from the
+// farm acceptance bar.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/phase_timer.hpp"
+#include "scenario/campaign.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "store/query.hpp"
+#include "store/result_store.hpp"
+#include "store/run_log.hpp"
+#include "util/hash.hpp"
+#include "util/stats.hpp"
+
+namespace evm::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh scratch directory per test, derived from the test name.
+std::string scratch_dir() {
+  const ::testing::TestInfo* info =
+      ::testing::UnitTest::GetInstance()->current_test_info();
+  fs::path dir = fs::temp_directory_path() /
+                 (std::string("evm_store_") + info->test_suite_name() + "_" +
+                  info->name());
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+/// "prefix<n>" built by append, dodging a GCC 12 -Wrestrict false positive
+/// on operator+(const char*, std::string&&).
+std::string tag(const char* prefix, std::uint64_t n) {
+  std::string s = prefix;
+  s += std::to_string(n);
+  return s;
+}
+
+std::string append_ok(RunLogWriter& writer, const std::string& payload) {
+  EXPECT_TRUE(writer.append(payload).ok_value());
+  return payload;
+}
+
+TEST(RunLog, FramesRoundTripInOrder) {
+  const std::string path = scratch_dir() + "/a.runlog";
+  auto writer = RunLogWriter::open(path);
+  ASSERT_TRUE(writer.ok()) << writer.status().to_string();
+  EXPECT_EQ(writer->recovered_frames(), 0u);
+  append_ok(*writer, "alpha");
+  append_ok(*writer, std::string(100'000, 'x'));  // bigger than one block
+  append_ok(*writer, "");                         // empty payloads are legal
+  EXPECT_EQ(writer->appended_frames(), 3u);
+
+  auto scan = scan_log(path);
+  ASSERT_TRUE(scan.ok()) << scan.status().to_string();
+  ASSERT_EQ(scan->frames.size(), 3u);
+  EXPECT_EQ(scan->frames[0].payload, "alpha");
+  EXPECT_EQ(scan->frames[1].payload.size(), 100'000u);
+  EXPECT_EQ(scan->frames[2].payload, "");
+  EXPECT_FALSE(scan->truncated_tail);
+  EXPECT_EQ(scan->valid_bytes, fs::file_size(path));
+  // Frame offsets chain: header + payload, no gaps.
+  EXPECT_EQ(scan->frames[1].offset, kFrameHeaderBytes + 5);
+}
+
+TEST(RunLog, MissingFileScansEmpty) {
+  auto scan = scan_log(scratch_dir() + "/never_written.runlog");
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->frames.empty());
+  EXPECT_EQ(scan->valid_bytes, 0u);
+  EXPECT_FALSE(scan->truncated_tail);
+}
+
+TEST(RunLog, TruncatedTailIsIgnoredOnReopenAndAppendsContinue) {
+  const std::string path = scratch_dir() + "/crash.runlog";
+  {
+    auto writer = RunLogWriter::open(path);
+    ASSERT_TRUE(writer.ok());
+    append_ok(*writer, "one");
+    append_ok(*writer, "two");
+  }
+  const std::uint64_t good_bytes = fs::file_size(path);
+  {
+    // A crashed append: header promising more bytes than follow.
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    const char partial[] = {0x40, 0x00, 0x00, 0x00, 0x12, 0x34, 0x56, 0x78,
+                            'h',  'a',  'l',  'f'};
+    out.write(partial, sizeof(partial));
+  }
+
+  auto scan = scan_log(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_EQ(scan->frames.size(), 2u);
+  EXPECT_TRUE(scan->truncated_tail);
+  EXPECT_EQ(scan->valid_bytes, good_bytes);
+
+  // Reopen recovers: tail truncated, appends land on a frame boundary.
+  auto writer = RunLogWriter::open(path);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(writer->recovered_frames(), 2u);
+  append_ok(*writer, "three");
+  auto rescan = scan_log(path);
+  ASSERT_TRUE(rescan.ok());
+  ASSERT_EQ(rescan->frames.size(), 3u);
+  EXPECT_EQ(rescan->frames[2].payload, "three");
+  EXPECT_FALSE(rescan->truncated_tail);
+}
+
+TEST(RunLog, CorruptPayloadStopsTheScanAtTheLastGoodFrame) {
+  const std::string path = scratch_dir() + "/corrupt.runlog";
+  {
+    auto writer = RunLogWriter::open(path);
+    ASSERT_TRUE(writer.ok());
+    append_ok(*writer, "good frame");
+    append_ok(*writer, "about to rot");
+  }
+  {
+    // Flip one payload byte of the second frame; its CRC now fails.
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(-1, std::ios::end);
+    f.put('!');
+  }
+  auto scan = scan_log(path);
+  ASSERT_TRUE(scan.ok());
+  ASSERT_EQ(scan->frames.size(), 1u);
+  EXPECT_EQ(scan->frames[0].payload, "good frame");
+  EXPECT_TRUE(scan->truncated_tail);
+
+  auto writer = RunLogWriter::open(path);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(writer->recovered_frames(), 1u);
+}
+
+TEST(RunLog, AbsurdLengthHeaderIsACorruptTailNotAnAllocation) {
+  const std::string path = scratch_dir() + "/absurd.runlog";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const unsigned char huge[] = {0xff, 0xff, 0xff, 0xff,
+                                  0x00, 0x00, 0x00, 0x00};
+    out.write(reinterpret_cast<const char*>(huge), sizeof(huge));
+  }
+  auto scan = scan_log(path);
+  ASSERT_TRUE(scan.ok());
+  EXPECT_TRUE(scan->frames.empty());
+  EXPECT_TRUE(scan->truncated_tail);
+  EXPECT_EQ(scan->valid_bytes, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// ResultStore + index
+// ---------------------------------------------------------------------------
+
+/// A hand-built (wall_ms == 0, byte-stable) campaign report whose runs carry
+/// known failover latencies.
+util::Json synthetic_report(const scenario::ScenarioSpec& spec,
+                            std::uint64_t base_seed,
+                            const std::vector<double>& latencies) {
+  scenario::CampaignConfig config;
+  config.base_seed = base_seed;
+  config.seeds = latencies.size();
+  scenario::CampaignResult result;
+  for (std::size_t i = 0; i < latencies.size(); ++i) {
+    scenario::RunMetrics m;
+    m.seed = base_seed + i;
+    m.ok = true;
+    m.failover_latency_s = latencies[i];
+    m.missed_deadlines = static_cast<std::uint64_t>(i);
+    m.packet_loss_rate = latencies[i] / 100.0;
+    result.runs.push_back(m);
+  }
+  return scenario::campaign_report(spec, config, result);
+}
+
+scenario::ScenarioSpec store_spec(const std::string& name) {
+  scenario::ScenarioSpec spec;
+  spec.name = name;
+  spec.horizon_s = 10.0;
+  return spec;
+}
+
+/// Append one synthetic record and return its report for later comparison.
+void put_record(ResultStore& store, RunLogWriter& writer,
+                const scenario::ScenarioSpec& spec, const std::string& unit,
+                const std::string& worker, std::uint64_t base_seed,
+                const std::vector<double>& latencies) {
+  const util::Json report = synthetic_report(spec, base_seed, latencies);
+  const std::string record = make_record(
+      unit, worker, spec.content_hash(), spec.name,
+      static_cast<std::int64_t>(spec.topology().nodes.size()), base_seed,
+      latencies.size(), report);
+  ASSERT_TRUE(store.dir() != "");  // store must outlive the writer
+  ASSERT_TRUE(writer.append(record).ok_value());
+}
+
+TEST(ResultStore, RecordsRoundTripThroughIndexAndReads) {
+  auto store = ResultStore::open(scratch_dir());
+  ASSERT_TRUE(store.ok()) << store.status().to_string();
+  const scenario::ScenarioSpec spec = store_spec("round-trip");
+  auto writer = store->writer("w0");
+  ASSERT_TRUE(writer.ok());
+  put_record(*store, *writer, spec, "u_a", "w0", 1, {1.0, 2.0});
+  put_record(*store, *writer, spec, "u_b", "w0", 3, {3.0, 4.0});
+
+  auto refs = store->refresh_index();
+  ASSERT_TRUE(refs.ok()) << refs.status().to_string();
+  ASSERT_EQ(refs->size(), 2u);
+  EXPECT_EQ((*refs)[0].unit, "u_a");
+  EXPECT_EQ((*refs)[0].worker, "w0");
+  EXPECT_EQ((*refs)[0].scenario, "round-trip");
+  EXPECT_EQ((*refs)[0].spec_hash, spec.content_hash());
+  EXPECT_EQ((*refs)[0].base_seed, 1u);
+  EXPECT_EQ((*refs)[0].seeds, 2u);
+  EXPECT_EQ((*refs)[1].base_seed, 3u);
+  EXPECT_EQ(ResultStore::distinct_runs(*refs), 4u);
+
+  auto record = store->read_record((*refs)[1]);
+  ASSERT_TRUE(record.ok()) << record.status().to_string();
+  const util::Json* report = record->find("report");
+  ASSERT_NE(report, nullptr);
+  EXPECT_EQ(report->find("scenario")->as_string(), "round-trip");
+  EXPECT_EQ(report->find("runs")->size(), 2u);
+}
+
+TEST(ResultStore, IndexRefreshIsIncrementalAndSurvivesTailCorruption) {
+  auto store = ResultStore::open(scratch_dir());
+  ASSERT_TRUE(store.ok());
+  const scenario::ScenarioSpec spec = store_spec("incremental");
+  {
+    auto writer = store->writer("w0");
+    ASSERT_TRUE(writer.ok());
+    put_record(*store, *writer, spec, "u_1", "w0", 1, {1.0});
+  }
+  auto refs = store->refresh_index();
+  ASSERT_TRUE(refs.ok());
+  ASSERT_EQ(refs->size(), 1u);
+
+  // Appends after a refresh are picked up (scan starts at valid_bytes).
+  {
+    auto writer = store->writer("w0");
+    ASSERT_TRUE(writer.ok());
+    put_record(*store, *writer, spec, "u_2", "w0", 2, {2.0});
+  }
+  refs = store->refresh_index();
+  ASSERT_TRUE(refs.ok());
+  ASSERT_EQ(refs->size(), 2u);
+  EXPECT_EQ((*refs)[1].unit, "u_2");
+
+  // A crashed append leaves a partial tail; the refresh must not index it,
+  // and the writer's reopen truncates it so the next record lands clean.
+  const std::string log_path = store->dir() + "/logs/w0.runlog";
+  {
+    std::ofstream out(log_path, std::ios::binary | std::ios::app);
+    out << "partial garbage tail";
+  }
+  refs = store->refresh_index();
+  ASSERT_TRUE(refs.ok());
+  ASSERT_EQ(refs->size(), 2u);
+  {
+    auto writer = store->writer("w0");
+    ASSERT_TRUE(writer.ok());
+    EXPECT_EQ(writer->recovered_frames(), 2u);
+    put_record(*store, *writer, spec, "u_3", "w0", 3, {3.0});
+  }
+  refs = store->refresh_index();
+  ASSERT_TRUE(refs.ok());
+  ASSERT_EQ(refs->size(), 3u);
+  EXPECT_EQ((*refs)[2].unit, "u_3");
+}
+
+TEST(ResultStore, ConcurrentShardWritersNeverInterleaveFrames) {
+  auto store = ResultStore::open(scratch_dir());
+  ASSERT_TRUE(store.ok());
+  const scenario::ScenarioSpec spec = store_spec("concurrent");
+  constexpr std::size_t kWriters = 8;
+  constexpr std::size_t kRecords = 25;
+
+  // One writer per log (the store's concurrency contract), all appending at
+  // once through the sanctioned pool. Every frame of every log must come
+  // back intact and in its writer's order.
+  scenario::parallel_for(kWriters, kWriters, [&](std::size_t w) {
+    auto writer = store->writer(tag("w", w));
+    ASSERT_TRUE(writer.ok());
+    for (std::size_t r = 0; r < kRecords; ++r) {
+      const std::uint64_t base = 1 + (w * kRecords + r) * 2;
+      const util::Json report = synthetic_report(spec, base, {1.0, 2.0});
+      const std::string record =
+          make_record(tag("u_", w) + "_" + std::to_string(r),
+                      tag("w", w), spec.content_hash(), spec.name,
+                      6, base, 2, report);
+      ASSERT_TRUE(writer->append(record).ok_value());
+    }
+  });
+
+  auto refs = store->refresh_index();
+  ASSERT_TRUE(refs.ok()) << refs.status().to_string();
+  ASSERT_EQ(refs->size(), kWriters * kRecords);
+  EXPECT_EQ(ResultStore::distinct_runs(*refs), kWriters * kRecords * 2);
+  // Canonical order is (log, offset): within each log the records appear in
+  // append order.
+  for (std::size_t i = 1; i < refs->size(); ++i) {
+    if ((*refs)[i].log == (*refs)[i - 1].log) {
+      EXPECT_GT((*refs)[i].offset, (*refs)[i - 1].offset);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Query engine
+// ---------------------------------------------------------------------------
+
+TEST(StoreQuery, GroupedPercentilesMatchDirectSampleMath) {
+  auto store = ResultStore::open(scratch_dir());
+  ASSERT_TRUE(store.ok());
+  const scenario::ScenarioSpec spec_a = store_spec("scenario-a");
+  const scenario::ScenarioSpec spec_b = store_spec("scenario-b");
+  auto writer = store->writer("w0");
+  ASSERT_TRUE(writer.ok());
+
+  util::Samples expect_a, expect_b;
+  std::vector<double> lat_a, lat_b;
+  for (std::uint64_t i = 0; i < 40; ++i) {
+    const double v = static_cast<double>((i * 17) % 40) / 4.0;
+    lat_a.push_back(v);
+    expect_a.add(v);
+  }
+  for (std::uint64_t i = 0; i < 25; ++i) {
+    const double v = 10.0 + static_cast<double>(i);
+    lat_b.push_back(v);
+    expect_b.add(v);
+  }
+  put_record(*store, *writer, spec_a, "ua", "w0", 1, lat_a);
+  put_record(*store, *writer, spec_b, "ub", "w0", 1, lat_b);
+
+  QuerySpec query;
+  query.metric = "failover_latency_s";
+  query.group_by = GroupBy::kScenario;
+  auto result = run_query(*store, query);
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  ASSERT_EQ(result->groups.size(), 2u);
+  EXPECT_EQ(result->runs_seen, 65u);
+  EXPECT_EQ(result->runs_sampled, 65u);
+
+  const util::SummaryStats sa = expect_a.summarize();
+  const util::SummaryStats sb = expect_b.summarize();
+  EXPECT_EQ(result->groups[0].key, "scenario-a");
+  EXPECT_DOUBLE_EQ(result->groups[0].stats.p99, sa.p99);
+  EXPECT_DOUBLE_EQ(result->groups[0].stats.mean, sa.mean);
+  EXPECT_EQ(result->groups[1].key, "scenario-b");
+  EXPECT_DOUBLE_EQ(result->groups[1].stats.p50, sb.p50);
+  EXPECT_DOUBLE_EQ(result->groups[1].stats.max, sb.max);
+
+  // Scenario filter narrows to one group.
+  query.scenario = "scenario-b";
+  result = run_query(*store, query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->groups.size(), 1u);
+  EXPECT_EQ(result->groups[0].stats.count, 25u);
+}
+
+TEST(StoreQuery, DuplicateRunsDedupKeepingTheFirstStoredCopy) {
+  auto store = ResultStore::open(scratch_dir());
+  ASSERT_TRUE(store.ok());
+  const scenario::ScenarioSpec spec = store_spec("dedup");
+  auto writer = store->writer("w0");
+  ASSERT_TRUE(writer.ok());
+  // The same unit stored twice — an at-least-once replay after a worker
+  // death. Identical payloads, so keep-first loses nothing.
+  put_record(*store, *writer, spec, "u", "w0", 1, {5.0, 6.0});
+  put_record(*store, *writer, spec, "u", "w1", 1, {5.0, 6.0});
+
+  QuerySpec query;
+  query.metric = "failover_latency_s";
+  auto result = run_query(*store, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->runs_seen, 4u);
+  EXPECT_EQ(result->runs_deduped, 2u);
+  EXPECT_EQ(result->runs_sampled, 2u);
+  ASSERT_EQ(result->groups.size(), 1u);
+  EXPECT_EQ(result->groups[0].stats.count, 2u);
+}
+
+TEST(StoreQuery, AggregateSemanticsSkipFailedRunsAndAbsentFailovers) {
+  auto store = ResultStore::open(scratch_dir());
+  ASSERT_TRUE(store.ok());
+  const scenario::ScenarioSpec spec = store_spec("semantics");
+  auto writer = store->writer("w0");
+  ASSERT_TRUE(writer.ok());
+
+  scenario::CampaignConfig config;
+  config.base_seed = 1;
+  config.seeds = 3;
+  scenario::CampaignResult result;
+  scenario::RunMetrics ok;
+  ok.seed = 1;
+  ok.ok = true;
+  ok.failover_latency_s = 2.5;
+  scenario::RunMetrics no_failover;
+  no_failover.seed = 2;
+  no_failover.ok = true;
+  no_failover.failover_latency_s = -1.0;  // none detected
+  scenario::RunMetrics failed;
+  failed.seed = 3;
+  failed.ok = false;
+  failed.failover_latency_s = 9.0;  // must never be sampled
+  result.runs = {ok, no_failover, failed};
+  const util::Json report = scenario::campaign_report(spec, config, result);
+  const std::string record =
+      make_record("u", "w0", spec.content_hash(), spec.name, 6, 1, 3, report);
+  ASSERT_TRUE(writer->append(record).ok_value());
+
+  QuerySpec query;
+  query.metric = "failover_latency_s";
+  auto q = run_query(*store, query);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->runs_seen, 3u);
+  EXPECT_EQ(q->runs_sampled, 1u);
+  ASSERT_EQ(q->groups.size(), 1u);
+  EXPECT_DOUBLE_EQ(q->groups[0].stats.max, 2.5);
+
+  // missed_deadlines samples the ok run AND the no-failover run (the
+  // latency skip is metric-specific), never the failed run.
+  query.metric = "missed_deadlines";
+  q = run_query(*store, query);
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->runs_sampled, 2u);
+}
+
+TEST(StoreQuery, LastRunsWindowsTheMostRecentlyStored) {
+  auto store = ResultStore::open(scratch_dir());
+  ASSERT_TRUE(store.ok());
+  const scenario::ScenarioSpec spec = store_spec("window");
+  auto writer = store->writer("w0");
+  ASSERT_TRUE(writer.ok());
+  put_record(*store, *writer, spec, "old", "w0", 1, {1.0, 1.0, 1.0});
+  put_record(*store, *writer, spec, "new", "w0", 4, {9.0, 9.0});
+
+  QuerySpec query;
+  query.metric = "failover_latency_s";
+  query.last_runs = 2;
+  auto result = run_query(*store, query);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->groups.size(), 1u);
+  EXPECT_EQ(result->groups[0].stats.count, 2u);
+  EXPECT_DOUBLE_EQ(result->groups[0].stats.mean, 9.0);
+}
+
+TEST(StoreQuery, TenThousandRunGroupedP99UnderOneSecond) {
+  auto store = ResultStore::open(scratch_dir());
+  ASSERT_TRUE(store.ok());
+  // 2 scenarios × 50 records × 100 runs = 10k stored runs.
+  constexpr std::size_t kRecordsPerScenario = 50;
+  constexpr std::size_t kRunsPerRecord = 100;
+  for (const char* name : {"farm-alpha", "farm-beta"}) {
+    const scenario::ScenarioSpec spec = store_spec(name);
+    auto writer = store->writer(std::string("w_") + name);
+    ASSERT_TRUE(writer.ok());
+    for (std::size_t r = 0; r < kRecordsPerScenario; ++r) {
+      std::vector<double> latencies;
+      latencies.reserve(kRunsPerRecord);
+      for (std::size_t i = 0; i < kRunsPerRecord; ++i) {
+        latencies.push_back(static_cast<double>((r * kRunsPerRecord + i) % 997) /
+                            100.0);
+      }
+      put_record(*store, *writer, spec, tag("u", r),
+                 std::string("w_") + name, 1 + r * kRunsPerRecord, latencies);
+    }
+  }
+
+  QuerySpec query;
+  query.metric = "failover_latency_s";
+  query.group_by = GroupBy::kScenario;
+  const obs::Stopwatch wall;
+  auto result = run_query(*store, query);
+  const double cold_ms = wall.elapsed_ms();
+  ASSERT_TRUE(result.ok()) << result.status().to_string();
+  EXPECT_EQ(result->runs_seen, 10'000u);
+  EXPECT_EQ(result->runs_sampled, 10'000u);
+  ASSERT_EQ(result->groups.size(), 2u);
+  EXPECT_GT(result->groups[0].stats.p99, 0.0);
+
+  // Second query reuses the persisted index (no rescans).
+  const obs::Stopwatch warm;
+  auto again = run_query(*store, query);
+  const double warm_ms = warm.elapsed_ms();
+  ASSERT_TRUE(again.ok());
+  std::printf("10k-run grouped query: cold %.1f ms, warm %.1f ms\n", cold_ms,
+              warm_ms);
+  // The acceptance bar is < 1 s; leave headroom for loaded CI machines but
+  // catch order-of-magnitude regressions.
+  EXPECT_LT(warm_ms, 1000.0);
+}
+
+}  // namespace
+}  // namespace evm::store
