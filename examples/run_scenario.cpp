@@ -24,6 +24,7 @@
 #include "scenario/campaign.hpp"
 #include "scenario/runner.hpp"
 #include "scenario/spec.hpp"
+#include "util/log.hpp"
 
 using namespace evm;
 using evm::examples::parse_u64;
@@ -56,6 +57,8 @@ int usage(const char* argv0) {
       << "                   write Chrome trace-event JSON (open in Perfetto\n"
       << "                   or chrome://tracing; one track per node)\n"
       << "  --trace-jsonl FILE  the same events as compact JSONL, one per line\n"
+      << "  --log-level L    logger verbosity: trace|debug|info|warn|error|off\n"
+      << "                   (default warn)\n"
       << "  --metrics        print the base seed's deterministic metrics\n"
       << "                   snapshot (counters/gauges/histograms) as JSON\n"
       << "  --progress       per-run heartbeat on stderr (seed, done/total,\n"
@@ -303,6 +306,17 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       trace_jsonl_path = v;
+    } else if (arg == "--log-level") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      const std::string level = v;
+      if (level == "trace") util::Logger::instance().set_level(util::LogLevel::kTrace);
+      else if (level == "debug") util::Logger::instance().set_level(util::LogLevel::kDebug);
+      else if (level == "info") util::Logger::instance().set_level(util::LogLevel::kInfo);
+      else if (level == "warn") util::Logger::instance().set_level(util::LogLevel::kWarn);
+      else if (level == "error") util::Logger::instance().set_level(util::LogLevel::kError);
+      else if (level == "off") util::Logger::instance().set_level(util::LogLevel::kOff);
+      else return usage(argv[0]);
     } else if (arg == "--metrics") {
       show_metrics = true;
     } else if (arg == "--progress") {

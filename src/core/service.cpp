@@ -379,6 +379,16 @@ void EvmService::run_health_checks(FunctionId function, FunctionRuntime& rt) {
   EVM_INFO(kTag, "node " << node_.id() << " reports fault on node " << subject
                          << " (function " << function << ", evidence "
                          << verdict->evidence << ")");
+  if (trace_ != nullptr) {
+    util::Json args = util::Json::object();
+    args.set("function", static_cast<std::int64_t>(function));
+    args.set("suspect", static_cast<std::int64_t>(subject));
+    args.set("reason", static_cast<std::int64_t>(verdict->reason));
+    args.set("observed", verdict->observed);
+    args.set("expected", verdict->expected);
+    trace_->instant(node_.id(), "core.service", "fault.report",
+                    node_.simulator().now(), std::move(args));
+  }
   if (is_head()) {
     // Local shortcut: the head observed the fault itself.
     handle_fault_report(net::Datagram{
@@ -485,11 +495,22 @@ void EvmService::resupervise_on_heartbeat(const HeartbeatMsg& msg) {
       const std::uint32_t promote_epoch =
           pe == last_promote_epoch_.end() ? 0 : pe->second;
       if (msg.epoch < promote_epoch) {
-        EVM_INFO(kTag, "head: demoting stale Active node " << msg.node
-                       << " (function " << msg.function << ", node "
-                       << *active << " is in charge since epoch "
-                       << promote_epoch << ")");
-        send_mode_command(msg.function, msg.node, ControllerMode::kBackup);
+        // One demote per silence window: in a many-hop world the command
+        // takes several frames to land, and the stale claimant keeps
+        // heartbeating Active the whole way. Re-sending on every such
+        // heartbeat floods the exact path the pending demote is crawling.
+        const util::TimePoint now = node_.simulator().now();
+        auto dit = last_stale_demote_.find({msg.function, msg.node});
+        if (dit == last_stale_demote_.end() ||
+            now - dit->second > policy_.head_beacon_period *
+                                    policy_.beacon_loss_threshold) {
+          last_stale_demote_[{msg.function, msg.node}] = now;
+          EVM_INFO(kTag, "head: demoting stale Active node " << msg.node
+                         << " (function " << msg.function << ", node "
+                         << *active << " is in charge since epoch "
+                         << promote_epoch << ")");
+          send_mode_command(msg.function, msg.node, ControllerMode::kBackup);
+        }
         roles_.set_mode(msg.function, msg.node, ControllerMode::kBackup);
       } else {
         roles_.set_mode(msg.function, *active, ControllerMode::kBackup);
@@ -595,6 +616,7 @@ void EvmService::handle_head_beacon(const net::Datagram& d) {
       return;
     }
   }
+  head_provisional_ = false;  // the claimant itself was heard
   last_beacon_ = node_.simulator().now();
 }
 
@@ -606,6 +628,7 @@ void EvmService::on_beacon_tag(const net::BeaconTag& tag) {
     if (!beacon_seq_synced_ || seq_advanced(tag.seq, beacon_seq_seen_)) {
       beacon_seq_seen_ = tag.seq;
       beacon_seq_synced_ = true;
+      head_provisional_ = false;  // the believed head's stream is live
       last_beacon_ = now;
       // Re-gossip the freshest proof on everything we send from here on.
       node_.router().set_beacon_tag(tag);
@@ -620,12 +643,18 @@ void EvmService::on_beacon_tag(const net::BeaconTag& tag) {
   // silent; the lower-id-reclaims rule stays on the explicit-beacon path.
   const bool our_head_silent =
       now - last_beacon_ > policy_.head_beacon_period * policy_.beacon_loss_threshold;
-  if (our_head_silent) {
+  // A provisional successor guess holds zero evidence, so the lowest-id-wins
+  // rule applies to it immediately: a tag naming a lower-id head displaces
+  // the guess without waiting out another full silence window. (A confirmed
+  // head is still only displaced by silence — a circulating stale tag must
+  // not depose a live head.)
+  if (our_head_silent || (head_provisional_ && tag.head < head_id_)) {
     EVM_INFO(kTag, "node " << node_.id() << " adopts node " << tag.head
                            << " as VC head (piggy-backed beacon)");
     head_id_ = tag.head;
     beacon_seq_seen_ = tag.seq;
     beacon_seq_synced_ = true;
+    head_provisional_ = false;
     last_beacon_ = now;
     node_.router().set_beacon_tag(tag);
   }
@@ -662,6 +691,7 @@ void EvmService::check_head_liveness() {
     // node escalates again.
     head_id_ = successor;
     beacon_seq_synced_ = false;
+    head_provisional_ = true;
     last_beacon_ = node_.simulator().now();
   }
 }
@@ -675,6 +705,7 @@ void EvmService::become_head() {
                     node_.simulator().now(), std::move(args));
   }
   head_id_ = node_.id();
+  head_provisional_ = false;
   last_beacon_ = node_.simulator().now();
   // Claim the beacon plane immediately: every frame this node sends from
   // here on carries its head tag, so the claim gossips on heartbeats
@@ -721,7 +752,21 @@ void EvmService::handle_mode_command(const net::Datagram& d) {
 }
 
 void EvmService::handle_fault_report(const net::Datagram& d) {
-  if (!is_head()) return;
+  if (!is_head()) {
+    // The reporter addressed a stale head belief. Dropping the report
+    // silently would stall the failover until the reporter re-detects and
+    // re-sends (36 s+ in the large worlds), so relay it toward this node's
+    // own believed head instead. Head beliefs converge toward the lowest-id
+    // claimant, and the strictly-decreasing-id guard makes the forwarding
+    // chain terminate even if two nodes hold each other as head.
+    if (head_id_ < node_.id()) {
+      EVM_INFO(kTag, "node " << node_.id()
+                             << " relays fault report toward believed head "
+                             << head_id_);
+      (void)node_.router().send(head_id_, d.type, d.payload);
+    }
+    return;
+  }
   FaultReportMsg msg;
   if (!FaultReportMsg::decode(d.payload, msg) || msg.vc != descriptor_.id) return;
 

@@ -253,6 +253,10 @@ class EvmService {
   std::map<std::pair<FunctionId, net::NodeId>, std::uint32_t> report_counts_;
   /// Head: last time each replica heartbeat in Active mode (supervision).
   std::map<std::pair<FunctionId, net::NodeId>, util::TimePoint> last_active_heartbeat_;
+  /// Head: last time a stale-Active demote was re-sent to each replica
+  /// (rate limit — one per beacon-silence window while the command is in
+  /// transit; see resupervise_on_heartbeat).
+  std::map<std::pair<FunctionId, net::NodeId>, util::TimePoint> last_stale_demote_;
   /// Head: last evidence that *some* replica is actively in charge of the
   /// function (heartbeat, promotion, or service start).
   std::map<FunctionId, util::TimePoint> last_active_seen_;
@@ -281,6 +285,13 @@ class EvmService {
   /// succession) this resets, so the first tag of the new head's stream is
   /// accepted instead of being compared against the old head's sequence.
   bool beacon_seq_synced_ = false;
+  /// True while head_id_ is a zero-evidence guess (check_head_liveness
+  /// adopted the deterministic successor without having heard from it).
+  /// While provisional, a piggy-backed tag naming a *lower-id* head
+  /// displaces the guess immediately — the lowest-id-wins rule — instead
+  /// of waiting out another full silence window. Cleared by any real
+  /// evidence (explicit beacon, tag from the believed head, self-election).
+  bool head_provisional_ = false;
   /// Head: the router's tagged-broadcast counter at the last beacon tick;
   /// unchanged after a period means the data plane was silent and an
   /// explicit beacon is due (the piggy-back fallback).

@@ -78,11 +78,11 @@ void BMac::end_sample() {
 
 void BMac::try_send(int attempt) {
   if (!running_ || sending_) return;
-  if (queue_.empty()) return;
+  if (!tx_pending()) return;
   if (attempt > params_.max_backoffs) {
     ++csma_drops_;
-    queue_.pop();
-    if (!queue_.empty()) try_send(0);
+    (void)dequeue();
+    if (tx_pending()) try_send(0);
     return;
   }
   if (receiving_) {
@@ -111,7 +111,7 @@ void BMac::try_send(int attempt) {
     }
     const util::Duration preamble = params_.check_interval + params_.preamble_margin;
     radio_.transmit_carrier(preamble, [this] {
-      auto packet = queue_.pop();
+      auto packet = dequeue();
       if (!packet.has_value()) {
         sending_ = false;
         radio_.set_state(RadioState::kOff);
@@ -121,7 +121,7 @@ void BMac::try_send(int attempt) {
       radio_.transmit(*packet, [this] {
         sending_ = false;
         radio_.set_state(RadioState::kOff);
-        if (!queue_.empty()) try_send(0);
+        if (tx_pending()) try_send(0);
       });
     });
   });

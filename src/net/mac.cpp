@@ -3,7 +3,10 @@
 namespace evm::net {
 
 Mac::Mac(sim::Simulator& sim, Radio& radio, std::size_t queue_capacity)
-    : sim_(sim), radio_(radio), queue_(queue_capacity) {}
+    : sim_(sim),
+      radio_(radio),
+      queue_(queue_capacity),
+      priority_queue_(queue_capacity) {}
 
 util::Status Mac::send(Packet packet) {
   if (packet.payload.size() > kMaxPayloadBytes) {
@@ -14,11 +17,18 @@ util::Status Mac::send(Packet packet) {
   packet.src = id();
   packet.seq = next_seq_++;
   ++stats_.enqueued;
-  if (!queue_.push(std::move(packet))) {
+  util::RingBuffer<Packet>& lane =
+      unicast_priority_ && packet.dst != kBroadcast ? priority_queue_ : queue_;
+  if (!lane.push(std::move(packet))) {
     ++stats_.queue_drops;
     return util::Status::resource_exhausted("MAC TX queue full");
   }
   return util::Status::ok();
+}
+
+std::optional<Packet> Mac::dequeue() {
+  if (auto p = priority_queue_.pop()) return p;
+  return queue_.pop();
 }
 
 void Mac::deliver_up(const Packet& packet) {

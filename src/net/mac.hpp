@@ -5,6 +5,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <optional>
 
 #include "net/packet.hpp"
 #include "net/radio.hpp"
@@ -42,16 +43,34 @@ class Mac {
     receive_handler_ = std::move(handler);
   }
 
+  /// Control-plane priority lane: when enabled, unicast packets (fault
+  /// reports, mode commands — the low-rate control plane) drain ahead of
+  /// queued broadcast relays. In saturated multi-hop worlds the shared FIFO
+  /// otherwise makes every control hop wait out the standing flood traffic,
+  /// turning a 33-hop command into minutes of transit. Off by default so
+  /// historical single-queue scenarios stay bit-stable.
+  void set_unicast_priority(bool on) { unicast_priority_ = on; }
+
   const MacStats& stats() const { return stats_; }
-  std::size_t queue_depth() const { return queue_.size(); }
+  std::size_t queue_depth() const {
+    return queue_.size() + priority_queue_.size();
+  }
 
  protected:
   /// Deliver a packet to the upper layer, filtering self-addressed echoes.
   void deliver_up(const Packet& packet);
 
+  /// Next packet to transmit: the priority lane first, then the bulk queue.
+  /// All protocol implementations must dequeue through this (not queue_
+  /// directly) so the priority lane applies uniformly.
+  std::optional<Packet> dequeue();
+  bool tx_pending() const { return !queue_.empty() || !priority_queue_.empty(); }
+
   sim::Simulator& sim_;
   Radio& radio_;
   util::RingBuffer<Packet> queue_;
+  util::RingBuffer<Packet> priority_queue_;
+  bool unicast_priority_ = false;
   MacStats stats_;
   std::function<void(const Packet&)> receive_handler_;
   bool running_ = false;

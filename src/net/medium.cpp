@@ -1,6 +1,7 @@
 #include "net/medium.hpp"
 
 #include <algorithm>
+#include <bit>
 
 #include "net/radio.hpp"
 #include "util/log.hpp"
@@ -24,28 +25,52 @@ Medium::Medium(sim::Simulator& sim, Topology& topology)
 void Medium::ensure_node_capacity(NodeId id) {
   const std::size_t width = static_cast<std::size_t>(id) + 1;
   if (radios_.size() < width) radios_.resize(width, nullptr);
-  if (heard_.size() < width) heard_.resize(width);
+  const std::size_t cells = (static_cast<std::size_t>(id) >> 6) + 1;
+  if (heard_.size() < cells) heard_.resize(cells);
+  if (listening_.size() < cells) listening_.resize(cells, 0);
 }
 
 void Medium::attach(Radio& radio) {
   ensure_node_capacity(radio.id());
   radios_[radio.id()] = &radio;
   topology_.add_node(radio.id());
+  note_listening(radio.id(), radio.listening());
 }
 
 void Medium::detach(NodeId id) {
   if (static_cast<std::size_t>(id) < radios_.size()) radios_[id] = nullptr;
   topology_.remove_node(id);
-  // Forget its energy everywhere: it no longer jams or busies anyone.
-  if (static_cast<std::size_t>(id) < heard_.size()) heard_[id].clear();
-  for (auto& at_listener : heard_) {
-    std::erase_if(at_listener, [id](const Heard& h) { return h.sender == id; });
+  note_listening(id, false);
+  // Forget its energy everywhere: it no longer jams or busies anyone, and
+  // nothing already on the air reaches it. Clearing its audibility bit in
+  // its own cell severs the latter; erasing it as a sender severs the
+  // former (empty-mask husks are dropped in passing).
+  const std::size_t cell = static_cast<std::size_t>(id) >> 6;
+  if (cell < heard_.size()) {
+    const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+    for (CellEnergy& e : heard_[cell]) e.mask &= ~bit;
+  }
+  for (auto& at_cell : heard_) {
+    std::erase_if(at_cell, [id](const CellEnergy& e) {
+      return e.sender == id || e.mask == 0;
+    });
   }
   // And abort its in-flight payloads: the pending end-of-airtime events
-  // still fire (cancelling a heap entry is dearer than letting it no-op)
-  // but deliver nothing.
+  // still fire (cancelling a calendar entry is dearer than letting it
+  // no-op) but deliver nothing.
   for (const auto& d : pool_) {
     if (d->in_flight && d->sender == id) d->cancelled = true;
+  }
+}
+
+void Medium::note_listening(NodeId id, bool listening) {
+  const std::size_t cell = static_cast<std::size_t>(id) >> 6;
+  if (cell >= listening_.size()) return;  // never attached: nothing to track
+  const std::uint64_t bit = std::uint64_t{1} << (id & 63);
+  if (listening) {
+    listening_[cell] |= bit;
+  } else {
+    listening_[cell] &= ~bit;
   }
 }
 
@@ -65,14 +90,22 @@ void Medium::begin_energy(Radio& sender, const Packet* packet,
   const NodeId sender_id = sender.id();
 
   // Audibility is fixed here, at carrier onset: whoever is in range *now*
-  // hears this energy for its whole airtime. Record it per listener (CCA and
-  // the collision check scan only their own location) and wake LPL
-  // listeners — energy is detectable from the first preamble byte.
-  const std::vector<NodeId>& in_range = topology_.neighbors_view(sender_id);
-  for (NodeId neighbor : in_range) {
-    note_energy(neighbor, sender_id, start, end);
-    Radio* rx = radio_at(neighbor);
-    if (rx != nullptr && rx->listening()) rx->notify_carrier();
+  // hears this energy for its whole airtime. One energy record per audible
+  // cell (CCA and the collision check scan only their own cell), then wake
+  // LPL listeners — energy is detectable from the first preamble byte, so
+  // only radios listening *now* get the carrier edge, in ascending-id
+  // (= adjacency) order exactly as the per-neighbor engine delivered it.
+  const auto& cells = topology_.audible_cells_view(sender_id);
+  for (const Topology::CellMask& c : cells) {
+    ensure_node_capacity(static_cast<NodeId>((c.cell << 6) | 63));
+    note_energy(c.cell, sender_id, start, end, c.mask);
+    std::uint64_t wake = c.mask & listening_[c.cell];
+    while (wake != 0) {
+      const int bit = std::countr_zero(wake);
+      wake &= wake - 1;
+      Radio* rx = radio_at(static_cast<NodeId>((c.cell << 6) | bit));
+      if (rx != nullptr) rx->notify_carrier();
+    }
   }
 
   if (packet == nullptr) return;  // pure carrier burst: nothing to deliver
@@ -81,8 +114,10 @@ void Medium::begin_energy(Radio& sender, const Packet* packet,
   // listening when the preamble airs (waking later misses the packet), and
   // a link that flips up mid-flight cannot conjure a reception. Loss is the
   // channel's fate for this airtime, drawn now in adjacency (deterministic)
-  // order. Only collisions — and a sender aborting mid-air — are resolved
-  // at end of airtime.
+  // order — the carrier edge above may have woken LPL receivers into
+  // listening, and like the per-neighbor engine this pass sees them awake.
+  // Only collisions — and a sender aborting mid-air — are resolved at end
+  // of airtime.
   Delivery* d = acquire();
   d->packet = *packet;  // reuses the pooled payload buffer
   d->sender = sender_id;
@@ -92,16 +127,38 @@ void Medium::begin_energy(Radio& sender, const Packet* packet,
   d->in_flight = true;
   d->recipients.clear();
   d->dropped.clear();
-  for (NodeId neighbor : in_range) {
-    Radio* rx = radio_at(neighbor);
-    if (rx == nullptr || !rx->listening()) continue;  // missed the preamble
-    if (d->packet.dst != kBroadcast && d->packet.dst != neighbor) {
-      // Address filtering happens in hardware; the radio still spent the
-      // time in RX, which the listening state already accounts for.
-      continue;
+  for (const Topology::CellMask& c : cells) {
+    std::uint64_t awake = c.mask & listening_[c.cell];
+    while (awake != 0) {
+      const int bit = std::countr_zero(awake);
+      awake &= awake - 1;
+      const NodeId neighbor = static_cast<NodeId>((c.cell << 6) | bit);
+      if (d->packet.dst != kBroadcast && d->packet.dst != neighbor) {
+        // Address filtering happens in hardware; the radio still spent the
+        // time in RX, which the listening state already accounts for.
+        continue;
+      }
+      d->recipients.push_back(neighbor);
+      d->dropped.push_back(link_drops(sender_id, neighbor) ? 1 : 0);
     }
-    d->recipients.push_back(neighbor);
-    d->dropped.push_back(link_drops(sender_id, neighbor) ? 1 : 0);
+  }
+  if (d->packet.dst != kBroadcast && d->recipients.empty()) {
+    const NodeId dst = d->packet.dst;
+    const std::size_t dcell = static_cast<std::size_t>(dst) >> 6;
+    bool audible = false;
+    for (const Topology::CellMask& c : cells) {
+      if (c.cell == static_cast<NodeId>(dcell) &&
+          (c.mask & (std::uint64_t{1} << (dst & 63))) != 0) {
+        audible = true;
+      }
+    }
+    const bool lbit = dcell < listening_.size() &&
+                      (listening_[dcell] & (std::uint64_t{1} << (dst & 63))) != 0;
+    Radio* rx = radio_at(dst);
+    EVM_DEBUG("medium", "unicast " << sender_id << "->" << dst
+             << " has no recipient at onset t=" << start.ns()
+             << " audible=" << audible << " listen_bit=" << lbit
+             << " radio_state=" << (rx ? to_string(rx->state()) : "none"));
   }
   sim_.schedule_at(end, [this, d] { finish(d); });
 }
@@ -115,7 +172,15 @@ void Medium::finish(Delivery* d) {
       const NodeId neighbor = d->recipients[i];
       Radio* rx = radio_at(neighbor);
       // Detached, crashed or slept mid-packet: the tail went unheard.
-      if (rx == nullptr || !rx->listening()) continue;
+      if (rx == nullptr || !rx->listening()) {
+        if (d->packet.dst != kBroadcast) {
+          EVM_DEBUG("medium", "unicast " << d->sender << "->" << neighbor
+                   << " missed: receiver stopped listening by end t="
+                   << d->end.ns() << " state="
+                   << (rx ? to_string(rx->state()) : "none"));
+        }
+        continue;
+      }
       if (interferers(neighbor, d->sender, d->start, d->end) > 0) {
         ++collisions_;
         if (trace_ != nullptr) {
@@ -145,32 +210,38 @@ void Medium::finish(Delivery* d) {
 
 int Medium::interferers(NodeId listener, NodeId sender, util::TimePoint start,
                         util::TimePoint end) const {
-  if (static_cast<std::size_t>(listener) >= heard_.size()) return 0;
+  const std::size_t cell = static_cast<std::size_t>(listener) >> 6;
+  if (cell >= heard_.size()) return 0;
+  const std::uint64_t bit = std::uint64_t{1} << (listener & 63);
   int count = 0;
-  for (const Heard& h : heard_[listener]) {
-    if (h.sender == sender) continue;
-    if (h.end <= start || h.start >= end) continue;  // no overlap
+  for (const CellEnergy& e : heard_[cell]) {
+    if ((e.mask & bit) == 0) continue;  // not audible at this listener
+    if (e.sender == sender) continue;
+    if (e.end <= start || e.start >= end) continue;  // no overlap
     ++count;
   }
   return count;
 }
 
-void Medium::note_energy(NodeId listener, NodeId sender, util::TimePoint start,
-                         util::TimePoint end) {
-  ensure_node_capacity(listener);
-  std::vector<Heard>& at_listener = heard_[listener];
+void Medium::note_energy(NodeId cell, NodeId sender, util::TimePoint start,
+                         util::TimePoint end, std::uint64_t mask) {
+  std::vector<CellEnergy>& at_cell = heard_[cell];
   // Lazy prune on append: a grace window keeps entries that queued
   // end-of-airtime decisions may still consult.
   const util::TimePoint horizon = start - util::Duration::seconds(1);
-  std::erase_if(at_listener, [horizon](const Heard& h) { return h.end < horizon; });
-  at_listener.push_back(Heard{sender, start, end});
+  std::erase_if(at_cell,
+                [horizon](const CellEnergy& e) { return e.end < horizon; });
+  at_cell.push_back(CellEnergy{sender, start, end, mask});
 }
 
 bool Medium::channel_busy(NodeId listener) const {
-  if (static_cast<std::size_t>(listener) >= heard_.size()) return false;
+  const std::size_t cell = static_cast<std::size_t>(listener) >> 6;
+  if (cell >= heard_.size()) return false;
+  const std::uint64_t bit = std::uint64_t{1} << (listener & 63);
   const util::TimePoint now = sim_.now();
-  for (const Heard& h : heard_[listener]) {
-    if (h.start <= now && now < h.end) return true;
+  for (const CellEnergy& e : heard_[cell]) {
+    if ((e.mask & bit) == 0) continue;
+    if (e.start <= now && now < e.end) return true;
   }
   return false;
 }

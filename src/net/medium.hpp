@@ -12,11 +12,17 @@
 // the tail of an earlier packet. A sender that crash-stops mid-air aborts
 // its transmission (the tail never airs), so nothing is delivered.
 //
-// Hot-path note (ROADMAP item 1): radios live in a dense flat array indexed
-// by raw NodeId; audible energy is indexed *per listener* (`heard_`), so
-// `interferers`/`channel_busy` scan only the energy at that location instead
-// of the global in-flight list; payload deliveries come from a free-list
-// pool so steady-state traffic allocates nothing per packet.
+// Hot-path note (ROADMAP item 1, round 2): the medium is spatially
+// partitioned into cells of 64 consecutive NodeIds. Audible energy is
+// recorded once per *cell* with a 64-bit audibility mask instead of once per
+// listener, and each cell keeps a listening bitmask maintained by
+// Radio::set_state — so a broadcast onset touches O(cells in audible range)
+// entries, wakes sleeping-heavy neighborhoods by a single mask AND, and a
+// dense (star/mesh) world pays 1/64th of the former per-neighbor scan.
+// Cells and bits iterate in ascending NodeId order, which is exactly the
+// cached adjacency order: the onset loss draws consume the RNG stream in
+// the same sequence as the per-neighbor engine, keeping every checked-in
+// scenario baseline byte-identical.
 #pragma once
 
 #include <cstdint>
@@ -69,6 +75,11 @@ class Medium {
   /// Audibility was fixed at each transmission's onset.
   bool channel_busy(NodeId listener) const;
 
+  /// Radio::set_state reports listening-state edges here so the per-cell
+  /// listening bitmask stays current. Idempotent per state; cheap enough to
+  /// sit on the radio's state-transition path.
+  void note_listening(NodeId id, bool listening);
+
   /// Replace the link's i.i.d. loss with a Gilbert-Elliott burst process
   /// (losses then arrive in bursts, the realistic fading behaviour).
   void set_burst_loss(NodeId a, NodeId b, GilbertElliott::Params params,
@@ -76,12 +87,14 @@ class Medium {
   void clear_burst_loss(NodeId a, NodeId b);
 
  private:
-  /// Energy audible at one listener: recorded at the transmission's onset,
-  /// consulted by CCA and the end-of-airtime collision check.
-  struct Heard {
+  /// Energy audible somewhere in one 64-id cell, recorded once per cell at
+  /// the transmission's onset. `mask` fixes which members could hear it;
+  /// CCA and the end-of-airtime collision check AND their own bit in.
+  struct CellEnergy {
     NodeId sender;
     util::TimePoint start;
     util::TimePoint end;
+    std::uint64_t mask;
   };
 
   /// A payload in flight: everything decided at onset (recipients, loss
@@ -106,14 +119,14 @@ class Medium {
   /// [start, end).
   int interferers(NodeId listener, NodeId sender, util::TimePoint start,
                   util::TimePoint end) const;
-  /// Record energy from `sender` at `listener` for [start, end), pruning
-  /// that listener's expired entries in passing.
-  void note_energy(NodeId listener, NodeId sender, util::TimePoint start,
-                   util::TimePoint end);
+  /// Record energy covering `mask` of `cell` for [start, end), pruning that
+  /// cell's expired entries in passing.
+  void note_energy(NodeId cell, NodeId sender, util::TimePoint start,
+                   util::TimePoint end, std::uint64_t mask);
   Radio* radio_at(NodeId id) const {
     return static_cast<std::size_t>(id) < radios_.size() ? radios_[id] : nullptr;
   }
-  /// Grow the flat per-node tables to cover `id`.
+  /// Grow the flat per-node and per-cell tables to cover `id`.
   void ensure_node_capacity(NodeId id);
   Delivery* acquire();
   void release(Delivery* d);
@@ -123,10 +136,12 @@ class Medium {
   sim::Simulator& sim_;
   Topology& topology_;
   obs::TraceRecorder* trace_ = nullptr;
-  // Dense per-node tables indexed by raw NodeId (evm_lint D1 note: vectors
-  // only — iteration is index-ordered, no unordered containers here).
+  // Dense tables: radios_ by raw NodeId; heard_/listening_ by cell (NodeId
+  // >> 6). (evm_lint D1 note: vectors only — iteration is index-ordered, no
+  // unordered containers here.)
   std::vector<Radio*> radios_;
-  std::vector<std::vector<Heard>> heard_;  // energy audible per listener
+  std::vector<std::vector<CellEnergy>> heard_;  // onset energy per cell
+  std::vector<std::uint64_t> listening_;        // listening radios per cell
   std::map<std::pair<NodeId, NodeId>, std::unique_ptr<GilbertElliott>> burst_;
   std::vector<std::unique_ptr<Delivery>> pool_;  // every Delivery ever made
   std::vector<Delivery*> free_;                  // the idle subset of pool_

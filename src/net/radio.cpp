@@ -37,7 +37,15 @@ void Radio::accumulate() {
 void Radio::set_state(RadioState next) {
   if (next == state_) return;
   accumulate();
+  const bool was_listening = listening();
   state_ = next;
+  const bool now_listening = listening();
+  // Keep the medium's per-cell listening bitmask current: carrier wake-ups
+  // and onset recipient snapshots are mask ANDs against it, so it must
+  // track every listening edge, not be polled.
+  if (was_listening != now_listening) {
+    medium_.note_listening(id_, now_listening);
+  }
 }
 
 bool Radio::transmit(const Packet& packet, std::function<void()> on_done) {

@@ -12,6 +12,14 @@ namespace {
 /// fan-out (a 20-node grid re-broadcasts each seq at most once per node).
 constexpr std::size_t kSeenWindow = 64;
 
+/// Serial-number arithmetic on the 16-bit beacon seq (same convention as
+/// EvmService::seq_advanced): `a` is newer than `b` iff it is ahead by less
+/// than half the sequence space.
+bool seq_newer(std::uint16_t a, std::uint16_t b) {
+  const std::uint16_t delta = static_cast<std::uint16_t>(a - b);
+  return delta != 0 && delta < 0x8000;
+}
+
 util::Json bcast_args(NodeId source, std::uint16_t seq, std::uint8_t type) {
   util::Json args = util::Json::object();
   args.set("src", static_cast<std::int64_t>(source));
@@ -135,12 +143,32 @@ util::Status Router::forward(Datagram d) {
     if (d.beacon.valid()) ++tagged_broadcast_sends_;
     return mac_.send(std::move(packet));
   }
-  auto hop = topology_.next_hop(id(), d.destination);
+  std::optional<NodeId> hop;
+  if (head_bound_tree_unicast_ && mode_ == BroadcastMode::kTree &&
+      tree_cache_ != nullptr) {
+    // Root-bound unicasts climb the dissemination tree: every parent is a
+    // forwarder with a mirror-pass slot, so the datagram chains inward
+    // within a single frame (see plan_schedule's mirror pass).
+    const DisseminationTree& tree = tree_cache_->tree();
+    if (d.destination == tree.root()) {
+      const NodeId parent = tree.parent(id());
+      if (parent != kInvalidNode) hop = parent;
+    }
+  }
+  if (!hop.has_value()) hop = topology_.next_hop(id(), d.destination);
   if (!hop.has_value()) {
     return util::Status::unavailable("no route to node " +
                                      std::to_string(d.destination));
   }
   packet.dst = *hop;
+  if (trace_ != nullptr && trace_sim_ != nullptr) {
+    util::Json args = bcast_args(d.source, d.seq, d.type);
+    args.set("dst", static_cast<std::int64_t>(d.destination));
+    args.set("hop", static_cast<std::int64_t>(*hop));
+    args.set("ttl", static_cast<std::int64_t>(d.ttl));
+    trace_->instant(id(), "net.route", "ucast.hop", trace_sim_->now(),
+                    std::move(args));
+  }
   return mac_.send(std::move(packet));
 }
 
@@ -160,11 +188,17 @@ void Router::on_packet(const Packet& packet) {
     if (receive_handler_) receive_handler_(d);
     if (d.ttl > 0 && should_relay_broadcast()) {
       if (d.beacon_probe &&
-          tagged_broadcast_sends_ != tagged_sends_at_last_probe_) {
+          tagged_broadcast_sends_ != tagged_sends_at_last_probe_ &&
+          beacon_tag_.valid() && beacon_tag_.head == d.beacon.head &&
+          !seq_newer(d.beacon.seq, beacon_tag_.seq)) {
         // Per-link lazy beacon: this relay's own tagged data frames were
         // not silent since the previous probe, so every neighbour already
         // holds the tag (tags are observed pre-dedup) — re-broadcasting
-        // the probe would spend a slot to say nothing new.
+        // the probe would spend a slot to say nothing new. Only sound when
+        // the gossip this relay has been stamping is at least as fresh as
+        // the probe itself: a relay whose tag is stale, cleared, or names
+        // a different head has NOT delivered this proof, and suppressing
+        // here would starve its whole subtree of the beacon plane.
         ++beacon_relays_suppressed_;
         tagged_sends_at_last_probe_ = tagged_broadcast_sends_;
         return;
@@ -192,7 +226,12 @@ void Router::on_packet(const Packet& packet) {
   Datagram next = d;
   next.ttl = static_cast<std::uint8_t>(d.ttl - 1);
   ++forwarded_;
-  (void)forward(std::move(next));
+  if (util::Status st = forward(std::move(next)); !st) {
+    // A dropped relay strands a unicast mid-path with no feedback to the
+    // source; losing one silently makes many-hop worlds undebuggable.
+    EVM_WARN("router", "node " << id() << " dropped relay for " << d.source
+                               << "->" << d.destination << ": " << st.message());
+  }
 }
 
 }  // namespace evm::net

@@ -101,7 +101,17 @@ void RtLink::refresh_timeline() {
     }
   }
   if (listening) {
-    timeline_.push_back(SlotAction{slots, SlotAction::kSleep});  // frame edge
+    // A listen run that reaches the frame edge only sleeps if slot 0 of the
+    // next frame is idle. Otherwise the run wraps: an edge kSleep would be
+    // scheduled a whole frame ahead of its next-frame counterpart action,
+    // through a clock mapping that time-sync re-disciplines in between —
+    // letting the stale kSleep fire AFTER the fresh kListenStart/kTx and
+    // shut the radio for the frame's entire first listen run.
+    const bool wraps = schedule_.tx_of(0) == id() ||
+                       schedule_.should_listen(0, id());
+    if (!wraps) {
+      timeline_.push_back(SlotAction{slots, SlotAction::kSleep});  // frame edge
+    }
   }
   timeline_version_ = schedule_.version();
 }
@@ -164,7 +174,7 @@ void RtLink::run_tx_slot(int slot) {
   // still catch the preamble.
   sim_.schedule_after(schedule_.guard(), [this, slot] {
     if (!running_) return;
-    auto packet = queue_.pop();
+    auto packet = dequeue();
     if (!packet.has_value()) {
       radio_.set_state(RadioState::kOff);  // nothing to send: sleep through
       return;

@@ -34,12 +34,12 @@ void SMac::begin_listen() {
 
   // Contending sender: random slot inside the contention window, then
   // transmit if the channel is still clear (receiving_ proxy: not busy).
-  if (!queue_.empty()) {
+  if (tx_pending()) {
     const auto backoff = util::Duration(static_cast<std::int64_t>(
         sim_.rng().uniform(0.0, static_cast<double>(params_.contention_window.ns()))));
     sim_.schedule_after(backoff, [this] {
       if (!running_ || !in_listen_ || busy_ || radio_.transmitting()) return;
-      auto packet = queue_.pop();
+      auto packet = dequeue();
       if (!packet.has_value()) return;
       busy_ = true;
       ++stats_.sent;

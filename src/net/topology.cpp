@@ -6,6 +6,7 @@ namespace evm::net {
 
 namespace {
 const std::vector<NodeId> kNoNeighbors;
+const std::vector<Topology::CellMask> kNoCells;
 }  // namespace
 
 void Topology::add_node(NodeId id) {
@@ -99,7 +100,30 @@ void Topology::refresh_adjacency() const {
     adj_[k.first].push_back(k.second);
     adj_[k.second].push_back(k.first);
   }
+  // Cell footprints ride along with the adjacency rebuild. adj_[id] is
+  // ascending (links_ is keyed (min, max) and iterated in order), so
+  // appending run-length cells preserves neighbor order exactly.
+  if (cells_.size() < adj_.size()) cells_.resize(adj_.size());
+  for (std::size_t id = 0; id < adj_.size(); ++id) {
+    std::vector<CellMask>& cells = cells_[id];
+    cells.clear();
+    for (NodeId n : adj_[id]) {
+      const NodeId cell = static_cast<NodeId>(n >> 6);
+      if (cells.empty() || cells.back().cell != cell) {
+        cells.push_back(CellMask{cell, 0});
+      }
+      cells.back().mask |= std::uint64_t{1} << (n & 63);
+    }
+  }
   adj_version_ = version_;
+}
+
+const std::vector<Topology::CellMask>& Topology::audible_cells_view(
+    NodeId id) const {
+  if (node_down(id)) return kNoCells;
+  refresh_adjacency();
+  if (static_cast<std::size_t>(id) >= cells_.size()) return kNoCells;
+  return cells_[id];
 }
 
 const std::vector<NodeId>& Topology::neighbors_view(NodeId id) const {

@@ -66,6 +66,21 @@ class Topology {
   /// it across anything that can touch the topology.
   const std::vector<NodeId>& neighbors_view(NodeId id) const;
 
+  /// One cell of a node's audible footprint: `cell` names a 64-id block of
+  /// NodeId space (id >> 6) and `mask` has bit (n & 63) set for every
+  /// neighbor n of the node inside that block. Cells appear in ascending
+  /// order and bits ascend within a cell, so iterating (cell, bit) visits
+  /// exactly the neighbors_view() sequence — the Medium's spatial onset
+  /// scan inherits the adjacency-order RNG contract for free.
+  struct CellMask {
+    NodeId cell = 0;
+    std::uint64_t mask = 0;
+  };
+  /// The node's audible footprint as cells (empty for down/unknown nodes).
+  /// Dense worlds collapse hundreds of per-neighbor visits into a handful
+  /// of cell entries. Same invalidation rule as neighbors_view().
+  const std::vector<CellMask>& audible_cells_view(NodeId id) const;
+
   /// Breadth-first hop counts from `source` over up links; unreachable nodes
   /// are absent from the map.
   std::map<NodeId, int> hop_counts(NodeId source) const;
@@ -121,6 +136,7 @@ class Topology {
   };
   mutable std::uint64_t adj_version_ = ~0ull;
   mutable std::vector<std::vector<NodeId>> adj_;  // indexed by raw NodeId
+  mutable std::vector<std::vector<CellMask>> cells_;  // audible footprints
   mutable std::map<NodeId, RouteCache> routes_;   // keyed by destination
 };
 

@@ -232,6 +232,24 @@ Result<ScenarioSpec> ScenarioSpec::from_json(const Json& json) {
     if (!cfg.promotion_timeout.is_positive()) {
       return Status::invalid_argument("'promotion_timeout_s' must be positive");
     }
+    if (const Json* v = tb->find("head_bound_tree_unicast")) {
+      if (!v->is_bool()) {
+        return Status::invalid_argument("'head_bound_tree_unicast' must be a boolean");
+      }
+      cfg.head_bound_tree_unicast = v->as_bool();
+    }
+    if (const Json* v = tb->find("mac_unicast_priority")) {
+      if (!v->is_bool()) {
+        return Status::invalid_argument("'mac_unicast_priority' must be a boolean");
+      }
+      cfg.mac_unicast_priority = v->as_bool();
+    }
+    double head_beacon_s = cfg.head_beacon_period.to_seconds();
+    if (Status s = read_number(*tb, "head_beacon_s", head_beacon_s); !s) return s;
+    cfg.head_beacon_period = util::Duration::from_seconds(head_beacon_s);
+    if (!cfg.head_beacon_period.is_positive()) {
+      return Status::invalid_argument("'head_beacon_s' must be positive");
+    }
     if (const Json* mode = tb->find("dissemination")) {
       const std::string value = mode->is_string() ? mode->as_string() : "";
       if (value == "auto") cfg.dissemination = testbed::DisseminationMode::kAuto;

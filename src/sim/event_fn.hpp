@@ -1,0 +1,71 @@
+// Small-buffer callable for simulator events. The event engine's whole point
+// is that scheduling a timer allocates nothing in steady state: a callable
+// whose closure fits kInlineBytes is placement-constructed straight into the
+// pooled event node it rides in, and only oversized closures (cold paths —
+// scenario fault injections carrying spec copies) fall back to the heap.
+//
+// Deliberately narrower than std::function: no copy, no move, no target
+// introspection. An EventFn is emplaced once, invoked at most once from the
+// node it lives in, and reset before the node returns to the pool — the
+// restricted lifecycle is what lets the buffer be a flat member instead of a
+// relocatable handle.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace evm::sim {
+
+class EventFn {
+ public:
+  /// Sized so every steady-state closure in the tree stays inline. The
+  /// largest hot-path capture is Radio's airtime-done continuation
+  /// ([this, on_done = std::function]: 8 + 32 bytes); RT-Link slot actions,
+  /// Medium deliveries and RTOS job releases are all two words or fewer.
+  static constexpr std::size_t kInlineBytes = 48;
+
+  EventFn() = default;
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  template <typename F>
+  void emplace(F&& fn) {
+    using Fn = std::decay_t<F>;
+    static_assert(std::is_invocable_v<Fn&>, "EventFn target must be callable");
+    reset();
+    if constexpr (sizeof(Fn) <= kInlineBytes &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      obj_ = ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+      destroy_ = [](void* obj) { static_cast<Fn*>(obj)->~Fn(); };
+    } else {
+      obj_ = new Fn(std::forward<F>(fn));
+      destroy_ = [](void* obj) { delete static_cast<Fn*>(obj); };
+    }
+    invoke_ = [](void* obj) { (*static_cast<Fn*>(obj))(); };
+  }
+
+  void operator()() { invoke_(obj_); }
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+  /// Destroy the target (if any); the EventFn is empty afterwards and the
+  /// owning node can be reused.
+  void reset() {
+    if (invoke_ != nullptr) {
+      destroy_(obj_);
+      invoke_ = nullptr;
+      destroy_ = nullptr;
+      obj_ = nullptr;
+    }
+  }
+
+ private:
+  alignas(std::max_align_t) unsigned char storage_[kInlineBytes];
+  void* obj_ = nullptr;
+  void (*invoke_)(void*) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+}  // namespace evm::sim

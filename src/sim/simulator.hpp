@@ -2,14 +2,32 @@
 // radios, MAC protocols, RTOS scheduling, plant integration — is driven by
 // one instance of this clock, so a whole hardware-in-loop experiment is a
 // pure function of (configuration, seed).
+//
+// Engine (ROADMAP item 1, round 2): a slot-indexed calendar queue over
+// pooled, intrusively linked event nodes. Virtual time is divided into
+// ~1 ms slots (kSlotShiftBits); a ring of kRingSlots buckets covers the
+// next ~1 s of slots, one singly linked FIFO list per bucket, and events
+// beyond the ring horizon wait in a single overflow bucket that is migrated
+// forward as the window advances. Only the *current* slot's events sit in a
+// tiny binary heap, so schedule and cancel are O(1) and dispatch pays
+// O(log current-slot-population) — against the former global binary heap's
+// O(log total-pending) per operation plus a hash-set probe per pop.
+// Callables live in the node itself (EventFn small-buffer storage), so
+// steady-state scheduling performs no heap allocation at all.
+//
+// Ordering contract (the determinism invariant every consumer leans on):
+// events dispatch in strictly ascending (when, sequence) order, where
+// sequence is assigned at schedule time — i.e. simultaneous events run in
+// insertion order. This is byte-identical to the binary-heap engine it
+// replaces; the calendar changes the cost model, never the order.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <memory>
 #include <vector>
 
+#include "sim/event_fn.hpp"
 #include "util/rng.hpp"
 #include "util/time.hpp"
 
@@ -18,8 +36,24 @@ namespace evm::sim {
 using util::Duration;
 using util::TimePoint;
 
+/// One pooled event: schedule target, FIFO tie-break, liveness id, calendar
+/// slot, the intrusive bucket link and the callable itself. Nodes are reused
+/// through a free list; `id` is re-issued on every schedule, so a stale
+/// EventHandle can never cancel the node's next occupant.
+struct EventNode {
+  TimePoint when;
+  std::uint64_t seq = 0;
+  std::uint64_t id = 0;  // 0 = not currently a live pending event
+  std::uint64_t slot = 0;
+  EventNode* next = nullptr;
+  bool cancelled = false;
+  EventFn fn;
+};
+
 /// Handle used to cancel a pending event. Default-constructed handles are
-/// inert.
+/// inert. A handle names (node, issue id); once the event fires or is
+/// cancelled the id no longer matches, so late cancels are safe no-ops even
+/// after the node has been recycled for a different event.
 class EventHandle {
  public:
   EventHandle() = default;
@@ -28,7 +62,8 @@ class EventHandle {
 
  private:
   friend class Simulator;
-  explicit EventHandle(std::uint64_t id) : id_(id) {}
+  EventHandle(EventNode* node, std::uint64_t id) : node_(node), id_(id) {}
+  EventNode* node_ = nullptr;
   std::uint64_t id_ = 0;
 };
 
@@ -43,11 +78,24 @@ class Simulator {
   TimePoint now() const { return now_; }
   util::Rng& rng() { return rng_; }
 
-  /// Schedule `fn` to run at absolute time `when` (>= now).
-  EventHandle schedule_at(TimePoint when, std::function<void()> fn);
+  /// Schedule `fn` to run at absolute time `when` (>= now). Accepts any
+  /// callable; closures up to EventFn::kInlineBytes are stored inline in the
+  /// pooled event node (no heap allocation).
+  template <typename F>
+  EventHandle schedule_at(TimePoint when, F&& fn) {
+    EventNode* node = acquire_node();
+    node->fn.emplace(std::forward<F>(fn));
+    return enqueue(node, when);
+  }
   /// Schedule `fn` to run `delay` from now.
-  EventHandle schedule_after(Duration delay, std::function<void()> fn);
-  /// Cancel a pending event. Safe to call on fired/cancelled handles.
+  template <typename F>
+  EventHandle schedule_after(Duration delay, F&& fn) {
+    return schedule_at(now_ + delay, std::forward<F>(fn));
+  }
+  /// Cancel a pending event: O(1), no search. Safe to call on fired,
+  /// cancelled or default handles. The node is marked dead in place and
+  /// reclaimed when its bucket drains (lazy removal keeps cancel free of
+  /// list surgery).
   void cancel(EventHandle handle);
 
   /// Run until the event queue drains or `until` is reached, whichever is
@@ -58,46 +106,85 @@ class Simulator {
   /// Dispatch exactly one event if present; returns false when queue empty.
   bool step();
 
-  std::size_t pending_events() const;
+  std::size_t pending_events() const { return live_count_; }
   std::size_t dispatched_events() const { return dispatched_; }
   /// High-water mark of live (non-cancelled) pending events over the run so
-  /// far — the obs plane's "sim.queue_depth_max" gauge, and the number that
-  /// sizes the hot-path heap for ROADMAP item 1.
+  /// far — the obs plane's "sim.queue_depth_max" gauge. Calendar-aware
+  /// definition: the count spans the current-slot heap, every ring bucket
+  /// and the overflow bucket, minus events already cancelled in place, and
+  /// is sampled at schedule time exactly as the heap engine sampled it.
   std::size_t max_queue_depth() const { return max_queue_depth_; }
 
+  // --- Calendar geometry (exposed for tests and the churn bench) ----------
+  /// log2 of the calendar slot width in nanoseconds (~1.05 ms slots).
+  static constexpr int kSlotShiftBits = 20;
+  /// Ring capacity in slots; events further out wait in the overflow bucket.
+  static constexpr std::uint64_t kRingSlots = 1024;
+  /// Events currently parked in the far-future overflow bucket (includes
+  /// cancelled-in-place nodes until the next migration reclaims them).
+  std::size_t overflow_events() const { return overflow_.size(); }
+
  private:
-  struct Event {
-    TimePoint when;
-    std::uint64_t sequence;  // FIFO tie-break for simultaneous events
-    std::uint64_t id;
-    std::function<void()> fn;
+  struct Bucket {
+    EventNode* head = nullptr;
+    EventNode* tail = nullptr;
   };
-  struct EventOrder {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.when != b.when) return a.when > b.when;
-      return a.sequence > b.sequence;
+  /// Min-heap comparator over (when, seq): true when `a` dispatches after
+  /// `b`. Identical tie-break to the retired binary-heap engine.
+  struct NodeAfter {
+    bool operator()(const EventNode* a, const EventNode* b) const {
+      if (a->when != b->when) return a->when > b->when;
+      return a->seq > b->seq;
     }
   };
 
-  bool pop_next(Event& out);
+  EventNode* acquire_node();
+  void release_node(EventNode* node);
+  EventHandle enqueue(EventNode* node, TimePoint when);
+  void push_current(EventNode* node);
+  /// Next live event without dispatching it (advances the calendar window
+  /// over empty slots and reclaims cancelled nodes in passing).
+  EventNode* peek();
+  /// Pop `node` (the current heap top) and run it.
+  void dispatch(EventNode* node);
+  /// Move cur_slot_ to the next populated slot (ring or overflow).
+  void advance();
+  /// Splice ring bucket `slot` into the current-slot heap.
+  void take_bucket(std::uint64_t slot);
+  /// Pull overflow events that now fall inside the ring window into their
+  /// ring buckets; recompute the overflow minimum.
+  void migrate_overflow();
+  /// Minimal occupied ring slot strictly after cur_slot_ (bitmap scan).
+  std::uint64_t next_ring_slot() const;
+  std::uint64_t find_ring_bit(std::uint64_t lo, std::uint64_t hi) const;
 
   TimePoint now_;
   util::Rng rng_;
-  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
-  /// Cancelled-but-not-yet-popped event ids. A hash set keeps cancellation
-  /// and the per-pop membership test O(1); heavy-churn scenarios cancel
-  /// thousands of retry timers, which made the previous linear scan of a
-  /// vector quadratic overall.
-  ///
-  /// Determinism audit (evm_lint D1): this set is membership-only — every
-  /// access is insert/erase/count keyed by event id; nothing ever iterates
-  /// it, so its hash order cannot reach dispatch order or traces. If you
-  /// add iteration (e.g. draining it on reset), iterate a sorted copy.
-  std::unordered_set<std::uint64_t> cancelled_;
+
+  // Calendar state. cur_slot_ is the slot the current heap was filled from;
+  // the ring window is (cur_slot_, cur_slot_ + kRingSlots). Invariants:
+  // ring buckets only ever hold events of a single slot value each (window
+  // arithmetic, see enqueue/migrate); events scheduled into the current or
+  // an earlier slot go straight to the current heap, which orders them by
+  // (when, seq) regardless of slot.
+  std::uint64_t cur_slot_ = 0;
+  std::vector<EventNode*> current_;  // binary heap, NodeAfter comparator
+  std::vector<Bucket> ring_;
+  std::vector<std::uint64_t> ring_bits_;  // bucket occupancy bitmap
+  std::size_t ring_count_ = 0;            // nodes resident in ring buckets
+  std::vector<EventNode*> overflow_;
+  std::uint64_t overflow_min_slot_ = ~0ull;
+
+  // Node pool: fixed-size chunks, never freed until destruction, recycled
+  // through free_nodes_. Heavy churn therefore reuses storage instead of
+  // exercising the allocator.
+  std::vector<std::unique_ptr<EventNode[]>> pool_;
+  std::vector<EventNode*> free_nodes_;
+
   std::uint64_t next_sequence_ = 1;
   std::uint64_t next_id_ = 1;
+  std::size_t live_count_ = 0;  // pending minus cancelled-in-place
   std::size_t dispatched_ = 0;
-  std::size_t cancelled_pending_ = 0;
   std::size_t max_queue_depth_ = 0;
 };
 

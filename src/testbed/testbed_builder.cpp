@@ -132,6 +132,7 @@ void TestbedBuilder::build_nodes() {
   // which grow with the control period and hop count.
   policy.active_silence_timeout =
       std::max(util::Duration::seconds(5), config_.promotion_timeout * 3);
+  policy.head_beacon_period = config_.head_beacon_period;
 
   // Broadcast data/heartbeat planes only reach one hop; worlds with relays
   // need the routers to carry them across. The default (kAuto) is scoped
@@ -166,8 +167,14 @@ void TestbedBuilder::build_nodes() {
     if (multi_hop) {
       if (tree_cache_ != nullptr) {
         nodes_[entry.id]->router().enable_tree_dissemination(tree_cache_.get());
+        if (config_.head_bound_tree_unicast) {
+          nodes_[entry.id]->router().set_head_bound_tree_unicast(true);
+        }
       } else {
         nodes_[entry.id]->router().enable_flooding();
+      }
+      if (config_.mac_unicast_priority) {
+        nodes_[entry.id]->mac().set_unicast_priority(true);
       }
       nodes_[entry.id]->router().set_default_ttl(ttl);
     }
@@ -272,11 +279,15 @@ void TestbedBuilder::collect_metrics(obs::Metrics& metrics) {
   auto& frames = metrics.counter("net.rtlink.frames_run");
   auto& slots = metrics.counter("net.rtlink.slots_used");
   auto& slots_hist = metrics.histogram("net.rtlink.slots_used_per_node");
+  auto& mac_enqueued = metrics.counter("net.mac.enqueued");
+  auto& mac_drops = metrics.counter("net.mac.queue_drops");
   for (auto& [id, node] : nodes_) {
     (void)id;
     frames.add(node->mac().frames_run());
     slots.add(node->mac().slots_used());
     slots_hist.record(static_cast<double>(node->mac().slots_used()));
+    mac_enqueued.add(node->mac().stats().enqueued);
+    mac_drops.add(node->mac().stats().queue_drops);
   }
 
   auto& originated = metrics.counter("net.route.broadcasts_originated");

@@ -35,10 +35,27 @@ struct GasPlantTestbedConfig {
   /// Head-side supervision window for a freshly promoted replica. Multi-hop
   /// worlds with long control periods need more than the 2 s default.
   util::Duration promotion_timeout = util::Duration::seconds(2);
+  /// Head liveness beacon period. The succession window is this times the
+  /// policy's beacon_loss_threshold (5); it must out-wait a few TDMA frames
+  /// or members elect a rogue head every frame. Worlds whose frame exceeds
+  /// ~1 s (hundreds of nodes) must raise it.
+  util::Duration head_beacon_period = util::Duration::seconds(1);
   /// Level setpoint (percent).
   double level_setpoint = 50.0;
   /// Broadcast dissemination scheme (see DisseminationMode).
   DisseminationMode dissemination = DisseminationMode::kAuto;
+  /// Route head-bound unicasts (fault reports) up the dissemination tree's
+  /// parent chain so they ride the frame's inbound mirror pass instead of
+  /// paying one frame per hop over arbitrary shortest paths. Off by
+  /// default to keep historical scenario baselines bit-stable; large
+  /// worlds (hundreds of nodes) want it on.
+  bool head_bound_tree_unicast = false;
+  /// Drain unicast control traffic (fault reports, mode commands) ahead of
+  /// queued broadcast relays at every MAC. Saturated many-hop worlds
+  /// otherwise make each control hop wait out the standing flood traffic
+  /// (one frame per hop — minutes end to end at 1000 nodes). Off by
+  /// default to keep historical scenario baselines bit-stable.
+  bool mac_unicast_priority = false;
   /// Fig. 5 only: include the third controller replica (Ctrl-C) in the VC.
   bool third_controller = false;
   /// Fig. 5 only: per-link packet loss probability.

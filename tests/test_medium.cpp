@@ -178,6 +178,70 @@ TEST_F(MediumFixture, OverlappingTransmissionsStillCollide) {
   EXPECT_GE(medium.collision_count(), 1u);
 }
 
+// --- Spatial cell partitioning -------------------------------------------
+// The medium records energy per 64-id cell with an audibility mask and a
+// per-cell listening bitmask. The risky ids are the cell edges: bit 63 of
+// cell 0 and bit 0 of cell 1 must behave exactly like mid-cell neighbors.
+
+TEST(MediumCells, FootprintSpanningCellsDeliversAcrossTheBoundary) {
+  sim::Simulator sim{1};
+  // Hub 63 is the last id of cell 0; leaves sit in cells 0, 1 and 3.
+  Topology topo = Topology::star(63, {62, 64, 200});
+  Medium medium{sim, topo};
+  Radio hub(sim, medium, 63), a(sim, medium, 62), b(sim, medium, 64),
+      c(sim, medium, 200);
+  for (Radio* r : {&hub, &a, &b, &c}) r->set_state(RadioState::kIdleListen);
+  int count = 0;
+  for (Radio* r : {&a, &b, &c}) {
+    r->set_receive_handler([&](const Packet&) { ++count; });
+  }
+  Packet p;
+  p.dst = kBroadcast;
+  hub.transmit(p);
+  // Mid-flight, every leaf's cell sees the hub's energy as busy air.
+  EXPECT_TRUE(medium.channel_busy(62));
+  EXPECT_TRUE(medium.channel_busy(64));
+  EXPECT_TRUE(medium.channel_busy(200));
+  sim.run_all();
+  EXPECT_EQ(count, 3);
+  EXPECT_EQ(medium.delivered_count(), 3u);
+}
+
+TEST(MediumCells, CarrierWakesListenersInDistantCells) {
+  sim::Simulator sim{1};
+  Topology topo = Topology::star(63, {64, 200});
+  Medium medium{sim, topo};
+  Radio hub(sim, medium, 63), near(sim, medium, 64), far(sim, medium, 200);
+  for (Radio* r : {&hub, &near, &far}) r->set_state(RadioState::kIdleListen);
+  int carriers = 0;
+  near.set_carrier_handler([&] { ++carriers; });
+  far.set_carrier_handler([&] { ++carriers; });
+  hub.transmit_carrier(util::Duration::millis(1));
+  sim.run_all();
+  // Both listeners got the onset edge, whatever cell they live in.
+  EXPECT_EQ(carriers, 2);
+}
+
+TEST(MediumCells, DetachedListenerVanishesFromItsCellMask) {
+  sim::Simulator sim{1};
+  Topology topo = Topology::star(63, {64, 200});
+  Medium medium{sim, topo};
+  Radio hub(sim, medium, 63), near(sim, medium, 64), far(sim, medium, 200);
+  for (Radio* r : {&hub, &near, &far}) r->set_state(RadioState::kIdleListen);
+  int count = 0;
+  near.set_receive_handler([&](const Packet&) { ++count; });
+  far.set_receive_handler([&](const Packet&) { ++count; });
+  medium.detach(64);
+  Packet p;
+  p.dst = kBroadcast;
+  hub.transmit(p);
+  sim.run_all();
+  // Only the still-attached far listener hears it; the detached radio's
+  // listening bit is gone from cell 1's mask.
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(medium.delivered_count(), 1u);
+}
+
 // The flat-index/pooling rewrite must not cost determinism: a grid-20
 // campaign run's serialized RunMetrics is contractually a pure function of
 // (spec, seed), so re-running the same seed must reproduce it byte for

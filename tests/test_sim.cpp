@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <sstream>
+#include <utility>
 #include <vector>
 
 #include "sim/simulator.hpp"
@@ -111,6 +113,134 @@ TEST(Simulator, StepDispatchesExactlyOne) {
 TEST(Simulator, DeterministicRngFromSeed) {
   Simulator a(99), b(99);
   for (int i = 0; i < 10; ++i) EXPECT_EQ(a.rng().next_u64(), b.rng().next_u64());
+}
+
+// --- Calendar-queue geometry ---------------------------------------------
+// The engine is a slot-indexed calendar (ring of per-slot buckets + one
+// far-future overflow bucket + a current-slot heap). These tests pin the
+// behaviours the geometry could plausibly break: FIFO inside a slot, handle
+// safety across node reuse, scheduling into the slot being dispatched, and
+// window migration out of the overflow bucket.
+
+// One calendar slot spans 2^kSlotShiftBits ns. Schedule bursts of identical
+// timestamps *within one slot* and across its boundary: FIFO must hold
+// inside each timestamp group and time order across groups, i.e. dispatch
+// order is exactly ascending (when, sequence).
+TEST(Simulator, SameSlotEventsDispatchInInsertionOrder) {
+  Simulator sim;
+  const std::int64_t slot_ns = std::int64_t{1} << Simulator::kSlotShiftBits;
+  std::vector<int> order;
+  int tag = 0;
+  // Three timestamp groups inside slot 0 plus one in slot 1, scheduled
+  // round-robin so insertion order disagrees with schedule-call grouping.
+  const TimePoint when[] = {TimePoint(10), TimePoint(10), TimePoint(slot_ns / 2),
+                            TimePoint(slot_ns + 5), TimePoint(10),
+                            TimePoint(slot_ns / 2)};
+  std::vector<std::pair<std::int64_t, int>> expected;
+  for (const TimePoint& w : when) {
+    const int id = tag++;
+    expected.emplace_back(w.ns(), id);
+    sim.schedule_at(w, [&order, id] { order.push_back(id); });
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) { return a.first < b.first; });
+  sim.run_all();
+  ASSERT_EQ(order.size(), expected.size());
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_EQ(order[i], expected[i].second) << "position " << i;
+  }
+}
+
+// A handle outlives its event; the node it names is recycled for a fresh
+// event. Cancelling the stale handle must be a no-op — the new occupant
+// carries a new issue id — and must not corrupt pending_events().
+TEST(Simulator, CancelAfterDispatchCannotKillRecycledNode) {
+  Simulator sim;
+  bool first_fired = false;
+  EventHandle stale = sim.schedule_at(TimePoint(1), [&] { first_fired = true; });
+  sim.run_until(TimePoint(2));
+  ASSERT_TRUE(first_fired);
+  // The pool now recycles the node for the next event.
+  bool second_fired = false;
+  sim.schedule_at(TimePoint(10), [&] { second_fired = true; });
+  sim.cancel(stale);  // stale id: must not touch the recycled node
+  sim.cancel(stale);  // and double-cancel stays a no-op
+  EXPECT_EQ(sim.pending_events(), 1u);
+  sim.run_all();
+  EXPECT_TRUE(second_fired);
+}
+
+// An event that schedules into its own (current) slot — including at the
+// very timestamp being dispatched — runs in this pass, after every
+// already-pending event of the same timestamp (sequence order).
+TEST(Simulator, ScheduleIntoCurrentSlotDispatchesThisPass) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(TimePoint(100), [&] {
+    order.push_back(0);
+    sim.schedule_at(TimePoint(100), [&] { order.push_back(2); });
+    sim.schedule_after(Duration(1), [&] { order.push_back(3); });
+  });
+  sim.schedule_at(TimePoint(100), [&] { order.push_back(1); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3}));
+  EXPECT_EQ(sim.now(), TimePoint(101));
+}
+
+// Events beyond the ring window (kRingSlots calendar slots) park in the
+// overflow bucket and migrate into the ring as the window advances; order
+// across the boundary must be seamless and the bucket must drain to zero.
+TEST(Simulator, FarFutureEventsWaitInOverflowAndMigrateInOrder) {
+  Simulator sim;
+  const std::int64_t slot_ns = std::int64_t{1} << Simulator::kSlotShiftBits;
+  const std::int64_t window_ns = slot_ns * static_cast<std::int64_t>(Simulator::kRingSlots);
+  std::vector<int> order;
+  // Far-future first (3 window-widths out), then near events: the far ones
+  // must sit in overflow now and still dispatch last.
+  sim.schedule_at(TimePoint(3 * window_ns + 7), [&] { order.push_back(3); });
+  sim.schedule_at(TimePoint(3 * window_ns + 7), [&] { order.push_back(4); });
+  EXPECT_EQ(sim.overflow_events(), 2u);
+  sim.schedule_at(TimePoint(5), [&] { order.push_back(0); });
+  sim.schedule_at(TimePoint(window_ns - 1), [&] { order.push_back(1); });
+  // In-window cancel and an overflow cancel: both reclaimed lazily, neither
+  // dispatches.
+  EventHandle dead = sim.schedule_at(TimePoint(2 * window_ns), [&] { order.push_back(99); });
+  sim.cancel(dead);
+  sim.schedule_at(TimePoint(window_ns + 3), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(sim.pending_events(), 0u);
+  EXPECT_EQ(sim.overflow_events(), 0u);
+}
+
+// Heavy schedule/cancel/dispatch churn recycles nodes through the pool.
+// After the storm, the engine must still dispatch a fresh batch in exact
+// (when, seq) order with zero residue — recycled nodes carry no stale state.
+TEST(Simulator, PoolReuseAfterHeavyChurnStaysOrdered) {
+  Simulator sim;
+  int fired = 0;
+  for (int round = 0; round < 50; ++round) {
+    std::vector<EventHandle> handles;
+    for (int i = 0; i < 40; ++i) {
+      handles.push_back(sim.schedule_after(Duration(1 + (i * 37) % 97),
+                                           [&] { ++fired; }));
+    }
+    // Cancel every other one, including some twice.
+    for (std::size_t i = 0; i < handles.size(); i += 2) {
+      sim.cancel(handles[i]);
+      sim.cancel(handles[i]);
+    }
+    sim.run_until(sim.now() + Duration(200));
+  }
+  EXPECT_EQ(fired, 50 * 20);
+  EXPECT_EQ(sim.pending_events(), 0u);
+  // The engine is still fully ordered after the churn.
+  std::vector<int> order;
+  for (int i = 9; i >= 0; --i) {
+    sim.schedule_after(Duration(10 + i), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[i], i);
 }
 
 // --- Trace ---------------------------------------------------------------
